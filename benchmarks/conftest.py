@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+The benchmark suite regenerates every table and figure of the paper
+(`pytest benchmarks/ --benchmark-only`).  One session-scoped
+:class:`SuiteContext` is shared so traces and profiles are computed once
+each; the per-figure benchmark functions time the profiler/analysis
+kernels and assert the paper's *shape* (who wins, by roughly what
+factor).
+
+Set ``REPRO_BENCH_SCALE`` to trade fidelity for runtime (default 1.0,
+the calibration the paper-shape assertions were tuned at; smaller
+scales keep the assertions' loose bounds valid but shift the absolute
+numbers).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.context import SuiteContext
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def context():
+    return SuiteContext(scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def traces(context):
+    """All benchmark traces, materialized once."""
+    return {name: context.trace(name) for name in context.benchmarks}
+
+
+def once(benchmark, function, *args, **kwargs):
+    """Run a heavyweight benchmark body exactly once per measurement."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,51 @@
+"""Ablation bench: allocator sensitivity.
+
+The paper's motivation (Section 1): raw-address profiles change when
+the allocator library changes, object-relative profiles do not.  This
+ablation runs one workload under every allocator policy and compares
+profile stability: the OMSG streams are bit-identical while the raw
+address streams differ.
+"""
+
+from conftest import once
+
+from repro.core.tuples import DIMENSIONS
+from repro.profilers.whomp import WhompProfiler
+from repro.runtime.allocator import ALL_POLICIES
+from repro.workloads.registry import create
+
+WORKLOAD = "micro.list"
+
+
+def test_allocator_sensitivity(benchmark, context):
+    def measure():
+        streams = {}
+        raw = {}
+        for policy in ALL_POLICIES:
+            workload = create(WORKLOAD, scale=1.0)
+            trace = workload.trace(allocator=policy)
+            profile = WhompProfiler().profile(trace)
+            streams[policy] = tuple(
+                tuple(profile.grammars[name].expand()) for name in DIMENSIONS
+            )
+            raw[policy] = tuple(trace.raw_address_stream())
+        return streams, raw
+
+    streams, raw = once(benchmark, measure)
+    print()
+    print(f"object-relative stream variants: {len(set(streams.values()))} "
+          f"across {len(ALL_POLICIES)} allocators")
+    print(f"raw address stream variants:     {len(set(raw.values()))}")
+
+    # the paper's claim, verbatim
+    assert len(set(streams.values())) == 1
+    assert len(set(raw.values())) > 1
+
+
+def test_grammar_sizes_stable_across_allocators(context):
+    """OMSG *size* is also layout-invariant (same streams, same grammar)."""
+    sizes = set()
+    for policy in ALL_POLICIES:
+        trace = create(WORKLOAD, scale=0.5).trace(allocator=policy)
+        sizes.add(WhompProfiler().profile(trace).size())
+    assert len(sizes) == 1

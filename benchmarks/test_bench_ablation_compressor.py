@@ -1,0 +1,66 @@
+"""Ablation bench: the SCC's stream compressor choice.
+
+Section 2.3 lists Sequitur, linear compression "and others" as
+candidate SCC compressors.  This ablation swaps WHOMP's Sequitur for
+the delta+RLE codec and measures the OMSG size under each: RLE devours
+the strided components but cannot share composite repeated motifs
+across occurrences, so Sequitur's grammars win overall -- quantifying
+why the paper's WHOMP uses Sequitur.
+"""
+
+from conftest import once
+
+from repro.compression.rle import DeltaRleCodec
+from repro.profilers.whomp import WhompProfiler
+
+
+def test_sequitur_vs_delta_rle(benchmark, context):
+    def measure():
+        rows = {}
+        for name in ("gzip", "parser", "twolf"):
+            trace = context.trace(name)
+            sequitur_bytes = context.whomp(name).size_bytes_varint()
+            rle_profile = WhompProfiler(compressor=DeltaRleCodec).profile(trace)
+            # both stay lossless
+            raw = [(e.instruction_id, e.address) for e in trace.accesses()]
+            assert rle_profile.reconstruct_accesses() == raw
+            rows[name] = (sequitur_bytes, rle_profile.size_bytes_varint())
+        return rows
+
+    rows = once(benchmark, measure)
+    print()
+    for name, (sequitur_bytes, rle_bytes) in rows.items():
+        print(f"{name:8s} sequitur {sequitur_bytes:7d} B   "
+              f"delta-rle {rle_bytes:7d} B")
+    total_sequitur = sum(s for s, __ in rows.values())
+    total_rle = sum(r for __, r in rows.values())
+    assert total_sequitur < total_rle
+
+
+def test_speculation_decisions_from_profiles(benchmark, context):
+    """Consumer-level comparison (Chen's motivation for Section 4.2.1):
+    profile-driven speculative-load-reordering schedules, scored by
+    expected cost under the true frequencies.  LEAP's schedule should
+    recover more of the oracle's benefit than the window baseline's."""
+    from repro.postprocess.dependence import analyze_dependences
+    from repro.postprocess.speculation import evaluate
+
+    def measure():
+        leap_cost = connors_cost = oracle_cost = 0.0
+        for name in context.benchmarks:
+            truth = context.truth_dependence(name)
+            leap_table = analyze_dependences(context.leap(name))
+            connors_table = context.connors(name)
+            __, cost, oracle = evaluate(leap_table, truth)
+            leap_cost += cost
+            oracle_cost += oracle
+            __, cost, __unused = evaluate(connors_table, truth)
+            connors_cost += cost
+        return leap_cost, connors_cost, oracle_cost
+
+    leap_cost, connors_cost, oracle_cost = once(benchmark, measure)
+    print(f"\nexpected schedule cost: LEAP {leap_cost:.0f}, "
+          f"Connors {connors_cost:.0f}, oracle {oracle_cost:.0f}")
+    assert oracle_cost <= leap_cost < connors_cost <= 0 or (
+        oracle_cost <= leap_cost and leap_cost < connors_cost
+    )

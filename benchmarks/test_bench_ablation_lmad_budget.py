@@ -1,0 +1,54 @@
+"""Ablation bench: the LMAD descriptor budget.
+
+The paper fixes 30 LMADs per (instruction, group) pair as the
+size/quality/runtime sweet spot (Section 4.1).  This ablation sweeps
+the budget and checks the trade-off behaves as described: capture and
+profile size grow monotonically with budget, while the returns past the
+paper's 30 diminish.
+"""
+
+import pytest
+from conftest import once
+
+from repro.profilers.leap import LeapProfiler
+
+BUDGETS = (5, 15, 30, 60, 120)
+
+
+@pytest.mark.parametrize("budget", BUDGETS)
+def test_budget_sweep(benchmark, context, budget):
+    def profile_suite():
+        rows = {}
+        for name in context.benchmarks:
+            trace = context.trace(name)
+            profile = LeapProfiler(budget=budget).profile(trace)
+            rows[name] = (
+                profile.accesses_captured(),
+                profile.size_bytes(),
+            )
+        return rows
+
+    rows = once(benchmark, profile_suite)
+    captured = sum(c for c, __ in rows.values()) / len(rows)
+    size = sum(s for __, s in rows.values())
+    print(f"\nbudget {budget:4d}: avg captured {captured:.1%}, "
+          f"profile bytes {size}")
+    assert 0.0 <= captured <= 1.0
+
+
+def test_budget_tradeoff_shape(context):
+    """Monotonicity + diminishing returns around the paper's 30."""
+    trace = context.trace("gzip")
+    captured = {}
+    sizes = {}
+    for budget in BUDGETS:
+        profile = LeapProfiler(budget=budget).profile(trace)
+        captured[budget] = profile.accesses_captured()
+        sizes[budget] = profile.size_bytes()
+    for small, large in zip(BUDGETS, BUDGETS[1:]):
+        assert captured[small] <= captured[large] + 1e-9
+        assert sizes[small] <= sizes[large]
+    # diminishing returns: the 30 -> 120 gain is smaller than 5 -> 30
+    gain_low = captured[30] - captured[5]
+    gain_high = captured[120] - captured[30]
+    assert gain_high <= gain_low + 0.05

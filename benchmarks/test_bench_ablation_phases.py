@@ -1,0 +1,64 @@
+"""Ablation bench: phase-cognizant LEAP (the future-work extension).
+
+A phase-split LEAP profile gives each detected phase its own descriptor
+budget, so instructions whose behaviour differs across phases keep
+their regular phases captured.  The ablation checks the capture gain on
+a phase-heavy synthetic program and the (modest) size cost.
+"""
+
+from conftest import once
+
+from repro.analysis.phases import PhasedLeapProfiler
+from repro.core.events import AccessKind
+from repro.profilers.leap import LeapProfiler
+from repro.runtime.process import Process
+
+
+def phase_heavy_trace(rounds=4, words=4096):
+    # words chosen so phases align with the detector's 2048-access
+    # intervals; misaligned boundaries create mixed-signature intervals
+    # that fragment the phase clustering (a known limitation of
+    # interval-based phase detection).
+    process = Process()
+    buffer = process.malloc("buf", words * 8)
+    ld = process.instruction("scan", AccessKind.LOAD)
+    st = process.instruction("update", AccessKind.STORE)
+    state = 1
+    for __ in range(rounds):
+        for word in range(words):
+            process.load(ld, buffer + word * 8)
+            process.store(st, buffer + word * 8)
+        for __ in range(words):
+            state = (state * 1103515245 + 12345) % (1 << 31)
+            process.load(ld, buffer + (state % words) * 8)
+    process.finish()
+    return process.trace
+
+
+def test_phase_cognizant_capture_gain(benchmark):
+    trace = phase_heavy_trace()
+
+    def measure():
+        flat = LeapProfiler().profile(trace)
+        phased = PhasedLeapProfiler(interval=2048).profile(trace)
+        return flat, phased
+
+    flat, phased = once(benchmark, measure)
+    print()
+    print(f"flat:   captured {flat.accesses_captured():.1%}, "
+          f"{flat.size_bytes()} bytes")
+    print(f"phased: captured {phased.accesses_captured():.1%}, "
+          f"{phased.size_bytes()} bytes, {phased.phase_count()} phases")
+
+    assert phased.phase_count() >= 2
+    assert phased.accesses_captured() > flat.accesses_captured() + 0.10
+    # the size cost stays within one extra budget's worth per phase
+    assert phased.size_bytes() < flat.size_bytes() * (phased.phase_count() + 1)
+
+
+def test_phase_split_neutral_on_single_phase_workload(context):
+    """No phase change -> no gain, and no pathological size blowup."""
+    trace = context.trace("crafty")
+    flat = LeapProfiler().profile(trace)
+    phased = PhasedLeapProfiler(interval=4096).profile(trace)
+    assert phased.accesses_captured() >= flat.accesses_captured() - 0.05

@@ -1,0 +1,76 @@
+"""Bench: cross-input generalization of the profiles.
+
+The whole premise of feedback-directed optimization is that a profile
+collected on a *training* input guides optimization of *other* inputs
+(Section 1: "even a slightly different input set could lead to
+radically different data footprint" -- for raw addresses; the
+object-relative representation is what survives the input change).
+
+Train on seed 0, deploy on seed 1:
+
+* the speculative-load schedule planned from the training LEAP profile
+  is scored against the deployment run's ground truth;
+* the strongly-strided instruction set identified on the training input
+  is compared to the deployment input's real set.
+
+Both should transfer nearly perfectly: the workloads' *structure* is
+input-independent even though every address and footprint changes.
+"""
+
+from conftest import SCALE, once
+
+from repro.baselines.dependence_lossless import LosslessDependenceProfiler
+from repro.baselines.stride_lossless import LosslessStrideProfiler
+from repro.postprocess.dependence import analyze_dependences
+from repro.postprocess.speculation import evaluate
+from repro.postprocess.strides import LeapStrideAnalyzer, stride_score
+from repro.profilers.leap import LeapProfiler
+from repro.workloads.registry import create
+
+BENCHMARKS = ("gzip", "crafty", "twolf")
+
+
+def test_speculation_decisions_transfer_across_inputs(benchmark):
+    def measure():
+        results = {}
+        for name in BENCHMARKS:
+            train = create(name, scale=SCALE, seed=0).trace()
+            deploy = create(name, scale=SCALE, seed=1).trace()
+            trained = analyze_dependences(LeapProfiler().profile(train))
+            deploy_truth = LosslessDependenceProfiler().profile(deploy)
+            quality, cost, oracle_cost = evaluate(trained, deploy_truth)
+            results[name] = (quality.agreement_rate, cost, oracle_cost)
+        return results
+
+    results = once(benchmark, measure)
+    print()
+    for name, (agreement, cost, oracle_cost) in results.items():
+        print(f"{name:8s} cross-input agreement {agreement:.1%}, "
+              f"schedule cost {cost:.0f} (oracle {oracle_cost:.0f})")
+    for name, (agreement, cost, oracle_cost) in results.items():
+        assert agreement > 0.85
+        assert cost <= 0  # still a net win on the unseen input
+        assert cost >= oracle_cost
+
+
+def test_stride_sets_transfer_across_inputs(benchmark):
+    def measure():
+        scores = {}
+        for name in BENCHMARKS:
+            train = create(name, scale=SCALE, seed=0).trace()
+            deploy = create(name, scale=SCALE, seed=1).trace()
+            identified = LeapStrideAnalyzer().strongly_strided(
+                LeapProfiler().profile(train)
+            )
+            real = LosslessStrideProfiler().profile(deploy).strongly_strided()
+            scores[name] = stride_score(identified, real)
+        return scores
+
+    scores = once(benchmark, measure)
+    print()
+    for name, score in scores.items():
+        print(f"{name:8s} cross-input stride score "
+              f"{score:.0%}" if score is not None else f"{name}: n/a")
+    valid = [s for s in scores.values() if s is not None]
+    assert valid
+    assert sum(valid) / len(valid) > 0.7

@@ -1,0 +1,73 @@
+"""Bench: the profile-consuming optimizations, end to end.
+
+Not a paper figure -- the paper stops at profile quality -- but its
+introduction's motivation: profiles exist to make memory faster.  Each
+consumer is timed and its miss-rate effect on the cache simulator
+asserted, closing the feedback-directed loop the paper opens.
+"""
+
+from conftest import once
+
+from repro.core.cdc import translate_trace_list
+from repro.postprocess.clustering import ObjectClusterer
+from repro.postprocess.field_reorder import FieldReorderer
+from repro.postprocess.hot_streams import extract_hot_streams
+from repro.postprocess.prefetch import evaluate_prefetching
+from repro.runtime.cache import CacheConfig
+from repro.workloads.micro import LinkedListTraversal, MatrixTraversal
+
+CACHE = CacheConfig(size_bytes=4096, line_bytes=64, associativity=2)
+
+
+def test_object_clustering_miss_reduction(benchmark):
+    trace = LinkedListTraversal(nodes=200, sweeps=10).trace()
+    comparison = once(benchmark, ObjectClusterer().evaluate, trace, CACHE)
+    print(f"\nclustering: {comparison.baseline.miss_rate:.1%} -> "
+          f"{comparison.optimized.miss_rate:.1%} "
+          f"({comparison.miss_reduction:.0%} reduction)")
+    assert comparison.miss_reduction > 0.15
+
+
+def test_stride_prefetching_miss_reduction(benchmark):
+    trace = MatrixTraversal(rows=64, cols=64).trace()
+    comparison = once(benchmark, evaluate_prefetching, trace, config=CACHE)
+    print(f"\nprefetching: {comparison.baseline.miss_rate:.1%} -> "
+          f"{comparison.optimized.miss_rate:.1%} "
+          f"({comparison.miss_reduction:.0%} reduction)")
+    assert comparison.miss_reduction > 0.5
+
+
+def test_field_reordering_miss_reduction(benchmark):
+    from repro.core.events import AccessKind
+    from repro.runtime.process import Process
+
+    process = Process()
+    hot_a = process.instruction("hot_a", AccessKind.LOAD)
+    hot_b = process.instruction("hot_b", AccessKind.LOAD)
+    cold = process.instruction("cold", AccessKind.LOAD)
+    objects = [process.malloc("rec", 256) for __ in range(300)]
+    for sweep in range(6):
+        for obj in objects:
+            process.load(hot_a, obj)
+            process.load(hot_b, obj + 248)
+        if sweep == 0:
+            for obj in objects:
+                process.load(cold, obj + 128)
+    process.finish()
+
+    comparison = once(
+        benchmark, FieldReorderer().evaluate, process.trace, CACHE
+    )
+    print(f"\nfield reorder: {comparison.baseline.miss_rate:.1%} -> "
+          f"{comparison.optimized.miss_rate:.1%} "
+          f"({comparison.miss_reduction:.0%} reduction)")
+    assert comparison.miss_reduction > 0.2
+
+
+def test_hot_stream_extraction(benchmark):
+    trace = LinkedListTraversal(nodes=120, sweeps=10).trace()
+    stream = translate_trace_list(trace)
+    hot = once(benchmark, extract_hot_streams, stream, 2, 256, 2, 5)
+    assert hot
+    assert hot[0].length == 120  # the full traversal is the hot stream
+    assert hot[0].occurrences >= 10

@@ -1,0 +1,36 @@
+"""Figure 5 bench: OMSG vs RASG compression across the suite.
+
+Regenerates the figure's rows and asserts its shape: the OMSG is
+smaller than the RASG on average by a meaningful margin (the paper
+reports 22%), with no benchmark regressing badly.
+"""
+
+from conftest import once
+
+from repro.experiments import fig5
+
+
+def test_fig5_compression(benchmark, context):
+    results = once(benchmark, fig5.run, context)
+    print()
+    print(fig5.render(results))
+
+    improvements = [row["improvement"] for row in results["rows"]]
+    # shape: OMSG wins on average by >= 10%, every benchmark non-negative
+    assert results["average_improvement"] > 0.10
+    assert all(improvement > -0.02 for improvement in improvements)
+    # and the WHOMP profiles really are lossless (spot check one)
+    name = results["rows"][0]["benchmark"]
+    whomp = context.whomp(name)
+    trace = context.trace(name)
+    raw = [(e.instruction_id, e.address) for e in trace.accesses()]
+    assert whomp.reconstruct_accesses() == raw
+
+
+def test_fig5_whomp_profiling_throughput(benchmark, context):
+    """Kernel benchmark: WHOMP profiling of one trace (gzip)."""
+    from repro.profilers.whomp import WhompProfiler
+
+    trace = context.trace("gzip")
+    profile = once(benchmark, WhompProfiler().profile, trace)
+    assert profile.access_count == trace.access_count

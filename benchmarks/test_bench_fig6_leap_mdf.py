@@ -1,0 +1,33 @@
+"""Figure 6 bench: LEAP memory-dependence error distribution.
+
+Regenerates the figure and asserts its shape: the distribution is
+sharply peaked at zero error, with most pairs correct or within 10%
+(the paper reports 75%).
+"""
+
+from conftest import once
+
+from repro.experiments import fig6
+
+
+def test_fig6_leap_error_distribution(benchmark, context):
+    results = once(benchmark, fig6.run, context)
+    print()
+    print(fig6.render(results))
+
+    average = results["average"]
+    # shape: dominant mass at/near zero error
+    assert results["average_within_10"] > 0.55
+    assert average.exactly_correct() > 0.40
+    fractions = average.fractions()
+    center = fractions[10]
+    assert center == max(fractions)  # the peak is the zero bucket
+
+
+def test_fig6_mdf_postprocess_throughput(benchmark, context):
+    """Kernel benchmark: omega-test MDF post-processing of one profile."""
+    from repro.postprocess.dependence import analyze_dependences
+
+    leap = context.leap("crafty")
+    table = once(benchmark, analyze_dependences, leap)
+    assert table.dependent_pairs()

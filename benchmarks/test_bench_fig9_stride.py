@@ -1,0 +1,30 @@
+"""Figure 9 bench: stride score for LEAP.
+
+Regenerates the figure and asserts its shape: a high average fraction
+of strongly-strided instructions correctly identified (paper: 88%),
+with the misses explained by cross-object strides.
+"""
+
+from conftest import once
+
+from repro.experiments import fig9
+
+
+def test_fig9_stride_scores(benchmark, context):
+    results = once(benchmark, fig9.run, context)
+    print()
+    print(fig9.render(results))
+
+    assert results["average_score"] > 0.75
+    for row in results["rows"]:
+        if row["score"] is not None:
+            assert row["score"] >= 0.5
+
+
+def test_fig9_stride_postprocess_throughput(benchmark, context):
+    """Kernel benchmark: the 'trivial post-process' of Section 4.2.2."""
+    from repro.postprocess.strides import LeapStrideAnalyzer
+
+    leap = context.leap("bzip2")
+    identified = once(benchmark, LeapStrideAnalyzer().strongly_strided, leap)
+    assert identified

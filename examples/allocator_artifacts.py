@@ -1,0 +1,60 @@
+"""The paper's motivation, demonstrated: layout artifacts vs invariance.
+
+The same workload (identical logical behaviour) is run under different
+allocator policies, OS base offsets, and probe paddings.  The raw
+address stream changes every time; the object-relative tuple stream is
+bit-identical across all runs -- which is exactly why object-relative
+profiles are stable run-to-run and raw-address profiles are not
+(Section 1). Run with::
+
+    python examples/allocator_artifacts.py
+"""
+
+import hashlib
+
+from repro import translate_trace_list
+from repro.workloads.registry import create
+
+
+def stream_digest(values) -> str:
+    hasher = hashlib.sha256()
+    for value in values:
+        hasher.update(repr(value).encode())
+    return hasher.hexdigest()[:16]
+
+
+def main() -> None:
+    configurations = [
+        ("first-fit allocator", dict(allocator="first-fit")),
+        ("best-fit allocator", dict(allocator="best-fit")),
+        ("segregated allocator", dict(allocator="segregated")),
+        ("bump allocator", dict(allocator="bump")),
+        ("probe padding +64KiB", dict(allocator="first-fit", probe_padding=1 << 16)),
+        ("OS offset +1MiB", dict(allocator="first-fit", os_offset=1 << 20)),
+    ]
+    print("linked-list workload (interleaved malloc/free) under six "
+          "layouts\n(same program, same input):\n")
+    print(f"{'configuration':<24} {'raw-address stream':>20} {'object-relative':>18}")
+    digests = []
+    for label, knobs in configurations:
+        trace = create("micro.list", scale=1.0).trace(**knobs)
+        raw = stream_digest(trace.raw_address_stream())
+        translated = translate_trace_list(trace)
+        object_relative = stream_digest(
+            (a.instruction_id, a.group, a.object_serial, a.offset)
+            for a in translated
+        )
+        digests.append((raw, object_relative))
+        print(f"{label:<24} {raw:>20} {object_relative:>18}")
+
+    raw_digests = {raw for raw, __ in digests}
+    objrel_digests = {objrel for __, objrel in digests}
+    print(f"\ndistinct raw streams:             {len(raw_digests)} / 6")
+    print(f"distinct object-relative streams: {len(objrel_digests)} / 6")
+    assert len(objrel_digests) == 1, "object-relative stream should be invariant"
+    print("\nThe object-relative stream is invariant: every artifact the "
+          "paper\nlists (allocator, linker/probe, OS) has been factored out.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Memory-dependence frequency profiling with LEAP (Section 4.2.1).
+
+Collects a LEAP profile of the mcf stand-in, post-processes the LMADs
+with the omega-test solver into the (store, load, frequency) list the
+paper shows -- e.g. ``(st2, ld1, 10%)`` -- and checks the estimates
+against the lossless ground-truth profiler. Run with::
+
+    python examples/dependence_profiling.py
+"""
+
+from repro import LeapProfiler
+from repro.baselines.dependence_lossless import LosslessDependenceProfiler
+from repro.postprocess.dependence import analyze_dependences
+from repro.workloads.registry import create
+
+
+def main() -> None:
+    workload = create("mcf", scale=0.5)
+    process = workload.execute()
+    trace = process.trace
+    names = {i.instruction_id: n for n, i in process.instructions.items()}
+
+    leap = LeapProfiler().profile(trace)
+    estimated = analyze_dependences(leap)
+    truth = LosslessDependenceProfiler().profile(trace)
+
+    print("dependent (store, load) pairs -- LEAP estimate vs ground truth:\n")
+    true_pairs = truth.dependent_pairs()
+    estimated_pairs = estimated.dependent_pairs()
+    print(f"{'store':<28} {'load':<30} {'LEAP':>7} {'truth':>7}")
+    for pair in sorted(set(true_pairs) | set(estimated_pairs)):
+        store_id, load_id = pair
+        print(
+            f"{names.get(store_id, store_id):<28} "
+            f"{names.get(load_id, load_id):<30} "
+            f"{estimated_pairs.get(pair, 0.0):>6.1%} "
+            f"{true_pairs.get(pair, 0.0):>6.1%}"
+        )
+
+    within = sum(
+        1
+        for pair in set(true_pairs) | set(estimated_pairs)
+        if abs(estimated_pairs.get(pair, 0.0) - true_pairs.get(pair, 0.0)) <= 0.10
+    )
+    total = len(set(true_pairs) | set(estimated_pairs))
+    print(f"\npairs within 10% of truth: {within}/{total}")
+    print(
+        "\nA scheduler would speculate loads above stores whose pair"
+        "\nfrequency is low, and keep the high-frequency pairs in order."
+    )
+
+
+if __name__ == "__main__":
+    main()

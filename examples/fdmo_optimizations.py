@@ -1,0 +1,63 @@
+"""The feedback-directed loop, closed: profile -> optimize -> measure.
+
+The paper's profilers exist to feed memory optimizations.  This example
+runs three of them end to end on the cache simulator:
+
+* object clustering from the object-relative co-access profile
+  (scattered linked-list nodes get packed in traversal order);
+* stride prefetching from LEAP's strongly-strided instructions;
+* hot-data-stream extraction from the object-reference grammar.
+
+Run with::
+
+    python examples/fdmo_optimizations.py
+"""
+
+from repro.core.cdc import translate_trace_list
+from repro.postprocess.clustering import ObjectClusterer
+from repro.postprocess.hot_streams import coverage, extract_hot_streams
+from repro.postprocess.prefetch import evaluate_prefetching
+from repro.runtime.cache import CacheConfig
+from repro.workloads.micro import LinkedListTraversal, MatrixTraversal
+
+
+def show(comparison) -> None:
+    print(f"  baseline miss rate:  {comparison.baseline.miss_rate:.1%}")
+    print(f"  optimized miss rate: {comparison.optimized.miss_rate:.1%}")
+    print(f"  miss reduction:      {comparison.miss_reduction:.0%}")
+
+
+def main() -> None:
+    cache = CacheConfig(size_bytes=4096, line_bytes=64, associativity=2)
+
+    print("1. object clustering (linked list scattered by the allocator)")
+    list_trace = LinkedListTraversal(nodes=200, sweeps=10).trace()
+    show(ObjectClusterer().evaluate(list_trace, cache))
+
+    print("\n2. stride prefetching (column-major matrix reads)")
+    matrix_trace = MatrixTraversal(rows=64, cols=64).trace()
+    comparison = evaluate_prefetching(matrix_trace, config=cache)
+    show(comparison)
+    print(f"  prefetched instructions: "
+          f"{comparison.extra['prefetched_instructions']}")
+
+    print("\n3. hot data streams (from the object-reference grammar)")
+    stream = translate_trace_list(list_trace)
+    hot = extract_hot_streams(stream, top=3)
+    for hot_stream in hot:
+        head = " -> ".join(
+            f"g{g}o{o}" for g, o in hot_stream.references[:4]
+        )
+        print(f"  stream of {hot_stream.length} objects x "
+              f"{hot_stream.occurrences} occurrences  ({head} -> ...)")
+    print(f"  coverage of the reference stream: "
+          f"{coverage(hot, len(stream)):.0%}")
+    print(
+        "\nEach optimization consumed only the object-relative profile --"
+        "\nno raw addresses -- and still beat the allocator's layout,"
+        "\nbecause the profile is the program's true access structure."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""The paper's running example (Figures 1 and 3), executed for real.
+
+A linked-list traversal is written in the mini-IR language, interpreted
+on the simulated process, and its access stream is shown in raw-address
+form next to the object-relative form -- reproducing the table of
+Figure 3, with the allocator artifacts of Figure 1 visible in the raw
+column. Run with::
+
+    python examples/linked_list_figure3.py
+"""
+
+from repro import translate_trace_list
+from repro.lang.interp import run_source
+
+#: The linked-list program: build scattered nodes (interleaved clutter
+#: allocations scramble the heap as in Figure 1), then traverse.
+SOURCE = """
+struct node { int data; int pad; node* next; }
+
+fn main(): int {
+  // Build the list with clutter allocations in between, so consecutive
+  // nodes land at non-consecutive heap addresses.
+  var head: node* = null;
+  for (var i: int = 0; i < 8; i = i + 1) {
+    var fresh: node* = new node;
+    var clutter: int* = new int[3 + i % 5];
+    fresh->data = i * 10;
+    fresh->next = head;
+    head = fresh;
+  }
+
+  // The traversal of Figure 3: one load of data, one load of next.
+  var total: int = 0;
+  var p: node* = head;
+  while (p != null) {
+    total = total + p->data;
+    p = p->next;
+  }
+  return total;
+}
+"""
+
+
+def main() -> None:
+    result, interpreter = run_source(SOURCE)
+    print(f"program returned {result}")
+
+    trace = interpreter.process.trace
+    names = {
+        i.instruction_id: n for n, i in interpreter.process.instructions.items()
+    }
+    translated = translate_trace_list(trace)
+    accesses = list(trace.accesses())
+
+    # Show the traversal portion only (the last 16 accesses: 2 per node).
+    print("\n  the traversal stream, raw vs object-relative:")
+    print(f"  {'instruction':<22} {'raw address':>12}   (group, object, offset)")
+    for event, tuple_ in list(zip(accesses, translated))[-16:]:
+        name = names[event.instruction_id].split(":")[-2:]
+        label = ":".join(name)
+        print(
+            f"  {label:<22} {event.address:>#12x}   "
+            f"({tuple_.group}, {tuple_.object_serial}, {tuple_.offset})"
+        )
+
+    print(
+        "\nThe raw addresses jump around (allocator artifacts: the clutter"
+        "\nallocations scattered the nodes), while the object-relative view"
+        "\nshows the truth: one group, descending serials, and each"
+        "\ninstruction always at its own fixed offset (data=0, next=16)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Phase-cognizant LEAP profiling (the paper's future-work extension).
+
+A two-phase program (strided fill phase, then pointer-chase phase) is
+profiled flat and phase-split.  The flat profile burns its descriptor
+budget when the pattern changes; the phased profiler detects the phase
+boundary from interval signatures and gives each phase its own budget.
+Run with::
+
+    python examples/phase_profiling.py
+"""
+
+from repro import AccessKind, Process
+from repro.analysis.phases import PhasedLeapProfiler
+from repro.profilers.leap import LeapProfiler
+
+
+def two_phase_program() -> Process:
+    """One shared routine reads the buffer sequentially in phase A and
+    in a pseudo-random order in phase B -- a single static load
+    instruction whose behaviour is phase-dependent."""
+    process = Process()
+    words = 4096
+    buffer = process.malloc("demo.buffer", words * 8, type_name="long[]")
+    ld = process.instruction("scan.load", AccessKind.LOAD)
+    st = process.instruction("update.store", AccessKind.STORE)
+    state = 1
+    for __ in range(4):
+        # Phase A: sequential scan (strided, one LMAD's worth).
+        for word in range(words):
+            process.load(ld, buffer + word * 8)
+            process.store(st, buffer + word * 8)
+        # Phase B: random probing through the same instruction.
+        for __ in range(words):
+            state = (state * 1103515245 + 12345) % (1 << 31)
+            process.load(ld, buffer + (state % words) * 8)
+    process.finish()
+    return process
+
+
+def main() -> None:
+    process = two_phase_program()
+    trace = process.trace
+
+    flat = LeapProfiler().profile(trace)
+    phased = PhasedLeapProfiler(interval=2048).profile(trace)
+
+    print(f"trace: {trace.access_count} accesses, alternating phases")
+    print(f"\nflat LEAP:   accesses captured {flat.accesses_captured():.1%}, "
+          f"{flat.size_bytes()} bytes")
+    print(f"phased LEAP: accesses captured {phased.accesses_captured():.1%}, "
+          f"{phased.size_bytes()} bytes, {phased.phase_count()} phases")
+    print(f"phase assignment over time: {phased.assignments}")
+    print(
+        "\nEach phase gets its own descriptor budget, so the strided fill"
+        "\nphase stays fully captured no matter how much chase traffic"
+        "\nfollows it -- and the per-phase profiles tell the compiler how"
+        "\nbehaviour differs across phases."
+    )
+
+
+if __name__ == "__main__":
+    main()

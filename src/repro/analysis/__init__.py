@@ -1,0 +1,18 @@
+"""Metrics, the omega-test solver, phase detection, and report formatting."""
+
+from repro.analysis.metrics import (
+    BUCKET_CENTERS,
+    ErrorDistribution,
+    compression_improvement,
+    error_distribution,
+    geometric_mean,
+)
+from repro.analysis.omega import SolutionSet, extended_gcd, intersect_lmads, solve_equality
+from repro.analysis.phases import PhaseDetector, PhasedLeapProfiler
+
+__all__ = [
+    "BUCKET_CENTERS", "ErrorDistribution", "PhaseDetector",
+    "PhasedLeapProfiler", "SolutionSet", "compression_improvement",
+    "error_distribution", "extended_gcd", "geometric_mean",
+    "intersect_lmads", "solve_equality",
+]

@@ -1,0 +1,138 @@
+"""Evaluation metrics for the paper's figures and tables.
+
+* :class:`ErrorDistribution` -- the histogram of Figures 6-8: for every
+  dependent (st, ld) pair, the signed difference between a profiler's
+  estimated MDF and the ground-truth MDF, bucketed at 10% granularity
+  from -100% to +100%.
+* :func:`compression_improvement` -- Figure 5's percent compression of
+  the OMSG over the RASG.
+* :func:`stride_score` lives in :mod:`repro.postprocess.strides`.
+* Table 1's size/quality numbers are methods on
+  :class:`~repro.profilers.leap.LeapProfile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baselines.dependence_lossless import DependenceProfile
+
+#: Bucket width of the error histograms (the paper's 10%).
+BUCKET_WIDTH = 0.10
+
+#: Bucket centers: -100%, -90%, ..., 0%, ..., +90%, +100%.
+BUCKET_CENTERS: Tuple[float, ...] = tuple(
+    round(-1.0 + 0.1 * i, 1) for i in range(21)
+)
+
+
+@dataclass
+class ErrorDistribution:
+    """Histogram of per-pair MDF estimation errors.
+
+    ``counts[i]`` holds the number of pairs whose error falls in the
+    bucket centred at ``BUCKET_CENTERS[i]``; an error of exactly 0 lands
+    in the centre bucket ("completely correct" in the paper's words).
+    """
+
+    counts: List[int] = field(default_factory=lambda: [0] * len(BUCKET_CENTERS))
+    total_pairs: int = 0
+
+    def add(self, error: float) -> None:
+        error = max(-1.0, min(1.0, error))
+        index = int(round((error + 1.0) / BUCKET_WIDTH))
+        index = max(0, min(len(self.counts) - 1, index))
+        self.counts[index] += 1
+        self.total_pairs += 1
+
+    def fractions(self) -> List[float]:
+        """Bucket fractions (sum to 1.0 when any pairs exist)."""
+        if not self.total_pairs:
+            return [0.0] * len(self.counts)
+        return [count / self.total_pairs for count in self.counts]
+
+    def within(self, tolerance: float = 0.10) -> float:
+        """Fraction of pairs with |error| <= tolerance -- the paper's
+        "completely correct or off by no more than 10%" number."""
+        if not self.total_pairs:
+            return 1.0
+        covered = sum(
+            count
+            for center, count in zip(BUCKET_CENTERS, self.counts)
+            if abs(center) <= tolerance + 1e-9
+        )
+        return covered / self.total_pairs
+
+    def exactly_correct(self) -> float:
+        """Fraction of pairs in the centre (zero-error) bucket."""
+        if not self.total_pairs:
+            return 1.0
+        return self.counts[len(self.counts) // 2] / self.total_pairs
+
+    @classmethod
+    def average(
+        cls, distributions: Sequence["ErrorDistribution"]
+    ) -> "ErrorDistribution":
+        """Benchmark-averaged distribution (Figure 8): the mean of the
+        per-benchmark bucket *fractions*, so each benchmark contributes
+        equally regardless of its pair count."""
+        merged = cls()
+        contributing = [d for d in distributions if d.total_pairs]
+        if not contributing:
+            return merged
+        scale = 10_000  # fixed-point so counts stay integers
+        for index in range(len(BUCKET_CENTERS)):
+            merged.counts[index] = round(
+                sum(d.fractions()[index] for d in contributing)
+                / len(contributing)
+                * scale
+            )
+        merged.total_pairs = sum(merged.counts)
+        return merged
+
+
+def error_distribution(
+    estimated: DependenceProfile, truth: DependenceProfile
+) -> ErrorDistribution:
+    """Build the Figures 6/7 histogram for one benchmark.
+
+    The pair universe is every pair dependent in the ground truth or
+    claimed dependent by the estimator, so both misses (error -f) and
+    phantom dependences (error +f) are charged.
+    """
+    distribution = ErrorDistribution()
+    true_pairs = truth.dependent_pairs()
+    estimated_pairs = estimated.dependent_pairs()
+    for pair in set(true_pairs) | set(estimated_pairs):
+        distribution.add(estimated_pairs.get(pair, 0.0) - true_pairs.get(pair, 0.0))
+    return distribution
+
+
+def compression_improvement(omsg_bytes: int, rasg_bytes: int) -> float:
+    """Figure 5's metric: percent compression of OMSG over RASG, with
+    RASG as the base.  Positive means the OMSG is smaller."""
+    if rasg_bytes <= 0:
+        raise ValueError("RASG size must be positive")
+    return 1.0 - omsg_bytes / rasg_bytes
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (used for compression-ratio averaging)."""
+    if not values:
+        raise ValueError("need at least one value")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean requires positive values")
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def summarize_distribution(distribution: ErrorDistribution) -> Dict[str, float]:
+    """Key scalar summaries used in experiment reports."""
+    return {
+        "pairs": float(distribution.total_pairs),
+        "exact": distribution.exactly_correct(),
+        "within_10pct": distribution.within(0.10),
+    }

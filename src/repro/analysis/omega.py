@@ -1,0 +1,285 @@
+"""Omega-test-like integer solver for LMAD intersection.
+
+Section 4.2.1: "Because of the linear structure of LMADs, the above
+computation can be sped up using some omega-test-like linear programming
+algorithms.  For example, detecting the location conflicts involves
+solving integer solutions k1, k2 for
+
+    start1 + stride1*k1 = start2 + stride2*k2,
+    k1 <= count1, k2 <= count2"
+
+This module solves exactly that, exactly: a system of per-dimension
+linear Diophantine equations over the bounded index box
+``0 <= k1 < count1, 0 <= k2 < count2``, plus an optional strict ordering
+constraint on a designated *time* dimension.  The solution set of such a
+system is a (possibly empty) one-parameter integer lattice line clipped
+to an interval; :class:`SolutionSet` represents it in closed form so
+callers can count solutions -- or count distinct ``k2`` values, which is
+what memory-dependence frequency needs -- without enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, floor, gcd
+from typing import Optional, Tuple
+
+from repro.compression.lmad import LMAD
+
+
+def extended_gcd(a: int, b: int) -> Tuple[int, int, int]:
+    """Return ``(g, x, y)`` with ``a*x + b*y == g == gcd(a, b)``.
+
+    >>> extended_gcd(240, 46)
+    (2, -9, 47)
+    """
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    if old_r < 0:
+        old_r, old_x, old_y = -old_r, -old_x, -old_y
+    return old_r, old_x, old_y
+
+
+@dataclass(frozen=True)
+class SolutionSet:
+    """Integer solutions ``(k1, k2) = (k1_0, k2_0) + s*(q1, q2)`` for
+    ``s`` in ``[s_min, s_max]``.
+
+    An empty set is represented by ``s_min > s_max``.  A unique solution
+    has ``q1 == q2 == 0`` and ``s_min == s_max == 0``.
+    """
+
+    k1_0: int
+    k2_0: int
+    q1: int
+    q2: int
+    s_min: int
+    s_max: int
+
+    @classmethod
+    def empty(cls) -> "SolutionSet":
+        return cls(0, 0, 0, 0, 1, 0)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.s_min > self.s_max
+
+    def count(self) -> int:
+        """Number of integer solution pairs."""
+        if self.is_empty:
+            return 0
+        return self.s_max - self.s_min + 1
+
+    def distinct_k2(self) -> int:
+        """Number of distinct ``k2`` values among solutions.
+
+        When ``q2 == 0`` every solution shares one ``k2``.
+        """
+        if self.is_empty:
+            return 0
+        if self.q2 == 0:
+            return 1
+        return self.s_max - self.s_min + 1
+
+    def k2_progression(self) -> Tuple[int, int, int]:
+        """The distinct ``k2`` values as ``(first, step, n)`` with
+        ``step >= 0``; ``step == 0`` means a single value."""
+        if self.is_empty:
+            raise ValueError("empty solution set")
+        if self.q2 == 0:
+            return self.k2_0 + 0, 0, 1
+        first = self.k2_0 + self.s_min * self.q2
+        last = self.k2_0 + self.s_max * self.q2
+        step = abs(self.q2)
+        return min(first, last), step, self.s_max - self.s_min + 1
+
+    def restrict(self, new_min: int, new_max: int) -> "SolutionSet":
+        return SolutionSet(
+            self.k1_0,
+            self.k2_0,
+            self.q1,
+            self.q2,
+            max(self.s_min, new_min),
+            min(self.s_max, new_max),
+        )
+
+
+# A practical bound standing in for "unbounded" parameter ranges.  All
+# callers clip to index boxes immediately, so the sentinel never leaks
+# into counts as long as LMAD counts stay below it (they are trace
+# lengths, far below 2**62).
+_HUGE = 1 << 62
+
+
+def _clip_affine(
+    base: int, step: int, lo: int, hi: int, s_min: int, s_max: int
+) -> Tuple[int, int]:
+    """Intersect ``lo <= base + step*s <= hi`` with ``[s_min, s_max]``."""
+    if step == 0:
+        if lo <= base <= hi:
+            return s_min, s_max
+        return 1, 0
+    if step > 0:
+        new_min = ceil((lo - base) / step)
+        new_max = floor((hi - base) / step)
+    else:
+        new_min = ceil((hi - base) / step)
+        new_max = floor((lo - base) / step)
+    return max(s_min, new_min), min(s_max, new_max)
+
+
+def solve_equality(
+    start1: int, stride1: int, count1: int, start2: int, stride2: int, count2: int
+) -> SolutionSet:
+    """Solve ``start1 + stride1*k1 == start2 + stride2*k2`` over the box
+    ``0 <= k1 < count1, 0 <= k2 < count2``.
+
+    This is the 1-D omega-test core: a single linear Diophantine equation
+    ``stride1*k1 - stride2*k2 == start2 - start1``.
+    """
+    a, b, c = stride1, -stride2, start2 - start1
+    if a == 0 and b == 0:
+        if c != 0:
+            return SolutionSet.empty()
+        # Every (k1, k2) matches; not a line but a full box.  Callers in
+        # this codebase always have at least one non-degenerate stride
+        # (an all-zero-stride LMAD pair means two constant locations,
+        # handled here as the full box collapsed onto k-independence).
+        # Represent as k1 fixed at 0, k2 sweeping -- counts of distinct
+        # k2 remain exact, which is all MDF consumes.
+        return SolutionSet(0, 0, 0, 1, 0, count2 - 1)
+    g, x, y = extended_gcd(a, b)
+    if c % g:
+        return SolutionSet.empty()
+    scale = c // g
+    k1_0, k2_0 = x * scale, y * scale
+    # General solution: k1 = k1_0 + (b/g)s, k2 = k2_0 - (a/g)s.
+    q1, q2 = b // g, -(a // g)
+    s_min, s_max = -_HUGE, _HUGE
+    s_min, s_max = _clip_affine(k1_0, q1, 0, count1 - 1, s_min, s_max)
+    s_min, s_max = _clip_affine(k2_0, q2, 0, count2 - 1, s_min, s_max)
+    if s_min > s_max:
+        return SolutionSet.empty()
+    return SolutionSet(k1_0, k2_0, q1, q2, s_min, s_max)
+
+
+def _apply_equation(
+    sol: SolutionSet, a: int, b: int, c: int
+) -> Optional[SolutionSet]:
+    """Refine ``sol`` with the additional equation ``a*k1 + b*k2 == c``.
+
+    Substituting the parametrization gives a linear equation in ``s``:
+    either inconsistent (returns None), an exact value of ``s``, or
+    redundant (returns ``sol``).
+    """
+    coeff = a * sol.q1 + b * sol.q2
+    rhs = c - a * sol.k1_0 - b * sol.k2_0
+    if coeff == 0:
+        return sol if rhs == 0 else None
+    if rhs % coeff:
+        return None
+    s = rhs // coeff
+    if not sol.s_min <= s <= sol.s_max:
+        return None
+    return SolutionSet(
+        sol.k1_0 + s * sol.q1, sol.k2_0 + s * sol.q2, 0, 0, 0, 0
+    )
+
+
+def _apply_strict_less(sol: SolutionSet, a: int, b: int, c: int) -> SolutionSet:
+    """Refine ``sol`` with ``a*k1 + b*k2 + c < 0`` (strict)."""
+    coeff = a * sol.q1 + b * sol.q2
+    base = a * sol.k1_0 + b * sol.k2_0 + c
+    if coeff == 0:
+        return sol if base < 0 else SolutionSet.empty()
+    # coeff*s + base < 0  =>  coeff*s <= -base - 1
+    if coeff > 0:
+        new_max = floor((-base - 1) / coeff)
+        return sol.restrict(sol.s_min, new_max)
+    new_min = ceil((-base - 1) / coeff)
+    return sol.restrict(new_min, sol.s_max)
+
+
+def intersect_lmads(
+    writer: LMAD,
+    reader: LMAD,
+    equal_dims: Tuple[int, ...],
+    time_dim: Optional[int] = None,
+) -> SolutionSet:
+    """Solve for index pairs where two LMADs touch the same location.
+
+    ``equal_dims`` lists the dimensions that must be equal (for LEAP's
+    (object, offset, time) streams: object and offset).  ``time_dim``,
+    when given, additionally requires ``writer_time < reader_time`` --
+    the read-after-write ordering of the MDF definition.
+
+    Returns the solution set over ``(k_writer, k_reader)``.
+    """
+    if writer.dims != reader.dims:
+        raise ValueError("LMAD dimensionality mismatch")
+    if not equal_dims:
+        raise ValueError("need at least one equality dimension")
+    # Degenerate dimensions (both strides zero) are pure constant checks;
+    # parametrizing on one would pin the wrong index variable, so split
+    # them out first.
+    degenerate = [
+        d for d in equal_dims if writer.stride[d] == 0 and reader.stride[d] == 0
+    ]
+    for dim in degenerate:
+        if writer.start[dim] != reader.start[dim]:
+            return SolutionSet.empty()
+    live = [d for d in equal_dims if d not in degenerate]
+    if not live:
+        # Every equality dimension is constant and matching: the full
+        # index box conflicts.  Represent it with k1 pinned to the
+        # writer's earliest index and k2 sweeping; with the monotone
+        # time dimensions LEAP produces this preserves exists-a-writer
+        # semantics for ``distinct_k2`` (the only count MDF consumes).
+        sol = SolutionSet(0, 0, 0, 1, 0, reader.count - 1)
+        if time_dim is not None:
+            sol = _apply_strict_less(
+                sol,
+                writer.stride[time_dim],
+                -reader.stride[time_dim],
+                writer.start[time_dim] - reader.start[time_dim],
+            )
+        return sol
+    first, *rest = live
+    sol = solve_equality(
+        writer.start[first],
+        writer.stride[first],
+        writer.count,
+        reader.start[first],
+        reader.stride[first],
+        reader.count,
+    )
+    if sol.is_empty:
+        return sol
+    for dim in rest:
+        refined = _apply_equation(
+            sol,
+            writer.stride[dim],
+            -reader.stride[dim],
+            reader.start[dim] - writer.start[dim],
+        )
+        if refined is None:
+            return SolutionSet.empty()
+        sol = refined
+        if sol.is_empty:
+            return sol
+    if time_dim is not None:
+        # writer_time < reader_time:
+        #   w_start + w_stride*k1 - r_start - r_stride*k2 < 0
+        sol = _apply_strict_less(
+            sol,
+            writer.stride[time_dim],
+            -reader.stride[time_dim],
+            writer.start[time_dim] - reader.start[time_dim],
+        )
+    return sol

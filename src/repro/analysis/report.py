@@ -1,0 +1,75 @@
+"""Report formatting for experiment output.
+
+Plain-text tables and ASCII histograms that mirror the layout of the
+paper's figures and Table 1, so a terminal run of the experiment harness
+reads side by side with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import BUCKET_CENTERS, ErrorDistribution
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in cells)) if cells else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(value.ljust(w) for value, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_histogram(
+    distribution: ErrorDistribution,
+    title: Optional[str] = None,
+    width: int = 50,
+) -> str:
+    """ASCII rendering of an error distribution (Figures 6-8 style).
+
+    One row per 10% bucket from -100% to +100%, bar length proportional
+    to the bucket's fraction of pairs.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    fractions = distribution.fractions()
+    peak = max(fractions) or 1.0
+    for center, fraction in zip(BUCKET_CENTERS, fractions):
+        bar = "#" * int(round(fraction / peak * width))
+        lines.append(f"{center:+5.0%} | {bar} {fraction:6.1%}")
+    lines.append(f"pairs: {distribution.total_pairs}")
+    return "\n".join(lines)
+
+
+def percent(value: float, digits: int = 1) -> str:
+    return f"{value * 100:.{digits}f}%"
+
+
+def ratio(value: float) -> str:
+    if value >= 100:
+        return f"{value:.0f}x"
+    return f"{value:.1f}x"
+
+
+def format_key_values(pairs: Dict[str, object], title: Optional[str] = None) -> str:
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    width = max(len(key) for key in pairs) if pairs else 0
+    for key, value in pairs.items():
+        lines.append(f"  {key.ljust(width)} : {value}")
+    return "\n".join(lines)

@@ -1,0 +1,204 @@
+"""``repro-profile``: the command-line profiler front-end.
+
+Subcommands::
+
+    repro-profile run <workload> [--profiler whomp|leap|both] [-o DIR]
+        Run a registered workload and collect profiles to files.
+
+    repro-profile lang <source.mir> [--profiler ...] [-o DIR]
+        Interpret a mini-IR source file under instrumentation.
+
+    repro-profile stats <workload>
+        Print trace statistics (instruction mix, footprint, reuse).
+
+    repro-profile list
+        List registered workloads.
+
+Profiles are written in the versioned JSON formats of
+:mod:`repro.core.profile_io` and can be reloaded for post-processing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis.tracestats import characterize, format_statistics
+from repro.core.events import Trace
+from repro.core.profile_io import save_leap, save_whomp
+from repro.profilers.leap import LeapProfiler
+from repro.profilers.whomp import WhompProfiler
+from repro.workloads.registry import all_names, create
+
+
+def _collect_workload_trace(name: str, scale: float, seed: int, allocator: str) -> Trace:
+    return create(name, scale=scale, seed=seed).trace(allocator=allocator)
+
+
+def _collect_lang_trace(path: str) -> Trace:
+    from repro.lang.interp import run_source
+
+    with open(path) as handle:
+        source = handle.read()
+    result, interpreter = run_source(source)
+    print(f"program returned {result}")
+    return interpreter.process.trace
+
+
+def _write_profiles(trace: Trace, profiler: str, out_dir: str, stem: str) -> None:
+    os.makedirs(out_dir, exist_ok=True)
+    if profiler in ("whomp", "both"):
+        profile = WhompProfiler().profile(trace)
+        path = os.path.join(out_dir, f"{stem}.whomp.json")
+        with open(path, "w") as handle:
+            save_whomp(profile, handle)
+        print(
+            f"WHOMP: {profile.size_bytes_varint()} bytes "
+            f"({profile.size()} symbols) -> {path}"
+        )
+    if profiler in ("leap", "both"):
+        profile = LeapProfiler().profile(trace)
+        path = os.path.join(out_dir, f"{stem}.leap.json")
+        with open(path, "w") as handle:
+            save_leap(profile, handle)
+        print(
+            f"LEAP:  {profile.size_bytes()} bytes, "
+            f"{profile.accesses_captured():.1%} of accesses captured "
+            f"-> {path}"
+        )
+
+
+def _dump_profile(path: str, limit: int, parser) -> int:
+    """Pretty-print a saved WHOMP or LEAP profile."""
+    import json
+
+    from repro.core.profile_io import load_leap, load_whomp_streams
+
+    if not os.path.exists(path):
+        parser.error(f"no such file: {path}")
+    with open(path) as handle:
+        kind = json.load(handle).get("format")
+    if kind == "whomp":
+        with open(path) as handle:
+            data = load_whomp_streams(handle)
+        print(f"WHOMP profile: {data['access_count']} accesses")
+        print("groups:")
+        for group_id, label in sorted(data["group_labels"].items())[:limit]:
+            print(f"  {group_id:4d}  {label}")
+        for name, stream in data["streams"].items():
+            head = " ".join(str(v) for v in stream[: min(12, limit)])
+            print(f"{name} stream ({len(stream)} values): {head} ...")
+        return 0
+    if kind == "leap":
+        with open(path) as handle:
+            profile = load_leap(handle)
+        print(
+            f"LEAP profile: {profile.access_count} accesses, "
+            f"{len(profile.entries)} (instruction, group) entries, "
+            f"{profile.accesses_captured():.1%} captured"
+        )
+        for (instruction, group), entry in sorted(profile.entries.items())[:limit]:
+            kind_name = profile.kinds[instruction].value
+            print(
+                f"  instr {instruction:4d} ({kind_name:5s}) group {group:3d}: "
+                f"{len(entry.lmads)} LMADs, "
+                f"{entry.captured_symbols}/{entry.total_symbols} captured"
+            )
+            for lmad in entry.lmads[: min(3, limit)]:
+                print(f"      {lmad}")
+        return 0
+    parser.error(f"unrecognized profile format {kind!r}")
+    return 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-profile",
+        description="Object-relative memory profiling front-end.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="profile a registered workload")
+    run.add_argument("workload", help="workload name (see `list`)")
+    run.add_argument("--profiler", choices=("whomp", "leap", "both"), default="both")
+    run.add_argument("--scale", type=float, default=1.0)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--allocator", default="first-fit")
+    run.add_argument("-o", "--out", default=".", help="output directory")
+
+    lang = sub.add_parser("lang", help="profile a mini-IR source file")
+    lang.add_argument("source", help="path to the .mir source")
+    lang.add_argument("--profiler", choices=("whomp", "leap", "both"), default="both")
+    lang.add_argument("-o", "--out", default=".", help="output directory")
+
+    stats = sub.add_parser("stats", help="print trace statistics")
+    stats.add_argument("workload", help="workload name (see `list`)")
+    stats.add_argument("--scale", type=float, default=1.0)
+    stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument("--allocator", default="first-fit")
+    stats.add_argument(
+        "--no-reuse", action="store_true", help="skip the reuse-distance pass"
+    )
+
+    sub.add_parser("list", help="list registered workloads")
+
+    dump = sub.add_parser("dump", help="inspect a saved profile file")
+    dump.add_argument("path", help="a .whomp.json or .leap.json file")
+    dump.add_argument(
+        "--limit", type=int, default=20, help="max rows to print per section"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in all_names():
+            workload = create(name, scale=0.01)
+            print(f"{name:<14} {workload.description}")
+        return 0
+
+    if args.command == "run":
+        try:
+            trace = _collect_workload_trace(
+                args.workload, args.scale, args.seed, args.allocator
+            )
+        except KeyError as exc:
+            parser.error(str(exc))
+        print(f"trace: {trace.access_count} accesses")
+        _write_profiles(trace, args.profiler, args.out, args.workload)
+        return 0
+
+    if args.command == "lang":
+        if not os.path.exists(args.source):
+            parser.error(f"no such file: {args.source}")
+        trace = _collect_lang_trace(args.source)
+        print(f"trace: {trace.access_count} accesses")
+        stem = os.path.splitext(os.path.basename(args.source))[0]
+        _write_profiles(trace, args.profiler, args.out, stem)
+        return 0
+
+    if args.command == "dump":
+        return _dump_profile(args.path, args.limit, parser)
+
+    if args.command == "stats":
+        try:
+            trace = _collect_workload_trace(
+                args.workload, args.scale, args.seed, args.allocator
+            )
+        except KeyError as exc:
+            parser.error(str(exc))
+        statistics = characterize(trace, with_reuse=not args.no_reuse)
+        print(format_statistics(statistics))
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,273 @@
+"""Linear Memory Access Descriptor (LMAD) compression.
+
+LEAP "uses a simple linear compressor, which is based on the linear
+memory access descriptor (LMAD) model in [Paek & Hoeflinger]"
+(Section 4.1).  An LMAD is the triple ``[start, stride, count]`` where
+``start`` and ``stride`` are n-vectors (n = dimensionality of the
+compressed stream): it describes the arithmetic sequence
+
+    start, start + stride, start + 2*stride, ..., start + (count-1)*stride
+
+The compressor reads symbols and extends the open descriptor while they
+fit its linear pattern, starting a new descriptor otherwise.  The
+paper's example:  offsets ``0 4 8 12 44 40 36`` compress to
+``[0, 4, 4]`` and ``[44, -4, 3]``.
+
+The descriptor *budget* makes the scheme lossy: once the maximum number
+of LMADs for a stream is reached (the paper fixes 30 per
+(instruction-id, group) pair), further non-fitting symbols are
+discarded and only summary statistics -- max, min, and granularity --
+are kept (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import gcd
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+Vector = Tuple[int, ...]
+
+#: LEAP's default descriptor budget per compressed stream (Section 4.1:
+#: "we chose a maximum of 30 LMADs for a given (instruction-id, group)
+#: pair").
+DEFAULT_BUDGET = 30
+
+
+@dataclass(frozen=True)
+class LMAD:
+    """One closed linear descriptor over an n-dimensional symbol stream."""
+
+    start: Vector
+    stride: Vector
+    count: int
+
+    def __post_init__(self) -> None:
+        if len(self.start) != len(self.stride):
+            raise ValueError("start/stride dimensionality mismatch")
+        if self.count < 1:
+            raise ValueError(f"LMAD count must be >= 1, got {self.count}")
+
+    @property
+    def dims(self) -> int:
+        return len(self.start)
+
+    @property
+    def last(self) -> Vector:
+        """The final element described."""
+        return tuple(
+            s + (self.count - 1) * d for s, d in zip(self.start, self.stride)
+        )
+
+    def element(self, index: int) -> Vector:
+        """The ``index``-th element (0-based)."""
+        if not 0 <= index < self.count:
+            raise IndexError(index)
+        return tuple(s + index * d for s, d in zip(self.start, self.stride))
+
+    def expand(self) -> Iterable[Vector]:
+        """All described elements in order."""
+        for index in range(self.count):
+            yield self.element(index)
+
+    def component(self, dim: int) -> "LMAD":
+        """Project onto one dimension (a 1-D LMAD)."""
+        return LMAD((self.start[dim],), (self.stride[dim],), self.count)
+
+    def __repr__(self) -> str:
+        if self.dims == 1:
+            return f"[{self.start[0]}, {self.stride[0]}, {self.count}]"
+        return f"[{list(self.start)}, {list(self.stride)}, {self.count}]"
+
+
+@dataclass
+class OverflowSummary:
+    """What the compressor keeps about symbols it had to discard.
+
+    "The compressor will then discard the new symbols in the stream, and
+    only record some overall information such as max, min, and
+    granularity." (Section 4.1)  Granularity is tracked per dimension as
+    the gcd of deltas from the first discarded symbol.
+    """
+
+    dims: int
+    count: int = 0
+    minimum: Optional[Vector] = None
+    maximum: Optional[Vector] = None
+    granularity: Optional[Vector] = None
+    _anchor: Optional[Vector] = field(default=None, repr=False)
+
+    def add(self, symbol: Vector) -> None:
+        self.count += 1
+        if self.minimum is None:
+            self.minimum = symbol
+            self.maximum = symbol
+            self.granularity = tuple(0 for __ in symbol)
+            self._anchor = symbol
+            return
+        self.minimum = tuple(min(a, b) for a, b in zip(self.minimum, symbol))
+        self.maximum = tuple(max(a, b) for a, b in zip(self.maximum, symbol))
+        assert self._anchor is not None and self.granularity is not None
+        self.granularity = tuple(
+            gcd(g, abs(s - a))
+            for g, s, a in zip(self.granularity, symbol, self._anchor)
+        )
+
+
+class LMADCompressor:
+    """Online bounded-budget LMAD compressor for one symbol stream.
+
+    Feed n-dimensional integer vectors with :meth:`feed`; read the
+    closed descriptors from :attr:`lmads` after :meth:`finish`.
+
+    The matching rule is the natural greedy one: an open descriptor with
+    one element accepts any second element (fixing the stride); an open
+    descriptor with a stride accepts exactly the next arithmetic term.
+    A non-fitting symbol closes the descriptor and opens a new one if
+    the budget allows, otherwise the symbol goes to the overflow
+    summary.
+    """
+
+    def __init__(self, dims: int, budget: int = DEFAULT_BUDGET) -> None:
+        if dims < 1:
+            raise ValueError("dims must be >= 1")
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        self.dims = dims
+        self.budget = budget
+        self.lmads: List[LMAD] = []
+        self.overflow = OverflowSummary(dims)
+        self._open_start: Optional[Vector] = None
+        self._open_stride: Optional[Vector] = None
+        self._open_count = 0
+        self._fed = 0
+        self._finished = False
+
+    # -- feeding ---------------------------------------------------------
+
+    def feed(self, symbol: Sequence[int]) -> None:
+        if self._finished:
+            raise RuntimeError("compressor already finished")
+        vector = tuple(symbol)
+        if len(vector) != self.dims:
+            raise ValueError(
+                f"expected {self.dims}-dimensional symbol, got {len(vector)}"
+            )
+        self._fed += 1
+        if self._open_start is None:
+            self._open(vector)
+            return
+        if self._open_count == 1:
+            # Second element fixes the stride.
+            self._open_stride = tuple(
+                b - a for a, b in zip(self._open_start, vector)
+            )
+            self._open_count = 2
+            return
+        assert self._open_stride is not None
+        expected = tuple(
+            s + self._open_count * d
+            for s, d in zip(self._open_start, self._open_stride)
+        )
+        if vector == expected:
+            self._open_count += 1
+            return
+        self._close_open()
+        self._open(vector)
+
+    def feed_all(self, symbols: Iterable[Sequence[int]]) -> None:
+        for symbol in symbols:
+            self.feed(symbol)
+
+    def _open(self, vector: Vector) -> None:
+        if len(self.lmads) >= self.budget:
+            # Budget exhausted: lossy path.
+            self.overflow.add(vector)
+            self._open_start = None
+            self._open_stride = None
+            self._open_count = 0
+            return
+        self._open_start = vector
+        self._open_stride = None
+        self._open_count = 1
+
+    def _close_open(self) -> None:
+        if self._open_start is None:
+            return
+        stride = (
+            self._open_stride
+            if self._open_stride is not None
+            else tuple(0 for __ in range(self.dims))
+        )
+        self.lmads.append(LMAD(self._open_start, stride, self._open_count))
+        self._open_start = None
+        self._open_stride = None
+        self._open_count = 0
+
+    def finish(self) -> "LMADProfileEntry":
+        """Close the open descriptor and return the packaged result."""
+        if not self._finished:
+            self._close_open()
+            self._finished = True
+        return LMADProfileEntry(
+            lmads=tuple(self.lmads),
+            overflow=self.overflow,
+            total_symbols=self._fed,
+        )
+
+    # -- metrics -------------------------------------------------------------
+
+    @property
+    def symbols_fed(self) -> int:
+        return self._fed
+
+    @property
+    def symbols_captured(self) -> int:
+        return self._fed - self.overflow.count
+
+
+@dataclass(frozen=True)
+class LMADProfileEntry:
+    """The compressed form of one sub-stream: descriptors + summary."""
+
+    lmads: Tuple[LMAD, ...]
+    overflow: OverflowSummary
+    total_symbols: int
+
+    @property
+    def captured_symbols(self) -> int:
+        return self.total_symbols - self.overflow.count
+
+    @property
+    def sample_quality(self) -> float:
+        """Fraction of the stream captured in descriptors (Section 4.1's
+        *sample quality*); 1.0 for an empty stream."""
+        if not self.total_symbols:
+            return 1.0
+        return self.captured_symbols / self.total_symbols
+
+    @property
+    def complete(self) -> bool:
+        """True when nothing was discarded."""
+        return self.overflow.count == 0
+
+    def expand(self) -> List[Vector]:
+        """All captured elements, in stream order."""
+        out: List[Vector] = []
+        for lmad in self.lmads:
+            out.extend(lmad.expand())
+        return out
+
+    def size_records(self) -> int:
+        """Profile size in fixed-width records: one per descriptor plus
+        one for the overflow summary when present."""
+        return len(self.lmads) + (1 if self.overflow.count else 0)
+
+
+def compress(
+    symbols: Iterable[Sequence[int]], dims: int, budget: int = DEFAULT_BUDGET
+) -> LMADProfileEntry:
+    """One-shot convenience wrapper around :class:`LMADCompressor`."""
+    compressor = LMADCompressor(dims, budget)
+    compressor.feed_all(symbols)
+    return compressor.finish()

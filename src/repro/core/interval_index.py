@@ -1,0 +1,348 @@
+"""Address-range index for live objects.
+
+Section 3.1: "To speed up the lookup process in the OMC, the profiler
+uses an auxiliary B-tree-like data structure which stores the range of
+addresses that each object takes up.  When the program de-allocates an
+object, the profiler removes elements from this tree."
+
+This module provides that structure.  :class:`BTreeMap` is a classic
+in-memory B-tree (CLRS-style, minimum degree ``t``) with insert, delete,
+exact and *floor* lookup; :class:`IntervalIndex` layers the live-object
+semantics on top: non-overlapping ``[start, end)`` ranges keyed by start
+address, where resolving an address means a floor lookup followed by a
+range check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+V = TypeVar("V")
+
+
+class _Node:
+    """One B-tree node; ``children is None`` marks a leaf."""
+
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self, leaf: bool) -> None:
+        self.keys: List[int] = []
+        self.values: List[Any] = []
+        self.children: Optional[List["_Node"]] = None if leaf else []
+
+    @property
+    def leaf(self) -> bool:
+        return self.children is None
+
+
+class BTreeMap(Generic[V]):
+    """An integer-keyed ordered map backed by a B-tree.
+
+    Supports the three operations the OMC needs -- :meth:`insert`,
+    :meth:`delete`, and :meth:`floor_item` (greatest key ``<=`` query) --
+    plus ordered iteration for diagnostics.
+
+    ``min_degree`` is the CLRS ``t``: every node except the root holds
+    between ``t-1`` and ``2t-1`` keys.
+    """
+
+    def __init__(self, min_degree: int = 16) -> None:
+        if min_degree < 2:
+            raise ValueError("B-tree minimum degree must be >= 2")
+        self._t = min_degree
+        self._root = _Node(leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: int) -> bool:
+        return self._has_key(key)
+
+    # -- lookup ---------------------------------------------------------
+
+    def get(self, key: int, default: Optional[V] = None) -> Optional[V]:
+        node = self._root
+        while True:
+            index = _lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                return node.values[index]
+            if node.leaf:
+                return default
+            node = node.children[index]
+
+    def _has_key(self, key: int) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel  # type: ignore[arg-type]
+
+    def floor_item(self, key: int) -> Optional[Tuple[int, V]]:
+        """Return the ``(k, value)`` pair with the greatest ``k <= key``."""
+        node = self._root
+        best: Optional[Tuple[int, V]] = None
+        while True:
+            index = _lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                return key, node.values[index]
+            if index > 0:
+                best = (node.keys[index - 1], node.values[index - 1])
+            if node.leaf:
+                return best
+            node = node.children[index]
+
+    def items(self) -> Iterator[Tuple[int, V]]:
+        """All pairs in ascending key order."""
+        yield from self._walk(self._root)
+
+    def _walk(self, node: _Node) -> Iterator[Tuple[int, V]]:
+        if node.leaf:
+            yield from zip(node.keys, node.values)
+            return
+        for index, key in enumerate(node.keys):
+            yield from self._walk(node.children[index])
+            yield key, node.values[index]
+        yield from self._walk(node.children[-1])
+
+    # -- insertion --------------------------------------------------------
+
+    def insert(self, key: int, value: V) -> None:
+        """Insert or overwrite ``key``."""
+        root = self._root
+        if len(root.keys) == 2 * self._t - 1:
+            new_root = _Node(leaf=False)
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+        self._insert_nonfull(self._root, key, value)
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        t = self._t
+        child = parent.children[index]
+        sibling = _Node(leaf=child.leaf)
+        sibling.keys = child.keys[t:]
+        sibling.values = child.values[t:]
+        if not child.leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        parent.keys.insert(index, child.keys[t - 1])
+        parent.values.insert(index, child.values[t - 1])
+        parent.children.insert(index + 1, sibling)
+        child.keys = child.keys[: t - 1]
+        child.values = child.values[: t - 1]
+
+    def _insert_nonfull(self, node: _Node, key: int, value: V) -> None:
+        while True:
+            index = _lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index] = value
+                return
+            if node.leaf:
+                node.keys.insert(index, key)
+                node.values.insert(index, value)
+                self._size += 1
+                return
+            if len(node.children[index].keys) == 2 * self._t - 1:
+                self._split_child(node, index)
+                if key == node.keys[index]:
+                    node.values[index] = value
+                    return
+                if key > node.keys[index]:
+                    index += 1
+            node = node.children[index]
+
+    # -- deletion -----------------------------------------------------------
+
+    def delete(self, key: int) -> V:
+        """Remove ``key`` and return its value; raise ``KeyError`` if absent."""
+        value = self._delete(self._root, key)
+        if not self._root.keys and not self._root.leaf:
+            self._root = self._root.children[0]
+        self._size -= 1
+        return value
+
+    def _delete(self, node: _Node, key: int) -> V:
+        t = self._t
+        index = _lower_bound(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            if node.leaf:
+                node.keys.pop(index)
+                return node.values.pop(index)
+            return self._delete_internal(node, index)
+        if node.leaf:
+            raise KeyError(key)
+        child = node.children[index]
+        if len(child.keys) == t - 1:
+            index = self._grow_child(node, index)
+            # After merging, the key may now live in this node.
+            new_index = _lower_bound(node.keys, key)
+            if new_index < len(node.keys) and node.keys[new_index] == key:
+                return self._delete_internal(node, new_index)
+            child = node.children[new_index]
+        else:
+            child = node.children[index]
+        return self._delete(child, key)
+
+    def _delete_internal(self, node: _Node, index: int) -> V:
+        """Delete ``node.keys[index]`` when ``node`` is internal."""
+        t = self._t
+        value = node.values[index]
+        left, right = node.children[index], node.children[index + 1]
+        if len(left.keys) >= t:
+            pred_key, pred_value = self._max_item(left)
+            node.keys[index] = pred_key
+            node.values[index] = pred_value
+            self._delete(left, pred_key)
+        elif len(right.keys) >= t:
+            succ_key, succ_value = self._min_item(right)
+            node.keys[index] = succ_key
+            node.values[index] = succ_value
+            self._delete(right, succ_key)
+        else:
+            # Both children are minimal: merge them around the key, then
+            # delete the key from the merged child.
+            merged_key = node.keys[index]
+            self._merge_children(node, index)
+            self._delete(left, merged_key)
+        return value
+
+    def _merge_children(self, node: _Node, index: int) -> None:
+        """Merge children ``index`` and ``index+1`` around key ``index``."""
+        left, right = node.children[index], node.children[index + 1]
+        left.keys.append(node.keys.pop(index))
+        left.values.append(node.values.pop(index))
+        left.keys.extend(right.keys)
+        left.values.extend(right.values)
+        if not left.leaf:
+            left.children.extend(right.children)
+        node.children.pop(index + 1)
+
+    def _grow_child(self, node: _Node, index: int) -> int:
+        """Ensure ``node.children[index]`` has >= t keys before descending.
+
+        Returns the (possibly shifted) child index to descend into.
+        """
+        t = self._t
+        child = node.children[index]
+        if index > 0 and len(node.children[index - 1].keys) >= t:
+            # Borrow from the left sibling through the parent.
+            left = node.children[index - 1]
+            child.keys.insert(0, node.keys[index - 1])
+            child.values.insert(0, node.values[index - 1])
+            node.keys[index - 1] = left.keys.pop()
+            node.values[index - 1] = left.values.pop()
+            if not child.leaf:
+                child.children.insert(0, left.children.pop())
+            return index
+        if index < len(node.children) - 1 and len(node.children[index + 1].keys) >= t:
+            # Borrow from the right sibling through the parent.
+            right = node.children[index + 1]
+            child.keys.append(node.keys[index])
+            child.values.append(node.values[index])
+            node.keys[index] = right.keys.pop(0)
+            node.values[index] = right.values.pop(0)
+            if not child.leaf:
+                child.children.append(right.children.pop(0))
+            return index
+        # Merge with a sibling.
+        if index < len(node.children) - 1:
+            self._merge_children(node, index)
+            return index
+        self._merge_children(node, index - 1)
+        return index - 1
+
+    def _max_item(self, node: _Node) -> Tuple[int, V]:
+        while not node.leaf:
+            node = node.children[-1]
+        return node.keys[-1], node.values[-1]
+
+    def _min_item(self, node: _Node) -> Tuple[int, V]:
+        while not node.leaf:
+            node = node.children[0]
+        return node.keys[0], node.values[0]
+
+    # -- invariant checking (used by property tests) ------------------------
+
+    def check_invariants(self) -> None:
+        """Assert structural B-tree invariants; raises AssertionError."""
+        keys = [k for k, __ in self.items()]
+        assert keys == sorted(keys), "keys out of order"
+        assert len(keys) == self._size, "size mismatch"
+        self._check_node(self._root, is_root=True)
+
+    def _check_node(self, node: _Node, is_root: bool) -> int:
+        t = self._t
+        if not is_root:
+            assert len(node.keys) >= t - 1, "underfull node"
+        assert len(node.keys) <= 2 * t - 1, "overfull node"
+        if node.leaf:
+            return 1
+        assert len(node.children) == len(node.keys) + 1, "child count mismatch"
+        depths = {self._check_node(child, is_root=False) for child in node.children}
+        assert len(depths) == 1, "leaves at different depths"
+        return depths.pop() + 1
+
+
+def _lower_bound(keys: List[int], key: int) -> int:
+    """First index whose key is >= ``key`` (binary search)."""
+    low, high = 0, len(keys)
+    while low < high:
+        mid = (low + high) // 2
+        if keys[mid] < key:
+            low = mid + 1
+        else:
+            high = mid
+    return low
+
+
+class IntervalIndex(Generic[V]):
+    """Live-object index: non-overlapping ``[start, end)`` -> payload.
+
+    The OMC inserts a range at every object creation, removes it at
+    destruction, and resolves raw addresses with :meth:`resolve`.
+    Overlap with a live range is rejected -- two live objects cannot
+    share bytes, so an overlap means the allocator substrate and the
+    probe stream disagree.
+    """
+
+    def __init__(self, min_degree: int = 16) -> None:
+        self._tree: BTreeMap[Tuple[int, V]] = BTreeMap(min_degree)
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def insert(self, start: int, end: int, payload: V) -> None:
+        if end <= start:
+            raise ValueError(f"empty interval [{start:#x}, {end:#x})")
+        hit = self._tree.floor_item(end - 1)
+        if hit is not None:
+            hit_start, (hit_end, __) = hit
+            if hit_end > start and hit_start < end:
+                raise ValueError(
+                    f"interval [{start:#x}, {end:#x}) overlaps live "
+                    f"[{hit_start:#x}, {hit_end:#x})"
+                )
+        self._tree.insert(start, (end, payload))
+
+    def remove(self, start: int) -> V:
+        """Remove the interval starting at ``start``; return its payload."""
+        end_payload = self._tree.get(start)
+        if end_payload is None:
+            raise KeyError(f"no live interval starts at {start:#x}")
+        self._tree.delete(start)
+        return end_payload[1]
+
+    def resolve(self, address: int) -> Optional[Tuple[int, int, V]]:
+        """Find the live interval containing ``address``.
+
+        Returns ``(start, end, payload)`` or ``None``.
+        """
+        hit = self._tree.floor_item(address)
+        if hit is None:
+            return None
+        start, (end, payload) = hit
+        if address < end:
+            return start, end, payload
+        return None
+
+    def items(self) -> Iterator[Tuple[int, int, V]]:
+        for start, (end, payload) in self._tree.items():
+            yield start, end, payload

@@ -1,0 +1,225 @@
+"""Profile serialization.
+
+Profiles are the artifact a feedback-directed compiler consumes in a
+later build, so they must survive a round trip to disk.  The format is
+versioned JSON: human-inspectable, diff-friendly, and adequate for the
+profile sizes object-relative compression produces.
+
+Supported payloads: :class:`~repro.profilers.whomp.WhompProfile`
+(grammars stored as productions, re-expandable),
+:class:`~repro.profilers.leap.LeapProfile` (LMAD records), and
+:class:`~repro.baselines.dependence_lossless.DependenceProfile` (the
+post-processed MDF table).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, List, Tuple
+
+from repro.baselines.dependence_lossless import DependenceProfile
+from repro.compression.lmad import LMAD, LMADProfileEntry, OverflowSummary
+from repro.compression.sequitur import Ref, SequiturGrammar
+from repro.core.events import AccessKind
+from repro.profilers.leap import LeapProfile
+from repro.profilers.whomp import WhompProfile
+
+FORMAT_VERSION = 1
+
+
+class ProfileFormatError(Exception):
+    """Raised when a profile file cannot be decoded."""
+
+
+# -- grammar (de)serialization ------------------------------------------------
+
+
+def _grammar_to_json(grammar: SequiturGrammar) -> Dict[str, object]:
+    productions = {}
+    for rule_id, rhs in grammar.to_productions().items():
+        encoded: List[object] = []
+        for symbol in rhs:
+            if isinstance(symbol, Ref):
+                encoded.append(["R", symbol.rule_id])
+            else:
+                encoded.append(["T", symbol])
+        productions[str(rule_id)] = encoded
+    return {"start": grammar.start.id, "productions": productions}
+
+
+def _expand_productions(data: Dict[str, object]) -> List[object]:
+    """Expand serialized productions back into the terminal stream."""
+    productions = data["productions"]
+    start = str(data["start"])
+
+    def expand(rule_id: str, out: List[object], depth: int = 0) -> None:
+        if depth > 10_000:
+            raise ProfileFormatError("grammar expansion too deep (cycle?)")
+        for tag, value in productions[rule_id]:
+            if tag == "R":
+                expand(str(value), out, depth + 1)
+            elif tag == "T":
+                out.append(value)
+            else:
+                raise ProfileFormatError(f"bad symbol tag {tag!r}")
+
+    out: List[object] = []
+    expand(start, out)
+    return out
+
+
+# -- WHOMP ----------------------------------------------------------------
+
+
+def save_whomp(profile: WhompProfile, stream: IO[str]) -> None:
+    document = {
+        "format": "whomp",
+        "version": FORMAT_VERSION,
+        "access_count": profile.access_count,
+        "grammars": {
+            name: _grammar_to_json(grammar)
+            for name, grammar in profile.grammars.items()
+        },
+        "base_addresses": [
+            [group, serial, address]
+            for (group, serial), address in sorted(profile.base_addresses.items())
+        ],
+        "lifetimes": [list(row) for row in profile.lifetimes],
+        "group_labels": {str(k): v for k, v in profile.group_labels.items()},
+    }
+    json.dump(document, stream)
+
+
+def load_whomp_streams(stream: IO[str]) -> Dict[str, object]:
+    """Load a WHOMP profile as expanded dimension streams plus the
+    auxiliary tables.
+
+    The Sequitur grammar objects themselves are not reconstructed (the
+    grammar is a compression artifact); consumers want the streams.
+    Returns a dict with ``streams``, ``base_addresses``, ``lifetimes``,
+    ``group_labels``, ``access_count``.
+    """
+    document = json.load(stream)
+    if document.get("format") != "whomp":
+        raise ProfileFormatError("not a WHOMP profile")
+    if document.get("version") != FORMAT_VERSION:
+        raise ProfileFormatError(f"unsupported version {document.get('version')}")
+    streams = {
+        name: _expand_productions(grammar_data)
+        for name, grammar_data in document["grammars"].items()
+    }
+    base_addresses = {
+        (group, serial): address
+        for group, serial, address in document["base_addresses"]
+    }
+    return {
+        "streams": streams,
+        "base_addresses": base_addresses,
+        "lifetimes": [tuple(row) for row in document["lifetimes"]],
+        "group_labels": {int(k): v for k, v in document["group_labels"].items()},
+        "access_count": document["access_count"],
+    }
+
+
+# -- LEAP --------------------------------------------------------------------
+
+
+def save_leap(profile: LeapProfile, stream: IO[str]) -> None:
+    entries = []
+    for (instruction, group), entry in sorted(profile.entries.items()):
+        overflow = entry.overflow
+        entries.append(
+            {
+                "instruction": instruction,
+                "group": group,
+                "total": entry.total_symbols,
+                "lmads": [
+                    [list(l.start), list(l.stride), l.count] for l in entry.lmads
+                ],
+                "overflow": {
+                    "count": overflow.count,
+                    "min": list(overflow.minimum) if overflow.minimum else None,
+                    "max": list(overflow.maximum) if overflow.maximum else None,
+                    "granularity": (
+                        list(overflow.granularity) if overflow.granularity else None
+                    ),
+                },
+            }
+        )
+    document = {
+        "format": "leap",
+        "version": FORMAT_VERSION,
+        "budget": profile.budget,
+        "access_count": profile.access_count,
+        "entries": entries,
+        "kinds": {str(k): v.value for k, v in profile.kinds.items()},
+        "exec_counts": {str(k): v for k, v in profile.exec_counts.items()},
+        "group_labels": {str(k): v for k, v in profile.group_labels.items()},
+        "lifetimes": [list(row) for row in profile.lifetimes],
+    }
+    json.dump(document, stream)
+
+
+def load_leap(stream: IO[str]) -> LeapProfile:
+    document = json.load(stream)
+    if document.get("format") != "leap":
+        raise ProfileFormatError("not a LEAP profile")
+    if document.get("version") != FORMAT_VERSION:
+        raise ProfileFormatError(f"unsupported version {document.get('version')}")
+    entries: Dict[Tuple[int, int], LMADProfileEntry] = {}
+    for record in document["entries"]:
+        lmads = tuple(
+            LMAD(tuple(start), tuple(stride), count)
+            for start, stride, count in record["lmads"]
+        )
+        dims = lmads[0].dims if lmads else 3
+        overflow = OverflowSummary(dims=dims)
+        overflow.count = record["overflow"]["count"]
+        if record["overflow"]["min"] is not None:
+            overflow.minimum = tuple(record["overflow"]["min"])
+            overflow.maximum = tuple(record["overflow"]["max"])
+            overflow.granularity = tuple(record["overflow"]["granularity"])
+        entries[(record["instruction"], record["group"])] = LMADProfileEntry(
+            lmads=lmads,
+            overflow=overflow,
+            total_symbols=record["total"],
+        )
+    return LeapProfile(
+        entries=entries,
+        kinds={int(k): AccessKind(v) for k, v in document["kinds"].items()},
+        exec_counts={int(k): v for k, v in document["exec_counts"].items()},
+        group_labels={int(k): v for k, v in document["group_labels"].items()},
+        access_count=document["access_count"],
+        budget=document["budget"],
+        lifetimes=[tuple(row) for row in document["lifetimes"]],
+    )
+
+
+# -- dependence tables -------------------------------------------------------
+
+
+def save_dependence(profile: DependenceProfile, stream: IO[str]) -> None:
+    document = {
+        "format": "dependence",
+        "version": FORMAT_VERSION,
+        "conflicts": [
+            [store, load, count]
+            for (store, load), count in sorted(profile.conflicts.items())
+        ],
+        "load_counts": {str(k): v for k, v in profile.load_counts.items()},
+        "store_counts": {str(k): v for k, v in profile.store_counts.items()},
+    }
+    json.dump(document, stream)
+
+
+def load_dependence(stream: IO[str]) -> DependenceProfile:
+    document = json.load(stream)
+    if document.get("format") != "dependence":
+        raise ProfileFormatError("not a dependence profile")
+    return DependenceProfile(
+        conflicts={
+            (store, load): count for store, load, count in document["conflicts"]
+        },
+        load_counts={int(k): v for k, v in document["load_counts"].items()},
+        store_counts={int(k): v for k, v in document["store_counts"].items()},
+    )

@@ -1,0 +1,90 @@
+"""The object-relative access tuple.
+
+Section 2.1 defines the translation of a raw ``(instruction-id, address)``
+access into ``(instruction-id, group, object, offset)``, and Section 2.2
+extends it with the time-stamp dimension:
+
+    ``(instruction-id, group, object, offset, time-stamp)``
+
+:class:`ObjectRelativeAccess` is that 5-tuple.  Two auxiliary fields --
+access width and load/store kind -- ride along because the dependence
+post-processor needs them; they are not part of the paper's tuple and are
+never fed to the compressors.
+
+Accesses that hit memory with no live tracked object (e.g. a read of a
+freed block, or an untracked region) translate to the :data:`WILD_GROUP`
+with the raw address preserved in ``offset`` so the stream stays
+lossless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.events import AccessKind
+
+#: Group id for accesses that resolve to no live object.
+WILD_GROUP = -1
+
+#: Object serial used together with :data:`WILD_GROUP`.
+WILD_OBJECT = -1
+
+
+@dataclass(frozen=True)
+class ObjectRelativeAccess:
+    """One translated memory access.
+
+    ``group``
+        Identifier of the object's group (allocation site, optionally
+        refined by type).
+    ``object_serial``
+        Serial number of the object within its group, in creation order.
+    ``offset``
+        Byte offset of the access from the object's start -- or the raw
+        address itself when ``group == WILD_GROUP``.
+    """
+
+    __slots__ = (
+        "instruction_id",
+        "group",
+        "object_serial",
+        "offset",
+        "time",
+        "size",
+        "kind",
+    )
+
+    instruction_id: int
+    group: int
+    object_serial: int
+    offset: int
+    time: int
+    size: int
+    kind: AccessKind
+
+    @property
+    def wild(self) -> bool:
+        """True when the access resolved to no live object."""
+        return self.group == WILD_GROUP
+
+    def dimension(self, name: str) -> int:
+        """Fetch one of the paper's dimensions by name.
+
+        Used by horizontal decomposition; ``name`` is one of
+        ``instruction``, ``group``, ``object``, ``offset``, ``time``.
+        """
+        try:
+            return {
+                "instruction": self.instruction_id,
+                "group": self.group,
+                "object": self.object_serial,
+                "offset": self.offset,
+                "time": self.time,
+            }[name]
+        except KeyError:
+            raise ValueError(f"unknown dimension {name!r}") from None
+
+
+#: The four dimensions of the paper's 4-tuple, in canonical order.  Time
+#: is the fifth, added for vertical decomposition's re-indexing.
+DIMENSIONS = ("instruction", "group", "object", "offset")

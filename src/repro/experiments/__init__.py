@@ -1,0 +1,1 @@
+"""Experiment harness: one module per figure/table of the paper."""

@@ -1,0 +1,94 @@
+"""Shared state for the experiment harness.
+
+Traces and profiles are the expensive inputs shared by several
+experiments (the Figure 6/7/8 trio all consume the same LEAP profiles
+and ground truth), so :class:`SuiteContext` computes each lazily, once,
+per benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.baselines.connors import DEFAULT_WINDOW, ConnorsProfiler
+from repro.baselines.dependence_lossless import (
+    DependenceProfile,
+    LosslessDependenceProfiler,
+)
+from repro.baselines.rasg import RasgProfile, RasgProfiler
+from repro.baselines.stride_lossless import LosslessStrideProfiler, StrideProfile
+from repro.core.events import Trace
+from repro.profilers.leap import LeapProfile, LeapProfiler
+from repro.profilers.whomp import WhompProfile, WhompProfiler
+from repro.workloads.base import Workload
+from repro.workloads.registry import SPEC_BENCHMARKS, create
+
+
+class SuiteContext:
+    """Lazily computed per-benchmark traces and profiles."""
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 0,
+        benchmarks: Sequence[str] = SPEC_BENCHMARKS,
+        allocator: str = "first-fit",
+    ) -> None:
+        self.scale = scale
+        self.seed = seed
+        self.benchmarks = tuple(benchmarks)
+        self.allocator = allocator
+        self._traces: Dict[str, Trace] = {}
+        self._whomp: Dict[str, WhompProfile] = {}
+        self._rasg: Dict[str, RasgProfile] = {}
+        self._leap: Dict[str, LeapProfile] = {}
+        self._truth_dependence: Dict[str, DependenceProfile] = {}
+        self._connors: Dict[tuple, DependenceProfile] = {}
+        self._stride_real: Dict[str, StrideProfile] = {}
+
+    def workload(self, name: str) -> Workload:
+        return create(name, scale=self.scale, seed=self.seed)
+
+    def trace(self, name: str) -> Trace:
+        if name not in self._traces:
+            self._traces[name] = self.workload(name).trace(allocator=self.allocator)
+        return self._traces[name]
+
+    def whomp(self, name: str) -> WhompProfile:
+        if name not in self._whomp:
+            self._whomp[name] = WhompProfiler().profile(self.trace(name))
+        return self._whomp[name]
+
+    def rasg(self, name: str) -> RasgProfile:
+        if name not in self._rasg:
+            self._rasg[name] = RasgProfiler().profile(self.trace(name))
+        return self._rasg[name]
+
+    def leap(self, name: str) -> LeapProfile:
+        if name not in self._leap:
+            self._leap[name] = LeapProfiler().profile(self.trace(name))
+        return self._leap[name]
+
+    def truth_dependence(self, name: str) -> DependenceProfile:
+        if name not in self._truth_dependence:
+            self._truth_dependence[name] = LosslessDependenceProfiler().profile(
+                self.trace(name)
+            )
+        return self._truth_dependence[name]
+
+    def connors(
+        self, name: str, window: Optional[int] = None
+    ) -> DependenceProfile:
+        key = (name, window or DEFAULT_WINDOW)
+        if key not in self._connors:
+            self._connors[key] = ConnorsProfiler(window=key[1]).profile(
+                self.trace(name)
+            )
+        return self._connors[key]
+
+    def stride_real(self, name: str) -> StrideProfile:
+        if name not in self._stride_real:
+            self._stride_real[name] = LosslessStrideProfiler().profile(
+                self.trace(name)
+            )
+        return self._stride_real[name]

@@ -1,0 +1,76 @@
+"""Figure 5: compression of the OMSG over the conventional RASG.
+
+For each benchmark, both lossless profiles are collected from the same
+trace; the metric is the percent size reduction of the OMSG relative to
+the RASG (RASG as base), on serialized (varint-coded) bytes.  The paper
+reports an average improvement of 22%.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.metrics import compression_improvement
+from repro.analysis.report import format_table, percent
+from repro.experiments.context import SuiteContext
+from repro.workloads.registry import PAPER_NAMES
+
+#: The paper's headline number for this figure.
+PAPER_AVERAGE_IMPROVEMENT = 0.22
+
+
+def run(context: SuiteContext) -> Dict[str, object]:
+    rows: List[Dict[str, object]] = []
+    for name in context.benchmarks:
+        omsg = context.whomp(name)
+        rasg = context.rasg(name)
+        rows.append(
+            {
+                "benchmark": name,
+                "accesses": context.trace(name).access_count,
+                "omsg_bytes": omsg.size_bytes_varint(),
+                "rasg_bytes": rasg.size_bytes_varint(),
+                "omsg_symbols": omsg.size(),
+                "rasg_symbols": rasg.size(),
+                "improvement": compression_improvement(
+                    omsg.size_bytes_varint(), rasg.size_bytes_varint()
+                ),
+            }
+        )
+    average = sum(row["improvement"] for row in rows) / len(rows)
+    return {
+        "figure": "5",
+        "rows": rows,
+        "average_improvement": average,
+        "paper_average_improvement": PAPER_AVERAGE_IMPROVEMENT,
+    }
+
+
+def render(results: Dict[str, object]) -> str:
+    table = format_table(
+        ["benchmark", "accesses", "OMSG bytes", "RASG bytes", "improvement"],
+        [
+            [
+                PAPER_NAMES.get(row["benchmark"], row["benchmark"]),
+                row["accesses"],
+                row["omsg_bytes"],
+                row["rasg_bytes"],
+                percent(row["improvement"]),
+            ]
+            for row in results["rows"]
+        ],
+        title="Figure 5: OMSG compression over RASG (positive = OMSG smaller)",
+    )
+    summary = (
+        f"\naverage improvement: {percent(results['average_improvement'])} "
+        f"(paper: {percent(results['paper_average_improvement'])})"
+    )
+    return table + summary
+
+
+def main() -> None:
+    print(render(run(SuiteContext())))
+
+
+if __name__ == "__main__":
+    main()

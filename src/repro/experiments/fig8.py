@@ -1,0 +1,67 @@
+"""Figure 8: LEAP vs Connors, average error distributions side by side.
+
+The paper's comparison point: "note the 56% improvement in the number
+of pairs detected completely correct or off by no more than 10%".
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.metrics import ErrorDistribution
+from repro.analysis.report import format_histogram, percent
+from repro.experiments import fig6, fig7
+from repro.experiments.context import SuiteContext
+
+#: The paper's headline improvement of LEAP over Connors.
+PAPER_IMPROVEMENT = 0.56
+
+
+def run(context: SuiteContext) -> Dict[str, object]:
+    leap_average = ErrorDistribution.average(
+        list(fig6.distributions(context).values())
+    )
+    connors_average = ErrorDistribution.average(
+        list(fig7.distributions(context).values())
+    )
+    leap_within = leap_average.within(0.10)
+    connors_within = connors_average.within(0.10)
+    improvement = (
+        (leap_within - connors_within) / connors_within
+        if connors_within
+        else float("inf")
+    )
+    return {
+        "figure": "8",
+        "leap_average": leap_average,
+        "connors_average": connors_average,
+        "leap_within_10": leap_within,
+        "connors_within_10": connors_within,
+        "improvement": improvement,
+        "paper_improvement": PAPER_IMPROVEMENT,
+    }
+
+
+def render(results: Dict[str, object]) -> str:
+    parts = [
+        "Figure 8: average error distributions, LEAP vs Connors",
+        format_histogram(results["leap_average"], title="\nLEAP:"),
+        format_histogram(results["connors_average"], title="\nConnors:"),
+        (
+            f"\nwithin 10%: LEAP {percent(results['leap_within_10'])} vs "
+            f"Connors {percent(results['connors_within_10'])}"
+        ),
+        (
+            f"improvement: {percent(results['improvement'], 0)} "
+            f"(paper: {percent(results['paper_improvement'], 0)})"
+        ),
+    ]
+    return "\n".join(parts)
+
+
+def main() -> None:
+    print(render(run(SuiteContext())))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Figure 9: stride score for LEAP.
+
+For each benchmark, LEAP's strongly-strided instructions (from the LMAD
+offset strides, within objects only) are compared against the "real"
+ones found by the lossless stride profiler.  The paper reports an
+average of 88% correctly identified.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.report import format_table, percent
+from repro.experiments.context import SuiteContext
+from repro.postprocess.strides import LeapStrideAnalyzer, stride_score
+from repro.workloads.registry import PAPER_NAMES
+
+#: The paper's headline average stride score.
+PAPER_AVERAGE_SCORE = 0.88
+
+
+def run(context: SuiteContext) -> Dict[str, object]:
+    analyzer = LeapStrideAnalyzer()
+    rows: List[Dict[str, object]] = []
+    for name in context.benchmarks:
+        real = context.stride_real(name).strongly_strided()
+        identified = analyzer.strongly_strided(context.leap(name))
+        score = stride_score(identified, real)
+        rows.append(
+            {
+                "benchmark": name,
+                "real": len(real),
+                "identified": len(identified),
+                "correct": len(identified & real),
+                "score": score,
+            }
+        )
+    scored = [row["score"] for row in rows if row["score"] is not None]
+    average = sum(scored) / len(scored) if scored else None
+    return {
+        "figure": "9",
+        "rows": rows,
+        "average_score": average,
+        "paper_average_score": PAPER_AVERAGE_SCORE,
+    }
+
+
+def render(results: Dict[str, object]) -> str:
+    table = format_table(
+        ["benchmark", "real", "identified", "correct", "score"],
+        [
+            [
+                PAPER_NAMES.get(row["benchmark"], row["benchmark"]),
+                row["real"],
+                row["identified"],
+                row["correct"],
+                percent(row["score"]) if row["score"] is not None else "n/a",
+            ]
+            for row in results["rows"]
+        ],
+        title="Figure 9: strongly-strided instructions correctly identified",
+    )
+    summary = (
+        f"\naverage score: {percent(results['average_score'])} "
+        f"(paper: {percent(results['paper_average_score'])})"
+    )
+    return table + summary
+
+
+def main() -> None:
+    print(render(run(SuiteContext())))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""Experiment runner CLI.
+
+Regenerates every figure and table of the paper's evaluation::
+
+    repro-experiments --all
+    repro-experiments fig5 fig8 --scale 0.5
+    python -m repro.experiments.runner table1
+
+Results print as paper-style text tables and histograms; ``--json``
+writes the structured results to a file as well.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.experiments import fig3, fig5, fig6, fig7, fig8, fig9, table1
+from repro.experiments.context import SuiteContext
+
+EXPERIMENTS = {
+    "fig3": (fig3.run, fig3.render),
+    "fig5": (fig5.run, fig5.render),
+    "fig6": (fig6.run, fig6.render),
+    "fig7": (fig7.run, fig7.render),
+    "fig8": (fig8.run, fig8.render),
+    "fig9": (fig9.run, fig9.render),
+    "table1": (table1.run, table1.render),
+}
+
+
+def _jsonable(value: object) -> object:
+    """Strip non-serializable objects (profiles, distributions) down to
+    plain data for --json output."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    fractions = getattr(value, "fractions", None)
+    if callable(fractions):
+        return {
+            "fractions": fractions(),
+            "total_pairs": getattr(value, "total_pairs", None),
+        }
+    return repr(value)
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"which experiments to run: {', '.join(EXPERIMENTS)}, all "
+        "(default: all)",
+    )
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale factor (default 1.0 = paper-shape calibration)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--no-speed",
+        action="store_true",
+        help="skip the wall-clock dilation measurement in table1",
+    )
+    parser.add_argument("--json", metavar="PATH", help="also write results as JSON")
+    args = parser.parse_args(argv)
+
+    names = list(args.experiments)
+    unknown = [n for n in names if n not in EXPERIMENTS and n != "all"]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(EXPERIMENTS)} or all"
+        )
+    if args.all or "all" in names or not names:
+        names = list(EXPERIMENTS)
+
+    context = SuiteContext(scale=args.scale, seed=args.seed)
+    collected: Dict[str, object] = {}
+    for name in names:
+        run, render = EXPERIMENTS[name]
+        start = time.perf_counter()
+        if name == "table1":
+            results = run(context, measure_speed=not args.no_speed)
+        else:
+            results = run(context)
+        elapsed = time.perf_counter() - start
+        collected[name] = results
+        print(render(results))
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(_jsonable(collected), handle, indent=2)
+        print(f"JSON results written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

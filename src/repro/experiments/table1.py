@@ -1,0 +1,135 @@
+"""Table 1: LEAP profile size, speed, and sample quality.
+
+Per benchmark:
+
+* **compression ratio** -- raw trace bytes over serialized LEAP profile
+  bytes (the paper averages 3539x on billion-access SPEC traces; our
+  traces are 3-4 orders of magnitude shorter, so the ratio is smaller
+  by roughly that factor while the cross-benchmark ordering holds);
+* **dilation factor** -- wall-clock of the run with the online LEAP
+  pipeline attached over the uninstrumented run (paper average: 11.5x);
+* **sample quality** -- percent of accesses captured inside LMADs and
+  percent of instructions completely captured (paper averages: 46.5%
+  and 40.5%).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.analysis.report import format_table, percent, ratio
+from repro.experiments.context import SuiteContext
+from repro.profilers.leap import LeapProfiler
+from repro.runtime.process import Process
+from repro.workloads.registry import PAPER_NAMES
+
+#: Paper's Table 1 values: (compression, dilation, accesses %, instrs %).
+PAPER_TABLE = {
+    "gzip": (1169, 15, 0.571, 0.408),
+    "vpr": (3935, 16, 0.347, 0.528),
+    "mcf": (9993, 7, 0.065, 0.408),
+    "crafty": (967, 9, 0.503, 0.417),
+    "parser": (667, 7, 0.763, 0.082),
+    "bzip2": (7152, 14, 0.316, 0.506),
+    "twolf": (856, 15, 0.665, 0.398),
+}
+
+
+def measure_dilation(context: SuiteContext, name: str, repeats: int = 1) -> float:
+    """Wall-clock ratio of the LEAP-instrumented run over the native run."""
+    workload = context.workload(name)
+    native = 0.0
+    instrumented = 0.0
+    for __ in range(repeats):
+        start = time.perf_counter()
+        process = Process(record_trace=False)
+        workload.run(process)
+        process.finish()
+        native += time.perf_counter() - start
+
+        start = time.perf_counter()
+        process = Process(record_trace=False)
+        session = LeapProfiler().attach(process.bus)
+        workload.run(process)
+        process.finish()
+        session.finish()
+        instrumented += time.perf_counter() - start
+    return instrumented / native if native else float("inf")
+
+
+def run(context: SuiteContext, measure_speed: bool = True) -> Dict[str, object]:
+    rows: List[Dict[str, object]] = []
+    for name in context.benchmarks:
+        trace = context.trace(name)
+        leap = context.leap(name)
+        rows.append(
+            {
+                "benchmark": name,
+                "trace_bytes": trace.raw_size_bytes(),
+                "profile_bytes": leap.size_bytes(),
+                "compression": leap.compression_ratio(trace.raw_size_bytes()),
+                "dilation": measure_dilation(context, name) if measure_speed else None,
+                "accesses_captured": leap.accesses_captured(),
+                "instructions_captured": leap.instructions_captured(),
+            }
+        )
+    averages = {
+        "compression": sum(r["compression"] for r in rows) / len(rows),
+        "dilation": (
+            sum(r["dilation"] for r in rows) / len(rows) if measure_speed else None
+        ),
+        "accesses_captured": sum(r["accesses_captured"] for r in rows) / len(rows),
+        "instructions_captured": sum(r["instructions_captured"] for r in rows)
+        / len(rows),
+    }
+    return {
+        "table": "1",
+        "rows": rows,
+        "averages": averages,
+        "paper": PAPER_TABLE,
+    }
+
+
+def render(results: Dict[str, object]) -> str:
+    body = []
+    for row in results["rows"]:
+        paper = PAPER_TABLE[row["benchmark"]]
+        body.append(
+            [
+                PAPER_NAMES.get(row["benchmark"], row["benchmark"]),
+                ratio(row["compression"]),
+                ratio(row["dilation"]) if row["dilation"] is not None else "-",
+                f"{percent(row['accesses_captured'])} ({percent(paper[2])})",
+                f"{percent(row['instructions_captured'])} ({percent(paper[3])})",
+            ]
+        )
+    averages = results["averages"]
+    body.append(
+        [
+            "Average",
+            ratio(averages["compression"]),
+            ratio(averages["dilation"]) if averages["dilation"] is not None else "-",
+            f"{percent(averages['accesses_captured'])} (46.5%)",
+            f"{percent(averages['instructions_captured'])} (40.5%)",
+        ]
+    )
+    return format_table(
+        [
+            "benchmark",
+            "compression",
+            "dilation",
+            "accesses captured (paper)",
+            "instrs captured (paper)",
+        ],
+        body,
+        title="Table 1: LEAP profile size, speed, and sample quality",
+    )
+
+
+def main() -> None:
+    print(render(run(SuiteContext())))
+
+
+if __name__ == "__main__":
+    main()

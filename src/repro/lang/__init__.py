@@ -1,0 +1,14 @@
+"""The mini-IR language: a small C-like language whose interpreter runs
+on the simulated process, turning source programs into instrumented
+traces (every syntactic load/store is a static instruction)."""
+
+from repro.lang.ast import Program
+from repro.lang.interp import Interpreter, RuntimeError_, run_source
+from repro.lang.lexer import LangError, LexError, tokenize
+from repro.lang.parser import ParseError, parse
+from repro.lang.typesys import TypeTable
+
+__all__ = [
+    "Interpreter", "LangError", "LexError", "ParseError", "Program",
+    "RuntimeError_", "TypeTable", "parse", "run_source", "tokenize",
+]

@@ -1,0 +1,233 @@
+"""AST node definitions for the mini-IR language.
+
+Every node carries its source line so the interpreter can name the
+static instructions it emits after program points (``main:12``), the way
+native instruction probes are named after PCs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+# --------------------------------------------------------------------------
+# type expressions (syntactic; resolved by repro.lang.typesys)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TypeExpr:
+    """A syntactic type: ``int``, ``node*``, ``int[8]``..."""
+
+    name: str  # "int" or a struct name
+    pointer_depth: int = 0
+    array_length: Optional[int] = None
+
+    def __str__(self) -> str:
+        text = self.name + "*" * self.pointer_depth
+        if self.array_length is not None:
+            text += f"[{self.array_length}]"
+        return text
+
+
+# --------------------------------------------------------------------------
+# expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass(frozen=True)
+class NullLiteral(Expr):
+    pass
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    name: str = ""
+    args: tuple = ()
+
+
+@dataclass(frozen=True)
+class New(Expr):
+    """Heap allocation: ``new node`` or ``new int[32]``.
+
+    The allocation site (function + line) becomes the object group.
+    """
+
+    type_expr: TypeExpr = None  # type: ignore[assignment]
+    count: Optional[Expr] = None  # array element count, when given
+
+
+@dataclass(frozen=True)
+class FieldAccess(Expr):
+    """``base.field`` (struct value) or ``base->field`` (via pointer)."""
+
+    base: Expr = None  # type: ignore[assignment]
+    field_name: str = ""
+    through_pointer: bool = False
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """``base[index]`` -- base must be a pointer/array."""
+
+    base: Expr = None  # type: ignore[assignment]
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class AddressOf(Expr):
+    """``&lvalue`` -- the simulated address of a memory location."""
+
+    target: Expr = None  # type: ignore[assignment]
+
+
+# --------------------------------------------------------------------------
+# statements
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt:
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class VarDecl(Stmt):
+    """Local register variable: not profiled (the paper skips stack)."""
+
+    name: str = ""
+    type_expr: TypeExpr = None  # type: ignore[assignment]
+    initializer: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``lvalue = expr``; a memory lvalue emits a store instruction."""
+
+    target: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Delete(Stmt):
+    pointer: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    condition: Expr = None  # type: ignore[assignment]
+    then_body: tuple = ()
+    else_body: tuple = ()
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    condition: Expr = None  # type: ignore[assignment]
+    body: tuple = ()
+    #: a for-loop's step statement; runs after the body even when the
+    #: body ends with ``continue`` (C semantics)
+    step: Optional["Stmt"] = None
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Break(Stmt):
+    pass
+
+
+@dataclass(frozen=True)
+class Continue(Stmt):
+    pass
+
+
+# --------------------------------------------------------------------------
+# declarations
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FieldDecl:
+    name: str
+    type_expr: TypeExpr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class StructDecl:
+    name: str
+    fields: tuple  # of FieldDecl
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class GlobalDecl:
+    """Statically allocated object, laid out by the linker."""
+
+    name: str
+    type_expr: TypeExpr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Param:
+    name: str
+    type_expr: TypeExpr
+
+
+@dataclass(frozen=True)
+class FunctionDecl:
+    name: str
+    params: tuple  # of Param
+    return_type: Optional[TypeExpr]
+    body: tuple  # of Stmt
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Program:
+    structs: tuple  # of StructDecl
+    globals: tuple  # of GlobalDecl
+    functions: tuple  # of FunctionDecl
+
+    def function(self, name: str) -> FunctionDecl:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)

@@ -1,0 +1,431 @@
+"""Interpreter for the mini-IR language.
+
+Programs execute against a :class:`~repro.runtime.process.Process`:
+
+* globals are linked into the static segment (object probes fire for
+  them, as the paper's WHOMP does for statics);
+* ``new`` / ``delete`` go through the simulated allocator and fire
+  object probes, with the allocation site ``function:line`` as the
+  group -- the paper's "group dynamic objects by static instruction";
+* every syntactic load/store in the source is a distinct static
+  instruction, and each execution fires an instruction probe;
+* local variables are registers and are *not* profiled, matching the
+  paper's choice ("since static analysis handles stack variables very
+  efficiently, we chose not to profile them").
+
+Values are 64-bit-ish Python ints; pointers are simulated addresses.
+The interpreter keeps a word-granular memory image so pointer-chasing
+programs really chase the addresses the allocator handed out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.events import AccessKind
+from repro.lang import ast
+from repro.lang.lexer import LangError
+from repro.lang.parser import _ForWrapper, parse
+from repro.lang.typesys import (
+    INT,
+    WORD,
+    ArrayType,
+    PointerType,
+    StructType,
+    Type,
+    TypeTable,
+)
+from repro.runtime.process import Instruction, Process
+
+
+class RuntimeError_(LangError):
+    """Raised on mini-IR runtime errors (null deref, bad call...)."""
+
+
+class _Return(Exception):
+    def __init__(self, value: "TypedValue") -> None:
+        self.value = value
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+TypedValue = Tuple[int, Type]
+
+NULL: TypedValue = (0, PointerType(INT))
+
+
+class Frame:
+    """One function activation: register variables only."""
+
+    def __init__(self, function: ast.FunctionDecl) -> None:
+        self.function = function
+        self.locals: Dict[str, TypedValue] = {}
+
+
+class Interpreter:
+    """Execute a mini-IR program on a simulated process.
+
+    >>> program = parse("fn main(): int { return 41 + 1; }")
+    >>> Interpreter(program).run()
+    42
+    """
+
+    #: guard against runaway programs (tests want determinism, not hangs)
+    MAX_STEPS = 50_000_000
+
+    def __init__(
+        self, program: ast.Program, process: Optional[Process] = None
+    ) -> None:
+        self.program = program
+        self.types = TypeTable(program)
+        self.process = process if process is not None else Process()
+        self.memory: Dict[int, int] = {}
+        self._globals: Dict[str, Tuple[int, Type]] = {}
+        self._sites: Dict[int, int] = {}
+        self._steps = 0
+        for declaration in program.globals:
+            resolved = self.types.resolve(declaration.type_expr)
+            self.process.declare_static(
+                declaration.name, resolved.size(), type_name=str(resolved)
+            )
+            self._globals[declaration.name] = (0, resolved)  # address after link
+
+    # -- public ---------------------------------------------------------
+
+    def run(self, entry: str = "main", args: Tuple[int, ...] = ()) -> Optional[int]:
+        """Link, execute ``entry``, finish the process; return its value."""
+        table = self.process.link()
+        for name in self._globals:
+            __, resolved = self._globals[name]
+            self._globals[name] = (table[name].address, resolved)
+        try:
+            function = self.program.function(entry)
+        except KeyError:
+            raise RuntimeError_(f"no function {entry!r}") from None
+        typed_args = tuple((value, INT) for value in args)
+        result = self._call(function, typed_args)
+        self.process.finish()
+        return result[0] if result is not None else None
+
+    # -- calls ----------------------------------------------------------
+
+    def _call(
+        self, function: ast.FunctionDecl, args: Tuple[TypedValue, ...]
+    ) -> Optional[TypedValue]:
+        if len(args) != len(function.params):
+            raise RuntimeError_(
+                f"{function.name} expects {len(function.params)} args, "
+                f"got {len(args)}",
+                function.line,
+            )
+        frame = Frame(function)
+        for param, value in zip(function.params, args):
+            declared = self.types.resolve(param.type_expr)
+            frame.locals[param.name] = (value[0], declared)
+        try:
+            self._execute_block(function.body, frame)
+        except _Return as ret:
+            return ret.value
+        return None
+
+    # -- statements ------------------------------------------------------
+
+    def _execute_block(self, body: Tuple[ast.Stmt, ...], frame: Frame) -> None:
+        for statement in body:
+            self._execute(statement, frame)
+
+    def _execute(self, statement: ast.Stmt, frame: Frame) -> None:
+        self._steps += 1
+        if self._steps > self.MAX_STEPS:
+            raise RuntimeError_("step budget exhausted", statement.line)
+        if isinstance(statement, ast.VarDecl):
+            declared = self.types.resolve(statement.type_expr)
+            if statement.initializer is not None:
+                value = self._eval(statement.initializer, frame)[0]
+            else:
+                value = 0
+            frame.locals[statement.name] = (value, declared)
+        elif isinstance(statement, ast.Assign):
+            self._assign(statement.target, statement.value, frame)
+        elif isinstance(statement, ast.ExprStmt):
+            self._eval(statement.expr, frame)
+        elif isinstance(statement, ast.Delete):
+            address = self._eval(statement.pointer, frame)[0]
+            if address == 0:
+                raise RuntimeError_("delete of null", statement.line)
+            size = self.process.heap.size_of(address)
+            self.process.free(address)
+            if size:
+                for word in range(0, size, WORD):
+                    self.memory.pop(address + word, None)
+        elif isinstance(statement, ast.If):
+            if self._truthy(statement.condition, frame):
+                self._execute_block(statement.then_body, frame)
+            else:
+                self._execute_block(statement.else_body, frame)
+        elif isinstance(statement, ast.While):
+            while self._truthy(statement.condition, frame):
+                # Count iterations too, so empty bodies cannot spin past
+                # the step budget.
+                self._steps += 1
+                if self._steps > self.MAX_STEPS:
+                    raise RuntimeError_("step budget exhausted", statement.line)
+                try:
+                    self._execute_block(statement.body, frame)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                # A for-loop's step runs even after `continue`.
+                if statement.step is not None:
+                    self._execute(statement.step, frame)
+        elif isinstance(statement, _ForWrapper):
+            self._execute(statement.init, frame)
+            self._execute(statement.loop, frame)
+        elif isinstance(statement, ast.Return):
+            if statement.value is None:
+                raise _Return((0, INT))
+            raise _Return(self._eval(statement.value, frame))
+        elif isinstance(statement, ast.Break):
+            raise _Break()
+        elif isinstance(statement, ast.Continue):
+            raise _Continue()
+        else:
+            raise RuntimeError_(
+                f"unknown statement {type(statement).__name__}", statement.line
+            )
+
+    def _assign(self, target: ast.Expr, value_expr: ast.Expr, frame: Frame) -> None:
+        value = self._eval(value_expr, frame)
+        if isinstance(target, ast.VarRef) and target.name in frame.locals:
+            declared = frame.locals[target.name][1]
+            frame.locals[target.name] = (value[0], declared)
+            return
+        address, value_type = self._lvalue(target, frame)
+        instruction = self._site(target, AccessKind.STORE, frame)
+        self.process.store(instruction, address, min(value_type.size(), WORD))
+        self.memory[address] = value[0]
+
+    # -- expressions ----------------------------------------------------
+
+    def _truthy(self, expr: ast.Expr, frame: Frame) -> bool:
+        return self._eval(expr, frame)[0] != 0
+
+    def _eval(self, expr: ast.Expr, frame: Frame) -> TypedValue:
+        if isinstance(expr, ast.IntLiteral):
+            return (expr.value, INT)
+        if isinstance(expr, ast.NullLiteral):
+            return NULL
+        if isinstance(expr, ast.VarRef):
+            if expr.name in frame.locals:
+                return frame.locals[expr.name]
+            if expr.name in self._globals:
+                address, declared = self._globals[expr.name]
+                if isinstance(declared, (StructType, ArrayType)):
+                    # Aggregates decay to their address (like C arrays).
+                    return (address, PointerType(self._element_type(declared)))
+                instruction = self._site(expr, AccessKind.LOAD, frame)
+                self.process.load(instruction, address, min(declared.size(), WORD))
+                return (self.memory.get(address, 0), declared)
+            raise RuntimeError_(f"unknown name {expr.name!r}", expr.line)
+        if isinstance(expr, ast.Unary):
+            value = self._eval(expr.operand, frame)[0]
+            if expr.op == "-":
+                return (-value, INT)
+            if expr.op == "!":
+                return (0 if value else 1, INT)
+            raise RuntimeError_(f"unknown unary {expr.op!r}", expr.line)
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr, frame)
+        if isinstance(expr, ast.Call):
+            try:
+                function = self.program.function(expr.name)
+            except KeyError:
+                raise RuntimeError_(
+                    f"call to unknown function {expr.name!r}", expr.line
+                ) from None
+            args = tuple(self._eval(argument, frame) for argument in expr.args)
+            result = self._call(function, args)
+            return result if result is not None else (0, INT)
+        if isinstance(expr, ast.New):
+            return self._new(expr, frame)
+        if isinstance(expr, (ast.FieldAccess, ast.Index)):
+            address, value_type = self._lvalue(expr, frame)
+            instruction = self._site(expr, AccessKind.LOAD, frame)
+            self.process.load(instruction, address, min(value_type.size(), WORD))
+            if isinstance(value_type, (StructType, ArrayType)):
+                return (address, PointerType(self._element_type(value_type)))
+            return (self.memory.get(address, 0), value_type)
+        if isinstance(expr, ast.AddressOf):
+            address, value_type = self._lvalue(expr.target, frame)
+            return (address, PointerType(value_type))
+        raise RuntimeError_(f"unknown expression {type(expr).__name__}", expr.line)
+
+    def _binary(self, expr: ast.Binary, frame: Frame) -> TypedValue:
+        op = expr.op
+        if op == "&&":
+            if not self._truthy(expr.left, frame):
+                return (0, INT)
+            return (1 if self._truthy(expr.right, frame) else 0, INT)
+        if op == "||":
+            if self._truthy(expr.left, frame):
+                return (1, INT)
+            return (1 if self._truthy(expr.right, frame) else 0, INT)
+        left = self._eval(expr.left, frame)[0]
+        right = self._eval(expr.right, frame)[0]
+        if op == "+":
+            return (left + right, INT)
+        if op == "-":
+            return (left - right, INT)
+        if op == "*":
+            return (left * right, INT)
+        if op == "/":
+            if right == 0:
+                raise RuntimeError_("division by zero", expr.line)
+            return (int(left / right), INT)
+        if op == "%":
+            if right == 0:
+                raise RuntimeError_("modulo by zero", expr.line)
+            return (left - int(left / right) * right, INT)
+        if op == "==":
+            return (1 if left == right else 0, INT)
+        if op == "!=":
+            return (1 if left != right else 0, INT)
+        if op == "<":
+            return (1 if left < right else 0, INT)
+        if op == "<=":
+            return (1 if left <= right else 0, INT)
+        if op == ">":
+            return (1 if left > right else 0, INT)
+        if op == ">=":
+            return (1 if left >= right else 0, INT)
+        raise RuntimeError_(f"unknown operator {op!r}", expr.line)
+
+    def _new(self, expr: ast.New, frame: Frame) -> TypedValue:
+        element = self.types.resolve(expr.type_expr)
+        if expr.count is not None:
+            count = self._eval(expr.count, frame)[0]
+            if count <= 0:
+                raise RuntimeError_(f"new with count {count}", expr.line)
+            size = element.size() * count
+        else:
+            size = element.size()
+        site = f"{frame.function.name}:{expr.line}:new {expr.type_expr}"
+        address = self.process.malloc(site, size, type_name=str(element))
+        return (address, PointerType(self._concrete(element)))
+
+    # -- lvalues ------------------------------------------------------------
+
+    def _lvalue(self, expr: ast.Expr, frame: Frame) -> Tuple[int, Type]:
+        """Resolve an expression naming a memory location to
+        ``(address, type-at-that-location)``."""
+        if isinstance(expr, ast.VarRef):
+            if expr.name in frame.locals:
+                raise RuntimeError_(
+                    f"{expr.name!r} is a register variable, not memory",
+                    expr.line,
+                )
+            if expr.name in self._globals:
+                return self._globals[expr.name]
+            raise RuntimeError_(f"unknown name {expr.name!r}", expr.line)
+        if isinstance(expr, ast.FieldAccess):
+            return self._field_lvalue(expr, frame)
+        if isinstance(expr, ast.Index):
+            base, element = self._pointer_operand(expr.base, frame, expr.line)
+            index = self._eval(expr.index, frame)[0]
+            return (base + index * element.size(), element)
+        raise RuntimeError_(
+            f"{type(expr).__name__} is not assignable memory", expr.line
+        )
+
+    def _field_lvalue(self, expr: ast.FieldAccess, frame: Frame) -> Tuple[int, Type]:
+        if expr.through_pointer:
+            pointer, pointee = self._pointer_operand(expr.base, frame, expr.line)
+            if pointer == 0:
+                raise RuntimeError_("null pointer dereference", expr.line)
+            struct = self._concrete(pointee)
+            if not isinstance(struct, StructType):
+                raise RuntimeError_(
+                    f"-> on non-struct pointer ({struct})", expr.line
+                )
+            field = struct.field(expr.field_name)
+            return (pointer + field.offset, self._concrete(field.type))
+        address, base_type = self._lvalue(expr.base, frame)
+        struct = self._concrete(base_type)
+        if not isinstance(struct, StructType):
+            raise RuntimeError_(f". on non-struct ({struct})", expr.line)
+        field = struct.field(expr.field_name)
+        return (address + field.offset, self._concrete(field.type))
+
+    def _pointer_operand(
+        self, expr: ast.Expr, frame: Frame, line: int
+    ) -> Tuple[int, Type]:
+        """Evaluate an expression used as a pointer; returns the address
+        and the pointee/element type."""
+        value, value_type = self._eval(expr, frame)
+        concrete = self._concrete(value_type)
+        if isinstance(concrete, PointerType):
+            return (value, self._concrete(concrete.pointee))
+        if isinstance(concrete, ArrayType):
+            return (value, self._concrete(concrete.element))
+        raise RuntimeError_(f"expected pointer, got {concrete}", line)
+
+    def _element_type(self, aggregate: Type) -> Type:
+        if isinstance(aggregate, ArrayType):
+            return self._concrete(aggregate.element)
+        return aggregate
+
+    def _concrete(self, value_type: Type) -> Type:
+        """Resolve placeholder struct types (self-referential pointers)
+        through the type table."""
+        if isinstance(value_type, StructType) and not value_type.fields:
+            try:
+                return self.types.struct(value_type.name)
+            except Exception:
+                return value_type
+        return value_type
+
+    # -- instruction sites -------------------------------------------------
+
+    def _site(
+        self, expr: ast.Expr, kind: AccessKind, frame: Frame
+    ) -> Instruction:
+        """Intern the static instruction for one syntactic access site."""
+        node_id = id(expr)
+        sequence = self._sites.setdefault(node_id, len(self._sites))
+        description = self._describe(expr)
+        verb = "load" if kind is AccessKind.LOAD else "store"
+        name = f"{frame.function.name}:{expr.line}:{verb}:{description}#{sequence}"
+        return self.process.instruction(name, kind)
+
+    @staticmethod
+    def _describe(expr: ast.Expr) -> str:
+        if isinstance(expr, ast.FieldAccess):
+            return ("->" if expr.through_pointer else ".") + expr.field_name
+        if isinstance(expr, ast.Index):
+            return "[]"
+        if isinstance(expr, ast.VarRef):
+            return expr.name
+        return type(expr).__name__.lower()
+
+
+def run_source(
+    source: str,
+    entry: str = "main",
+    process: Optional[Process] = None,
+    args: Tuple[int, ...] = (),
+) -> Tuple[Optional[int], Interpreter]:
+    """Parse and run mini-IR source; return (exit value, interpreter).
+
+    The interpreter is returned so callers can pull the recorded trace
+    from ``interpreter.process``.
+    """
+    interpreter = Interpreter(parse(source), process)
+    result = interpreter.run(entry, args)
+    return result, interpreter

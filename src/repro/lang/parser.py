@@ -1,0 +1,406 @@
+"""Recursive-descent parser for the mini-IR language.
+
+Grammar (roughly)::
+
+    program   := (struct | global | function)*
+    struct    := "struct" IDENT "{" (type IDENT ";")* "}"
+    global    := "global" type IDENT ";"
+    function  := "fn" IDENT "(" params? ")" (":" type)? block
+    block     := "{" stmt* "}"
+    stmt      := "var" IDENT ":" type ("=" expr)? ";"
+               | "if" "(" expr ")" block ("else" (block | if-stmt))?
+               | "while" "(" expr ")" block
+               | "for" "(" simple? ";" expr? ";" simple? ")" block
+               | "return" expr? ";" | "break" ";" | "continue" ";"
+               | "delete" expr ";"
+               | simple ";"
+    simple    := lvalue "=" expr | expr
+    type      := ("int" | IDENT) "*"* ("[" INT "]")?
+    expr      := precedence-climbing over || && == != < <= > >= + - * / %
+    primary   := INT | "null" | "true" | "false" | IDENT | call
+               | "new" type ("[" expr "]")? | "(" expr ")"
+               | "&" lvalue | unary
+    postfix   := primary ("." IDENT | "->" IDENT | "[" expr "]")*
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lang import ast
+from repro.lang.lexer import LangError, Token, TokenKind, tokenize
+
+
+class ParseError(LangError):
+    """Raised when the token stream does not match the grammar."""
+
+
+#: binary operator precedence (higher binds tighter)
+PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self._tokens = tokenize(source)
+        self._position = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind is not TokenKind.EOF:
+            self._position += 1
+        return token
+
+    def _check(self, text: str) -> bool:
+        return self._current.text == text and self._current.kind in (
+            TokenKind.PUNCT,
+            TokenKind.KEYWORD,
+        )
+
+    def _accept(self, text: str) -> bool:
+        if self._check(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, text: str) -> Token:
+        if not self._check(text):
+            raise ParseError(
+                f"expected {text!r}, found {self._current.text!r}",
+                self._current.line,
+                self._current.column,
+            )
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        if self._current.kind is not TokenKind.IDENT:
+            raise ParseError(
+                f"expected identifier, found {self._current.text!r}",
+                self._current.line,
+                self._current.column,
+            )
+        return self._advance()
+
+    # -- entry point ----------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        structs: List[ast.StructDecl] = []
+        globals_: List[ast.GlobalDecl] = []
+        functions: List[ast.FunctionDecl] = []
+        while self._current.kind is not TokenKind.EOF:
+            if self._check("struct"):
+                structs.append(self._parse_struct())
+            elif self._check("global"):
+                globals_.append(self._parse_global())
+            elif self._check("fn"):
+                functions.append(self._parse_function())
+            else:
+                raise ParseError(
+                    f"expected declaration, found {self._current.text!r}",
+                    self._current.line,
+                    self._current.column,
+                )
+        return ast.Program(tuple(structs), tuple(globals_), tuple(functions))
+
+    # -- declarations ------------------------------------------------------
+
+    def _parse_struct(self) -> ast.StructDecl:
+        start = self._expect("struct")
+        name = self._expect_ident().text
+        self._expect("{")
+        fields: List[ast.FieldDecl] = []
+        while not self._accept("}"):
+            field_type = self._parse_type()
+            field_name = self._expect_ident()
+            self._expect(";")
+            fields.append(
+                ast.FieldDecl(field_name.text, field_type, field_name.line)
+            )
+        return ast.StructDecl(name, tuple(fields), start.line)
+
+    def _parse_global(self) -> ast.GlobalDecl:
+        start = self._expect("global")
+        type_expr = self._parse_type()
+        name = self._expect_ident().text
+        self._expect(";")
+        return ast.GlobalDecl(name, type_expr, start.line)
+
+    def _parse_function(self) -> ast.FunctionDecl:
+        start = self._expect("fn")
+        name = self._expect_ident().text
+        self._expect("(")
+        params: List[ast.Param] = []
+        if not self._check(")"):
+            while True:
+                param_name = self._expect_ident().text
+                self._expect(":")
+                params.append(ast.Param(param_name, self._parse_type()))
+                if not self._accept(","):
+                    break
+        self._expect(")")
+        return_type: Optional[ast.TypeExpr] = None
+        if self._accept(":"):
+            return_type = self._parse_type()
+        body = self._parse_block()
+        return ast.FunctionDecl(name, tuple(params), return_type, body, start.line)
+
+    def _parse_type(self, allow_array: bool = True) -> ast.TypeExpr:
+        token = self._current
+        if token.text == "int" and token.kind is TokenKind.KEYWORD:
+            self._advance()
+            name = "int"
+        elif token.kind is TokenKind.IDENT:
+            self._advance()
+            name = token.text
+        else:
+            raise ParseError(
+                f"expected type, found {token.text!r}", token.line, token.column
+            )
+        depth = 0
+        while self._accept("*"):
+            depth += 1
+        length: Optional[int] = None
+        if allow_array and self._accept("["):
+            length_token = self._advance()
+            if length_token.kind is not TokenKind.INT:
+                raise ParseError(
+                    "array length must be an integer literal",
+                    length_token.line,
+                    length_token.column,
+                )
+            length = int(length_token.text, 0)
+            self._expect("]")
+        return ast.TypeExpr(name, depth, length)
+
+    # -- statements --------------------------------------------------------
+
+    def _parse_block(self) -> Tuple[ast.Stmt, ...]:
+        self._expect("{")
+        statements: List[ast.Stmt] = []
+        while not self._accept("}"):
+            statements.append(self._parse_statement())
+        return tuple(statements)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._current
+        if self._check("var"):
+            return self._parse_var_decl()
+        if self._check("if"):
+            return self._parse_if()
+        if self._check("while"):
+            self._advance()
+            self._expect("(")
+            condition = self._parse_expression()
+            self._expect(")")
+            body = self._parse_block()
+            return ast.While(token.line, condition, body)
+        if self._check("for"):
+            return self._parse_for()
+        if self._check("return"):
+            self._advance()
+            value = None if self._check(";") else self._parse_expression()
+            self._expect(";")
+            return ast.Return(token.line, value)
+        if self._check("break"):
+            self._advance()
+            self._expect(";")
+            return ast.Break(token.line)
+        if self._check("continue"):
+            self._advance()
+            self._expect(";")
+            return ast.Continue(token.line)
+        if self._check("delete"):
+            self._advance()
+            pointer = self._parse_expression()
+            self._expect(";")
+            return ast.Delete(token.line, pointer)
+        statement = self._parse_simple()
+        self._expect(";")
+        return statement
+
+    def _parse_var_decl(self) -> ast.VarDecl:
+        start = self._expect("var")
+        name = self._expect_ident().text
+        self._expect(":")
+        type_expr = self._parse_type()
+        initializer = None
+        if self._accept("="):
+            initializer = self._parse_expression()
+        self._expect(";")
+        return ast.VarDecl(start.line, name, type_expr, initializer)
+
+    def _parse_if(self) -> ast.If:
+        start = self._expect("if")
+        self._expect("(")
+        condition = self._parse_expression()
+        self._expect(")")
+        then_body = self._parse_block()
+        else_body: Tuple[ast.Stmt, ...] = ()
+        if self._accept("else"):
+            if self._check("if"):
+                else_body = (self._parse_if(),)
+            else:
+                else_body = self._parse_block()
+        return ast.If(start.line, condition, then_body, else_body)
+
+    def _parse_for(self) -> ast.While:
+        """``for`` desugars to a while loop with init/step spliced in."""
+        start = self._expect("for")
+        self._expect("(")
+        init = None if self._check(";") else self._parse_simple_or_decl()
+        self._expect(";")
+        condition = (
+            ast.IntLiteral(start.line, 1)
+            if self._check(";")
+            else self._parse_expression()
+        )
+        self._expect(";")
+        step = None if self._check(")") else self._parse_simple()
+        self._expect(")")
+        body = self._parse_block()
+        loop = ast.While(start.line, condition, body, step)
+        if init is None:
+            return loop
+        return _ForWrapper(start.line, init, loop)
+
+    def _parse_simple_or_decl(self) -> ast.Stmt:
+        if self._check("var"):
+            # var decl without the trailing semicolon (consumed by for)
+            start = self._expect("var")
+            name = self._expect_ident().text
+            self._expect(":")
+            type_expr = self._parse_type()
+            initializer = None
+            if self._accept("="):
+                initializer = self._parse_expression()
+            return ast.VarDecl(start.line, name, type_expr, initializer)
+        return self._parse_simple()
+
+    def _parse_simple(self) -> ast.Stmt:
+        expr = self._parse_expression()
+        if self._accept("="):
+            value = self._parse_expression()
+            return ast.Assign(expr.line, expr, value)
+        return ast.ExprStmt(expr.line, expr)
+
+    # -- expressions -------------------------------------------------------
+
+    def _parse_expression(self, min_precedence: int = 1) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            op = self._current.text
+            precedence = PRECEDENCE.get(op)
+            if (
+                self._current.kind is not TokenKind.PUNCT
+                or precedence is None
+                or precedence < min_precedence
+            ):
+                return left
+            self._advance()
+            right = self._parse_expression(precedence + 1)
+            left = ast.Binary(left.line, op, left, right)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._current
+        if self._accept("-"):
+            return ast.Unary(token.line, "-", self._parse_unary())
+        if self._accept("!"):
+            return ast.Unary(token.line, "!", self._parse_unary())
+        if self._accept("&"):
+            return ast.AddressOf(token.line, self._parse_postfix())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._current
+            if self._accept("."):
+                expr = ast.FieldAccess(
+                    token.line, expr, self._expect_ident().text, False
+                )
+            elif self._accept("->"):
+                expr = ast.FieldAccess(
+                    token.line, expr, self._expect_ident().text, True
+                )
+            elif self._accept("["):
+                index = self._parse_expression()
+                self._expect("]")
+                expr = ast.Index(token.line, expr, index)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._current
+        if token.kind is TokenKind.INT:
+            self._advance()
+            return ast.IntLiteral(token.line, int(token.text, 0))
+        if self._accept("null"):
+            return ast.NullLiteral(token.line)
+        if self._accept("true"):
+            return ast.IntLiteral(token.line, 1)
+        if self._accept("false"):
+            return ast.IntLiteral(token.line, 0)
+        if self._accept("new"):
+            # ``new T[n]``: n is a runtime expression, so the type is
+            # parsed without an array suffix.
+            type_expr = self._parse_type(allow_array=False)
+            count = None
+            if self._accept("["):
+                count = self._parse_expression()
+                self._expect("]")
+            return ast.New(token.line, type_expr, count)
+        if self._accept("("):
+            expr = self._parse_expression()
+            self._expect(")")
+            return expr
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            if self._accept("("):
+                args: List[ast.Expr] = []
+                if not self._check(")"):
+                    while True:
+                        args.append(self._parse_expression())
+                        if not self._accept(","):
+                            break
+                self._expect(")")
+                return ast.Call(token.line, token.text, tuple(args))
+            return ast.VarRef(token.line, token.text)
+        raise ParseError(
+            f"expected expression, found {token.text!r}", token.line, token.column
+        )
+
+
+class _ForWrapper(ast.Stmt):
+    """Internal statement pairing a for-loop's init with its while form.
+
+    The interpreter executes ``init`` then the loop in the same scope.
+    """
+
+    def __init__(self, line: int, init: ast.Stmt, loop: ast.While) -> None:
+        super().__init__(line)
+        object.__setattr__(self, "init", init)
+        object.__setattr__(self, "loop", loop)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse mini-IR source text into a :class:`~repro.lang.ast.Program`."""
+    return Parser(source).parse_program()

@@ -1,0 +1,218 @@
+"""Type system and struct layout for the mini-IR.
+
+Resolves syntactic :class:`~repro.lang.ast.TypeExpr` into concrete types
+with sizes and alignments, and computes C-style struct layouts (fields
+at aligned offsets, struct size rounded to its alignment).  The layout
+is what ties the language to the paper: field offsets here are the
+*offset* dimension of the object-relative tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.lang.ast import Program, StructDecl, TypeExpr
+from repro.lang.lexer import LangError
+from repro.runtime.memory import align_up
+
+#: word size: ints and pointers are both 8 bytes (an LP64 machine)
+WORD = 8
+
+
+class TypeError_(LangError):
+    """Raised on type resolution or layout errors (underscore avoids
+    shadowing the Python built-in)."""
+
+
+@dataclass(frozen=True)
+class Type:
+    """A resolved type."""
+
+    def size(self) -> int:
+        raise NotImplementedError
+
+    def alignment(self) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    def size(self) -> int:
+        return WORD
+
+    def alignment(self) -> int:
+        return WORD
+
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    pointee: Type
+
+    def size(self) -> int:
+        return WORD
+
+    def alignment(self) -> int:
+        return WORD
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    element: Type
+    length: int
+
+    def size(self) -> int:
+        return self.element.size() * self.length
+
+    def alignment(self) -> int:
+        return self.element.alignment()
+
+    def __str__(self) -> str:
+        return f"{self.element}[{self.length}]"
+
+
+@dataclass(frozen=True)
+class StructField:
+    name: str
+    type: Type
+    offset: int
+
+
+@dataclass(frozen=True)
+class StructType(Type):
+    name: str
+    fields: Tuple[StructField, ...]
+    total_size: int
+    align: int
+
+    def size(self) -> int:
+        return self.total_size
+
+    def alignment(self) -> int:
+        return self.align
+
+    def field(self, name: str) -> StructField:
+        for field in self.fields:
+            if field.name == name:
+                return field
+        raise TypeError_(f"struct {self.name} has no field {name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+INT = IntType()
+
+
+class TypeTable:
+    """Resolved struct types for one program."""
+
+    def __init__(self, program: Program) -> None:
+        self._structs: Dict[str, StructType] = {}
+        self._declarations = {s.name: s for s in program.structs}
+        self._resolving: set = set()
+        for declaration in program.structs:
+            self._resolve_struct(declaration)
+
+    # -- public -----------------------------------------------------------
+
+    def struct(self, name: str) -> StructType:
+        try:
+            return self._structs[name]
+        except KeyError:
+            raise TypeError_(f"unknown struct {name!r}") from None
+
+    def resolve(self, expr: TypeExpr) -> Type:
+        """Resolve a syntactic type to a concrete :class:`Type`."""
+        if expr.name == "int":
+            base: Type = INT
+        else:
+            base = self.struct(expr.name)
+        for __ in range(expr.pointer_depth):
+            base = PointerType(base)
+        if expr.array_length is not None:
+            if expr.array_length <= 0:
+                raise TypeError_(f"array length must be positive: {expr}")
+            base = ArrayType(base, expr.array_length)
+        return base
+
+    # -- layout ------------------------------------------------------------
+
+    def _resolve_struct(self, declaration: StructDecl) -> StructType:
+        if declaration.name in self._structs:
+            return self._structs[declaration.name]
+        if declaration.name in self._resolving:
+            raise TypeError_(
+                f"recursive struct {declaration.name!r} by value "
+                "(use a pointer)",
+                declaration.line,
+            )
+        self._resolving.add(declaration.name)
+        fields = []
+        offset = 0
+        align = 1
+        for field_declaration in declaration.fields:
+            field_type = self._resolve_field_type(field_declaration.type_expr)
+            offset = align_up(offset, field_type.alignment())
+            fields.append(StructField(field_declaration.name, field_type, offset))
+            offset += field_type.size()
+            align = max(align, field_type.alignment())
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise TypeError_(
+                f"duplicate field in struct {declaration.name}", declaration.line
+            )
+        struct = StructType(
+            declaration.name,
+            tuple(fields),
+            align_up(offset, align) if fields else align,
+            align,
+        )
+        self._resolving.discard(declaration.name)
+        self._structs[declaration.name] = struct
+        return struct
+
+    def _resolve_field_type(self, expr: TypeExpr) -> Type:
+        """Resolve a field's type; by-value struct fields require the
+        struct to be resolvable first (pointers break cycles)."""
+        if expr.name != "int" and expr.pointer_depth == 0:
+            if expr.name not in self._declarations:
+                raise TypeError_(f"unknown struct {expr.name!r}")
+            base: Type = self._resolve_struct(self._declarations[expr.name])
+        elif expr.name != "int":
+            # Pointer to a struct: layout does not need the pointee
+            # resolved yet, but the name must exist.
+            if expr.name not in self._declarations:
+                raise TypeError_(f"unknown struct {expr.name!r}")
+            base = self._lazy_struct(expr.name)
+            for __ in range(expr.pointer_depth):
+                base = PointerType(base)
+            if expr.array_length is not None:
+                base = ArrayType(base, expr.array_length)
+            return base
+        else:
+            base = INT
+        for __ in range(expr.pointer_depth):
+            base = PointerType(base)
+        if expr.array_length is not None:
+            if expr.array_length <= 0:
+                raise TypeError_(f"array length must be positive: {expr}")
+            base = ArrayType(base, expr.array_length)
+        return base
+
+    def _lazy_struct(self, name: str) -> StructType:
+        """Struct type usable behind a pointer before full resolution."""
+        if name in self._structs:
+            return self._structs[name]
+        if name in self._resolving:
+            # Self-referential pointer (linked list): resolve after the
+            # full pass; return a placeholder resolved later via lookup
+            # in the interpreter (which always goes through .struct()).
+            return StructType(name, (), 0, 1)
+        return self._resolve_struct(self._declarations[name])

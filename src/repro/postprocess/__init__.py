@@ -1,0 +1,34 @@
+"""Optimization-specific post-processors over object-relative profiles:
+the paper's two LEAP applications (memory-dependence frequency, stride
+patterns) plus the profile-consuming optimizations its introduction
+motivates (hot data streams, object clustering, stride prefetching,
+field reordering), evaluated on the cache simulator."""
+
+from repro.postprocess.clustering import ObjectClusterer, affinity_graph, cluster_order
+from repro.postprocess.dependence import LeapDependenceAnalyzer, analyze_dependences
+from repro.postprocess.field_reorder import FieldReorderer
+from repro.postprocess.hot_streams import HotStream, extract_hot_streams
+from repro.postprocess.prefetch import PrefetchPlan, evaluate_prefetching, plan_from_profile
+from repro.postprocess.speculation import (
+    Decision,
+    SpeculationPlan,
+    compare_plans,
+    expected_cost,
+)
+from repro.postprocess.speculation import evaluate as evaluate_speculation
+from repro.postprocess.speculation import plan as plan_speculation
+from repro.postprocess.strides import (
+    LeapStrideAnalyzer,
+    dominant_strides,
+    stride_score,
+)
+
+__all__ = [
+    "Decision", "FieldReorderer", "HotStream", "LeapDependenceAnalyzer",
+    "SpeculationPlan", "compare_plans", "evaluate_speculation",
+    "expected_cost", "plan_speculation",
+    "LeapStrideAnalyzer", "ObjectClusterer", "PrefetchPlan",
+    "affinity_graph", "analyze_dependences", "cluster_order",
+    "dominant_strides", "evaluate_prefetching", "extract_hot_streams",
+    "plan_from_profile", "stride_score",
+]

@@ -1,0 +1,140 @@
+"""Hot data stream extraction from object-relative grammars.
+
+The paper positions the OMSG as input to "a class of correlation-based
+memory optimizations including clustering, custom heap allocation, and
+hot data stream prefetching" (Section 3.2, citing Chilimbi & Hirzel).
+A *hot data stream* is a sequence of object references that repeats
+frequently; in a Sequitur grammar those are precisely the rules --
+every rule exists because its expansion occurred repeatedly.
+
+This module builds a grammar over the ``(group, object)`` reference
+stream and ranks its rules by *heat* = occurrences x expanded length,
+the standard hot-stream magnitude metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.compression.sequitur import Rule, SequiturGrammar
+from repro.core.tuples import ObjectRelativeAccess
+
+ObjectRef = Tuple[int, int]  # (group, object serial)
+
+
+@dataclass(frozen=True)
+class HotStream:
+    """One frequently repeated object reference sequence."""
+
+    references: Tuple[ObjectRef, ...]
+    occurrences: int
+
+    @property
+    def length(self) -> int:
+        return len(self.references)
+
+    @property
+    def heat(self) -> int:
+        """Total accesses the stream accounts for."""
+        return self.occurrences * self.length
+
+
+def _rule_occurrences(grammar: SequiturGrammar) -> Dict[int, int]:
+    """How many times each rule's expansion occurs in the full input.
+
+    Computed top-down: the start rule occurs once; each reference to a
+    rule inside rule R contributes R's own occurrence count.  Sequitur
+    grammars are acyclic, so a memoized traversal suffices.
+    """
+    counts: Dict[int, int] = {grammar.start.id: 1}
+    order: List[Rule] = []
+    seen = set()
+
+    def visit(rule: Rule) -> None:
+        if rule.id in seen:
+            return
+        seen.add(rule.id)
+        for symbol in rule.symbols():
+            if symbol.is_nonterminal:
+                visit(symbol.value)
+        order.append(rule)
+
+    visit(grammar.start)
+    # Process parents before children: reverse postorder.
+    for rule in reversed(order):
+        parent_count = counts.get(rule.id, 0)
+        for symbol in rule.symbols():
+            if symbol.is_nonterminal:
+                counts[symbol.value.id] = (
+                    counts.get(symbol.value.id, 0) + parent_count
+                )
+    return counts
+
+
+def _expansions(grammar: SequiturGrammar) -> Dict[int, List]:
+    """Memoized full expansion of every rule."""
+    expansions: Dict[int, List] = {}
+
+    def expand(rule: Rule) -> List:
+        cached = expansions.get(rule.id)
+        if cached is not None:
+            return cached
+        out: List = []
+        for symbol in rule.symbols():
+            if symbol.is_nonterminal:
+                out.extend(expand(symbol.value))
+            else:
+                out.append(symbol.value)
+        expansions[rule.id] = out
+        return out
+
+    expand(grammar.start)
+    return expansions
+
+
+def extract_hot_streams(
+    stream: Iterable[ObjectRelativeAccess],
+    min_length: int = 2,
+    max_length: int = 256,
+    min_occurrences: int = 2,
+    top: int = 10,
+) -> List[HotStream]:
+    """Mine the hot object-reference streams of a translated trace.
+
+    Consecutive duplicate references are collapsed first (several field
+    accesses to one object are one visit), then the visit stream is
+    grammar-compressed and the rules ranked by heat.
+    """
+    grammar = SequiturGrammar()
+    previous: ObjectRef = None  # type: ignore[assignment]
+    for access in stream:
+        if access.wild:
+            continue
+        reference = (access.group, access.object_serial)
+        if reference != previous:
+            grammar.feed(reference)
+            previous = reference
+    counts = _rule_occurrences(grammar)
+    expansions = _expansions(grammar)
+    streams = []
+    for rule in grammar.rules():
+        if rule is grammar.start:
+            continue
+        expansion = expansions[rule.id]
+        occurrences = counts.get(rule.id, 0)
+        if (
+            min_length <= len(expansion) <= max_length
+            and occurrences >= min_occurrences
+        ):
+            streams.append(HotStream(tuple(expansion), occurrences))
+    streams.sort(key=lambda s: s.heat, reverse=True)
+    return streams[:top]
+
+
+def coverage(streams: Iterable[HotStream], total_accesses: int) -> float:
+    """Fraction of the (collapsed) reference stream the hot streams
+    account for -- an upper-bound usefulness estimate."""
+    if not total_accesses:
+        return 0.0
+    return min(1.0, sum(s.heat for s in streams) / total_accesses)

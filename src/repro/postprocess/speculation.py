@@ -1,0 +1,164 @@
+"""Speculative load reordering decisions from the MDF profile.
+
+The first target application of LEAP (Section 4): "Speculative load
+reordering ... speculatively schedules a load instruction ahead of a
+preceding store...  This reordering is beneficial only if the load is
+independent of the store or is dependent with a low frequency, because
+of the relatively high recovery overhead.  Hence this optimization
+requires a very good estimate of dependence frequencies."
+
+This module makes the compiler's call: for every (store, load) pair, a
+profile-driven scheduler speculates when the pair's MDF is below a
+recovery-cost threshold.  Decision quality is measured the way the
+paper's citation of Chen frames it -- by agreement with the decisions
+an oracle (the lossless ground truth) would make, and by the expected
+cost of the chosen schedule under a simple recovery-penalty model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set, Tuple
+
+from repro.baselines.dependence_lossless import DependenceProfile
+
+Pair = Tuple[int, int]
+
+#: Speculate when the estimated dependence frequency is below this; the
+#: classic rule of thumb for recovery costs around 20-30 cycles.
+DEFAULT_THRESHOLD = 0.05
+
+#: Cycles saved per successfully hoisted load, and paid per mis-
+#: speculation recovery, in the expected-cost model.
+HOIST_BENEFIT = 2.0
+RECOVERY_PENALTY = 30.0
+
+
+class Decision(enum.Enum):
+    """A scheduler's call for one (store, load) pair."""
+
+    SPECULATE = "speculate"
+    KEEP_ORDER = "keep-order"
+
+
+@dataclass(frozen=True)
+class SpeculationPlan:
+    """Per-pair scheduling decisions for a set of candidate pairs."""
+
+    decisions: Dict[Pair, Decision]
+    threshold: float
+
+    def speculated(self) -> Set[Pair]:
+        return {
+            pair
+            for pair, decision in self.decisions.items()
+            if decision is Decision.SPECULATE
+        }
+
+
+def plan(
+    profile: DependenceProfile,
+    candidates: Iterable[Pair],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> SpeculationPlan:
+    """Decide each candidate pair from the profile's frequencies.
+
+    ``candidates`` is the set of (store, load) pairs the scheduler is
+    considering reordering -- typically every pair whose instructions
+    are adjacent enough to matter; experiments use all pairs observed
+    executing.
+    """
+    decisions = {
+        pair: (
+            Decision.SPECULATE
+            if profile.frequency(*pair) < threshold
+            else Decision.KEEP_ORDER
+        )
+        for pair in candidates
+    }
+    return SpeculationPlan(decisions, threshold)
+
+
+@dataclass
+class DecisionQuality:
+    """Agreement of a profile-driven plan with the oracle plan."""
+
+    agreements: int
+    disagreements: int
+    #: speculated although the true frequency was above threshold:
+    #: pays recovery penalties (the expensive mistake)
+    unsafe_speculations: int
+    #: kept order although speculation was safe: missed benefit
+    missed_speculations: int
+
+    @property
+    def total(self) -> int:
+        return self.agreements + self.disagreements
+
+    @property
+    def agreement_rate(self) -> float:
+        if not self.total:
+            return 1.0
+        return self.agreements / self.total
+
+
+def compare_plans(
+    estimated: SpeculationPlan, oracle: SpeculationPlan
+) -> DecisionQuality:
+    """Pairwise decision agreement between two plans over the same
+    candidate set."""
+    agreements = disagreements = unsafe = missed = 0
+    for pair, decision in estimated.decisions.items():
+        oracle_decision = oracle.decisions.get(pair)
+        if oracle_decision is None:
+            continue
+        if decision is oracle_decision:
+            agreements += 1
+        else:
+            disagreements += 1
+            if decision is Decision.SPECULATE:
+                unsafe += 1
+            else:
+                missed += 1
+    return DecisionQuality(agreements, disagreements, unsafe, missed)
+
+
+def expected_cost(
+    decisions: SpeculationPlan, truth: DependenceProfile
+) -> float:
+    """Expected cycles per scheduled pair under the true frequencies.
+
+    Speculating a pair with true frequency f costs
+    ``f * RECOVERY_PENALTY - (1 - f) * HOIST_BENEFIT`` per load
+    execution; keeping order costs 0.  Lower is better, negative is a
+    net win.
+    """
+    total = 0.0
+    for pair, decision in decisions.decisions.items():
+        if decision is Decision.SPECULATE:
+            frequency = truth.frequency(*pair)
+            total += frequency * RECOVERY_PENALTY - (1 - frequency) * HOIST_BENEFIT
+    return total
+
+
+def evaluate(
+    estimated_profile: DependenceProfile,
+    truth_profile: DependenceProfile,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Tuple[DecisionQuality, float, float]:
+    """Full evaluation: (decision quality, profile-driven expected cost,
+    oracle expected cost) over every executed (store, load) pair."""
+    candidates = [
+        (store, load)
+        for store in truth_profile.store_counts
+        for load in truth_profile.load_counts
+    ]
+    estimated_plan = plan(estimated_profile, candidates, threshold)
+    oracle_plan = plan(truth_profile, candidates, threshold)
+    quality = compare_plans(estimated_plan, oracle_plan)
+    return (
+        quality,
+        expected_cost(estimated_plan, truth_profile),
+        expected_cost(oracle_plan, truth_profile),
+    )

@@ -1,0 +1,92 @@
+"""Stride-pattern post-processor for LEAP profiles (Section 4.2.2).
+
+"With the collected LMADs, identifying strongly strided instructions
+requires a trivial post-process which examines all offset strides
+captured for a given instruction.  We choose to consider only those
+strongly strided instructions within objects (i.e. with identical group
+and object IDs)."
+
+An LMAD over (object, offset, time) with object-stride zero describes
+``count`` consecutive accesses to one object, contributing ``count - 1``
+samples of its offset stride.  Per instruction these samples form a
+stride histogram, and the paper's >= 70%-dominance rule classifies the
+instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.baselines.stride_lossless import (
+    MIN_SAMPLES,
+    STRONG_THRESHOLD,
+    StrideProfile,
+)
+from repro.profilers.leap import LeapProfile
+
+#: dimension indices inside LEAP's (object, offset, time) triples
+OBJECT_DIM = 0
+OFFSET_DIM = 1
+
+
+class LeapStrideAnalyzer:
+    """Derive per-instruction stride histograms from LEAP LMADs.
+
+    The output reuses :class:`StrideProfile` so LEAP's identified set
+    and the lossless profiler's "real" set are computed by identical
+    classification code.
+    """
+
+    def analyze(self, profile: LeapProfile) -> StrideProfile:
+        result = StrideProfile(exec_counts=dict(profile.exec_counts))
+        for (instruction, __), entry in profile.entries.items():
+            histogram = result.histograms.setdefault(instruction, {})
+            for lmad in entry.lmads:
+                if lmad.count < 2:
+                    continue
+                if lmad.stride[OBJECT_DIM] != 0:
+                    # Crosses objects; the paper restricts to
+                    # within-object strides.
+                    continue
+                stride = lmad.stride[OFFSET_DIM]
+                histogram[stride] = histogram.get(stride, 0) + (lmad.count - 1)
+            if not histogram:
+                del result.histograms[instruction]
+        return result
+
+    def strongly_strided(
+        self,
+        profile: LeapProfile,
+        threshold: float = STRONG_THRESHOLD,
+        min_samples: int = MIN_SAMPLES,
+    ) -> Set[int]:
+        """Instructions LEAP identifies as strongly strided."""
+        return self.analyze(profile).strongly_strided(threshold, min_samples)
+
+
+def stride_score(
+    identified: Set[int], real: Set[int]
+) -> Optional[float]:
+    """Figure 9's metric: the percent of correctly identified
+    strongly-strided instructions over the "real" ones.
+
+    Returns None when the real set is empty (nothing to score).
+    """
+    if not real:
+        return None
+    return len(identified & real) / len(real)
+
+
+def dominant_strides(
+    profile: LeapProfile, min_samples: int = MIN_SAMPLES
+) -> Dict[int, int]:
+    """instruction id -> dominant within-object offset stride; a handy
+    view for prefetch-style consumers of the profile."""
+    analyzed = LeapStrideAnalyzer().analyze(profile)
+    result: Dict[int, int] = {}
+    for instruction, histogram in analyzed.histograms.items():
+        if analyzed.exec_counts.get(instruction, 0) < min_samples:
+            continue
+        if histogram:
+            result[instruction] = max(histogram, key=lambda s: histogram[s])
+    return result

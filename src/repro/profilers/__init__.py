@@ -1,0 +1,9 @@
+"""The paper's two object-relative profilers."""
+
+from repro.profilers.leap import LeapProfile, LeapProfiler, OnlineLeapSession
+from repro.profilers.whomp import OnlineWhompSession, WhompProfile, WhompProfiler
+
+__all__ = [
+    "LeapProfile", "LeapProfiler", "OnlineLeapSession", "OnlineWhompSession",
+    "WhompProfile", "WhompProfiler",
+]

@@ -1,0 +1,181 @@
+"""LEAP -- the Loss-Enhanced Access Profiler (Section 4).
+
+LEAP trades completeness for compactness: the object-relative stream is
+decomposed vertically by instruction-id and group, and each
+``(object, offset, time)`` sub-stream is compressed into at most
+*budget* (default 30) LMADs.  Streams too irregular for the budget are
+sampled: descriptors keep the initial linear runs and the rest collapses
+into min/max/granularity summaries.
+
+The profile is indexed by load and store instructions, ready for the two
+post-processors the paper targets: memory-dependence frequency
+(:mod:`repro.postprocess.dependence`) and stride patterns
+(:mod:`repro.postprocess.strides`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.compression.lmad import DEFAULT_BUDGET, LMADProfileEntry
+from repro.core.cdc import OnlineCDC, translate_trace
+from repro.core.events import AccessKind, Trace
+from repro.core.omc import ObjectManager
+from repro.core.scc import VerticalLMADSCC
+
+#: bytes per serialized LMAD record: 3-d start + 3-d stride at 8 bytes
+#: each, plus an 8-byte count.
+LMAD_RECORD_BYTES = 7 * 8
+
+#: bytes per entry header (instruction id, group id, totals) and per
+#: overflow summary record.
+ENTRY_HEADER_BYTES = 4 * 8
+SUMMARY_RECORD_BYTES = 7 * 8
+
+
+@dataclass
+class LeapProfile:
+    """LEAP's output: LMAD entries keyed by (instruction-id, group)."""
+
+    entries: Dict[Tuple[int, int], LMADProfileEntry]
+    #: instruction id -> load/store kind
+    kinds: Dict[int, AccessKind]
+    #: instruction id -> total dynamic executions (exact; kept as a
+    #: plain counter even for lossy entries)
+    exec_counts: Dict[int, int]
+    #: group id -> human-readable label
+    group_labels: Dict[int, str]
+    #: total accesses profiled
+    access_count: int
+    #: descriptor budget the profile was collected with
+    budget: int = DEFAULT_BUDGET
+    #: (group, serial, alloc_time, free_time, size) auxiliary rows
+    lifetimes: List[Tuple[int, int, int, Optional[int], int]] = field(
+        default_factory=list
+    )
+
+    # -- indexing ------------------------------------------------------
+
+    def instructions(self) -> List[int]:
+        return sorted(self.exec_counts)
+
+    def loads(self) -> List[int]:
+        return [i for i in self.instructions() if self.kinds[i] is AccessKind.LOAD]
+
+    def stores(self) -> List[int]:
+        return [i for i in self.instructions() if self.kinds[i] is AccessKind.STORE]
+
+    def entries_for_instruction(
+        self, instruction_id: int
+    ) -> Dict[int, LMADProfileEntry]:
+        """group id -> entry, for one instruction."""
+        return {
+            group: entry
+            for (instr, group), entry in self.entries.items()
+            if instr == instruction_id
+        }
+
+    def groups_of(self, instruction_id: int) -> List[int]:
+        return sorted(self.entries_for_instruction(instruction_id))
+
+    # -- size & quality metrics (Table 1) ---------------------------------
+
+    def size_bytes(self) -> int:
+        total = 0
+        for entry in self.entries.values():
+            total += ENTRY_HEADER_BYTES
+            total += len(entry.lmads) * LMAD_RECORD_BYTES
+            if entry.overflow.count:
+                total += SUMMARY_RECORD_BYTES
+        return total
+
+    def compression_ratio(self, trace_bytes: int) -> float:
+        """Raw trace bytes over profile bytes (the paper's `3539x`)."""
+        size = self.size_bytes()
+        if size == 0:
+            return float("inf")
+        return trace_bytes / size
+
+    def accesses_captured(self) -> float:
+        """Fraction of all accesses captured inside LMADs (Table 1's
+        "Accesses captured")."""
+        if not self.access_count:
+            return 1.0
+        captured = sum(entry.captured_symbols for entry in self.entries.values())
+        return captured / self.access_count
+
+    def instructions_captured(self) -> float:
+        """Fraction of instructions whose behaviour was completely
+        captured by their LMADs (Table 1's "Instructions captured")."""
+        instructions = self.instructions()
+        if not instructions:
+            return 1.0
+        complete = 0
+        for instruction in instructions:
+            entries = self.entries_for_instruction(instruction)
+            if entries and all(entry.complete for entry in entries.values()):
+                complete += 1
+        return complete / len(instructions)
+
+
+class LeapProfiler:
+    """Run LEAP over a recorded trace (offline) or attach it to a live
+    process bus (online) via :meth:`attach`."""
+
+    def __init__(
+        self, budget: int = DEFAULT_BUDGET, refine_by_type: bool = False
+    ) -> None:
+        self.budget = budget
+        self.refine_by_type = refine_by_type
+
+    def profile(self, trace: Trace) -> LeapProfile:
+        omc = ObjectManager(refine_by_type=self.refine_by_type)
+        scc = VerticalLMADSCC(budget=self.budget)
+        count = 0
+        for access in translate_trace(trace, omc):
+            scc.consume(access)
+            count += 1
+        return self._package(scc, omc, count)
+
+    def attach(self, bus) -> "OnlineLeapSession":
+        """Attach an online LEAP pipeline to a
+        :class:`~repro.runtime.probes.ProbeBus`; used for dilation
+        timing, where the profiler must run *during* the program."""
+        return OnlineLeapSession(self, bus)
+
+    def _package(
+        self, scc: VerticalLMADSCC, omc: ObjectManager, count: int
+    ) -> LeapProfile:
+        return LeapProfile(
+            entries=scc.finish(),
+            kinds=scc.kinds,
+            exec_counts=scc.exec_counts,
+            group_labels={g.group_id: g.label for g in omc.groups},
+            access_count=count,
+            budget=self.budget,
+            lifetimes=omc.lifetime_table(),
+        )
+
+
+class OnlineLeapSession:
+    """A live LEAP pipeline: OnlineCDC -> VerticalLMADSCC.
+
+    Detach (or just call :meth:`finish`) when the program completes.
+    """
+
+    def __init__(self, profiler: LeapProfiler, bus) -> None:
+        self._profiler = profiler
+        self._bus = bus
+        self._scc = VerticalLMADSCC(budget=profiler.budget)
+        self._cdc = OnlineCDC(
+            self._scc.consume,
+            ObjectManager(refine_by_type=profiler.refine_by_type),
+        )
+        bus.attach(self._cdc)
+
+    def finish(self) -> LeapProfile:
+        self._bus.detach(self._cdc)
+        return self._profiler._package(
+            self._scc, self._cdc.omc, self._cdc.clock
+        )

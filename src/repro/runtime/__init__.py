@@ -1,0 +1,34 @@
+"""The simulated process substrate: address space, allocators, linker,
+probes -- the producer of the traces the profilers consume."""
+
+from repro.runtime.cache import (
+    CacheConfig,
+    CacheHierarchy,
+    CacheStats,
+    SetAssociativeCache,
+    SimulationComparison,
+    simulate,
+)
+from repro.runtime.allocator import (
+    ALL_POLICIES,
+    Allocator,
+    AllocatorError,
+    BumpAllocator,
+    FreeListAllocator,
+    SegregatedFitAllocator,
+    make_allocator,
+)
+from repro.runtime.linker import Linker, StaticObject, Symbol, SymbolTable
+from repro.runtime.memory import AddressSpace, MemoryError_, Segment, SegmentKind
+from repro.runtime.probes import ProbeBus, TraceRecorder
+from repro.runtime.process import Instruction, Process
+
+__all__ = [
+    "ALL_POLICIES", "AddressSpace", "Allocator", "AllocatorError",
+    "CacheConfig", "CacheHierarchy", "CacheStats", "SetAssociativeCache",
+    "SimulationComparison", "simulate",
+    "BumpAllocator", "FreeListAllocator", "Instruction", "Linker",
+    "MemoryError_", "ProbeBus", "Process", "Segment", "SegmentKind",
+    "SegregatedFitAllocator", "StaticObject", "Symbol", "SymbolTable",
+    "TraceRecorder", "make_allocator",
+]

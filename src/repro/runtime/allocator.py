@@ -1,0 +1,275 @@
+"""Simulated heap allocators.
+
+The first artifact the paper attacks is the allocator: "even for the same
+input set, a different allocator library could lay out the memory
+differently" (Section 1).  To reproduce that, the heap is managed by real
+allocator implementations -- not a counter handing out sequential ids --
+so that address reuse, fragmentation, headers, and policy differences all
+show up in the raw address stream exactly as they would natively.
+
+Four policies are provided:
+
+* :class:`BumpAllocator` -- monotonically increasing, never reuses memory.
+* :class:`FreeListAllocator` -- classic boundary-tag free list with
+  first-fit or best-fit placement, block splitting, and coalescing of
+  adjacent free blocks.  This is the workhorse: freed addresses are
+  recycled, which creates the false-aliasing raw-address artifacts.
+* :class:`SegregatedFitAllocator` -- size-class bins in the style of
+  dlmalloc's small bins, backed by a bump region.
+
+All allocators share the :class:`Allocator` interface used by
+:class:`repro.runtime.process.Process`; swapping policy mid-experiment is
+how the allocator-sensitivity ablation perturbs raw addresses while
+leaving object-relative streams untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.runtime.memory import MemoryError_, Segment, align_up
+
+#: Bytes of allocator bookkeeping placed before each user block,
+#: mirroring glibc-style boundary tags.  Part of what makes raw heap
+#: addresses look arbitrary.
+HEADER_SIZE = 16
+
+#: Minimum alignment of user pointers.
+MIN_ALIGN = 16
+
+
+class AllocatorError(MemoryError_):
+    """Raised on invalid malloc/free usage (double free, bad pointer...)."""
+
+
+@dataclass
+class Block:
+    """One heap block as the allocator sees it (header included)."""
+
+    address: int  # address of the header
+    size: int  # total size including header
+    free: bool
+
+    @property
+    def user_address(self) -> int:
+        return self.address + HEADER_SIZE
+
+    @property
+    def user_size(self) -> int:
+        return self.size - HEADER_SIZE
+
+
+class Allocator:
+    """Interface shared by every heap allocator policy."""
+
+    #: short policy name used in experiment reports
+    name = "abstract"
+
+    def __init__(self, heap: Segment) -> None:
+        self.heap = heap
+        self._live: Dict[int, int] = {}  # user address -> user size
+
+    def malloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; return the user address."""
+        if size <= 0:
+            raise AllocatorError(f"malloc of non-positive size {size}")
+        address = self._allocate(size)
+        self._live[address] = size
+        return address
+
+    def free(self, address: int) -> int:
+        """Release the block at ``address``; return its user size."""
+        size = self._live.pop(address, None)
+        if size is None:
+            raise AllocatorError(f"free of unallocated pointer {address:#x}")
+        self._release(address)
+        return size
+
+    def live_bytes(self) -> int:
+        """Total user bytes currently allocated."""
+        return sum(self._live.values())
+
+    def size_of(self, address: int) -> Optional[int]:
+        """User size of the live block at ``address`` (None if not live)."""
+        return self._live.get(address)
+
+    def live_blocks(self) -> int:
+        return len(self._live)
+
+    # -- policy hooks -------------------------------------------------
+
+    def _allocate(self, size: int) -> int:
+        raise NotImplementedError
+
+    def _release(self, address: int) -> None:
+        raise NotImplementedError
+
+
+class BumpAllocator(Allocator):
+    """Monotonic allocator: trivially fast, never reuses addresses.
+
+    Useful as a control: with no address reuse there is no false
+    aliasing, yet raw addresses still differ run to run whenever the
+    allocation *order* differs.
+    """
+
+    name = "bump"
+
+    def __init__(self, heap: Segment) -> None:
+        super().__init__(heap)
+        self._cursor = heap.base
+
+    def _allocate(self, size: int) -> int:
+        total = align_up(size + HEADER_SIZE, MIN_ALIGN)
+        if self._cursor + total > self.heap.limit:
+            raise AllocatorError("bump allocator out of heap")
+        address = self._cursor + HEADER_SIZE
+        self._cursor += total
+        return address
+
+    def _release(self, address: int) -> None:
+        pass  # bump allocators leak by design
+
+
+class FreeListAllocator(Allocator):
+    """Boundary-tag free-list allocator with first-fit or best-fit.
+
+    Maintains the full block list ordered by address so freed neighbours
+    can be coalesced; placement policy is a constructor knob.  This is
+    the allocator whose recycling behaviour produces the address-reuse
+    artifacts Figure 1 of the paper illustrates.
+    """
+
+    def __init__(self, heap: Segment, policy: str = "first-fit") -> None:
+        super().__init__(heap)
+        if policy not in ("first-fit", "best-fit"):
+            raise ValueError(f"unknown placement policy {policy!r}")
+        self.policy = policy
+        self.name = policy
+        self._blocks: List[Block] = [Block(heap.base, heap.size, free=True)]
+        self._by_user_address: Dict[int, int] = {}  # user addr -> block index hint
+
+    def _find(self, total: int) -> Optional[int]:
+        best: Optional[int] = None
+        for index, block in enumerate(self._blocks):
+            if not block.free or block.size < total:
+                continue
+            if self.policy == "first-fit":
+                return index
+            if best is None or block.size < self._blocks[best].size:
+                best = index
+        return best
+
+    def _allocate(self, size: int) -> int:
+        total = align_up(size + HEADER_SIZE, MIN_ALIGN)
+        index = self._find(total)
+        if index is None:
+            raise AllocatorError(f"out of heap memory allocating {size} bytes")
+        block = self._blocks[index]
+        remainder = block.size - total
+        if remainder >= HEADER_SIZE + MIN_ALIGN:
+            # Split: the tail stays free.
+            self._blocks[index] = Block(block.address, total, free=False)
+            self._blocks.insert(
+                index + 1, Block(block.address + total, remainder, free=True)
+            )
+        else:
+            block.free = False
+        return self._blocks[index].user_address
+
+    def _release(self, user_address: int) -> None:
+        index = self._index_of(user_address)
+        self._blocks[index].free = True
+        self._coalesce(index)
+
+    def _index_of(self, user_address: int) -> int:
+        header = user_address - HEADER_SIZE
+        low, high = 0, len(self._blocks) - 1
+        while low <= high:
+            mid = (low + high) // 2
+            block = self._blocks[mid]
+            if block.address == header:
+                return mid
+            if block.address < header:
+                low = mid + 1
+            else:
+                high = mid - 1
+        raise AllocatorError(f"free of unknown block {user_address:#x}")
+
+    def _coalesce(self, index: int) -> None:
+        # Merge with the following block first so `index` stays valid.
+        if index + 1 < len(self._blocks) and self._blocks[index + 1].free:
+            self._blocks[index].size += self._blocks[index + 1].size
+            del self._blocks[index + 1]
+        if index > 0 and self._blocks[index - 1].free:
+            self._blocks[index - 1].size += self._blocks[index].size
+            del self._blocks[index]
+
+    def fragmentation(self) -> float:
+        """Fraction of free bytes not in the largest free block."""
+        free_sizes = [b.size for b in self._blocks if b.free]
+        total = sum(free_sizes)
+        if not total:
+            return 0.0
+        return 1.0 - max(free_sizes) / total
+
+
+class SegregatedFitAllocator(Allocator):
+    """Size-class allocator in the style of dlmalloc small bins.
+
+    Requests are rounded to a size class; each class keeps a LIFO free
+    list.  LIFO reuse means a freed address is handed straight back to
+    the next same-sized request -- the strongest form of the address
+    reuse that confounds raw-address profiles.
+    """
+
+    name = "segregated"
+
+    #: size classes in user bytes
+    CLASSES = (16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 1024, 2048, 4096)
+
+    def __init__(self, heap: Segment) -> None:
+        super().__init__(heap)
+        self._cursor = heap.base
+        self._bins: Dict[int, List[int]] = {cls: [] for cls in self.CLASSES}
+        self._class_of: Dict[int, int] = {}
+
+    def _size_class(self, size: int) -> int:
+        for cls in self.CLASSES:
+            if size <= cls:
+                return cls
+        return align_up(size, 4096)
+
+    def _allocate(self, size: int) -> int:
+        cls = self._size_class(size)
+        stack = self._bins.setdefault(cls, [])
+        if stack:
+            return stack.pop()
+        total = align_up(cls + HEADER_SIZE, MIN_ALIGN)
+        if self._cursor + total > self.heap.limit:
+            raise AllocatorError("segregated allocator out of heap")
+        address = self._cursor + HEADER_SIZE
+        self._cursor += total
+        self._class_of[address] = cls
+        return address
+
+    def _release(self, address: int) -> None:
+        cls = self._class_of[address]
+        self._bins[cls].append(address)
+
+
+def make_allocator(policy: str, heap: Segment) -> Allocator:
+    """Factory used by experiments: ``policy`` is one of ``bump``,
+    ``first-fit``, ``best-fit``, ``segregated``."""
+    if policy == "bump":
+        return BumpAllocator(heap)
+    if policy in ("first-fit", "best-fit"):
+        return FreeListAllocator(heap, policy=policy)
+    if policy == "segregated":
+        return SegregatedFitAllocator(heap)
+    raise ValueError(f"unknown allocator policy {policy!r}")
+
+
+#: Policies exposed to the allocator-sensitivity ablation.
+ALL_POLICIES: Tuple[str, ...] = ("bump", "first-fit", "best-fit", "segregated")

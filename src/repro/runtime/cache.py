@@ -1,0 +1,199 @@
+"""Set-associative cache simulator.
+
+The paper's profilers exist to feed feedback-directed memory
+optimization (FDMO): "memory profiles ... guide memory optimizations in
+an aggressively optimizing compiler".  To *evaluate* the optimizations
+built on the profiles (object clustering, field reordering, stride
+prefetching -- :mod:`repro.postprocess`), the repository needs a memory
+system to measure them against; this module provides it.
+
+:class:`SetAssociativeCache` models one cache level with true LRU
+replacement; :class:`CacheHierarchy` stacks levels.  The simulator is
+driven by raw address streams (optionally with prefetch hints), so
+layouts proposed by the optimizers can be compared like-for-like: same
+logical access sequence, different address assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int = 32 * 1024
+    line_bytes: int = 64
+    associativity: int = 4
+
+    def __post_init__(self) -> None:
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line size must be a positive power of two")
+        if self.associativity < 1:
+            raise ValueError("associativity must be >= 1")
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ValueError("size must be a multiple of line * associativity")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one simulation."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    prefetches: int = 0
+    prefetch_hits: int = 0  # demand hits on prefetched lines
+
+    @property
+    def miss_rate(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.misses / self.accesses
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0 - self.miss_rate
+
+
+class SetAssociativeCache:
+    """One cache level with true-LRU replacement.
+
+    >>> cache = SetAssociativeCache(CacheConfig(1024, 64, 2))
+    >>> cache.access(0); cache.access(0)
+    False
+    True
+    """
+
+    def __init__(self, config: CacheConfig = CacheConfig()) -> None:
+        self.config = config
+        # per-set list of tags, most recently used last
+        self._sets: List[List[int]] = [[] for __ in range(config.num_sets)]
+        # tags brought in by prefetch and not yet demand-hit
+        self._prefetched: set = set()
+        self.stats = CacheStats()
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        line = address // self.config.line_bytes
+        return line % self.config.num_sets, line
+
+    def access(self, address: int) -> bool:
+        """Demand access; returns True on hit."""
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        self.stats.accesses += 1
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            self.stats.hits += 1
+            if tag in self._prefetched:
+                self._prefetched.discard(tag)
+                self.stats.prefetch_hits += 1
+            return True
+        self.stats.misses += 1
+        self._fill(set_index, ways, tag)
+        return False
+
+    def prefetch(self, address: int) -> None:
+        """Bring a line in without counting a demand access."""
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        self.stats.prefetches += 1
+        if tag in ways:
+            return
+        self._fill(set_index, ways, tag)
+        self._prefetched.add(tag)
+
+    def _fill(self, set_index: int, ways: List[int], tag: int) -> None:
+        if len(ways) >= self.config.associativity:
+            victim = ways.pop(0)
+            self._prefetched.discard(victim)
+        ways.append(tag)
+
+    def reset(self) -> None:
+        self._sets = [[] for __ in range(self.config.num_sets)]
+        self._prefetched = set()
+        self.stats = CacheStats()
+
+
+class CacheHierarchy:
+    """A stack of cache levels (L1 closest to the processor).
+
+    A demand access probes levels in order until one hits; misses fill
+    every level on the way back (inclusive hierarchy).
+    """
+
+    def __init__(self, configs: Sequence[CacheConfig]) -> None:
+        if not configs:
+            raise ValueError("need at least one level")
+        self.levels = [SetAssociativeCache(config) for config in configs]
+
+    def access(self, address: int) -> int:
+        """Returns the level index that hit, or ``len(levels)`` for a
+        miss to memory."""
+        for index, level in enumerate(self.levels):
+            if level.access(address):
+                # fill the faster levels above
+                for above in self.levels[:index]:
+                    above_set, tag = above._locate(address)
+                    if tag not in above._sets[above_set]:
+                        above._fill(above_set, above._sets[above_set], tag)
+                return index
+        return len(self.levels)
+
+    @property
+    def l1(self) -> SetAssociativeCache:
+        return self.levels[0]
+
+
+def simulate(
+    addresses: Iterable[int],
+    config: CacheConfig = CacheConfig(),
+    prefetch_for: Optional[dict] = None,
+    instruction_ids: Optional[Sequence[int]] = None,
+    prefetch_distance: int = 4,
+) -> CacheStats:
+    """Run an address stream through one cache level.
+
+    ``prefetch_for`` maps instruction ids to their dominant stride; when
+    given (with the parallel ``instruction_ids`` sequence), each access
+    by such an instruction also prefetches ``address + distance*stride``
+    -- the stride-based prefetching of the paper's second LEAP
+    application.
+    """
+    cache = SetAssociativeCache(config)
+    if prefetch_for is None:
+        for address in addresses:
+            cache.access(address)
+        return cache.stats
+    if instruction_ids is None:
+        raise ValueError("prefetching needs the instruction id stream")
+    for address, instruction in zip(addresses, instruction_ids):
+        cache.access(address)
+        stride = prefetch_for.get(instruction)
+        if stride:
+            cache.prefetch(address + prefetch_distance * stride)
+    return cache.stats
+
+
+@dataclass
+class SimulationComparison:
+    """Before/after miss rates for a layout or prefetch optimization."""
+
+    baseline: CacheStats
+    optimized: CacheStats
+    label: str = ""
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def miss_reduction(self) -> float:
+        """Relative reduction of the miss rate (1.0 = all misses gone)."""
+        if self.baseline.miss_rate == 0:
+            return 0.0
+        return 1.0 - self.optimized.miss_rate / self.baseline.miss_rate

@@ -1,0 +1,134 @@
+"""Simulated linker for statically allocated data.
+
+WHOMP "uses the exported symbol table from the gcc compiler to determine
+the size and group of statically-allocated objects" (Section 3.1).  This
+module is that symbol table's producer: it lays out static objects in the
+static segment and exports a :class:`SymbolTable` the OMC consumes.
+
+It also reproduces the paper's third artifact: "the insertion of probes
+could change the code segment size and thus the linker data layout of
+static data".  The ``probe_padding`` knob grows the code segment, which
+shifts every static address while leaving the object-relative view
+untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.runtime.memory import AddressSpace, MemoryError_, align_up
+
+
+@dataclass(frozen=True)
+class StaticObject:
+    """Declaration of one statically allocated object (a global)."""
+
+    name: str
+    size: int
+    align: int = 8
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"static object {self.name!r} has size {self.size}")
+        if self.align <= 0 or self.align & (self.align - 1):
+            raise ValueError(f"alignment of {self.name!r} must be a power of two")
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """One resolved entry of the exported symbol table."""
+
+    name: str
+    address: int
+    size: int
+
+    @property
+    def limit(self) -> int:
+        return self.address + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.address <= address < self.limit
+
+
+@dataclass
+class SymbolTable:
+    """The exported symbol table: name-indexed resolved static objects."""
+
+    symbols: Dict[str, Symbol] = field(default_factory=dict)
+
+    def __iter__(self) -> Iterator[Symbol]:
+        return iter(self.symbols.values())
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    def __getitem__(self, name: str) -> Symbol:
+        return self.symbols[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.symbols
+
+    def resolve(self, address: int) -> Optional[Symbol]:
+        """Find the symbol containing ``address`` (linear scan is fine:
+        symbol tables are small and this is only used in error paths --
+        the OMC keeps its own range index)."""
+        for symbol in self.symbols.values():
+            if symbol.contains(address):
+                return symbol
+        return None
+
+
+class Linker:
+    """Assigns static-segment addresses to declared static objects.
+
+    Objects are laid out in declaration order, aligned, with an optional
+    inter-object gap -- matching how a simple linker emits ``.data``.
+
+    >>> space = AddressSpace()
+    >>> linker = Linker(space)
+    >>> linker.declare(StaticObject("table", 4096))
+    >>> table = linker.link()["table"]
+    >>> table.size
+    4096
+    """
+
+    def __init__(self, space: AddressSpace, probe_padding: int = 0) -> None:
+        if probe_padding < 0:
+            raise ValueError("probe_padding must be non-negative")
+        self.space = space
+        self.probe_padding = probe_padding
+        self._declared: List[StaticObject] = []
+        self._linked: Optional[SymbolTable] = None
+
+    def declare(self, obj: StaticObject) -> None:
+        """Register a static object; must happen before :meth:`link`."""
+        if self._linked is not None:
+            raise MemoryError_("cannot declare statics after linking")
+        if any(existing.name == obj.name for existing in self._declared):
+            raise MemoryError_(f"duplicate static object {obj.name!r}")
+        self._declared.append(obj)
+
+    def link(self) -> SymbolTable:
+        """Lay out all declared objects and export the symbol table."""
+        if self._linked is not None:
+            return self._linked
+        # Probe insertion grows code; static data starts after it.
+        cursor = self.space.static.base + align_up(self.probe_padding, 16)
+        table = SymbolTable()
+        for obj in self._declared:
+            cursor = align_up(cursor, obj.align)
+            if cursor + obj.size > self.space.static.limit:
+                raise MemoryError_(
+                    f"static segment overflow while placing {obj.name!r}"
+                )
+            table.symbols[obj.name] = Symbol(obj.name, cursor, obj.size)
+            cursor += obj.size
+        self._linked = table
+        return table
+
+    @property
+    def symbol_table(self) -> SymbolTable:
+        if self._linked is None:
+            raise MemoryError_("program not linked yet")
+        return self._linked

@@ -1,0 +1,161 @@
+"""Simulated virtual address space.
+
+The paper profiles native processes whose data lives in three regions --
+statically linked data, the heap, and the stack.  The artifacts that
+object-relative profiling removes (Section 1 of the paper) come precisely
+from how those regions are laid out:
+
+* the *linker* places static data after the code segment, so inserting
+  probes moves every static object;
+* the *allocator* hands out heap addresses that depend on allocation
+  history and policy;
+* the *OS* may randomize segment bases between runs.
+
+This module provides the substrate on which all of that is simulated: a
+byte-granular 64-bit address space divided into segments.  Nothing here
+stores data values -- the profilers only ever observe *addresses* -- but
+segment bookkeeping is strict so that out-of-segment traffic is caught as
+a bug in a workload rather than silently profiled.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+#: Default machine word size in bytes (the paper's platform is IA-64).
+WORD_SIZE = 8
+
+#: Page size used for segment alignment, mirroring a 4 KiB-paged OS.
+PAGE_SIZE = 4096
+
+
+class SegmentKind(enum.Enum):
+    """The classes of memory a simulated process can touch."""
+
+    CODE = "code"
+    STATIC = "static"
+    HEAP = "heap"
+    STACK = "stack"
+
+
+class MemoryError_(Exception):
+    """Raised on invalid simulated-memory operations.
+
+    Named with a trailing underscore to avoid shadowing the Python
+    built-in ``MemoryError``.
+    """
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``.
+
+    >>> align_up(13, 8)
+    16
+    >>> align_up(16, 8)
+    16
+    """
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return (value + alignment - 1) // alignment * alignment
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A contiguous region of the simulated address space."""
+
+    kind: SegmentKind
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.size <= 0:
+            raise MemoryError_(
+                f"invalid segment {self.kind}: base={self.base} size={self.size}"
+            )
+
+    @property
+    def limit(self) -> int:
+        """One past the last valid address of the segment."""
+        return self.base + self.size
+
+    def contains(self, address: int, length: int = 1) -> bool:
+        """Whether ``[address, address+length)`` lies inside the segment."""
+        return self.base <= address and address + length <= self.limit
+
+
+class AddressSpace:
+    """The address space of one simulated process.
+
+    The layout follows the classic Unix picture: code at the bottom,
+    static data immediately above it, a large heap above that, and the
+    stack near the top growing down.  Two knobs deliberately perturb the
+    layout so experiments can reproduce the run-to-run artifacts the
+    paper describes:
+
+    ``code_size``
+        Size of the code segment.  Instrumentation grows code, which
+        *shifts every static object* -- the paper's third artifact.
+    ``os_offset``
+        Extra offset added to every segment base, standing in for OS
+        base randomization.
+
+    >>> space = AddressSpace()
+    >>> space.heap.contains(space.heap.base)
+    True
+    """
+
+    def __init__(
+        self,
+        code_size: int = 1 << 20,
+        static_size: int = 1 << 22,
+        heap_size: int = 1 << 30,
+        stack_size: int = 1 << 23,
+        os_offset: int = 0,
+    ) -> None:
+        if os_offset < 0 or os_offset % PAGE_SIZE:
+            raise MemoryError_(
+                f"os_offset must be a non-negative page multiple, got {os_offset}"
+            )
+        base = PAGE_SIZE + os_offset  # leave page zero unmapped
+        self.code = Segment(SegmentKind.CODE, base, align_up(code_size, PAGE_SIZE))
+        static_base = align_up(self.code.limit, PAGE_SIZE)
+        self.static = Segment(
+            SegmentKind.STATIC, static_base, align_up(static_size, PAGE_SIZE)
+        )
+        heap_base = align_up(self.static.limit, PAGE_SIZE)
+        self.heap = Segment(SegmentKind.HEAP, heap_base, align_up(heap_size, PAGE_SIZE))
+        stack_base = align_up(self.heap.limit + (1 << 30), PAGE_SIZE)
+        self.stack = Segment(
+            SegmentKind.STACK, stack_base, align_up(stack_size, PAGE_SIZE)
+        )
+
+    @property
+    def segments(self) -> tuple:
+        return (self.code, self.static, self.heap, self.stack)
+
+    def segment_of(self, address: int) -> Optional[Segment]:
+        """Return the segment containing ``address``, or ``None``."""
+        for segment in self.segments:
+            if segment.contains(address):
+                return segment
+        return None
+
+    def check_access(self, address: int, length: int = 1) -> Segment:
+        """Validate a data access and return its segment.
+
+        Code-segment accesses are rejected: the profilers observe data
+        traffic only, as in the paper (instruction fetches are not
+        profiled).
+        """
+        segment = self.segment_of(address)
+        if segment is None:
+            raise MemoryError_(f"access to unmapped address {address:#x}")
+        if not segment.contains(address, length):
+            raise MemoryError_(
+                f"access [{address:#x}, +{length}) straddles segment {segment.kind}"
+            )
+        if segment.kind is SegmentKind.CODE:
+            raise MemoryError_(f"data access inside code segment at {address:#x}")
+        return segment

@@ -1,0 +1,6 @@
+"""Synthetic benchmark workloads: micro-patterns plus the seven SPEC2000
+stand-ins of the paper's evaluation (see repro.workloads.registry)."""
+
+from repro.workloads.base import REGISTRY, Workload, WorkloadRegistry
+
+__all__ = ["REGISTRY", "Workload", "WorkloadRegistry"]

@@ -1,0 +1,104 @@
+"""256.bzip2 stand-in: block-sorting compression.
+
+bzip2 processes input in large independent blocks: each block gets a
+data buffer and a pointer/index array (heap objects from two sites),
+filled with regular strides, then sorted -- the sort's comparison loads
+jump around the data buffer in a data-dependent order -- and finally
+emitted with a regular output sweep.
+
+Per-block processing repeats an identical pattern over fresh objects
+(good for OMSG); the sort phase is irregular inside each block (hard
+for LMADs), giving bzip2 its mid-pack capture rate.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import AccessKind
+from repro.runtime.process import Process
+from repro.workloads.base import REGISTRY, Workload
+
+WORD = 8
+
+
+@REGISTRY.register
+class Bzip2Workload(Workload):
+    name = "bzip2"
+    description = "block sorter: strided block fill + data-dependent sort probes"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 0,
+        blocks: int = 32,
+        block_words: int = 440,
+        sort_rounds: int = 3,
+    ) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.blocks = blocks
+        self.block_words = block_words
+        self.sort_rounds = sort_rounds
+
+    def run(self, process: Process) -> None:
+        rng = self.rng()
+        self.declare_cold_statics(process)
+        st_fill = process.instruction("read.store_block", AccessKind.STORE)
+        st_index_init = process.instruction("read.store_index", AccessKind.STORE)
+        ld_index = process.instruction("sort.load_index", AccessKind.LOAD)
+        ld_cmp_a = process.instruction("sort.load_compare_a", AccessKind.LOAD)
+        ld_cmp_b = process.instruction("sort.load_compare_b", AccessKind.LOAD)
+        st_index_swap = process.instruction("sort.store_index", AccessKind.STORE)
+        ld_emit = process.instruction("mtf.load_block", AccessKind.LOAD)
+        st_out = process.instruction("mtf.store_output", AccessKind.STORE)
+
+        st_meta = process.instruction("read.store_block_meta", AccessKind.STORE)
+        ld_meta = process.instruction("verify.load_block_meta", AccessKind.LOAD)
+
+        self.run_startup(process, sites=4)
+
+        words = self.block_words
+        blocks = self.scaled(self.blocks)
+        # Per-block metadata structs, allocated adjacently up front.
+        metas = [
+            process.malloc("bzip2.block_meta", 48, type_name="meta")
+            for __ in range(blocks)
+        ]
+        for block_number in range(blocks):
+            data = process.malloc("bzip2.block", words * WORD, type_name="byte[]")
+            index = process.malloc("bzip2.index", words * WORD, type_name="int[]")
+            out = process.malloc("bzip2.output", words * WORD, type_name="byte[]")
+
+            # Fill: regular strides.
+            for w in range(words):
+                process.store(st_fill, data + w * WORD)
+                process.store(st_index_init, index + w * WORD)
+
+            # Sort rounds: walk the index regularly, compare at
+            # data-dependent positions in the block.
+            for __ in range(self.sort_rounds):
+                for w in range(0, words, 2):
+                    process.load(ld_index, index + w * WORD)
+                    a = rng.randrange(words)
+                    b = rng.randrange(words)
+                    for k in range(2):
+                        process.load(ld_cmp_a, data + ((a + k) % words) * WORD)
+                        process.load(ld_cmp_b, data + ((b + k) % words) * WORD)
+                    if w % 4 == 0:
+                        process.store(st_index_swap, index + w * WORD)
+
+            # Emit: regular sweep of block through MTF to the output.
+            for w in range(words):
+                process.load(ld_emit, data + w * WORD)
+                process.store(st_out, out + w * WORD)
+
+            process.store(st_meta, metas[block_number])
+
+            process.free(data)
+            process.free(index)
+            process.free(out)
+        # Verify pass: walk the metadata structs in allocation order --
+        # strongly strided raw addresses, cross-object for LEAP.
+        for meta in metas:
+            process.load(ld_meta, meta)
+        for meta in metas:
+            process.free(meta)
+        self.run_shutdown(process, sites=2)

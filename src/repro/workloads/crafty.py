@@ -1,0 +1,119 @@
+"""186.crafty stand-in: chess search.
+
+crafty's data traffic splits between small, hot, statically allocated
+bitboard state -- each evaluation term reads *its own* board slot, i.e.
+a constant address, every position -- and a large transposition table
+probed at hash-random slots with periodic replacement stores.
+Killer/history heuristic arrays add updates at data-dependent indices.
+
+The constant-location evaluation loads compress into single LMADs
+(LEAP captures them completely) while the transposition and history
+traffic defeats linear compression -- the roughly 50/50 capture split
+the paper reports for crafty.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import AccessKind
+from repro.runtime.process import Process
+from repro.workloads.base import REGISTRY, Workload
+
+WORD = 8
+TRANS_ENTRY = 16  # key + packed move/score
+
+#: number of distinct evaluation terms (each reads one fixed bitboard)
+EVAL_TERMS = 10
+
+
+@REGISTRY.register
+class CraftyWorkload(Workload):
+    name = "crafty"
+    description = "chess search: bitboard evaluation + hashed transposition probes"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 0,
+        positions: int = 1400,
+        trans_slots: int = 8192,
+        board_words: int = 64,
+        history_words: int = 512,
+    ) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.positions = positions
+        self.trans_slots = trans_slots
+        self.board_words = board_words
+        self.history_words = history_words
+
+    def run(self, process: Process) -> None:
+        rng = self.rng()
+        self.declare_cold_statics(process)
+        process.declare_static(
+            "trans_table", self.trans_slots * TRANS_ENTRY, type_name="hash_entry[]"
+        )
+        process.declare_static(
+            "bitboards", self.board_words * WORD, type_name="bitboard[]"
+        )
+        process.declare_static("history", self.history_words * WORD, type_name="int[]")
+        process.declare_static("search_state", 2 * WORD, type_name="state")
+        trans = process.static("trans_table").address
+        boards = process.static("bitboards").address
+        history = process.static("history").address
+
+        ld_eval = [
+            process.instruction(f"evaluate.load_term_{term}", AccessKind.LOAD)
+            for term in range(EVAL_TERMS)
+        ]
+        ld_probe = [
+            process.instruction(f"hash.load_probe_{k}", AccessKind.LOAD)
+            for k in range(4)
+        ]
+        st_replace_key = process.instruction("hash.store_key", AccessKind.STORE)
+        st_replace_val = process.instruction("hash.store_value", AccessKind.STORE)
+        ld_hist = [
+            process.instruction(f"order.load_history_{k}", AccessKind.LOAD)
+            for k in range(2)
+        ]
+        st_hist = [
+            process.instruction(f"order.store_history_{k}", AccessKind.STORE)
+            for k in range(2)
+        ]
+        ld_nodes = process.instruction("search.load_node_count", AccessKind.LOAD)
+        st_nodes = process.instruction("search.store_node_count", AccessKind.STORE)
+        st_make = process.instruction("make_move.store_bitboard", AccessKind.STORE)
+        st_unmake = process.instruction("unmake_move.store_bitboard", AccessKind.STORE)
+        counter = process.static("search_state").address
+
+        st_init_board = process.instruction("initialize.store_bitboard", AccessKind.STORE)
+
+        self.run_startup(process, sites=2)
+        # One-time board setup: the long-distance producer for the
+        # evaluation terms' loads.
+        for word in range(self.board_words):
+            process.store(st_init_board, boards + word * WORD)
+        for __ in range(self.scaled(self.positions)):
+            # Search bookkeeping: node counter scalar, every position.
+            process.load(ld_nodes, counter)
+            process.store(st_nodes, counter)
+            # Evaluation: each term reads its own fixed bitboard slot.
+            for term, instr in enumerate(ld_eval):
+                process.load(instr, boards + (term * 5 % self.board_words) * WORD)
+            # Transposition probe: key+value of a two-slot bucket, then
+            # always-replace stores (crafty's replacement policy).
+            slot = rng.randrange(self.trans_slots - 1)
+            process.load(ld_probe[0], trans + slot * TRANS_ENTRY)
+            process.load(ld_probe[1], trans + slot * TRANS_ENTRY + WORD)
+            process.load(ld_probe[2], trans + (slot + 1) * TRANS_ENTRY)
+            process.load(ld_probe[3], trans + (slot + 1) * TRANS_ENTRY + WORD)
+            process.store(st_replace_key, trans + slot * TRANS_ENTRY)
+            process.store(st_replace_val, trans + slot * TRANS_ENTRY + WORD)
+            # Move ordering: two history-counter updates.
+            for k in range(2):
+                move = rng.randrange(self.history_words)
+                process.load(ld_hist[k], history + move * WORD)
+                process.store(st_hist[k], history + move * WORD)
+            # Make/unmake: data-dependent bitboard writes.
+            board = rng.randrange(self.board_words)
+            process.store(st_make, boards + board * WORD)
+            process.store(st_unmake, boards + board * WORD)
+        self.run_shutdown(process, sites=2)

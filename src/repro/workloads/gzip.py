@@ -1,0 +1,124 @@
+"""164.gzip stand-in: sliding-window compression.
+
+Mimics deflate's memory character: input consumed in fixed-size blocks
+(heap objects, one per block, all from one allocation site), each
+processed by a pipeline of branch-free loops --
+
+* *scan*: input load, CRC scalar update, sliding-window store per word;
+* *hash update*: head-table read/write at data-dependent buckets;
+* *match probing*: fixed-length runs at data-dependent window offsets;
+* *literal emission* and *output flush*: strided re-reads and writes.
+
+Every syntactic access site is its own static instruction (a distinct
+PC), control flow is deterministic, and the data-dependence lives in
+the hash/match *addresses* -- the structure real compressors have.  The
+block-per-object layout gives the cross-object offset repetition that
+object-relative decomposition exposes, while the CRC scalars and window
+stores provide the constant-location and long-affine runs LEAP's LMAD
+budget can actually hold.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import AccessKind
+from repro.runtime.process import Process
+from repro.workloads.base import REGISTRY, Workload
+
+WORD = 8
+
+
+@REGISTRY.register
+class GzipWorkload(Workload):
+    name = "gzip"
+    description = "sliding-window compressor: strided block scans + hash updates"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 0,
+        blocks: int = 40,
+        block_words: int = 224,
+        window_words: int = 4096,
+        hash_buckets: int = 1024,
+        probes_per_block: int = 16,
+        match_length: int = 4,
+    ) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.blocks = blocks
+        self.block_words = block_words
+        self.window_words = window_words
+        self.hash_buckets = hash_buckets
+        self.probes_per_block = probes_per_block
+        self.match_length = match_length
+
+    def run(self, process: Process) -> None:
+        rng = self.rng()
+        self.declare_cold_statics(process)
+        process.declare_static("window", self.window_words * WORD, type_name="byte[]")
+        process.declare_static("hash_head", self.hash_buckets * WORD, type_name="int[]")
+        process.declare_static("globals", 8 * WORD, type_name="globals")
+        window = process.static("window").address
+        hash_head = process.static("hash_head").address
+        crc = process.static("globals").address
+
+        st_read = process.instruction("fill_window.store_input", AccessKind.STORE)
+        ld_in = process.instruction("deflate.load_input", AccessKind.LOAD)
+        ld_crc = process.instruction("deflate.load_crc", AccessKind.LOAD)
+        st_crc = process.instruction("deflate.store_crc", AccessKind.STORE)
+        st_window = process.instruction("deflate.store_window", AccessKind.STORE)
+        ld_head = process.instruction("hash.load_head", AccessKind.LOAD)
+        st_head = process.instruction("hash.store_head", AccessKind.STORE)
+        ld_match = process.instruction("longest_match.load_window", AccessKind.LOAD)
+        ld_lit = process.instruction("emit.load_input", AccessKind.LOAD)
+        st_out = process.instruction("emit.store_output", AccessKind.STORE)
+        ld_flush = process.instruction("flush.load_output", AccessKind.LOAD)
+
+        self.run_startup(process, sites=4)
+        window_pos = 0
+        for __ in range(self.scaled(self.blocks)):
+            block = process.malloc(
+                "gzip.input_block", self.block_words * WORD, type_name="byte[]"
+            )
+            out = process.malloc(
+                "gzip.output_block", self.block_words * WORD, type_name="byte[]"
+            )
+
+            # Read the next chunk of the input file into the block.
+            for word in range(self.block_words):
+                process.store(st_read, block + word * WORD)
+
+            # Scan: input word + CRC scalar update + window copy.
+            for word in range(self.block_words):
+                process.load(ld_in, block + word * WORD)
+                process.load(ld_crc, crc)
+                process.store(st_crc, crc)
+                process.store(st_window, window + window_pos * WORD)
+                window_pos = (window_pos + 1) % self.window_words
+
+            # Hash update pass: head table at data-dependent buckets.
+            for word in range(self.block_words):
+                bucket = rng.randrange(self.hash_buckets)
+                process.load(ld_head, hash_head + bucket * WORD)
+                process.store(st_head, hash_head + bucket * WORD)
+
+            # Match probing: fixed-length runs at random distances.
+            for __ in range(self.probes_per_block):
+                start = rng.randrange(self.window_words)
+                for k in range(self.match_length):
+                    process.load(
+                        ld_match,
+                        window + ((start + k) % self.window_words) * WORD,
+                    )
+
+            # Literal emission: re-read input, write output, strided.
+            for word in range(self.block_words):
+                process.load(ld_lit, block + word * WORD)
+                process.store(st_out, out + word * WORD)
+
+            # Flush: sequential read-back of the output block.
+            for word in range(self.block_words):
+                process.load(ld_flush, out + word * WORD)
+
+            process.free(block)
+            process.free(out)
+        self.run_shutdown(process, sites=3)

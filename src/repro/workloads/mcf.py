@@ -1,0 +1,99 @@
+"""181.mcf stand-in: network-simplex minimum-cost flow.
+
+mcf is the canonical pointer-chaser: two large arrays of structs (nodes
+and arcs) traversed in data-dependent order.  Here both arrays are
+single large heap objects -- so *within-object offsets* carry all the
+irregularity -- and the simplex iterations visit arcs in a shuffled
+order, reading arc fields and chasing to endpoint nodes, with
+fixed-period flow and potential updates.
+
+This is the benchmark where LEAP's linear compressor should capture the
+least (the paper measures 6.5% of accesses): the chase offsets are
+non-linear, so the descriptor budget exhausts immediately and only the
+regular initialization and refresh sweeps compress.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import AccessKind
+from repro.runtime.process import Process
+from repro.workloads.base import REGISTRY, Workload
+
+WORD = 8
+NODE_BYTES = 48  # potential, supply, first-arc, ...
+ARC_BYTES = 40  # cost, flow, tail, head, next
+
+
+@REGISTRY.register
+class McfWorkload(Workload):
+    name = "mcf"
+    description = "network simplex: shuffled pointer chasing over big arrays"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 0,
+        nodes: int = 900,
+        arcs: int = 3600,
+        iterations: int = 16,
+        basket_size: int = 520,
+    ) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.nodes = nodes
+        self.arcs = arcs
+        self.iterations = iterations
+        self.basket_size = basket_size
+
+    def run(self, process: Process) -> None:
+        rng = self.rng()
+        self.declare_cold_statics(process)
+        node_count = self.scaled(self.nodes)
+        arc_count = self.scaled(self.arcs)
+        nodes = process.malloc("mcf.nodes", node_count * NODE_BYTES, type_name="node[]")
+        arcs = process.malloc("mcf.arcs", arc_count * ARC_BYTES, type_name="arc[]")
+
+        st_node_init = process.instruction("init.store_node", AccessKind.STORE)
+        st_arc_init = process.instruction("init.store_arc", AccessKind.STORE)
+        ld_arc_cost = process.instruction("simplex.load_arc_cost", AccessKind.LOAD)
+        ld_arc_flow = process.instruction("simplex.load_arc_flow", AccessKind.LOAD)
+        ld_tail_pot = process.instruction("simplex.load_tail_potential", AccessKind.LOAD)
+        ld_head_pot = process.instruction("simplex.load_head_potential", AccessKind.LOAD)
+        st_flow = process.instruction("simplex.store_arc_flow", AccessKind.STORE)
+        st_potential = process.instruction("simplex.store_potential", AccessKind.STORE)
+        ld_refresh = process.instruction("refresh.load_node", AccessKind.LOAD)
+
+        self.run_startup(process, sites=1)
+        # Regular initialization sweeps (the capturable part of mcf).
+        for index in range(node_count):
+            process.store(st_node_init, nodes + index * NODE_BYTES)
+        endpoints = []
+        for index in range(arc_count):
+            process.store(st_arc_init, arcs + index * ARC_BYTES)
+            endpoints.append(
+                (rng.randrange(node_count), rng.randrange(node_count))
+            )
+
+        # Simplex iterations: shuffled arc baskets, pointer-chased nodes.
+        arc_order = list(range(arc_count))
+        for iteration in range(self.iterations):
+            rng.shuffle(arc_order)
+            basket = arc_order[: self.basket_size]
+            for position, arc_index in enumerate(basket):
+                arc = arcs + arc_index * ARC_BYTES
+                process.load(ld_arc_cost, arc)
+                process.load(ld_arc_flow, arc + WORD)
+                tail, head = endpoints[arc_index]
+                process.load(ld_tail_pot, nodes + tail * NODE_BYTES)
+                process.load(ld_head_pot, nodes + head * NODE_BYTES)
+                if position % 2 == 0:
+                    process.store(st_flow, arc + WORD)
+                if position % 8 == 0:
+                    process.store(st_potential, nodes + tail * NODE_BYTES)
+            if iteration % 4 == 0:
+                # An occasional regular refresh pass over potentials.
+                for index in range(0, node_count, 4):
+                    process.load(ld_refresh, nodes + index * NODE_BYTES)
+
+        process.free(nodes)
+        process.free(arcs)
+        self.run_shutdown(process, sites=1)

@@ -1,0 +1,165 @@
+"""Micro-workloads.
+
+Small single-pattern programs used by unit tests, examples, and the
+illustrative figures.  :class:`LinkedListTraversal` is the paper's
+running example (Figures 1 and 3): a linked list built through a real
+allocator, then repeatedly traversed reading the ``data`` and ``next``
+fields, with a periodic update store.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.events import AccessKind
+from repro.runtime.process import Process
+from repro.workloads.base import REGISTRY, Workload
+
+#: byte offsets of the fields of the example list node ``struct node {
+#: long data; long pad; struct node *next; }`` -- data at 0, next at 16.
+NODE_SIZE = 24
+DATA_OFFSET = 0
+NEXT_OFFSET = 16
+
+
+@REGISTRY.register
+class LinkedListTraversal(Workload):
+    """The paper's Figure 1/3 example: build, traverse, update a list."""
+
+    name = "micro.list"
+    description = "linked list build + traversals (Figures 1 and 3)"
+
+    def __init__(
+        self, scale: float = 1.0, seed: int = 0, nodes: int = 64, sweeps: int = 16
+    ) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.nodes = nodes
+        self.sweeps = sweeps
+
+    def run(self, process: Process) -> None:
+        rng = self.rng()
+        ld_data = process.instruction("traverse.load_data", AccessKind.LOAD)
+        ld_next = process.instruction("traverse.load_next", AccessKind.LOAD)
+        st_data = process.instruction("update.store_data", AccessKind.STORE)
+        st_init_data = process.instruction("init.store_data", AccessKind.STORE)
+        st_init_next = process.instruction("init.store_next", AccessKind.STORE)
+
+        # Interleave unrelated allocations so the nodes are scattered --
+        # the confounding artifact of Figure 1.
+        nodes: List[int] = []
+        clutter: List[int] = []
+        for index in range(self.scaled(self.nodes)):
+            node = process.malloc("list.new_node", NODE_SIZE, type_name="node")
+            process.store(st_init_data, node + DATA_OFFSET)
+            process.store(st_init_next, node + NEXT_OFFSET)
+            nodes.append(node)
+            if rng.random() < 0.5:
+                clutter.append(
+                    process.malloc("clutter.alloc", 8 * rng.randint(1, 6))
+                )
+            if clutter and rng.random() < 0.3:
+                process.free(clutter.pop(rng.randrange(len(clutter))))
+
+        for sweep in range(self.scaled(self.sweeps)):
+            for node in nodes:
+                process.load(ld_data, node + DATA_OFFSET)
+                process.load(ld_next, node + NEXT_OFFSET)
+                if sweep % 4 == 0:
+                    process.store(st_data, node + DATA_OFFSET)
+
+        for node in nodes:
+            process.free(node)
+        for block in clutter:
+            process.free(block)
+
+
+@REGISTRY.register
+class ArraySweep(Workload):
+    """Sequential read-modify-write sweeps over one static array."""
+
+    name = "micro.array"
+    description = "strided sweeps over a static array"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 0,
+        elements: int = 512,
+        sweeps: int = 8,
+        stride: int = 8,
+    ) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.elements = elements
+        self.sweeps = sweeps
+        self.stride = stride
+
+    def run(self, process: Process) -> None:
+        elements = self.scaled(self.elements)
+        process.declare_static("table", elements * self.stride, type_name="long[]")
+        base = process.static("table").address
+        ld = process.instruction("sweep.load", AccessKind.LOAD)
+        st = process.instruction("sweep.store", AccessKind.STORE)
+        for __ in range(self.scaled(self.sweeps)):
+            for index in range(elements):
+                address = base + index * self.stride
+                process.load(ld, address)
+                process.store(st, address)
+
+
+@REGISTRY.register
+class MatrixTraversal(Workload):
+    """Row-major writes then column-major reads of a heap matrix --
+    a classic two-stride pattern."""
+
+    name = "micro.matrix"
+    description = "row-major writes, column-major reads of a matrix"
+
+    def __init__(
+        self, scale: float = 1.0, seed: int = 0, rows: int = 48, cols: int = 48
+    ) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.rows = rows
+        self.cols = cols
+
+    def run(self, process: Process) -> None:
+        rows = self.scaled(self.rows)
+        cols = self.scaled(self.cols)
+        matrix = process.malloc("matrix.alloc", rows * cols * 8, type_name="double[]")
+        st = process.instruction("fill.store", AccessKind.STORE)
+        ld = process.instruction("transpose.load", AccessKind.LOAD)
+        for r in range(rows):
+            for c in range(cols):
+                process.store(st, matrix + (r * cols + c) * 8)
+        for c in range(cols):
+            for r in range(rows):
+                process.load(ld, matrix + (r * cols + c) * 8)
+        process.free(matrix)
+
+
+@REGISTRY.register
+class HashProbe(Workload):
+    """Pseudo-random probes into a static hash table: the canonical
+    irregular (non-strided) pattern."""
+
+    name = "micro.hash"
+    description = "random probes into a static hash table"
+
+    def __init__(
+        self, scale: float = 1.0, seed: int = 0, buckets: int = 1024, probes: int = 4096
+    ) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.buckets = buckets
+        self.probes = probes
+
+    def run(self, process: Process) -> None:
+        buckets = self.scaled(self.buckets)
+        process.declare_static("htab", buckets * 16, type_name="bucket[]")
+        base = process.static("htab").address
+        rng = self.rng()
+        ld = process.instruction("probe.load", AccessKind.LOAD)
+        st = process.instruction("insert.store", AccessKind.STORE)
+        for __ in range(self.scaled(self.probes)):
+            bucket = rng.randrange(buckets)
+            process.load(ld, base + bucket * 16)
+            if rng.random() < 0.25:
+                process.store(st, base + bucket * 16 + 8)

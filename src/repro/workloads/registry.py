@@ -1,0 +1,51 @@
+"""Workload registry assembly.
+
+Importing this module registers every built-in workload; experiments use
+:data:`SPEC_BENCHMARKS` (the paper's seven SPEC2000 programs, in Table 1
+order) and :func:`create` / :func:`spec_suite` to instantiate them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+# Importing the modules has the side effect of populating REGISTRY.
+from repro.workloads import (  # noqa: F401  (registration side effects)
+    bzip2,
+    crafty,
+    gzip,
+    mcf,
+    micro,
+    parser,
+    twolf,
+    vpr,
+)
+from repro.workloads.base import REGISTRY, Workload
+
+#: The seven SPEC2000 stand-ins, in the paper's table order.
+SPEC_BENCHMARKS = ("gzip", "vpr", "mcf", "crafty", "parser", "bzip2", "twolf")
+
+#: Paper's display names for the benchmarks.
+PAPER_NAMES: Dict[str, str] = {
+    "gzip": "164.gzip",
+    "vpr": "175.vpr",
+    "mcf": "181.mcf",
+    "crafty": "186.crafty",
+    "parser": "197.parser",
+    "bzip2": "256.bzip",
+    "twolf": "300.twolf",
+}
+
+
+def create(name: str, scale: float = 1.0, seed: int = 0) -> Workload:
+    """Instantiate a registered workload by name."""
+    return REGISTRY.create(name, scale=scale, seed=seed)
+
+
+def spec_suite(scale: float = 1.0, seed: int = 0) -> List[Workload]:
+    """The full SPEC stand-in suite at a common scale."""
+    return [create(name, scale=scale, seed=seed) for name in SPEC_BENCHMARKS]
+
+
+def all_names() -> List[str]:
+    return REGISTRY.names()

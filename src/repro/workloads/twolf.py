@@ -1,0 +1,151 @@
+"""300.twolf stand-in: standard-cell placement by simulated annealing.
+
+twolf keeps many small cell structs on the heap (one allocation site,
+hundreds of objects).  Each annealing move reads the global annealing
+state (temperature, range limiter, cost accumulators -- constant
+addresses, every move), reads both candidate cells' geometry fields
+(distinct static instruction per field, data-dependent cell), walks the
+two nets watching the first cell, and commits accepted swaps plus a
+row-cost update on a fixed period.  Every 128 moves a full strided
+sweep recomputes the row-cost array.
+
+The heavy constant-address scalar traffic plus the periodic row sweeps
+are what LEAP's LMADs hold onto (the paper measures 66.5% of accesses
+captured for twolf), while the random cell visits stay uncompressed.
+The many same-shaped cell objects read with one fixed field pattern are
+the sweet spot of object-relative decomposition.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import AccessKind
+from repro.runtime.process import Process
+from repro.workloads.base import REGISTRY, Workload
+
+WORD = 8
+CELL_BYTES = 64  # x, y, width, height, orient, net-list head, ...
+CELL_FIELDS = 3
+
+#: distinct annealing-state scalars touched every move
+STATE_SCALARS = 4
+
+
+@REGISTRY.register
+class TwolfWorkload(Workload):
+    name = "twolf"
+    description = "cell placement: scalar annealing state + cell reads + swaps"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 0,
+        cells: int = 420,
+        nets: int = 500,
+        net_span: int = 3,
+        moves: int = 2400,
+        rows: int = 1024,
+        sweep_period: int = 80,
+    ) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.cells = cells
+        self.nets = nets
+        self.net_span = net_span
+        self.moves = moves
+        self.rows = rows
+        self.sweep_period = sweep_period
+
+    def run(self, process: Process) -> None:
+        rng = self.rng()
+        self.declare_cold_statics(process)
+        process.declare_static("row_cost", self.rows * WORD, type_name="int[]")
+        process.declare_static(
+            "anneal_state", STATE_SCALARS * WORD, type_name="state"
+        )
+        row_cost = process.static("row_cost").address
+        state = process.static("anneal_state").address
+
+        st_init = process.instruction("readcells.store_field", AccessKind.STORE)
+        ld_state = [
+            process.instruction(f"anneal.load_state_{k}", AccessKind.LOAD)
+            for k in range(STATE_SCALARS - 1)
+        ]
+        st_state = [
+            process.instruction(f"anneal.store_state_{k}", AccessKind.STORE)
+            for k in range(1)
+        ]
+        ld_geom = [
+            process.instruction(f"move.load_cell_field_{f}", AccessKind.LOAD)
+            for f in range(CELL_FIELDS)
+        ]
+        ld_net = process.instruction("wirelen.load_cell", AccessKind.LOAD)
+        st_swap_x = process.instruction("accept.store_x", AccessKind.STORE)
+        st_swap_y = process.instruction("accept.store_y", AccessKind.STORE)
+        ld_row = process.instruction("rowcost.load", AccessKind.LOAD)
+        st_row = process.instruction("rowcost.store", AccessKind.STORE)
+        ld_sweep = process.instruction("rowsweep.load", AccessKind.LOAD)
+        st_sweep = process.instruction("rowsweep.store", AccessKind.STORE)
+        ld_density = process.instruction("density.load_cell", AccessKind.LOAD)
+        st_density = process.instruction("density.store_cell", AccessKind.STORE)
+
+        self.run_startup(process, sites=2)
+        cell_count = self.scaled(self.cells)
+        cells = []
+        for __ in range(cell_count):
+            cell = process.malloc("twolf.cell", CELL_BYTES, type_name="cell")
+            for field in range(CELL_FIELDS):
+                process.store(st_init, cell + field * WORD)
+            cells.append(cell)
+
+        nets = [
+            [rng.randrange(cell_count) for __ in range(self.net_span)]
+            for __ in range(self.nets)
+        ]
+        # Every cell watches exactly two nets, assigned round-robin, so
+        # the per-move wirelength walk has a fixed shape.
+        nets_of_cell = [
+            (cell % self.nets, (cell * 7 + 1) % self.nets)
+            for cell in range(cell_count)
+        ]
+
+        for move in range(self.scaled(self.moves)):
+            # Global annealing state: constant addresses, every move.
+            for k, instr in enumerate(ld_state):
+                process.load(instr, state + k * WORD)
+            for k, instr in enumerate(st_state):
+                process.store(instr, state + k * WORD)
+            a = rng.randrange(cell_count)
+            b = rng.randrange(cell_count)
+            # Identical geometry-read pattern on both cells.
+            for cell in (cells[a], cells[b]):
+                for field, instr in enumerate(ld_geom):
+                    process.load(instr, cell + field * WORD)
+            # Wirelength: visit every cell on the two nets watching `a`.
+            for net_id in nets_of_cell[a]:
+                for member in nets[net_id]:
+                    process.load(ld_net, cells[member])
+            # Commit: swap positions, update the two affected rows
+            # (high-temperature annealing accepts essentially always).
+            for cell in (cells[a], cells[b]):
+                process.store(st_swap_x, cell)
+                process.store(st_swap_y, cell + WORD)
+            for row in (a % self.rows, b % self.rows):
+                process.load(ld_row, row_cost + row * WORD)
+                process.store(st_row, row_cost + row * WORD)
+            if move % self.sweep_period == 0:
+                # Periodic full recomputation of the row costs.
+                for row in range(self.rows):
+                    process.load(ld_sweep, row_cost + row * WORD)
+                    process.store(st_sweep, row_cost + row * WORD)
+            if move % 256 == 0:
+                # Density check: walk every cell in allocation order.
+                # Cells are adjacent in raw memory, so this is strongly
+                # strided at the address level -- but it crosses objects,
+                # which LEAP's within-object stride rule cannot see (the
+                # paper's Figure 9 misses have the same cause).
+                for cell in cells:
+                    process.load(ld_density, cell + 2 * WORD)
+                    process.store(st_density, cell + 2 * WORD)
+
+        for cell in cells:
+            process.free(cell)
+        self.run_shutdown(process, sites=2)

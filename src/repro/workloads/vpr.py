@@ -1,0 +1,118 @@
+"""175.vpr stand-in: FPGA place-and-route.
+
+Mimics vpr's routing phase: a netlist of nets, each net a heap object
+holding its terminal list (one allocation site, many objects); routing a
+net walks its terminals with a fixed stride (distinct static
+instructions for the x and y fields), reads a static routing-cost grid
+at data-dependent cells, queues work through a per-net heap arena, and
+commits occupancy updates in a fixed-period pass.  A scalar router
+state block is read and updated every terminal, giving LEAP its
+constant-location runs.
+
+Net objects are routed with an identical internal pattern -- the
+cross-object regularity object-relative profiling exposes -- while the
+cost-grid traffic stays irregular in any representation.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import AccessKind
+from repro.runtime.process import Process
+from repro.workloads.base import REGISTRY, Workload
+
+WORD = 8
+TERMINAL_BYTES = 16  # (x, y) pair per terminal
+
+
+@REGISTRY.register
+class VprWorkload(Workload):
+    name = "vpr"
+    description = "place & route: per-net strided walks + cost-grid updates"
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 0,
+        nets: int = 44,
+        terminals: int = 96,
+        grid: int = 64,
+        route_passes: int = 2,
+    ) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.nets = nets
+        self.terminals = terminals
+        self.grid = grid
+        self.route_passes = route_passes
+
+    def run(self, process: Process) -> None:
+        rng = self.rng()
+        grid_cells = self.grid * self.grid
+        self.declare_cold_statics(process)
+        process.declare_static("cost_grid", grid_cells * WORD, type_name="float[]")
+        process.declare_static("occupancy", grid_cells * WORD, type_name="int[]")
+        process.declare_static("router_state", 4 * WORD, type_name="state")
+        cost_grid = process.static("cost_grid").address
+        occupancy = process.static("occupancy").address
+        state = process.static("router_state").address
+
+        st_term_x = process.instruction("build.store_terminal_x", AccessKind.STORE)
+        st_term_y = process.instruction("build.store_terminal_y", AccessKind.STORE)
+        ld_term_x = process.instruction("route.load_terminal_x", AccessKind.LOAD)
+        ld_term_y = process.instruction("route.load_terminal_y", AccessKind.LOAD)
+        ld_cost = process.instruction("route.load_cost", AccessKind.LOAD)
+        ld_bbox = process.instruction("route.load_bbox", AccessKind.LOAD)
+        st_bbox = process.instruction("route.store_bbox", AccessKind.STORE)
+        st_heap = process.instruction("route.store_heap_entry", AccessKind.STORE)
+        ld_heap = process.instruction("route.load_heap_entry", AccessKind.LOAD)
+        ld_occ = process.instruction("update.load_occupancy", AccessKind.LOAD)
+        st_occ = process.instruction("update.store_occupancy", AccessKind.STORE)
+        st_cost = process.instruction("update.store_cost", AccessKind.STORE)
+        ld_netstat = process.instruction("stats.load_net_header", AccessKind.LOAD)
+
+        self.run_startup(process, sites=7)
+        # Build the netlist: one heap object per net, identical fill.
+        nets = []
+        pins = []
+        for __ in range(self.scaled(self.nets)):
+            net = process.malloc(
+                "vpr.net", self.terminals * TERMINAL_BYTES, type_name="net"
+            )
+            locations = [rng.randrange(grid_cells) for __ in range(self.terminals)]
+            for index in range(self.terminals):
+                process.store(st_term_x, net + index * TERMINAL_BYTES)
+                process.store(st_term_y, net + index * TERMINAL_BYTES + WORD)
+            nets.append(net)
+            pins.append(locations)
+
+        # Route: identical walk per net; grid traffic at random cells.
+        for __ in range(self.route_passes):
+            for net, locations in zip(nets, pins):
+                arena = process.malloc(
+                    "vpr.heap_arena", self.terminals * WORD, type_name="heap"
+                )
+                for index in range(self.terminals):
+                    process.load(ld_term_x, net + index * TERMINAL_BYTES)
+                    process.load(ld_term_y, net + index * TERMINAL_BYTES + WORD)
+                    process.load(ld_cost, cost_grid + locations[index] * WORD)
+                    process.load(ld_bbox, state)
+                    process.store(st_bbox, state)
+                    process.store(st_heap, arena + index * WORD)
+                # Drain the arena in order.
+                for index in range(self.terminals):
+                    process.load(ld_heap, arena + index * WORD)
+                # Commit occupancy/cost for every third terminal.
+                for index in range(0, self.terminals, 3):
+                    cell = locations[index]
+                    process.load(ld_occ, occupancy + cell * WORD)
+                    process.store(st_occ, occupancy + cell * WORD)
+                    process.store(st_cost, cost_grid + cell * WORD)
+                process.free(arena)
+            # Pass statistics: read each net object's header in
+            # allocation order -- strongly strided in raw addresses
+            # (nets are adjacent) but cross-object for LEAP.
+            for net in nets:
+                process.load(ld_netstat, net)
+
+        for net in nets:
+            process.free(net)
+        self.run_shutdown(process, sites=5)

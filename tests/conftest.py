@@ -1,0 +1,54 @@
+"""Shared fixtures: small traces reused across test modules."""
+
+import pytest
+
+from repro.core.events import AccessKind
+from repro.runtime.process import Process
+from repro.workloads.micro import LinkedListTraversal, MatrixTraversal
+
+
+@pytest.fixture(scope="session")
+def list_trace():
+    """A small linked-list trace with clutter allocations and frees."""
+    return LinkedListTraversal(nodes=40, sweeps=6).trace()
+
+
+@pytest.fixture(scope="session")
+def matrix_trace():
+    """A strided matrix trace (row-major writes, column-major reads)."""
+    return MatrixTraversal(rows=20, cols=20).trace()
+
+
+@pytest.fixture()
+def tiny_process():
+    """A process with one static and one instruction of each kind."""
+    process = Process()
+    process.declare_static("table", 256, type_name="long[]")
+    process.instruction("ld", AccessKind.LOAD)
+    process.instruction("st", AccessKind.STORE)
+    return process
+
+
+def make_simple_trace():
+    """A hand-built trace: alloc, strided stores, loads, free."""
+    process = Process()
+    ld = process.instruction("ld", AccessKind.LOAD)
+    st = process.instruction("st", AccessKind.STORE)
+    block = process.malloc("site", 64, type_name="long[]")
+    for index in range(8):
+        process.store(st, block + index * 8)
+    for index in range(8):
+        process.load(ld, block + index * 8)
+    process.free(block)
+    process.finish()
+    return process
+
+
+@pytest.fixture()
+def simple_process():
+    return make_simple_trace()
+
+
+@pytest.fixture()
+def simple_trace(simple_process):
+    return simple_process.trace

@@ -1,0 +1,243 @@
+"""Tests for the heap allocator policies."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.allocator import (
+    ALL_POLICIES,
+    HEADER_SIZE,
+    MIN_ALIGN,
+    AllocatorError,
+    BumpAllocator,
+    FreeListAllocator,
+    SegregatedFitAllocator,
+    make_allocator,
+)
+from repro.runtime.memory import AddressSpace
+
+
+def fresh(policy: str):
+    return make_allocator(policy, AddressSpace().heap)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_known_policies(self, policy):
+        allocator = fresh(policy)
+        assert allocator.name in (policy, policy)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            fresh("buddy")
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_allocations_are_aligned(self, policy):
+        allocator = fresh(policy)
+        for size in (1, 7, 8, 15, 100, 4097):
+            assert allocator.malloc(size) % MIN_ALIGN == 0
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_live_blocks_do_not_overlap(self, policy):
+        allocator = fresh(policy)
+        rng = random.Random(7)
+        live = {}
+        for step in range(300):
+            if live and rng.random() < 0.4:
+                victim = rng.choice(list(live))
+                allocator.free(victim)
+                del live[victim]
+            else:
+                size = rng.randint(1, 500)
+                address = allocator.malloc(size)
+                live[address] = size
+            ranges = sorted((a, a + s) for a, s in live.items())
+            for (_, end), (start, _) in zip(ranges, ranges[1:]):
+                assert end <= start, f"overlap after step {step}"
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_free_returns_size(self, policy):
+        allocator = fresh(policy)
+        address = allocator.malloc(100)
+        assert allocator.free(address) == 100
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_double_free_rejected(self, policy):
+        allocator = fresh(policy)
+        address = allocator.malloc(64)
+        allocator.free(address)
+        with pytest.raises(AllocatorError):
+            allocator.free(address)
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_free_of_garbage_rejected(self, policy):
+        allocator = fresh(policy)
+        with pytest.raises(AllocatorError):
+            allocator.free(0xDEAD0)
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_nonpositive_malloc_rejected(self, policy):
+        allocator = fresh(policy)
+        with pytest.raises(AllocatorError):
+            allocator.malloc(0)
+        with pytest.raises(AllocatorError):
+            allocator.malloc(-8)
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_live_accounting(self, policy):
+        allocator = fresh(policy)
+        a = allocator.malloc(100)
+        b = allocator.malloc(200)
+        assert allocator.live_bytes() == 300
+        assert allocator.live_blocks() == 2
+        allocator.free(a)
+        assert allocator.live_bytes() == 200
+        assert allocator.size_of(b) == 200
+        assert allocator.size_of(a) is None
+
+
+class TestBump:
+    def test_monotonic(self):
+        allocator = fresh("bump")
+        addresses = [allocator.malloc(32) for __ in range(10)]
+        assert addresses == sorted(addresses)
+
+    def test_never_reuses(self):
+        allocator = fresh("bump")
+        a = allocator.malloc(64)
+        allocator.free(a)
+        b = allocator.malloc(64)
+        assert b != a
+
+    def test_out_of_memory(self):
+        space = AddressSpace(heap_size=1 << 16)
+        allocator = BumpAllocator(space.heap)
+        with pytest.raises(AllocatorError):
+            for __ in range(10000):
+                allocator.malloc(1024)
+
+
+class TestFreeList:
+    def test_first_fit_reuses_freed_block(self):
+        allocator = fresh("first-fit")
+        a = allocator.malloc(64)
+        allocator.malloc(64)  # keep the heap from coalescing to one block
+        allocator.free(a)
+        b = allocator.malloc(64)
+        assert b == a  # address reuse: the paper's false-aliasing artifact
+
+    def test_best_fit_prefers_tightest_hole(self):
+        allocator = FreeListAllocator(AddressSpace().heap, policy="best-fit")
+        big = allocator.malloc(512)
+        allocator.malloc(16)
+        small = allocator.malloc(64)
+        allocator.malloc(16)
+        allocator.free(big)
+        allocator.free(small)
+        # A 64-byte request should land in the 64-byte hole, not the 512.
+        assert allocator.malloc(60) == small
+
+    def test_unknown_placement_policy(self):
+        with pytest.raises(ValueError):
+            FreeListAllocator(AddressSpace().heap, policy="worst-fit")
+
+    def test_coalescing_allows_big_realloc(self):
+        space = AddressSpace(heap_size=1 << 14)  # 16 KiB heap
+        allocator = FreeListAllocator(space.heap)
+        blocks = [allocator.malloc(1024) for __ in range(10)]
+        for block in blocks:
+            allocator.free(block)
+        # Only possible if adjacent freed blocks coalesced.
+        allocator.malloc(8 * 1024)
+
+    def test_split_leaves_usable_remainder(self):
+        allocator = fresh("first-fit")
+        a = allocator.malloc(64)
+        b = allocator.malloc(64)
+        assert b - a >= 64 + HEADER_SIZE
+
+    def test_fragmentation_metric(self):
+        allocator = FreeListAllocator(AddressSpace().heap)
+        assert allocator.fragmentation() == 0.0
+        keep = []
+        holes = []
+        for __ in range(6):
+            holes.append(allocator.malloc(128))
+            keep.append(allocator.malloc(128))
+        for hole in holes:
+            allocator.free(hole)
+        assert allocator.fragmentation() > 0.0
+
+    def test_out_of_memory(self):
+        space = AddressSpace(heap_size=1 << 14)
+        allocator = FreeListAllocator(space.heap)
+        with pytest.raises(AllocatorError):
+            allocator.malloc(1 << 20)
+
+
+class TestSegregated:
+    def test_lifo_reuse_within_class(self):
+        allocator = fresh("segregated")
+        a = allocator.malloc(48)
+        allocator.free(a)
+        assert allocator.malloc(40) == a  # same size class, LIFO
+
+    def test_different_classes_do_not_share(self):
+        allocator = fresh("segregated")
+        a = allocator.malloc(16)
+        allocator.free(a)
+        b = allocator.malloc(4096)
+        assert b != a
+
+    def test_huge_request(self):
+        allocator = fresh("segregated")
+        address = allocator.malloc(100_000)
+        assert allocator.size_of(address) == 100_000
+
+    def test_out_of_memory(self):
+        space = AddressSpace(heap_size=1 << 14)
+        allocator = SegregatedFitAllocator(space.heap)
+        with pytest.raises(AllocatorError):
+            for __ in range(10000):
+                allocator.malloc(512)
+
+
+@st.composite
+def malloc_free_script(draw):
+    """A random sequence of malloc/free operations."""
+    operations = []
+    live = 0
+    for __ in range(draw(st.integers(0, 60))):
+        if live and draw(st.booleans()):
+            operations.append(("free", draw(st.integers(0, live - 1))))
+            live -= 1
+        else:
+            operations.append(("malloc", draw(st.integers(1, 2000))))
+            live += 1
+    return operations
+
+
+class TestPropertyBased:
+    @settings(max_examples=60, deadline=None)
+    @given(script=malloc_free_script(), policy=st.sampled_from(ALL_POLICIES))
+    def test_invariants_under_random_scripts(self, script, policy):
+        allocator = fresh(policy)
+        live = []  # (address, size)
+        for op, value in script:
+            if op == "malloc":
+                address = allocator.malloc(value)
+                assert address % MIN_ALIGN == 0
+                live.append((address, value))
+            else:
+                address, size = live.pop(value % len(live))
+                assert allocator.free(address) == size
+        # no two live blocks overlap
+        ranges = sorted((a, a + s) for a, s in live)
+        for (_, end), (start, _) in zip(ranges, ranges[1:]):
+            assert end <= start
+        assert allocator.live_blocks() == len(live)
+        assert allocator.live_bytes() == sum(s for _, s in live)

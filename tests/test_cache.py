@@ -1,0 +1,175 @@
+"""Tests for the cache simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.cache import (
+    CacheConfig,
+    CacheHierarchy,
+    SetAssociativeCache,
+    SimulationComparison,
+    simulate,
+)
+
+
+class TestConfig:
+    def test_num_sets(self):
+        config = CacheConfig(size_bytes=32 * 1024, line_bytes=64, associativity=4)
+        assert config.num_sets == 128
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            CacheConfig(line_bytes=48)
+
+    def test_rejects_bad_associativity(self):
+        with pytest.raises(ValueError):
+            CacheConfig(associativity=0)
+
+    def test_rejects_non_multiple_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=64, associativity=4)
+
+
+class TestCacheBasics:
+    def cache(self, **kwargs):
+        return SetAssociativeCache(CacheConfig(**kwargs))
+
+    def test_cold_miss_then_hit(self):
+        cache = self.cache(size_bytes=1024, line_bytes=64, associativity=2)
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.access(63) is True  # same line
+        assert cache.access(64) is False  # next line
+
+    def test_lru_eviction(self):
+        # 2-way set: three conflicting lines evict the least recent
+        cache = self.cache(size_bytes=128, line_bytes=64, associativity=2)
+        a, b, c = 0, 64, 128  # hmm: with 1 set, all lines conflict
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a is now MRU
+        cache.access(c)  # evicts b
+        assert cache.access(a) is True
+        assert cache.access(b) is False
+
+    def test_direct_mapped_conflicts(self):
+        cache = self.cache(size_bytes=128, line_bytes=64, associativity=1)
+        # two lines mapping to the same set thrash
+        cache.access(0)
+        cache.access(128)
+        assert cache.access(0) is False
+
+    def test_stats_accounting(self):
+        cache = self.cache(size_bytes=1024, line_bytes=64, associativity=2)
+        for address in (0, 0, 64, 0):
+            cache.access(address)
+        assert cache.stats.accesses == 4
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 2
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_reset(self):
+        cache = self.cache(size_bytes=1024, line_bytes=64, associativity=2)
+        cache.access(0)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.access(0) is False
+
+    def test_empty_stats(self):
+        cache = self.cache(size_bytes=1024, line_bytes=64, associativity=2)
+        assert cache.stats.miss_rate == 0.0
+
+
+class TestPrefetch:
+    def test_prefetch_turns_miss_into_hit(self):
+        cache = SetAssociativeCache(CacheConfig(1024, 64, 2))
+        cache.prefetch(0)
+        assert cache.access(0) is True
+        assert cache.stats.prefetches == 1
+        assert cache.stats.prefetch_hits == 1
+
+    def test_prefetch_does_not_count_demand_access(self):
+        cache = SetAssociativeCache(CacheConfig(1024, 64, 2))
+        cache.prefetch(0)
+        assert cache.stats.accesses == 0
+
+    def test_prefetch_of_resident_line_is_noop(self):
+        cache = SetAssociativeCache(CacheConfig(1024, 64, 2))
+        cache.access(0)
+        cache.prefetch(0)
+        cache.access(0)
+        assert cache.stats.prefetch_hits == 0
+
+
+class TestHierarchy:
+    def test_l2_catches_l1_conflicts(self):
+        hierarchy = CacheHierarchy(
+            [CacheConfig(128, 64, 1), CacheConfig(1024, 64, 4)]
+        )
+        assert hierarchy.access(0) == 2  # memory
+        assert hierarchy.access(128) == 2
+        # 0 evicted from L1 (direct-mapped conflict) but still in L2
+        assert hierarchy.access(0) == 1
+
+    def test_l1_hit(self):
+        hierarchy = CacheHierarchy([CacheConfig(1024, 64, 2)])
+        hierarchy.access(0)
+        assert hierarchy.access(0) == 0
+        assert hierarchy.l1.stats.hits == 1
+
+    def test_needs_levels(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([])
+
+
+class TestSimulate:
+    def test_sequential_stream_mostly_hits(self):
+        addresses = [i for i in range(0, 8192, 8)]
+        stats = simulate(addresses, CacheConfig(4096, 64, 4))
+        # one miss per 64-byte line, 8 accesses per line
+        assert stats.miss_rate == pytest.approx(1 / 8)
+
+    def test_prefetch_requires_instruction_stream(self):
+        with pytest.raises(ValueError):
+            simulate([0, 8], CacheConfig(), prefetch_for={0: 8})
+
+    def test_comparison_reduction(self):
+        baseline = simulate([i * 64 for i in range(100)], CacheConfig(1024, 64, 2))
+        optimized = simulate([0] * 100, CacheConfig(1024, 64, 2))
+        comparison = SimulationComparison(baseline, optimized)
+        assert comparison.miss_reduction > 0.9
+
+    def test_comparison_zero_baseline(self):
+        stats = simulate([0, 0], CacheConfig(1024, 64, 2))
+        comparison = SimulationComparison(stats, stats)
+        assert comparison.miss_reduction <= 0.5  # defined, no crash
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 1 << 16), max_size=200))
+def test_cache_property_counts(addresses):
+    cache = SetAssociativeCache(CacheConfig(2048, 64, 2))
+    for address in addresses:
+        cache.access(address)
+    stats = cache.stats
+    assert stats.hits + stats.misses == stats.accesses == len(addresses)
+    # misses are at least the number of distinct lines touched... no:
+    # at least the number of distinct lines (cold misses), and at most
+    # the total accesses
+    distinct_lines = len({a // 64 for a in addresses})
+    assert stats.misses >= min(distinct_lines, stats.accesses)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 4096), max_size=150))
+def test_bigger_cache_never_misses_more_with_same_assoc_full(addresses):
+    """A fully-associative (single-set) LRU cache has the inclusion
+    property: more ways can only reduce misses."""
+    small = SetAssociativeCache(CacheConfig(2 * 64, 64, 2))
+    large = SetAssociativeCache(CacheConfig(8 * 64, 64, 8))
+    for address in addresses:
+        small.access(address)
+        large.access(address)
+    assert large.stats.misses <= small.stats.misses

@@ -1,0 +1,113 @@
+"""Tests for the Control and Decomposition Component (translation)."""
+
+import pytest
+
+from repro.core.cdc import OnlineCDC, translate_trace, translate_trace_list
+from repro.core.events import AccessKind, Trace
+from repro.core.omc import ObjectManager
+from repro.core.tuples import WILD_GROUP, WILD_OBJECT
+from repro.runtime.process import Process
+from repro.workloads.micro import LinkedListTraversal
+
+
+class TestOfflineTranslation:
+    def test_simple_trace(self, simple_trace):
+        translated = translate_trace_list(simple_trace)
+        assert len(translated) == simple_trace.access_count
+        # all accesses hit the single heap object at increasing offsets
+        assert {a.group for a in translated} == {0}
+        assert {a.object_serial for a in translated} == {0}
+        assert [a.offset for a in translated] == list(range(0, 64, 8)) * 2
+
+    def test_timestamps_match_events(self, simple_trace):
+        translated = translate_trace_list(simple_trace)
+        events = list(simple_trace.accesses())
+        assert [a.time for a in translated] == [e.time for e in events]
+
+    def test_kind_and_size_carried(self, simple_trace):
+        translated = translate_trace_list(simple_trace)
+        kinds = {a.kind for a in translated}
+        assert kinds == {AccessKind.LOAD, AccessKind.STORE}
+        assert all(a.size == 8 for a in translated)
+
+    def test_wild_access(self):
+        """Accesses outside any live object go to the wild group with the
+        raw address preserved as the offset."""
+        process = Process()
+        ld = process.instruction("ld", AccessKind.LOAD)
+        block = process.malloc("s", 64)
+        process.load(ld, block)
+        process.free(block)
+        # read of freed memory: no live object contains it now
+        process.load(ld, block)
+        process.finish()
+        translated = translate_trace_list(process.trace)
+        assert translated[0].group == 0
+        assert translated[1].group == WILD_GROUP
+        assert translated[1].object_serial == WILD_OBJECT
+        assert translated[1].offset == block
+        assert translated[1].wild
+
+    def test_caller_keeps_omc(self, simple_trace):
+        omc = ObjectManager()
+        list(translate_trace(simple_trace, omc))
+        assert len(omc.objects()) == 1
+        assert omc.objects()[0].free_time is not None
+
+    def test_translation_is_lazy(self, simple_trace):
+        iterator = translate_trace(simple_trace)
+        first = next(iterator)
+        assert first.offset == 0
+
+
+class TestOnlineCDC:
+    def test_online_equals_offline(self):
+        """Attaching the CDC to the live bus must produce the identical
+        object-relative stream as offline translation of the trace."""
+        workload = LinkedListTraversal(nodes=20, sweeps=3)
+
+        online: list = []
+        process = Process()
+        process.bus.attach(OnlineCDC(online.append))
+        workload.run(process)
+        process.finish()
+
+        offline = translate_trace_list(process.trace)
+        assert online == offline
+
+    def test_clock_counts_accesses(self):
+        process = Process(record_trace=False)
+        sink: list = []
+        cdc = OnlineCDC(sink.append)
+        process.bus.attach(cdc)
+        block = process.malloc("s", 64)
+        st = process.instruction("st", AccessKind.STORE)
+        process.store(st, block)
+        process.store(st, block + 8)
+        assert cdc.clock == 2
+        assert [a.time for a in sink] == [0, 1]
+
+    def test_online_wild(self):
+        process = Process(record_trace=False)
+        sink: list = []
+        process.bus.attach(OnlineCDC(sink.append))
+        block = process.malloc("s", 64)
+        process.free(block)
+        ld = process.instruction("ld", AccessKind.LOAD)
+        process.load(ld, block)
+        assert sink[0].wild
+
+
+class TestTupleAPI:
+    def test_dimension_accessor(self, simple_trace):
+        access = translate_trace_list(simple_trace)[0]
+        assert access.dimension("instruction") == access.instruction_id
+        assert access.dimension("group") == access.group
+        assert access.dimension("object") == access.object_serial
+        assert access.dimension("offset") == access.offset
+        assert access.dimension("time") == access.time
+
+    def test_dimension_unknown(self, simple_trace):
+        access = translate_trace_list(simple_trace)[0]
+        with pytest.raises(ValueError):
+            access.dimension("color")

@@ -1,0 +1,111 @@
+"""Tests for the repro-profile CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.profile_io import load_leap
+
+
+class TestList:
+    def test_lists_workloads(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "gzip" in output
+        assert "micro.list" in output
+
+
+class TestRun:
+    def test_writes_both_profiles(self, tmp_path, capsys):
+        code = main(
+            ["run", "micro.array", "--scale", "0.2", "-o", str(tmp_path)]
+        )
+        assert code == 0
+        whomp = tmp_path / "micro.array.whomp.json"
+        leap = tmp_path / "micro.array.leap.json"
+        assert whomp.exists() and leap.exists()
+        json.loads(whomp.read_text())  # valid JSON
+        with open(leap) as handle:
+            profile = load_leap(handle)
+        assert profile.access_count > 0
+
+    def test_single_profiler(self, tmp_path):
+        main(["run", "micro.array", "--scale", "0.2", "--profiler", "leap",
+              "-o", str(tmp_path)])
+        assert not (tmp_path / "micro.array.whomp.json").exists()
+        assert (tmp_path / "micro.array.leap.json").exists()
+
+    def test_unknown_workload(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", "ghost", "-o", str(tmp_path)])
+
+
+class TestStats:
+    def test_prints_statistics(self, capsys):
+        assert main(["stats", "micro.array", "--scale", "0.2"]) == 0
+        output = capsys.readouterr().out
+        assert "accesses" in output
+        assert "reuse" in output
+
+    def test_no_reuse_flag(self, capsys):
+        main(["stats", "micro.array", "--scale", "0.2", "--no-reuse"])
+        output = capsys.readouterr().out
+        assert "reuse" not in output
+
+
+class TestLang:
+    SOURCE = """
+    global int[8] table;
+    fn main(): int {
+      for (var i: int = 0; i < 8; i = i + 1) { table[i] = i; }
+      var total: int = 0;
+      for (var i: int = 0; i < 8; i = i + 1) { total = total + table[i]; }
+      return total;
+    }
+    """
+
+    def test_profiles_source_file(self, tmp_path, capsys):
+        source = tmp_path / "sum.mir"
+        source.write_text(self.SOURCE)
+        code = main(["lang", str(source), "-o", str(tmp_path)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "program returned 28" in output
+        assert (tmp_path / "sum.whomp.json").exists()
+        assert (tmp_path / "sum.leap.json").exists()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["lang", str(tmp_path / "nope.mir")])
+
+
+class TestDump:
+    def test_dump_leap(self, tmp_path, capsys):
+        main(["run", "micro.array", "--scale", "0.2", "--profiler", "leap",
+              "-o", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["dump", str(tmp_path / "micro.array.leap.json")]) == 0
+        output = capsys.readouterr().out
+        assert "LEAP profile" in output
+        assert "LMADs" in output
+
+    def test_dump_whomp(self, tmp_path, capsys):
+        main(["run", "micro.array", "--scale", "0.2", "--profiler", "whomp",
+              "-o", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["dump", str(tmp_path / "micro.array.whomp.json")]) == 0
+        output = capsys.readouterr().out
+        assert "WHOMP profile" in output
+        assert "offset stream" in output
+
+    def test_dump_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["dump", str(tmp_path / "nope.json")])
+
+    def test_dump_unrecognized_format(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"format": "mystery"}')
+        with pytest.raises(SystemExit):
+            main(["dump", str(bogus)])

@@ -1,0 +1,136 @@
+"""Tests for the footnote-2 custom-pool parameterization: pools as
+single objects vs. instrumented carve points."""
+
+import pytest
+
+from repro.core.cdc import translate_trace, translate_trace_list
+from repro.core.events import AccessKind, AllocEvent
+from repro.core.omc import ObjectManager
+from repro.profilers.whomp import WhompProfiler
+from repro.runtime.process import Process
+from repro.workloads.registry import create
+
+
+class TestProcessPoolApi:
+    def test_untracked_malloc_fires_no_probe(self):
+        process = Process()
+        before = len(list(process.trace.object_events()))
+        process.malloc("pool", 4096, track=False)
+        after = len(
+            [e for e in process.trace.object_events() if isinstance(e, AllocEvent)]
+        )
+        assert after == before == 0 or after == before  # no new alloc events
+
+    def test_untracked_free_fires_no_probe(self):
+        process = Process()
+        address = process.malloc("pool", 4096, track=False)
+        process.free(address)
+        from repro.core.events import FreeEvent
+
+        frees = [e for e in process.trace if isinstance(e, FreeEvent)]
+        assert frees == []
+
+    def test_mark_and_unmark_fire_probes(self):
+        process = Process()
+        pool = process.malloc("pool", 4096, track=False)
+        process.mark_object(pool + 64, 32, "carve", type_name="node")
+        process.unmark_object(pool + 64)
+        allocs = [e for e in process.trace if isinstance(e, AllocEvent)]
+        assert len(allocs) == 1
+        assert allocs[0].site == "carve"
+        assert allocs[0].size == 32
+
+    def test_mark_outside_memory_rejected(self):
+        from repro.runtime.memory import MemoryError_
+
+        process = Process()
+        process.link()
+        with pytest.raises(MemoryError_):
+            process.mark_object(0, 8, "carve")
+
+    def test_carved_accesses_translate_to_carved_objects(self):
+        process = Process()
+        pool = process.malloc("pool", 4096, track=False)
+        ld = process.instruction("ld", AccessKind.LOAD)
+        process.mark_object(pool + 128, 32, "carve")
+        process.load(ld, pool + 136)
+        process.finish()
+        access = translate_trace_list(process.trace)[0]
+        assert not access.wild
+        assert access.offset == 8  # relative to the carved node
+
+    def test_access_outside_carves_is_wild(self):
+        process = Process()
+        pool = process.malloc("pool", 4096, track=False)
+        ld = process.instruction("ld", AccessKind.LOAD)
+        process.load(ld, pool)  # pool is untracked, nothing carved here
+        process.finish()
+        assert translate_trace_list(process.trace)[0].wild
+
+
+class TestParserVariants:
+    @pytest.fixture(scope="class")
+    def traces(self):
+        return {
+            name: create(name, scale=0.2).trace()
+            for name in ("parser", "parser.carved")
+        }
+
+    def test_same_access_stream_lengths(self, traces):
+        assert (
+            traces["parser"].access_count
+            == traces["parser.carved"].access_count
+        )
+
+    def test_carving_multiplies_objects(self, traces):
+        def object_count(trace):
+            omc = ObjectManager()
+            list(translate_trace(trace, omc))
+            return len(omc.objects())
+
+        assert object_count(traces["parser"]) < 10
+        assert object_count(traces["parser.carved"]) > 100
+
+    def test_carved_offsets_are_node_relative(self, traces):
+        carved = translate_trace_list(traces["parser.carved"])
+        node_accesses = [
+            a for a in carved if not a.wild and a.object_serial > 10
+        ]
+        # every carved-node access is within a 4-word node
+        assert node_accesses
+        assert all(0 <= a.offset < 32 for a in node_accesses)
+
+    def test_flat_offsets_span_the_arena(self, traces):
+        flat = translate_trace_list(traces["parser"])
+        arena_offsets = {a.offset for a in flat if not a.wild}
+        assert max(arena_offsets) > 32  # offsets span the whole pool
+
+    def test_both_remain_whomp_lossless(self, traces):
+        for trace in traces.values():
+            profile = WhompProfiler().profile(trace)
+            raw = [(e.instruction_id, e.address) for e in trace.accesses()]
+            assert profile.reconstruct_accesses() == raw
+
+    def test_no_wild_accesses_in_either(self, traces):
+        for trace in traces.values():
+            assert not any(a.wild for a in translate_trace_list(trace))
+
+
+class TestOnlineWhomp:
+    def test_online_equals_offline(self):
+        from repro.workloads.micro import MatrixTraversal
+
+        workload = MatrixTraversal(rows=15, cols=15)
+        process = Process()
+        session = WhompProfiler().attach(process.bus)
+        workload.run(process)
+        process.finish()
+        online = session.finish()
+        offline = WhompProfiler().profile(process.trace)
+        assert online.access_count == offline.access_count
+        for name in online.grammars:
+            assert (
+                online.grammars[name].expand()
+                == offline.grammars[name].expand()
+            )
+        assert online.base_addresses == offline.base_addresses

@@ -1,0 +1,117 @@
+"""Tests for horizontal and vertical decomposition."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decomposition import (
+    horizontal,
+    project,
+    recombine,
+    vertical,
+    vertical_by_instruction_group,
+)
+from repro.core.events import AccessKind
+from repro.core.tuples import DIMENSIONS, ObjectRelativeAccess
+
+
+def make_access(i, g, o, f, t):
+    return ObjectRelativeAccess(i, g, o, f, t, 8, AccessKind.LOAD)
+
+
+SAMPLE = [
+    make_access(0, 0, 0, 0, 0),
+    make_access(1, 0, 0, 16, 1),
+    make_access(0, 0, 1, 0, 2),
+    make_access(1, 0, 1, 16, 3),
+    make_access(2, 1, 0, 8, 4),
+]
+
+
+class TestHorizontal:
+    def test_default_dimensions(self):
+        streams = horizontal(SAMPLE)
+        assert set(streams) == set(DIMENSIONS)
+        assert streams["instruction"] == [0, 1, 0, 1, 2]
+        assert streams["group"] == [0, 0, 0, 0, 1]
+        assert streams["object"] == [0, 0, 1, 1, 0]
+        assert streams["offset"] == [0, 16, 0, 16, 8]
+
+    def test_subset_of_dimensions(self):
+        streams = horizontal(SAMPLE, dimensions=("offset",))
+        assert list(streams) == ["offset"]
+
+    def test_streams_have_equal_length(self):
+        streams = horizontal(SAMPLE)
+        lengths = {len(s) for s in streams.values()}
+        assert lengths == {len(SAMPLE)}
+
+    def test_empty_stream(self):
+        streams = horizontal([])
+        assert all(s == [] for s in streams.values())
+
+
+class TestVertical:
+    def test_partition_by_instruction(self):
+        parts = vertical(SAMPLE, "instruction")
+        assert set(parts) == {0, 1, 2}
+        assert [a.time for a in parts[0]] == [0, 2]
+        assert [a.time for a in parts[1]] == [1, 3]
+
+    def test_partition_by_group(self):
+        parts = vertical(SAMPLE, "group")
+        assert len(parts[0]) == 4
+        assert len(parts[1]) == 1
+
+    def test_partitions_preserve_order(self):
+        parts = vertical(SAMPLE, "object")
+        for sub in parts.values():
+            times = [a.time for a in sub]
+            assert times == sorted(times)
+
+    def test_by_instruction_group(self):
+        parts = vertical_by_instruction_group(SAMPLE)
+        assert set(parts) == {(0, 0), (1, 0), (2, 1)}
+        assert len(parts[(0, 0)]) == 2
+
+
+class TestRecombine:
+    def test_inverts_vertical(self):
+        parts = vertical(SAMPLE, "instruction")
+        assert recombine(parts.values()) == SAMPLE
+
+    def test_inverts_nested_vertical(self):
+        parts = vertical_by_instruction_group(SAMPLE)
+        assert recombine(parts.values()) == SAMPLE
+
+
+class TestProject:
+    def test_triples(self):
+        triples = project(SAMPLE, ("object", "offset", "time"))
+        assert triples[0] == (0, 0, 0)
+        assert triples[-1] == (0, 8, 4)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 5),
+            st.integers(0, 3),
+            st.integers(0, 4),
+            st.integers(0, 64),
+        ),
+        max_size=60,
+    ),
+    st.sampled_from(DIMENSIONS),
+)
+def test_vertical_recombine_roundtrip(rows, dimension):
+    """Vertical decomposition by any dimension is invertible via the
+    time-stamp tag (the paper's reason for adding time)."""
+    stream = [make_access(i, g, o, f, t) for t, (i, g, o, f) in enumerate(rows)]
+    parts = vertical(stream, dimension)
+    assert recombine(parts.values()) == stream
+    # horizontal streams agree with per-tuple dimensions
+    streams = horizontal(stream)
+    for index, access in enumerate(stream):
+        for name in DIMENSIONS:
+            assert streams[name][index] == access.dimension(name)

@@ -1,0 +1,37 @@
+"""Run the doctests embedded in module and class docstrings.
+
+Keeps the documentation honest: every ``>>>`` example in the library
+must execute as written.
+"""
+
+import doctest
+
+import pytest
+
+import repro.analysis.omega
+import repro.compression.lmad
+import repro.compression.rle
+import repro.compression.sequitur
+import repro.lang.interp
+import repro.runtime.cache
+import repro.runtime.linker
+import repro.runtime.memory
+
+MODULES = [
+    repro.analysis.omega,
+    repro.compression.lmad,
+    repro.compression.rle,
+    repro.compression.sequitur,
+    repro.lang.interp,
+    repro.runtime.cache,
+    repro.runtime.linker,
+    repro.runtime.memory,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(
+        module, verbose=False, optionflags=doctest.NORMALIZE_WHITESPACE
+    )
+    assert results.failed == 0, f"{results.failed} doctest failure(s)"

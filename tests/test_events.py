@@ -1,0 +1,100 @@
+"""Tests for the trace event model and serialization."""
+
+import io
+
+from repro.core.events import AccessEvent, AccessKind, AllocEvent, FreeEvent, Trace
+
+
+def build_trace():
+    trace = Trace()
+    trace.record_alloc(0x1000, 64, "site.a", "node")
+    trace.record_access(0, 0x1000, 8, AccessKind.STORE)
+    trace.record_access(1, 0x1008, 8, AccessKind.LOAD)
+    trace.record_free(0x1000)
+    return trace
+
+
+class TestRecording:
+    def test_time_counts_accesses_only(self):
+        trace = build_trace()
+        events = list(trace)
+        assert isinstance(events[0], AllocEvent) and events[0].time == 0
+        assert isinstance(events[1], AccessEvent) and events[1].time == 0
+        assert events[2].time == 1
+        assert isinstance(events[3], FreeEvent) and events[3].time == 2
+
+    def test_access_count(self):
+        trace = build_trace()
+        assert trace.access_count == 2
+        assert len(trace) == 4
+
+    def test_accesses_iterator(self):
+        trace = build_trace()
+        accesses = list(trace.accesses())
+        assert [a.instruction_id for a in accesses] == [0, 1]
+
+    def test_object_events_iterator(self):
+        trace = build_trace()
+        events = list(trace.object_events())
+        assert len(events) == 2
+
+    def test_raw_address_stream(self):
+        trace = build_trace()
+        assert trace.raw_address_stream() == [0x1000, 0x1008]
+
+    def test_raw_size_bytes(self):
+        trace = build_trace()
+        assert trace.raw_size_bytes() == 2 * 12
+
+    def test_indexing(self):
+        trace = build_trace()
+        assert isinstance(trace[0], AllocEvent)
+        assert isinstance(trace[-1], FreeEvent)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        trace = build_trace()
+        buffer = io.StringIO()
+        trace.dump(buffer)
+        buffer.seek(0)
+        loaded = Trace.load(buffer)
+        assert list(loaded) == list(trace)
+        assert loaded.access_count == trace.access_count
+
+    def test_round_trip_empty(self):
+        buffer = io.StringIO()
+        Trace().dump(buffer)
+        buffer.seek(0)
+        loaded = Trace.load(buffer)
+        assert len(loaded) == 0
+
+    def test_blank_lines_ignored(self):
+        trace = build_trace()
+        buffer = io.StringIO()
+        trace.dump(buffer)
+        text = buffer.getvalue() + "\n\n"
+        loaded = Trace.load(io.StringIO(text))
+        assert len(loaded) == len(trace)
+
+    def test_unknown_tag_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Trace.load(io.StringIO('["X", 1]\n'))
+
+    def test_workload_trace_round_trip(self, list_trace):
+        buffer = io.StringIO()
+        list_trace.dump(buffer)
+        buffer.seek(0)
+        loaded = Trace.load(buffer)
+        assert loaded.access_count == list_trace.access_count
+        assert list(loaded) == list(list_trace)
+
+
+class TestFromEvents:
+    def test_preserves_counts(self):
+        trace = build_trace()
+        rebuilt = Trace.from_events(list(trace))
+        assert rebuilt.access_count == trace.access_count
+        assert list(rebuilt) == list(trace)

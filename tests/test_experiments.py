@@ -1,0 +1,130 @@
+"""Smoke tests for the experiment harness (small scale, two benchmarks).
+
+The benches regenerate the full figures; these tests assert the harness
+machinery works and the *shape* properties hold on a reduced suite.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import fig5, fig6, fig7, fig8, fig9, table1
+from repro.experiments.context import SuiteContext
+from repro.experiments.runner import main as runner_main
+
+
+@pytest.fixture(scope="module")
+def context():
+    return SuiteContext(scale=0.12, benchmarks=("gzip", "twolf"))
+
+
+class TestContextCaching:
+    def test_traces_cached(self, context):
+        assert context.trace("gzip") is context.trace("gzip")
+
+    def test_profiles_cached(self, context):
+        assert context.leap("gzip") is context.leap("gzip")
+        assert context.whomp("gzip") is context.whomp("gzip")
+
+
+class TestFig5(object):
+    def test_rows_and_average(self, context):
+        results = fig5.run(context)
+        assert len(results["rows"]) == 2
+        for row in results["rows"]:
+            assert row["omsg_bytes"] > 0 and row["rasg_bytes"] > 0
+        assert -1.0 < results["average_improvement"] < 1.0
+        assert "improvement" in fig5.render(results)
+
+    def test_omsg_wins_on_average(self, context):
+        results = fig5.run(context)
+        assert results["average_improvement"] > 0
+
+
+class TestFig6and7:
+    def test_leap_distribution_shape(self, context):
+        results = fig6.run(context)
+        average = results["average"]
+        # sharply peaked at zero error
+        assert average.exactly_correct() > 0.3
+        assert "Figure 6" in fig6.render(results)
+
+    def test_connors_never_overestimates(self, context):
+        results = fig7.run(context)
+        assert results["never_overestimates"]
+        assert "Figure 7" in fig7.render(results)
+
+
+class TestFig8:
+    def test_leap_beats_connors(self, context):
+        results = fig8.run(context)
+        assert results["leap_within_10"] >= results["connors_within_10"]
+        assert "improvement" in fig8.render(results)
+
+
+class TestFig9:
+    def test_scores_computed(self, context):
+        results = fig9.run(context)
+        assert results["average_score"] is not None
+        assert 0.0 <= results["average_score"] <= 1.0
+        for row in results["rows"]:
+            assert row["correct"] <= row["real"]
+        assert "Figure 9" in fig9.render(results)
+
+
+class TestTable1:
+    def test_rows_without_speed(self, context):
+        results = table1.run(context, measure_speed=False)
+        for row in results["rows"]:
+            assert row["compression"] > 1
+            assert 0 <= row["accesses_captured"] <= 1
+            assert 0 <= row["instructions_captured"] <= 1
+            assert row["dilation"] is None
+        assert "Table 1" in table1.render(results)
+
+    def test_dilation_measurable(self, context):
+        dilation = table1.measure_dilation(context, "gzip")
+        assert dilation > 1.0  # instrumentation always costs something
+
+
+class TestRunnerCli:
+    def test_single_experiment(self, capsys, tmp_path):
+        json_path = tmp_path / "results.json"
+        code = runner_main(
+            ["fig5", "--scale", "0.05", "--json", str(json_path)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Figure 5" in output
+        data = json.loads(json_path.read_text())
+        assert "fig5" in data
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            runner_main(["fig99"])
+
+
+class TestFig3:
+    def test_table_structure(self):
+        from repro.experiments import fig3
+
+        results = fig3.run()
+        assert results["program_result"] == sum(range(6))
+        assert len(results["rows"]) == 12
+        # alternating data/next offsets, descending serials
+        offsets = [row["tuple"][3] for row in results["rows"]]
+        assert offsets == [0, 16] * 6
+        objects = [row["tuple"][2] for row in results["rows"]]
+        assert objects == sorted(objects, reverse=True)
+        rendered = fig3.render(results)
+        assert "horizontal decomposition" in rendered
+        assert "vertical decomposition" in rendered
+
+    def test_vertical_substreams_are_per_instruction(self):
+        from repro.experiments import fig3
+
+        results = fig3.run()
+        assert len(results["vertical"]) == 2
+        for triples in results["vertical"].values():
+            offsets = {offset for __, offset, __t in triples}
+            assert len(offsets) == 1  # each instruction has one offset

@@ -1,0 +1,88 @@
+"""Deeper tests of hot-stream grammar accounting."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.sequitur import compress
+from repro.core.events import AccessKind
+from repro.core.tuples import ObjectRelativeAccess
+from repro.postprocess.hot_streams import (
+    HotStream,
+    _expansions,
+    _rule_occurrences,
+    extract_hot_streams,
+)
+
+
+def access(group, serial, time):
+    return ObjectRelativeAccess(0, group, serial, 0, time, 8, AccessKind.LOAD)
+
+
+class TestRuleOccurrences:
+    def test_paper_grammar(self):
+        # "abcbcabcbc": S -> AA, A -> aBB, B -> bc
+        grammar = compress("abcbcabcbc")
+        counts = _rule_occurrences(grammar)
+        expansions = _expansions(grammar)
+        # every rule's occurrences * length summed over terminals equals
+        # the input length when weighted by expansion containment; the
+        # direct check: occurrences of A is 2 and of B is 4
+        by_length = {len(expansions[rid]): counts[rid] for rid in counts}
+        assert by_length[10] == 1  # start rule
+        assert by_length[5] == 2  # A expands to abcbc
+        assert by_length[2] == 4  # B expands to bc
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 4), max_size=200))
+    def test_occurrence_times_length_bounded_by_input(self, tokens):
+        grammar = compress(tokens)
+        counts = _rule_occurrences(grammar)
+        expansions = _expansions(grammar)
+        for rule in grammar.rules():
+            if rule is grammar.start:
+                continue
+            heat = counts[rule.id] * len(expansions[rule.id])
+            # a rule's expansions are disjoint substrings of the input
+            assert heat <= len(tokens)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 4), max_size=200))
+    def test_occurrences_reconstruct_terminal_counts(self, tokens):
+        """Summing (rule occurrences x terminal multiplicity in the
+        rule's direct RHS) over all rules equals the input length."""
+        grammar = compress(tokens)
+        counts = _rule_occurrences(grammar)
+        total = 0
+        for rule in grammar.rules():
+            direct_terminals = sum(
+                1 for s in rule.symbols() if not s.is_nonterminal
+            )
+            total += counts[rule.id] * direct_terminals
+        assert total == len(tokens)
+
+
+class TestExtraction:
+    def test_duplicate_collapse(self):
+        # three field accesses to each object = one visit each
+        stream = []
+        time = 0
+        for __ in range(6):
+            for serial in (0, 1, 2):
+                for __field in range(3):
+                    stream.append(access(0, serial, time))
+                    time += 1
+        hot = extract_hot_streams(stream, top=3)
+        assert hot
+        assert hot[0].references == ((0, 0), (0, 1), (0, 2))
+        assert hot[0].occurrences >= 5
+
+    def test_length_filters(self):
+        stream = [access(0, s % 4, t) for t, s in enumerate(range(400))]
+        short_only = extract_hot_streams(stream, min_length=2, max_length=2)
+        for hs in short_only:
+            assert hs.length == 2
+
+    def test_hotstream_dataclass(self):
+        hs = HotStream(((0, 1), (0, 2)), 10)
+        assert hs.length == 2
+        assert hs.heat == 20

@@ -1,0 +1,197 @@
+"""Tests for the B-tree map and the live-object interval index."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interval_index import BTreeMap, IntervalIndex
+
+
+class TestBTreeBasics:
+    def test_insert_get(self):
+        tree = BTreeMap()
+        tree.insert(5, "five")
+        assert tree.get(5) == "five"
+        assert tree.get(6) is None
+        assert tree.get(6, "dflt") == "dflt"
+
+    def test_overwrite(self):
+        tree = BTreeMap()
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        assert tree.get(5) == "b"
+        assert len(tree) == 1
+
+    def test_contains(self):
+        tree = BTreeMap()
+        tree.insert(1, None)  # None values are legal
+        assert 1 in tree
+        assert 2 not in tree
+
+    def test_delete(self):
+        tree = BTreeMap()
+        tree.insert(1, "x")
+        assert tree.delete(1) == "x"
+        assert len(tree) == 0
+        with pytest.raises(KeyError):
+            tree.delete(1)
+
+    def test_items_sorted(self):
+        tree = BTreeMap(min_degree=2)
+        for key in [5, 3, 8, 1, 9, 2, 7]:
+            tree.insert(key, key * 10)
+        assert [k for k, __ in tree.items()] == [1, 2, 3, 5, 7, 8, 9]
+
+    def test_floor_item(self):
+        tree = BTreeMap()
+        for key in (10, 20, 30):
+            tree.insert(key, str(key))
+        assert tree.floor_item(5) is None
+        assert tree.floor_item(10) == (10, "10")
+        assert tree.floor_item(25) == (20, "20")
+        assert tree.floor_item(99) == (30, "30")
+
+    def test_min_degree_validation(self):
+        with pytest.raises(ValueError):
+            BTreeMap(min_degree=1)
+
+
+class TestBTreeStress:
+    @pytest.mark.parametrize("min_degree", [2, 3, 16])
+    def test_random_operations_match_dict(self, min_degree):
+        rng = random.Random(min_degree)
+        tree = BTreeMap(min_degree=min_degree)
+        reference = {}
+        for step in range(3000):
+            key = rng.randint(0, 400)
+            if rng.random() < 0.55 or not reference:
+                tree.insert(key, step)
+                reference[key] = step
+            else:
+                victim = rng.choice(list(reference))
+                assert tree.delete(victim) == reference.pop(victim)
+            if step % 500 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        assert dict(tree.items()) == reference
+
+    def test_sequential_insert_then_delete_all(self):
+        tree = BTreeMap(min_degree=3)
+        for key in range(500):
+            tree.insert(key, key)
+        tree.check_invariants()
+        for key in range(500):
+            assert tree.delete(key) == key
+        assert len(tree) == 0
+
+    def test_reverse_delete(self):
+        tree = BTreeMap(min_degree=2)
+        for key in range(200):
+            tree.insert(key, key)
+        for key in reversed(range(200)):
+            tree.delete(key)
+        tree.check_invariants()
+        assert len(tree) == 0
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(st.booleans(), st.integers(0, 60)), max_size=120
+    ),
+    min_degree=st.sampled_from([2, 3, 5]),
+)
+def test_btree_property_vs_dict(operations, min_degree):
+    tree = BTreeMap(min_degree=min_degree)
+    reference = {}
+    for is_insert, key in operations:
+        if is_insert or key not in reference:
+            tree.insert(key, key * 3)
+            reference[key] = key * 3
+        else:
+            assert tree.delete(key) == reference.pop(key)
+    tree.check_invariants()
+    assert dict(tree.items()) == reference
+    for probe in range(-1, 62):
+        expected = max((k for k in reference if k <= probe), default=None)
+        hit = tree.floor_item(probe)
+        assert (hit[0] if hit else None) == expected
+
+
+class TestIntervalIndex:
+    def test_resolve_inside(self):
+        index = IntervalIndex()
+        index.insert(100, 200, "obj")
+        assert index.resolve(100) == (100, 200, "obj")
+        assert index.resolve(199) == (100, 200, "obj")
+
+    def test_resolve_outside(self):
+        index = IntervalIndex()
+        index.insert(100, 200, "obj")
+        assert index.resolve(99) is None
+        assert index.resolve(200) is None
+
+    def test_overlap_rejected(self):
+        index = IntervalIndex()
+        index.insert(100, 200, "a")
+        with pytest.raises(ValueError):
+            index.insert(150, 250, "b")
+        with pytest.raises(ValueError):
+            index.insert(50, 101, "b")
+        with pytest.raises(ValueError):
+            index.insert(120, 130, "b")
+
+    def test_adjacent_ok(self):
+        index = IntervalIndex()
+        index.insert(100, 200, "a")
+        index.insert(200, 300, "b")
+        index.insert(50, 100, "c")
+        assert index.resolve(200)[2] == "b"
+
+    def test_empty_interval_rejected(self):
+        index = IntervalIndex()
+        with pytest.raises(ValueError):
+            index.insert(100, 100, "a")
+
+    def test_remove(self):
+        index = IntervalIndex()
+        index.insert(100, 200, "a")
+        assert index.remove(100) == "a"
+        assert index.resolve(150) is None
+        with pytest.raises(KeyError):
+            index.remove(100)
+
+    def test_remove_then_reinsert(self):
+        index = IntervalIndex()
+        index.insert(100, 200, "a")
+        index.remove(100)
+        index.insert(120, 220, "b")  # overlapping the old range is fine now
+        assert index.resolve(150)[2] == "b"
+
+    def test_items(self):
+        index = IntervalIndex()
+        index.insert(300, 400, "b")
+        index.insert(100, 200, "a")
+        assert list(index.items()) == [(100, 200, "a"), (300, 400, "b")]
+        assert len(index) == 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 50), st.integers(1, 10)), max_size=40))
+def test_interval_index_property(spans):
+    """Insert non-overlapping spans; resolution must match brute force."""
+    index = IntervalIndex(min_degree=2)
+    accepted = []
+    for start, length in spans:
+        end = start + length
+        if any(s < end and start < e for s, e, __ in accepted):
+            continue
+        index.insert(start, end, (start, end))
+        accepted.append((start, end, (start, end)))
+    for probe in range(0, 65):
+        expected = next(
+            ((s, e, p) for s, e, p in accepted if s <= probe < e), None
+        )
+        assert index.resolve(probe) == expected

@@ -1,0 +1,315 @@
+"""Tests for the mini-IR interpreter."""
+
+import pytest
+
+from repro.core.events import AccessKind, AllocEvent, FreeEvent
+from repro.lang.interp import Interpreter, RuntimeError_, run_source
+from repro.lang.parser import parse
+
+
+def run(source, entry="main", args=()):
+    return run_source(source, entry, args=args)
+
+
+class TestArithmetic:
+    def test_return_value(self):
+        assert run("fn main(): int { return 41 + 1; }")[0] == 42
+
+    def test_precedence(self):
+        assert run("fn main(): int { return 2 + 3 * 4; }")[0] == 14
+
+    def test_division_truncates_toward_zero(self):
+        assert run("fn main(): int { return -7 / 2; }")[0] == -3
+        assert run("fn main(): int { return 7 / 2; }")[0] == 3
+
+    def test_modulo_c_semantics(self):
+        assert run("fn main(): int { return -7 % 2; }")[0] == -1
+
+    def test_division_by_zero(self):
+        with pytest.raises(RuntimeError_):
+            run("fn main(): int { return 1 / 0; }")
+
+    def test_comparisons_and_logic(self):
+        source = """
+        fn main(): int {
+          var a: int = 0;
+          if (1 < 2 && 2 <= 2 && 3 > 2 && 2 >= 2 && 1 != 2 && 2 == 2) { a = 1; }
+          if (!a || false) { a = 99; }
+          return a;
+        }
+        """
+        assert run(source)[0] == 1
+
+    def test_short_circuit(self):
+        # right side would divide by zero if evaluated
+        assert run("fn main(): int { if (false && 1/0) { return 1; } return 2; }")[0] == 2
+
+    def test_unary_minus_and_not(self):
+        assert run("fn main(): int { return -(-5); }")[0] == 5
+        assert run("fn main(): int { return !0 + !7; }")[0] == 1
+
+
+class TestControlFlow:
+    def test_while_loop(self):
+        source = """
+        fn main(): int {
+          var total: int = 0;
+          var i: int = 0;
+          while (i < 10) { total = total + i; i = i + 1; }
+          return total;
+        }
+        """
+        assert run(source)[0] == 45
+
+    def test_for_loop(self):
+        source = "fn main(): int { var t: int = 0; for (var i: int = 0; i < 5; i = i + 1) { t = t + i; } return t; }"
+        assert run(source)[0] == 10
+
+    def test_break_and_continue(self):
+        source = """
+        fn main(): int {
+          var total: int = 0;
+          for (var i: int = 0; i < 100; i = i + 1) {
+            if (i % 2 == 0) { continue; }
+            if (i > 10) { break; }
+            total = total + i;
+          }
+          return total;
+        }
+        """
+        assert run(source)[0] == 1 + 3 + 5 + 7 + 9
+
+    def test_recursion(self):
+        source = """
+        fn fib(n: int): int {
+          if (n < 2) { return n; }
+          return fib(n - 1) + fib(n - 2);
+        }
+        fn main(): int { return fib(12); }
+        """
+        assert run(source)[0] == 144
+
+    def test_call_arity_checked(self):
+        with pytest.raises(RuntimeError_):
+            run("fn f(a: int): int { return a; } fn main(): int { return f(); }")
+
+    def test_unknown_function(self):
+        with pytest.raises(RuntimeError_):
+            run("fn main(): int { return ghost(); }")
+
+    def test_missing_entry(self):
+        with pytest.raises(RuntimeError_):
+            run("fn helper() { }", entry="main")
+
+    def test_entry_args(self):
+        assert run("fn main(n: int): int { return n * 2; }", args=(21,))[0] == 42
+
+
+class TestMemory:
+    def test_global_store_load(self):
+        source = """
+        global int counter;
+        fn main(): int { counter = 7; return counter + 1; }
+        """
+        result, interp = run(source)
+        assert result == 8
+        accesses = list(interp.process.trace.accesses())
+        assert [a.kind for a in accesses] == [AccessKind.STORE, AccessKind.LOAD]
+
+    def test_global_array_indexing(self):
+        source = """
+        global int[8] table;
+        fn main(): int {
+          for (var i: int = 0; i < 8; i = i + 1) { table[i] = i * i; }
+          return table[5];
+        }
+        """
+        assert run(source)[0] == 25
+
+    def test_heap_struct_fields(self):
+        source = """
+        struct point { int x; int y; }
+        fn main(): int {
+          var p: point* = new point;
+          p->x = 3; p->y = 4;
+          return p->x * p->x + p->y * p->y;
+        }
+        """
+        assert run(source)[0] == 25
+
+    def test_heap_array(self):
+        source = """
+        fn main(): int {
+          var buf: int* = new int[10];
+          for (var i: int = 0; i < 10; i = i + 1) { buf[i] = i; }
+          var total: int = 0;
+          for (var i: int = 0; i < 10; i = i + 1) { total = total + buf[i]; }
+          delete buf;
+          return total;
+        }
+        """
+        assert run(source)[0] == 45
+
+    def test_pointer_chase(self):
+        source = """
+        struct node { int data; node* next; }
+        fn main(): int {
+          var head: node* = null;
+          for (var i: int = 1; i <= 5; i = i + 1) {
+            var n: node* = new node;
+            n->data = i;
+            n->next = head;
+            head = n;
+          }
+          var product: int = 1;
+          var p: node* = head;
+          while (p != null) { product = product * p->data; p = p->next; }
+          return product;
+        }
+        """
+        assert run(source)[0] == 120
+
+    def test_struct_by_value_global(self):
+        source = """
+        struct pair { int a; int b; }
+        global pair g;
+        fn main(): int { g.a = 10; g.b = 32; return g.a + g.b; }
+        """
+        assert run(source)[0] == 42
+
+    def test_nested_struct_offsets(self):
+        source = """
+        struct inner { int x; int y; }
+        struct outer { int tag; inner body; }
+        global outer g;
+        fn main(): int { g.body.y = 9; return g.body.y; }
+        """
+        assert run(source)[0] == 9
+
+    def test_null_deref_rejected(self):
+        source = """
+        struct node { int data; node* next; }
+        fn main(): int { var p: node* = null; return p->data; }
+        """
+        with pytest.raises(RuntimeError_):
+            run(source)
+
+    def test_delete_null_rejected(self):
+        with pytest.raises(RuntimeError_):
+            run("fn main() { var p: int* = null; delete p; }")
+
+    def test_delete_clears_memory_image(self):
+        source = """
+        fn main(): int {
+          var a: int* = new int[4];
+          a[0] = 99;
+          delete a;
+          var b: int* = new int[4];
+          return b[0];
+        }
+        """
+        result, interp = run(source)
+        assert result == 0  # reused memory reads as zero, not stale 99
+
+    def test_address_of(self):
+        source = """
+        global int g;
+        fn main(): int {
+          var p: int* = &g;
+          p[0] = 5;
+          return g;
+        }
+        """
+        assert run(source)[0] == 5
+
+    def test_local_is_register_not_memory(self):
+        result, interp = run(
+            "fn main(): int { var x: int = 1; x = x + 1; return x; }"
+        )
+        assert result == 2
+        assert interp.process.trace.access_count == 0
+
+
+class TestInstrumentation:
+    LIST_SOURCE = """
+    struct node { int data; int pad; node* next; }
+    fn main(): int {
+      var head: node* = null;
+      for (var i: int = 0; i < 10; i = i + 1) {
+        var n: node* = new node;
+        n->data = i;
+        n->next = head;
+        head = n;
+      }
+      var total: int = 0;
+      var p: node* = head;
+      while (p != null) {
+        total = total + p->data;
+        p = p->next;
+      }
+      return total;
+    }
+    """
+
+    def test_distinct_sites_get_distinct_instructions(self):
+        __, interp = run(self.LIST_SOURCE)
+        names = list(interp.process.instructions)
+        loads = [n for n in names if ":load:" in n]
+        stores = [n for n in names if ":store:" in n]
+        assert len(loads) == 2  # ->data and ->next in the traversal
+        assert len(stores) == 2  # ->data and ->next in the builder
+
+    def test_allocation_site_becomes_group(self):
+        __, interp = run(self.LIST_SOURCE)
+        from repro.profilers.whomp import WhompProfiler
+
+        profile = WhompProfiler().profile(interp.process.trace)
+        assert any("new node" in label for label in profile.group_labels.values())
+
+    def test_object_probes_fired(self):
+        __, interp = run(self.LIST_SOURCE)
+        trace = interp.process.trace
+        allocs = [e for e in trace if isinstance(e, AllocEvent)]
+        assert len(allocs) == 10
+
+    def test_field_offsets_in_object_relative_stream(self):
+        from repro.core.cdc import translate_trace_list
+
+        __, interp = run(self.LIST_SOURCE)
+        translated = translate_trace_list(interp.process.trace)
+        offsets = {a.offset for a in translated}
+        assert offsets == {0, 16}  # data at 0, next at 16 (pad between)
+
+    def test_whomp_lossless_on_lang_trace(self):
+        from repro.profilers.whomp import WhompProfiler
+
+        __, interp = run(self.LIST_SOURCE)
+        trace = interp.process.trace
+        profile = WhompProfiler().profile(trace)
+        raw = [(e.instruction_id, e.address) for e in trace.accesses()]
+        assert profile.reconstruct_accesses() == raw
+
+
+class TestGuards:
+    def test_step_budget(self):
+        program = parse("fn main() { while (1) { } }")
+        interp = Interpreter(program)
+        interp.MAX_STEPS = 1000
+        with pytest.raises(RuntimeError_):
+            interp.run()
+
+    def test_assign_to_rvalue_rejected(self):
+        with pytest.raises(RuntimeError_):
+            run("fn main() { 1 = 2; }")
+
+    def test_unknown_variable(self):
+        with pytest.raises(RuntimeError_):
+            run("fn main(): int { return ghost; }")
+
+    def test_field_on_non_struct(self):
+        with pytest.raises(RuntimeError_):
+            run("fn main(): int { var p: int* = new int[2]; return p->data; }")
+
+    def test_index_on_int_rejected(self):
+        with pytest.raises(RuntimeError_):
+            run("fn main(): int { var x: int = 3; return x[0]; }")

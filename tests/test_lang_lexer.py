@@ -1,0 +1,79 @@
+"""Tests for the mini-IR lexer."""
+
+import pytest
+
+from repro.lang.lexer import LexError, Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+class TestBasics:
+    def test_empty(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifiers_and_keywords(self):
+        assert kinds("foo while bar_2 if") == [
+            (TokenKind.IDENT, "foo"),
+            (TokenKind.KEYWORD, "while"),
+            (TokenKind.IDENT, "bar_2"),
+            (TokenKind.KEYWORD, "if"),
+        ]
+
+    def test_integers(self):
+        assert kinds("0 42 0x1F") == [
+            (TokenKind.INT, "0"),
+            (TokenKind.INT, "42"),
+            (TokenKind.INT, "0x1F"),
+        ]
+
+    def test_maximal_munch_punctuation(self):
+        assert [text for __, text in kinds("->>= ==!=&&")] == [
+            "->", ">=", "==", "!=", "&&",
+        ]
+
+    def test_arrow_vs_minus(self):
+        assert [text for __, text in kinds("a-b a->b")] == [
+            "a", "-", "b", "a", "->", "b",
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment here\nb") == [
+            (TokenKind.IDENT, "a"),
+            (TokenKind.IDENT, "b"),
+        ]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [
+            (TokenKind.IDENT, "a"),
+            (TokenKind.IDENT, "b"),
+        ]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never ends")
+
+
+class TestPositions:
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        a, b, c = tokens[:3]
+        assert (a.line, b.line, c.line) == (1, 2, 3)
+        assert c.column == 3
+
+    def test_position_after_block_comment(self):
+        tokens = tokenize("/* one\ntwo */ x")
+        assert tokens[0].line == 2
+
+    def test_repr(self):
+        token = Token(TokenKind.IDENT, "x", 1, 1)
+        assert "IDENT" in repr(token)

@@ -1,0 +1,167 @@
+"""Tests for the mini-IR parser."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import ParseError, parse
+
+
+class TestDeclarations:
+    def test_struct(self):
+        program = parse("struct node { int data; node* next; }")
+        struct = program.structs[0]
+        assert struct.name == "node"
+        assert [f.name for f in struct.fields] == ["data", "next"]
+        assert struct.fields[1].type_expr.pointer_depth == 1
+
+    def test_global(self):
+        program = parse("global int[64] table;")
+        declaration = program.globals[0]
+        assert declaration.name == "table"
+        assert declaration.type_expr.array_length == 64
+
+    def test_function_signature(self):
+        program = parse("fn f(a: int, b: node*): int { }")
+        function = program.functions[0]
+        assert function.name == "f"
+        assert [p.name for p in function.params] == ["a", "b"]
+        assert function.return_type.name == "int"
+
+    def test_void_function(self):
+        program = parse("fn f() { }")
+        assert program.functions[0].return_type is None
+
+    def test_program_lookup(self):
+        program = parse("fn a() { } fn b() { }")
+        assert program.function("b").name == "b"
+        with pytest.raises(KeyError):
+            program.function("c")
+
+    def test_unexpected_toplevel(self):
+        with pytest.raises(ParseError):
+            parse("return 1;")
+
+
+class TestStatements:
+    def test_var_with_initializer(self):
+        program = parse("fn f() { var x: int = 3; }")
+        statement = program.functions[0].body[0]
+        assert isinstance(statement, ast.VarDecl)
+        assert statement.initializer.value == 3
+
+    def test_assignment(self):
+        program = parse("fn f(p: node*) { p->data = 1; }")
+        statement = program.functions[0].body[0]
+        assert isinstance(statement, ast.Assign)
+        assert isinstance(statement.target, ast.FieldAccess)
+
+    def test_if_else_chain(self):
+        program = parse(
+            "fn f(x: int) { if (x > 0) { } else if (x < 0) { } "
+            "else { x = 0; } }"
+        )
+        outer = program.functions[0].body[0]
+        assert isinstance(outer, ast.If)
+        nested = outer.else_body[0]
+        assert isinstance(nested, ast.If)
+        assert len(nested.else_body) == 1
+
+    def test_while(self):
+        program = parse("fn f() { while (1) { break; continue; } }")
+        loop = program.functions[0].body[0]
+        assert isinstance(loop, ast.While)
+        assert isinstance(loop.body[0], ast.Break)
+        assert isinstance(loop.body[1], ast.Continue)
+
+    def test_for_desugars(self):
+        program = parse("fn f() { for (var i: int = 0; i < 3; i = i + 1) { } }")
+        wrapper = program.functions[0].body[0]
+        # the for loop carries its init and a while loop with a step
+        assert hasattr(wrapper, "init") and hasattr(wrapper, "loop")
+        assert wrapper.loop.step is not None
+
+    def test_for_without_init(self):
+        program = parse("fn f(i: int) { for (; i < 3; i = i + 1) { } }")
+        assert isinstance(program.functions[0].body[0], ast.While)
+
+    def test_delete(self):
+        program = parse("fn f(p: node*) { delete p; }")
+        assert isinstance(program.functions[0].body[0], ast.Delete)
+
+    def test_return_forms(self):
+        program = parse("fn f(): int { return 1; } fn g() { return; }")
+        assert program.function("f").body[0].value.value == 1
+        assert program.function("g").body[0].value is None
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("fn f() { var x: int = 1 }")
+
+
+class TestExpressions:
+    def body_expr(self, text):
+        program = parse(f"fn f(a: int, b: int, c: int, p: node*) {{ {text}; }}")
+        statement = program.functions[0].body[0]
+        return statement.expr if isinstance(statement, ast.ExprStmt) else statement
+
+    def test_precedence_mul_over_add(self):
+        expr = self.body_expr("a + b * c")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_comparison_over_logic(self):
+        expr = self.body_expr("a < b && b < c")
+        assert expr.op == "&&"
+        assert expr.left.op == "<"
+
+    def test_parentheses(self):
+        expr = self.body_expr("(a + b) * c")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary(self):
+        expr = self.body_expr("-a + !b")
+        assert expr.left.op == "-"
+        assert expr.right.op == "!"
+
+    def test_postfix_chain(self):
+        expr = self.body_expr("p->next->data")
+        assert isinstance(expr, ast.FieldAccess)
+        assert expr.field_name == "data"
+        assert expr.base.field_name == "next"
+
+    def test_index_chain(self):
+        expr = self.body_expr("p[1][2]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.Index)
+
+    def test_call_with_args(self):
+        expr = self.body_expr("f(a, b + 1)")
+        assert isinstance(expr, ast.Call)
+        assert len(expr.args) == 2
+
+    def test_new_scalar(self):
+        expr = self.body_expr("new node")
+        assert isinstance(expr, ast.New)
+        assert expr.count is None
+
+    def test_new_array_with_expression_count(self):
+        expr = self.body_expr("new int[a + 1]")
+        assert isinstance(expr, ast.New)
+        assert isinstance(expr.count, ast.Binary)
+
+    def test_address_of(self):
+        expr = self.body_expr("&p->data")
+        assert isinstance(expr, ast.AddressOf)
+
+    def test_null_true_false(self):
+        assert isinstance(self.body_expr("null"), ast.NullLiteral)
+        assert self.body_expr("true").value == 1
+        assert self.body_expr("false").value == 0
+
+    def test_hex_literal(self):
+        assert self.body_expr("0x10").value == 16
+
+    def test_dangling_operator(self):
+        with pytest.raises(ParseError):
+            parse("fn f() { var x: int = 1 + ; }")

@@ -1,0 +1,119 @@
+"""Tests for the mini-IR type system and struct layout."""
+
+import pytest
+
+from repro.lang.ast import TypeExpr
+from repro.lang.parser import parse
+from repro.lang.typesys import (
+    WORD,
+    ArrayType,
+    IntType,
+    PointerType,
+    StructType,
+    TypeError_,
+    TypeTable,
+)
+
+
+def table(source):
+    return TypeTable(parse(source))
+
+
+class TestResolution:
+    def test_int(self):
+        types = table("")
+        resolved = types.resolve(TypeExpr("int"))
+        assert isinstance(resolved, IntType)
+        assert resolved.size() == WORD
+
+    def test_pointer(self):
+        types = table("")
+        resolved = types.resolve(TypeExpr("int", pointer_depth=2))
+        assert isinstance(resolved, PointerType)
+        assert isinstance(resolved.pointee, PointerType)
+        assert resolved.size() == WORD
+
+    def test_array(self):
+        types = table("")
+        resolved = types.resolve(TypeExpr("int", array_length=10))
+        assert isinstance(resolved, ArrayType)
+        assert resolved.size() == 10 * WORD
+
+    def test_array_of_pointers(self):
+        types = table("")
+        resolved = types.resolve(TypeExpr("int", pointer_depth=1, array_length=4))
+        assert isinstance(resolved, ArrayType)
+        assert isinstance(resolved.element, PointerType)
+
+    def test_unknown_struct(self):
+        types = table("")
+        with pytest.raises(TypeError_):
+            types.resolve(TypeExpr("ghost"))
+
+    def test_invalid_array_length(self):
+        types = table("")
+        with pytest.raises(TypeError_):
+            types.resolve(TypeExpr("int", array_length=0))
+
+
+class TestStructLayout:
+    def test_simple_layout(self):
+        types = table("struct pair { int a; int b; }")
+        struct = types.struct("pair")
+        assert struct.size() == 2 * WORD
+        assert struct.field("a").offset == 0
+        assert struct.field("b").offset == WORD
+
+    def test_nested_struct_by_value(self):
+        types = table(
+            "struct inner { int x; int y; }"
+            "struct outer { int tag; inner body; int tail; }"
+        )
+        outer = types.struct("outer")
+        assert outer.field("body").offset == WORD
+        assert outer.field("tail").offset == 3 * WORD
+        assert outer.size() == 4 * WORD
+
+    def test_array_field(self):
+        types = table("struct buf { int len; int[8] data; }")
+        struct = types.struct("buf")
+        assert struct.field("data").offset == WORD
+        assert struct.size() == 9 * WORD
+
+    def test_self_referential_pointer(self):
+        types = table("struct node { int data; node* next; }")
+        struct = types.struct("node")
+        assert struct.size() == 2 * WORD
+        next_field = struct.field("next")
+        assert isinstance(next_field.type, PointerType)
+
+    def test_mutually_recursive_pointers(self):
+        types = table(
+            "struct a { b* other; } struct b { a* other; }"
+        )
+        assert types.struct("a").size() == WORD
+        assert types.struct("b").size() == WORD
+
+    def test_recursive_by_value_rejected(self):
+        with pytest.raises(TypeError_):
+            table("struct bad { int x; bad inner; }")
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(TypeError_):
+            table("struct bad { int x; int x; }")
+
+    def test_unknown_field(self):
+        types = table("struct pair { int a; }")
+        with pytest.raises(TypeError_):
+            types.struct("pair").field("z")
+
+    def test_unknown_field_struct_type(self):
+        with pytest.raises(TypeError_):
+            table("struct bad { ghost g; }")
+
+    def test_str_forms(self):
+        types = table("struct node { int data; node* next; }")
+        assert str(types.resolve(TypeExpr("int"))) == "int"
+        assert str(types.resolve(TypeExpr("node", 1))) == "node*"
+        assert str(types.resolve(TypeExpr("int", 0, 3))) == "int[3]"
+        assert isinstance(types.struct("node"), StructType)

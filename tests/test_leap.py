@@ -1,0 +1,145 @@
+"""Tests for the LEAP lossy profiler."""
+
+import pytest
+
+from repro.core.events import AccessKind
+from repro.profilers.leap import LeapProfiler
+from repro.runtime.process import Process
+from repro.workloads.micro import ArraySweep, HashProbe, LinkedListTraversal
+
+
+def strided_process(blocks=3, words=64):
+    process = Process()
+    st = process.instruction("fill", AccessKind.STORE)
+    ld = process.instruction("scan", AccessKind.LOAD)
+    for __ in range(blocks):
+        block = process.malloc("site", words * 8)
+        for w in range(words):
+            process.store(st, block + w * 8)
+        for w in range(words):
+            process.load(ld, block + w * 8)
+    process.finish()
+    return process
+
+
+class TestProfileStructure:
+    def test_entries_keyed_by_instruction_group(self):
+        process = strided_process()
+        profile = LeapProfiler().profile(process.trace)
+        groups = {g for (__, g) in profile.entries}
+        instrs = {i for (i, __) in profile.entries}
+        assert instrs == {0, 1}
+        assert groups == {0}
+
+    def test_kinds_and_exec_counts(self):
+        process = strided_process(blocks=2, words=16)
+        profile = LeapProfiler().profile(process.trace)
+        assert profile.kinds[0] is AccessKind.STORE
+        assert profile.kinds[1] is AccessKind.LOAD
+        assert profile.exec_counts[0] == 32
+        assert profile.loads() == [1]
+        assert profile.stores() == [0]
+
+    def test_entries_for_instruction(self):
+        process = strided_process()
+        profile = LeapProfiler().profile(process.trace)
+        entries = profile.entries_for_instruction(0)
+        assert list(entries) == [0]
+        assert profile.groups_of(0) == [0]
+
+    def test_lifetimes_included(self):
+        process = strided_process(blocks=2)
+        profile = LeapProfiler().profile(process.trace)
+        assert len(profile.lifetimes) == 2
+
+
+class TestCaptureMetrics:
+    def test_fully_strided_is_fully_captured(self):
+        trace = ArraySweep(elements=64, sweeps=4).trace()
+        profile = LeapProfiler().profile(trace)
+        assert profile.accesses_captured() == 1.0
+        assert profile.instructions_captured() == 1.0
+
+    def test_random_probes_capture_poorly(self):
+        trace = HashProbe(buckets=1024, probes=3000).trace()
+        profile = LeapProfiler().profile(trace)
+        assert profile.accesses_captured() < 0.2
+
+    def test_budget_monotonicity(self):
+        trace = LinkedListTraversal(nodes=40, sweeps=6).trace()
+        small = LeapProfiler(budget=2).profile(trace)
+        large = LeapProfiler(budget=64).profile(trace)
+        assert small.accesses_captured() <= large.accesses_captured()
+        assert small.size_bytes() <= large.size_bytes()
+
+    def test_empty_trace(self):
+        from repro.core.events import Trace
+
+        profile = LeapProfiler().profile(Trace())
+        assert profile.accesses_captured() == 1.0
+        assert profile.instructions_captured() == 1.0
+        assert profile.size_bytes() == 0
+
+    def test_compression_ratio(self):
+        trace = ArraySweep(elements=256, sweeps=8).trace()
+        profile = LeapProfiler().profile(trace)
+        ratio = profile.compression_ratio(trace.raw_size_bytes())
+        assert ratio > 10  # strided traffic compresses heavily
+
+
+class TestOnlineSession:
+    def test_online_equals_offline(self):
+        workload = LinkedListTraversal(nodes=30, sweeps=4)
+        offline = LeapProfiler().profile(workload.trace())
+
+        process = Process(record_trace=False)
+        session = LeapProfiler().attach(process.bus)
+        workload.run(process)
+        process.finish()
+        online = session.finish()
+
+        assert online.entries == offline.entries
+        assert online.exec_counts == offline.exec_counts
+        assert online.access_count == offline.access_count
+
+    def test_session_detaches_on_finish(self):
+        process = Process(record_trace=False)
+        session = LeapProfiler().attach(process.bus)
+        assert process.bus.instrumented
+        session.finish()
+        assert not process.bus.instrumented
+
+
+class TestLMADShapes:
+    def test_constant_location_scalar_is_one_lmad(self):
+        process = Process()
+        process.declare_static("counter", 8)
+        address = process.static("counter").address
+        ld = process.instruction("ld", AccessKind.LOAD)
+        st = process.instruction("st", AccessKind.STORE)
+        for __ in range(200):
+            process.load(ld, address)
+            process.store(st, address)
+        process.finish()
+        profile = LeapProfiler().profile(process.trace)
+        for entry in profile.entries.values():
+            assert len(entry.lmads) == 1
+            assert entry.complete
+
+    def test_object_dimension_tracks_serials(self):
+        """One access per object, same offset: the object dimension
+        strides while the offset stays constant -- the cross-object
+        pattern vertical decomposition exposes."""
+        process = Process(allocator="bump")
+        ld = process.instruction("peek", AccessKind.LOAD)
+        for __ in range(50):
+            block = process.malloc("site", 32)
+            process.load(ld, block + 8)
+        process.finish()
+        profile = LeapProfiler().profile(process.trace)
+        entry = profile.entries[(0, 0)]
+        assert len(entry.lmads) == 1
+        lmad = entry.lmads[0]
+        assert lmad.stride[0] == 1  # object serial += 1
+        assert lmad.stride[1] == 0  # offset constant
+        assert lmad.count == 50

@@ -1,0 +1,118 @@
+"""Tests for the simulated linker and symbol table."""
+
+import pytest
+
+from repro.runtime.linker import Linker, StaticObject, SymbolTable
+from repro.runtime.memory import AddressSpace, MemoryError_
+
+
+def linked(*objects, probe_padding=0):
+    space = AddressSpace()
+    linker = Linker(space, probe_padding=probe_padding)
+    for obj in objects:
+        linker.declare(obj)
+    return linker.link(), space
+
+
+class TestStaticObject:
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            StaticObject("x", 0)
+
+    def test_rejects_non_power_of_two_alignment(self):
+        with pytest.raises(ValueError):
+            StaticObject("x", 8, align=3)
+
+
+class TestLinker:
+    def test_layout_in_declaration_order(self):
+        table, __ = linked(StaticObject("a", 100), StaticObject("b", 50))
+        assert table["a"].address < table["b"].address
+
+    def test_alignment_honoured(self):
+        table, __ = linked(
+            StaticObject("a", 3), StaticObject("b", 64, align=64)
+        )
+        assert table["b"].address % 64 == 0
+
+    def test_objects_do_not_overlap(self):
+        table, __ = linked(
+            StaticObject("a", 100), StaticObject("b", 200), StaticObject("c", 8)
+        )
+        symbols = sorted(table, key=lambda s: s.address)
+        for left, right in zip(symbols, symbols[1:]):
+            assert left.limit <= right.address
+
+    def test_everything_in_static_segment(self):
+        table, space = linked(StaticObject("a", 4096), StaticObject("b", 4096))
+        for symbol in table:
+            assert space.static.contains(symbol.address, symbol.size)
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        linker = Linker(space)
+        linker.declare(StaticObject("x", 8))
+        with pytest.raises(MemoryError_):
+            linker.declare(StaticObject("x", 16))
+
+    def test_declare_after_link_rejected(self):
+        space = AddressSpace()
+        linker = Linker(space)
+        linker.declare(StaticObject("x", 8))
+        linker.link()
+        with pytest.raises(MemoryError_):
+            linker.declare(StaticObject("y", 8))
+
+    def test_link_is_idempotent(self):
+        space = AddressSpace()
+        linker = Linker(space)
+        linker.declare(StaticObject("x", 8))
+        assert linker.link() is linker.link()
+
+    def test_segment_overflow(self):
+        space = AddressSpace(static_size=1 << 12)
+        linker = Linker(space)
+        linker.declare(StaticObject("big", 1 << 20))
+        with pytest.raises(MemoryError_):
+            linker.link()
+
+    def test_symbol_table_before_link_rejected(self):
+        linker = Linker(AddressSpace())
+        with pytest.raises(MemoryError_):
+            linker.symbol_table
+
+    def test_probe_padding_shifts_statics(self):
+        plain, __ = linked(StaticObject("x", 8))
+        padded, __ = linked(StaticObject("x", 8), probe_padding=1 << 16)
+        # The paper's third artifact: probes grow code, statics move.
+        assert padded["x"].address > plain["x"].address
+
+    def test_negative_probe_padding_rejected(self):
+        with pytest.raises(ValueError):
+            Linker(AddressSpace(), probe_padding=-1)
+
+
+class TestSymbolTable:
+    def test_lookup_api(self):
+        table, __ = linked(StaticObject("a", 100))
+        assert "a" in table
+        assert "b" not in table
+        assert len(table) == 1
+        assert table["a"].size == 100
+
+    def test_resolve_by_address(self):
+        table, __ = linked(StaticObject("a", 100), StaticObject("b", 100))
+        a = table["a"]
+        assert table.resolve(a.address).name == "a"
+        assert table.resolve(a.address + 99).name == "a"
+        assert table.resolve(a.limit) != a or table.resolve(a.limit) is None or \
+            table.resolve(a.limit).name == "b"
+
+    def test_resolve_miss(self):
+        table, space = linked(StaticObject("a", 8))
+        assert table.resolve(space.heap.base) is None
+
+    def test_empty_table(self):
+        table = SymbolTable()
+        assert len(table) == 0
+        assert table.resolve(0x1000) is None

@@ -1,0 +1,121 @@
+"""Tests for the simulated address space."""
+
+import pytest
+
+from repro.runtime.memory import (
+    PAGE_SIZE,
+    AddressSpace,
+    MemoryError_,
+    Segment,
+    SegmentKind,
+    align_up,
+)
+
+
+class TestAlignUp:
+    def test_rounds_up(self):
+        assert align_up(13, 8) == 16
+
+    def test_exact_multiple_unchanged(self):
+        assert align_up(16, 8) == 16
+
+    def test_zero(self):
+        assert align_up(0, 8) == 0
+
+    def test_alignment_one(self):
+        assert align_up(7, 1) == 7
+
+    def test_rejects_nonpositive_alignment(self):
+        with pytest.raises(ValueError):
+            align_up(8, 0)
+        with pytest.raises(ValueError):
+            align_up(8, -4)
+
+
+class TestSegment:
+    def test_limit(self):
+        segment = Segment(SegmentKind.HEAP, 0x1000, 0x100)
+        assert segment.limit == 0x1100
+
+    def test_contains_boundaries(self):
+        segment = Segment(SegmentKind.HEAP, 0x1000, 0x100)
+        assert segment.contains(0x1000)
+        assert segment.contains(0x10FF)
+        assert not segment.contains(0x1100)
+        assert not segment.contains(0xFFF)
+
+    def test_contains_with_length(self):
+        segment = Segment(SegmentKind.HEAP, 0x1000, 0x100)
+        assert segment.contains(0x10F8, 8)
+        assert not segment.contains(0x10F9, 8)
+
+    def test_rejects_empty(self):
+        with pytest.raises(MemoryError_):
+            Segment(SegmentKind.HEAP, 0x1000, 0)
+
+    def test_rejects_negative_base(self):
+        with pytest.raises(MemoryError_):
+            Segment(SegmentKind.HEAP, -1, 16)
+
+
+class TestAddressSpace:
+    def test_segments_do_not_overlap(self):
+        space = AddressSpace()
+        ordered = sorted(space.segments, key=lambda s: s.base)
+        for left, right in zip(ordered, ordered[1:]):
+            assert left.limit <= right.base
+
+    def test_layout_order(self):
+        space = AddressSpace()
+        assert space.code.base < space.static.base
+        assert space.static.base < space.heap.base
+        assert space.heap.base < space.stack.base
+
+    def test_page_zero_unmapped(self):
+        space = AddressSpace()
+        assert space.segment_of(0) is None
+        assert space.code.base >= PAGE_SIZE
+
+    def test_segment_of(self):
+        space = AddressSpace()
+        assert space.segment_of(space.heap.base).kind is SegmentKind.HEAP
+        assert space.segment_of(space.static.base).kind is SegmentKind.STATIC
+
+    def test_segment_of_unmapped(self):
+        space = AddressSpace()
+        assert space.segment_of(space.stack.limit + PAGE_SIZE) is None
+
+    def test_check_access_rejects_code(self):
+        space = AddressSpace()
+        with pytest.raises(MemoryError_):
+            space.check_access(space.code.base)
+
+    def test_check_access_rejects_unmapped(self):
+        space = AddressSpace()
+        with pytest.raises(MemoryError_):
+            space.check_access(0)
+
+    def test_check_access_rejects_straddle(self):
+        space = AddressSpace()
+        with pytest.raises(MemoryError_):
+            space.check_access(space.heap.limit - 4, 8)
+
+    def test_check_access_ok(self):
+        space = AddressSpace()
+        segment = space.check_access(space.heap.base, 8)
+        assert segment.kind is SegmentKind.HEAP
+
+    def test_os_offset_shifts_everything(self):
+        base = AddressSpace()
+        shifted = AddressSpace(os_offset=1 << 20)
+        assert shifted.heap.base == base.heap.base + (1 << 20)
+        assert shifted.static.base == base.static.base + (1 << 20)
+
+    def test_os_offset_must_be_page_aligned(self):
+        with pytest.raises(MemoryError_):
+            AddressSpace(os_offset=100)
+
+    def test_code_size_shifts_static_data(self):
+        small = AddressSpace(code_size=1 << 20)
+        large = AddressSpace(code_size=(1 << 20) + PAGE_SIZE)
+        assert large.static.base > small.static.base

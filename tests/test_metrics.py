@@ -1,0 +1,162 @@
+"""Tests for evaluation metrics and report formatting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import (
+    BUCKET_CENTERS,
+    ErrorDistribution,
+    compression_improvement,
+    error_distribution,
+    geometric_mean,
+    summarize_distribution,
+)
+from repro.analysis.report import (
+    format_histogram,
+    format_key_values,
+    format_table,
+    percent,
+    ratio,
+)
+from repro.baselines.dependence_lossless import DependenceProfile
+
+
+class TestErrorDistribution:
+    def test_zero_error_center_bucket(self):
+        distribution = ErrorDistribution()
+        distribution.add(0.0)
+        assert distribution.exactly_correct() == 1.0
+        assert distribution.counts[10] == 1
+
+    def test_bucket_rounding(self):
+        distribution = ErrorDistribution()
+        distribution.add(0.04)  # rounds to center
+        distribution.add(0.06)  # rounds to +10%
+        assert distribution.counts[10] == 1
+        assert distribution.counts[11] == 1
+
+    def test_clamping(self):
+        distribution = ErrorDistribution()
+        distribution.add(-5.0)
+        distribution.add(5.0)
+        assert distribution.counts[0] == 1
+        assert distribution.counts[-1] == 1
+
+    def test_within(self):
+        distribution = ErrorDistribution()
+        for error in (0.0, 0.1, -0.1, 0.5, -1.0):
+            distribution.add(error)
+        assert distribution.within(0.10) == pytest.approx(3 / 5)
+        assert distribution.within(0.50) == pytest.approx(4 / 5)
+
+    def test_empty_distribution(self):
+        distribution = ErrorDistribution()
+        assert distribution.within() == 1.0
+        assert distribution.exactly_correct() == 1.0
+        assert sum(distribution.fractions()) == 0.0
+
+    def test_fractions_sum_to_one(self):
+        distribution = ErrorDistribution()
+        for error in (0.0, 0.3, -0.7, 0.0):
+            distribution.add(error)
+        assert sum(distribution.fractions()) == pytest.approx(1.0)
+
+    def test_average_weights_benchmarks_equally(self):
+        heavy = ErrorDistribution()
+        for __ in range(100):
+            heavy.add(0.0)
+        light = ErrorDistribution()
+        light.add(-1.0)
+        average = ErrorDistribution.average([heavy, light])
+        # 50/50, not 100/101
+        assert average.fractions()[10] == pytest.approx(0.5, abs=0.01)
+        assert average.fractions()[0] == pytest.approx(0.5, abs=0.01)
+
+    def test_average_skips_empty(self):
+        empty = ErrorDistribution()
+        full = ErrorDistribution()
+        full.add(0.0)
+        average = ErrorDistribution.average([empty, full])
+        assert average.within(0.0) == pytest.approx(1.0)
+
+    def test_average_of_nothing(self):
+        average = ErrorDistribution.average([])
+        assert average.total_pairs == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.floats(-1, 1, allow_nan=False), max_size=50))
+    def test_total_matches_adds(self, errors):
+        distribution = ErrorDistribution()
+        for error in errors:
+            distribution.add(error)
+        assert distribution.total_pairs == len(errors)
+        assert sum(distribution.counts) == len(errors)
+
+
+class TestErrorDistributionFromProfiles:
+    def test_universe_is_union(self):
+        truth = DependenceProfile(
+            conflicts={(0, 1): 5}, load_counts={1: 10, 3: 10}, store_counts={0: 5}
+        )
+        estimated = DependenceProfile(
+            conflicts={(2, 3): 10}, load_counts={1: 10, 3: 10}, store_counts={2: 5}
+        )
+        distribution = error_distribution(estimated, truth)
+        assert distribution.total_pairs == 2
+        # miss of (0,1): error -0.5; phantom (2,3): error +1.0
+        assert distribution.counts[5] == 1
+        assert distribution.counts[20] == 1
+
+
+class TestScalarMetrics:
+    def test_compression_improvement(self):
+        assert compression_improvement(78, 100) == pytest.approx(0.22)
+        assert compression_improvement(120, 100) == pytest.approx(-0.2)
+
+    def test_compression_improvement_validation(self):
+        with pytest.raises(ValueError):
+            compression_improvement(10, 0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_summary(self):
+        distribution = ErrorDistribution()
+        distribution.add(0.0)
+        summary = summarize_distribution(distribution)
+        assert summary["pairs"] == 1.0
+        assert summary["within_10pct"] == 1.0
+
+
+class TestReportFormatting:
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "333" in text
+
+    def test_format_table_empty(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+    def test_format_histogram_has_all_buckets(self):
+        distribution = ErrorDistribution()
+        distribution.add(0.0)
+        text = format_histogram(distribution)
+        assert len(text.splitlines()) == len(BUCKET_CENTERS) + 1
+
+    def test_percent_and_ratio(self):
+        assert percent(0.2215) == "22.1%"  # bankers-free float formatting
+        assert percent(0.5, 0) == "50%"
+        assert ratio(3539.4) == "3539x"
+        assert ratio(11.5) == "11.5x"
+
+    def test_key_values(self):
+        text = format_key_values({"alpha": 1, "b": 2}, title="H")
+        assert text.startswith("H")
+        assert "alpha" in text

@@ -1,0 +1,126 @@
+"""Tests for the Object Management Component."""
+
+import pytest
+
+from repro.core.omc import ObjectManager, TranslationError
+
+
+class TestGrouping:
+    def test_same_site_same_group(self):
+        omc = ObjectManager()
+        a = omc.on_alloc(0x1000, 64, "site", None, 0)
+        b = omc.on_alloc(0x2000, 64, "site", None, 1)
+        assert a.group_id == b.group_id
+
+    def test_different_sites_different_groups(self):
+        omc = ObjectManager()
+        a = omc.on_alloc(0x1000, 64, "site.a", None, 0)
+        b = omc.on_alloc(0x2000, 64, "site.b", None, 1)
+        assert a.group_id != b.group_id
+
+    def test_serials_count_within_group(self):
+        omc = ObjectManager()
+        a = omc.on_alloc(0x1000, 64, "s", None, 0)
+        other = omc.on_alloc(0x3000, 64, "other", None, 1)
+        b = omc.on_alloc(0x2000, 64, "s", None, 2)
+        assert (a.serial, b.serial) == (0, 1)
+        assert other.serial == 0
+
+    def test_type_refinement_off_by_default(self):
+        omc = ObjectManager()
+        a = omc.on_alloc(0x1000, 64, "s", "node", 0)
+        b = omc.on_alloc(0x2000, 64, "s", "leaf", 1)
+        assert a.group_id == b.group_id
+
+    def test_type_refinement_on(self):
+        omc = ObjectManager(refine_by_type=True)
+        a = omc.on_alloc(0x1000, 64, "s", "node", 0)
+        b = omc.on_alloc(0x2000, 64, "s", "leaf", 1)
+        assert a.group_id != b.group_id
+
+    def test_group_labels(self):
+        omc = ObjectManager(refine_by_type=True)
+        omc.on_alloc(0x1000, 64, "s", "node", 0)
+        assert omc.groups[0].label == "s<node>"
+
+    def test_group_id_of_site(self):
+        omc = ObjectManager()
+        record = omc.on_alloc(0x1000, 64, "s", None, 0)
+        assert omc.group_id_of_site("s") == record.group_id
+        assert omc.group_id_of_site("missing") is None
+
+
+class TestTranslation:
+    def test_translate_inside_object(self):
+        omc = ObjectManager()
+        record = omc.on_alloc(0x1000, 64, "s", None, 0)
+        assert omc.translate(0x1000) == (record.group_id, 0, 0)
+        assert omc.translate(0x1030) == (record.group_id, 0, 0x30)
+
+    def test_translate_outside(self):
+        omc = ObjectManager()
+        omc.on_alloc(0x1000, 64, "s", None, 0)
+        assert omc.translate(0x1040) is None
+        assert omc.translate(0xFFF) is None
+
+    def test_translation_respects_liveness(self):
+        omc = ObjectManager()
+        omc.on_alloc(0x1000, 64, "s", None, 0)
+        omc.on_free(0x1000, 5)
+        assert omc.translate(0x1000) is None
+
+    def test_address_reuse_gets_new_identity(self):
+        """The same raw address names different objects over time --
+        the false aliasing object-relativity removes."""
+        omc = ObjectManager()
+        omc.on_alloc(0x1000, 64, "s", None, 0)
+        first = omc.translate(0x1010)
+        omc.on_free(0x1000, 1)
+        omc.on_alloc(0x1000, 64, "s", None, 2)
+        second = omc.translate(0x1010)
+        assert first == (0, 0, 0x10)
+        assert second == (0, 1, 0x10)
+
+    def test_free_of_untracked_rejected(self):
+        omc = ObjectManager()
+        with pytest.raises(TranslationError):
+            omc.on_free(0x4000, 0)
+
+
+class TestAuxiliaryOutputs:
+    def test_lifetimes(self):
+        omc = ObjectManager()
+        omc.on_alloc(0x1000, 64, "s", None, 3)
+        omc.on_free(0x1000, 9)
+        rows = omc.lifetime_table()
+        assert rows == [(0, 0, 3, 9, 64)]
+
+    def test_live_object_has_no_free_time(self):
+        omc = ObjectManager()
+        record = omc.on_alloc(0x1000, 64, "s", None, 3)
+        assert record.live
+        assert record.lifetime() is None
+        assert omc.lifetime_table()[0][3] is None
+
+    def test_lifetime_duration(self):
+        omc = ObjectManager()
+        record = omc.on_alloc(0x1000, 64, "s", None, 3)
+        omc.on_free(0x1000, 10)
+        assert record.lifetime() == 7
+        assert not record.live
+
+    def test_base_address_table(self):
+        omc = ObjectManager()
+        omc.on_alloc(0x1000, 64, "s", None, 0)
+        omc.on_free(0x1000, 1)
+        omc.on_alloc(0x2000, 64, "s", None, 2)
+        table = omc.base_address_table()
+        assert table == {(0, 0): 0x1000, (0, 1): 0x2000}
+
+    def test_objects_and_object_accessors(self):
+        omc = ObjectManager()
+        omc.on_alloc(0x1000, 64, "a", None, 0)
+        omc.on_alloc(0x2000, 32, "b", None, 1)
+        assert len(omc.objects()) == 2
+        assert omc.object(1, 0).size == 32
+        assert omc.live_count() == 2

@@ -1,0 +1,125 @@
+"""Tests for phase detection and phase-cognizant LEAP."""
+
+import pytest
+
+from repro.analysis.phases import (
+    PhaseDetector,
+    PhasedLeapProfiler,
+    compare_with_flat,
+)
+from repro.core.events import AccessKind
+from repro.core.tuples import ObjectRelativeAccess
+from repro.runtime.process import Process
+
+
+def access(instruction_id, time):
+    return ObjectRelativeAccess(
+        instruction_id, 0, 0, 0, time, 8, AccessKind.LOAD
+    )
+
+
+def two_phase_process(rounds=3, words=1024):
+    """Alternates a strided scan+update and random probing; the probe
+    phase shares the scan's load instruction, so the flat profiler's
+    budget gets burned by the random phase.  The update store only runs
+    in phase A, which is what makes the interval signatures differ."""
+    process = Process()
+    buffer = process.malloc("buf", words * 8)
+    ld = process.instruction("scan", AccessKind.LOAD)
+    st = process.instruction("update", AccessKind.STORE)
+    state = 1
+    for __ in range(rounds):
+        for word in range(words):
+            process.load(ld, buffer + word * 8)
+            process.store(st, buffer + word * 8)
+        for __ in range(words):
+            state = (state * 1103515245 + 12345) % (1 << 31)
+            process.load(ld, buffer + (state % words) * 8)
+    process.finish()
+    return process
+
+
+class TestPhaseDetector:
+    def test_uniform_stream_is_one_phase(self):
+        detector = PhaseDetector(interval=100)
+        for t in range(1000):
+            detector.feed(access(t % 4, t))
+        detector.flush()
+        assert len(detector.phases) == 1
+        assert len(detector.assignments) == 10
+
+    def test_two_distinct_phases_detected(self):
+        detector = PhaseDetector(interval=100)
+        for t in range(500):
+            detector.feed(access(0, t))
+        for t in range(500, 1000):
+            detector.feed(access(1, t))
+        detector.flush()
+        assert len(detector.phases) == 2
+        assert detector.assignments == [0] * 5 + [1] * 5
+
+    def test_recurring_phase_reuses_id(self):
+        detector = PhaseDetector(interval=100)
+        for block in range(4):
+            instr = block % 2
+            for t in range(100):
+                detector.feed(access(instr, t))
+        assert detector.assignments == [0, 1, 0, 1]
+
+    def test_partial_interval_flushed(self):
+        detector = PhaseDetector(interval=100)
+        for t in range(150):
+            detector.feed(access(0, t))
+        assert len(detector.assignments) == 1
+        detector.flush()
+        assert len(detector.assignments) == 2
+        assert detector.flush() is None  # nothing pending
+
+    def test_threshold_controls_merging(self):
+        def phases_with(threshold):
+            detector = PhaseDetector(interval=100, threshold=threshold)
+            for block in range(4):
+                for t in range(100):
+                    # signatures differ slightly between blocks
+                    detector.feed(access(0 if t % 10 else block, t))
+            return len(detector.phases)
+
+        assert phases_with(2.0) == 1  # everything merges
+        assert phases_with(0.01) >= 2  # tiny threshold splits
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            PhaseDetector(interval=0)
+
+
+class TestPhasedLeap:
+    def test_phased_capture_beats_flat_on_phase_change(self):
+        process = two_phase_process()
+        flat, phased = compare_with_flat(process.trace, interval=1024)
+        assert phased > flat
+
+    def test_profiles_partition_the_trace(self):
+        process = two_phase_process(rounds=2)
+        phased = PhasedLeapProfiler(interval=1024).profile(process.trace)
+        total = sum(p.access_count for p in phased.profiles.values())
+        assert total == process.trace.access_count
+
+    def test_assignments_cover_whole_trace(self):
+        process = two_phase_process(rounds=2)
+        phased = PhasedLeapProfiler(interval=1024).profile(process.trace)
+        assert len(phased.assignments) >= process.trace.access_count // 1024
+        assert phased.phase_count() >= 2
+
+    def test_size_accounts_all_phases(self):
+        process = two_phase_process(rounds=2)
+        phased = PhasedLeapProfiler(interval=1024).profile(process.trace)
+        assert phased.size_bytes() == sum(
+            p.size_bytes() for p in phased.profiles.values()
+        )
+
+    def test_empty_trace(self):
+        from repro.core.events import Trace
+
+        phased = PhasedLeapProfiler().profile(Trace())
+        assert phased.phase_count() == 0
+        assert phased.accesses_captured() == 1.0

@@ -1,0 +1,172 @@
+"""Tests for the LEAP post-processors (MDF and strides)."""
+
+import pytest
+
+from repro.baselines.dependence_lossless import LosslessDependenceProfiler
+from repro.baselines.stride_lossless import LosslessStrideProfiler
+from repro.core.events import AccessKind
+from repro.postprocess.dependence import (
+    _union_size,
+    analyze_dependences,
+    format_pairs,
+)
+from repro.postprocess.strides import (
+    LeapStrideAnalyzer,
+    dominant_strides,
+    stride_score,
+)
+from repro.profilers.leap import LeapProfiler
+from repro.runtime.process import Process
+from repro.workloads.micro import LinkedListTraversal, MatrixTraversal
+
+
+class TestUnionSize:
+    def test_empty(self):
+        assert _union_size([], 100, 1000) == 0
+
+    def test_single(self):
+        assert _union_size([(0, 1, 10)], 100, 1000) == 10
+
+    def test_single_clipped_to_universe(self):
+        assert _union_size([(0, 1, 200)], 100, 1000) == 100
+
+    def test_disjoint(self):
+        assert _union_size([(0, 2, 5), (1, 2, 5)], 100, 1000) == 10
+
+    def test_overlapping(self):
+        assert _union_size([(0, 1, 10), (5, 1, 10)], 100, 1000) == 15
+
+    def test_identical(self):
+        assert _union_size([(0, 1, 10), (0, 1, 10)], 100, 1000) == 10
+
+    def test_step_zero_is_single_value(self):
+        assert _union_size([(7, 0, 1), (7, 0, 1)], 100, 1000) == 1
+
+    def test_capped_approximation(self):
+        size = _union_size([(0, 1, 10), (0, 1, 10)], 15, cap=5)
+        assert size == 15  # capped sum min(20, 15)
+
+
+class TestMdfExactCases:
+    def test_strided_rmw_exact(self):
+        """Fully captured store/load pair: MDF must be exact."""
+        process = Process()
+        st = process.instruction("st", AccessKind.STORE)
+        ld = process.instruction("ld", AccessKind.LOAD)
+        block = process.malloc("s", 512)
+        for offset in range(0, 512, 8):
+            process.store(st, block + offset)
+            process.load(ld, block + offset)
+        process.finish()
+
+        estimated = analyze_dependences(LeapProfiler().profile(process.trace))
+        truth = LosslessDependenceProfiler().profile(process.trace)
+        pair = (0, 1)
+        assert truth.frequency(*pair) == 1.0
+        assert estimated.frequency(*pair) == pytest.approx(1.0)
+
+    def test_independent_streams_no_pairs(self):
+        process = Process()
+        st = process.instruction("st", AccessKind.STORE)
+        ld = process.instruction("ld", AccessKind.LOAD)
+        a = process.malloc("s", 256)
+        b = process.malloc("s", 256)
+        for offset in range(0, 256, 8):
+            process.store(st, a + offset)
+            process.load(ld, b + offset)
+        process.finish()
+        estimated = analyze_dependences(LeapProfiler().profile(process.trace))
+        assert estimated.dependent_pairs() == {}
+
+    def test_load_before_store_not_dependent(self):
+        process = Process()
+        ld = process.instruction("ld", AccessKind.LOAD)
+        st = process.instruction("st", AccessKind.STORE)
+        block = process.malloc("s", 512)
+        for offset in range(0, 512, 8):
+            process.load(ld, block + offset)
+        for offset in range(0, 512, 8):
+            process.store(st, block + offset)
+        process.finish()
+        estimated = analyze_dependences(LeapProfiler().profile(process.trace))
+        assert estimated.dependent_pairs() == {}
+
+    def test_partial_dependence_fraction(self):
+        """Load reads written half and unwritten half: MDF ~= 0.5."""
+        process = Process()
+        st = process.instruction("st", AccessKind.STORE)
+        ld = process.instruction("ld", AccessKind.LOAD)
+        block = process.malloc("s", 1024)
+        for offset in range(0, 512, 8):
+            process.store(st, block + offset)
+        for offset in range(0, 1024, 8):
+            process.load(ld, block + offset)
+        process.finish()
+        estimated = analyze_dependences(LeapProfiler().profile(process.trace))
+        assert estimated.frequency(0, 1) == pytest.approx(0.5)
+
+    def test_matches_truth_on_list_workload(self):
+        trace = LinkedListTraversal(nodes=25, sweeps=4).trace()
+        estimated = analyze_dependences(LeapProfiler().profile(trace))
+        truth = LosslessDependenceProfiler().profile(trace)
+        for pair, frequency in truth.dependent_pairs().items():
+            assert estimated.frequency(*pair) == pytest.approx(
+                frequency, abs=0.15
+            )
+
+    def test_format_pairs(self):
+        trace = LinkedListTraversal(nodes=10, sweeps=2).trace()
+        table = analyze_dependences(LeapProfiler().profile(trace))
+        lines = list(format_pairs(table, {}, limit=5))
+        assert all(line.startswith("(") for line in lines)
+
+
+class TestStridePostprocess:
+    def test_matrix_strides_identified(self, matrix_trace):
+        leap = LeapProfiler().profile(matrix_trace)
+        identified = LeapStrideAnalyzer().strongly_strided(leap)
+        real = LosslessStrideProfiler().profile(matrix_trace).strongly_strided()
+        assert stride_score(identified, real) == 1.0
+
+    def test_dominant_strides_values(self, matrix_trace):
+        leap = LeapProfiler().profile(matrix_trace)
+        strides = dominant_strides(leap)
+        # row-major store: stride 8; column-major load: stride 8*cols
+        assert 8 in strides.values()
+        assert any(value > 8 for value in strides.values())
+
+    def test_cross_object_strides_excluded(self):
+        """An instruction striding across adjacent objects is invisible
+        to the within-object rule (the paper's Figure 9 misses)."""
+        process = Process(allocator="bump")
+        ld = process.instruction("walk", AccessKind.LOAD)
+        blocks = [process.malloc("s", 32) for __ in range(30)]
+        for block in blocks:
+            process.load(ld, block)
+        process.finish()
+        real = LosslessStrideProfiler().profile(process.trace).strongly_strided()
+        leap = LeapProfiler().profile(process.trace)
+        identified = LeapStrideAnalyzer().strongly_strided(leap)
+        assert 0 in real  # raw addresses are perfectly strided
+        assert 0 not in identified  # but it crosses objects
+        assert stride_score(identified, real) == 0.0
+
+    def test_stride_score_empty_real_set(self):
+        assert stride_score({1, 2}, set()) is None
+
+    def test_single_element_lmads_contribute_nothing(self):
+        process = Process()
+        ld = process.instruction("probe", AccessKind.LOAD)
+        block = process.malloc("s", 8192)
+        # quadratic offsets: every LMAD has at most 2 elements
+        for i in range(30):
+            process.load(ld, block + (i * i * 8) % 8192)
+        process.finish()
+        leap = LeapProfiler().profile(process.trace)
+        analyzed = LeapStrideAnalyzer().analyze(leap)
+        assert analyzed.strongly_strided() == set()
+
+    def test_analyze_preserves_exec_counts(self, matrix_trace):
+        leap = LeapProfiler().profile(matrix_trace)
+        analyzed = LeapStrideAnalyzer().analyze(leap)
+        assert analyzed.exec_counts == leap.exec_counts

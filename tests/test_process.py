@@ -1,0 +1,183 @@
+"""Tests for the simulated process and its probes."""
+
+import pytest
+
+from repro.core.events import AccessKind, AllocEvent, FreeEvent, Trace
+from repro.runtime.memory import MemoryError_
+from repro.runtime.probes import ProbeBus, TraceRecorder
+from repro.runtime.process import STATIC_SITE_PREFIX, Process
+
+
+class TestInstructions:
+    def test_interning_is_stable(self):
+        process = Process()
+        a = process.instruction("x", AccessKind.LOAD)
+        b = process.instruction("x", AccessKind.LOAD)
+        assert a is b
+
+    def test_ids_are_dense(self):
+        process = Process()
+        ids = [
+            process.instruction(f"i{k}", AccessKind.LOAD).instruction_id
+            for k in range(5)
+        ]
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_kind_conflict_rejected(self):
+        process = Process()
+        process.instruction("x", AccessKind.LOAD)
+        with pytest.raises(ValueError):
+            process.instruction("x", AccessKind.STORE)
+
+    def test_reverse_lookup(self):
+        process = Process()
+        instr = process.instruction("walk.next", AccessKind.LOAD)
+        assert process.instruction_name(instr.instruction_id) == "walk.next"
+        with pytest.raises(KeyError):
+            process.instruction_name(999)
+
+
+class TestStatics:
+    def test_static_resolution(self):
+        process = Process()
+        process.declare_static("table", 128)
+        symbol = process.static("table")
+        assert symbol.size == 128
+
+    def test_link_fires_static_alloc_probes(self):
+        process = Process()
+        process.declare_static("table", 128, type_name="long[]")
+        process.link()
+        allocs = [e for e in process.trace if isinstance(e, AllocEvent)]
+        assert len(allocs) == 1
+        assert allocs[0].site == STATIC_SITE_PREFIX + "table"
+        assert allocs[0].type_name == "long[]"
+
+    def test_finish_fires_static_free_probes(self):
+        process = Process()
+        process.declare_static("table", 128)
+        process.link()
+        process.finish()
+        frees = [e for e in process.trace if isinstance(e, FreeEvent)]
+        assert len(frees) == 1
+
+    def test_finish_is_idempotent(self):
+        process = Process()
+        process.declare_static("table", 128)
+        process.link()
+        process.finish()
+        process.finish()
+        frees = [e for e in process.trace if isinstance(e, FreeEvent)]
+        assert len(frees) == 1
+
+
+class TestHeap:
+    def test_malloc_fires_probe(self):
+        process = Process()
+        address = process.malloc("site", 64, type_name="node")
+        allocs = [e for e in process.trace if isinstance(e, AllocEvent)]
+        assert allocs[-1].address == address
+        assert allocs[-1].site == "site"
+
+    def test_free_fires_probe(self):
+        process = Process()
+        address = process.malloc("site", 64)
+        process.free(address)
+        frees = [e for e in process.trace if isinstance(e, FreeEvent)]
+        assert frees[-1].address == address
+
+    def test_malloc_links_lazily(self):
+        process = Process()
+        process.declare_static("t", 8)
+        process.malloc("site", 64)
+        assert process.static("t") is not None
+
+
+class TestAccesses:
+    def test_load_records_event(self, tiny_process):
+        process = tiny_process
+        base = process.static("table").address
+        ld = process.instruction("ld", AccessKind.LOAD)
+        process.load(ld, base)
+        access = list(process.trace.accesses())[-1]
+        assert access.address == base
+        assert access.kind is AccessKind.LOAD
+
+    def test_kind_mismatch_rejected(self, tiny_process):
+        process = tiny_process
+        base = process.static("table").address
+        ld = process.instruction("ld", AccessKind.LOAD)
+        st = process.instruction("st", AccessKind.STORE)
+        with pytest.raises(MemoryError_):
+            process.store(ld, base)
+        with pytest.raises(MemoryError_):
+            process.load(st, base)
+
+    def test_unmapped_access_rejected(self, tiny_process):
+        process = tiny_process
+        ld = process.instruction("ld", AccessKind.LOAD)
+        with pytest.raises(MemoryError_):
+            process.load(ld, 0)
+
+    def test_uninstrumented_process_has_no_trace(self):
+        process = Process(record_trace=False)
+        with pytest.raises(MemoryError_):
+            process.trace
+        # accesses still validated, but nothing recorded
+        address = process.malloc("s", 64)
+        st = process.instruction("st", AccessKind.STORE)
+        process.store(st, address)
+
+
+class TestProbeBus:
+    def test_multiple_sinks_both_receive(self):
+        bus = ProbeBus()
+        first = TraceRecorder()
+        second = TraceRecorder()
+        bus.attach(first)
+        bus.attach(second)
+        bus.fire_access(0, 0x5000, 8, AccessKind.LOAD)
+        assert first.trace.access_count == 1
+        assert second.trace.access_count == 1
+
+    def test_detach(self):
+        bus = ProbeBus()
+        recorder = TraceRecorder()
+        bus.attach(recorder)
+        bus.detach(recorder)
+        assert not bus.instrumented
+        bus.fire_access(0, 0x5000, 8, AccessKind.LOAD)
+        assert recorder.trace.access_count == 0
+
+    def test_recorder_wraps_existing_trace(self):
+        trace = Trace()
+        recorder = TraceRecorder(trace)
+        recorder.on_alloc(0x1000, 8, "s", None)
+        assert len(trace) == 1
+
+
+class TestLayoutKnobs:
+    def test_allocator_policy_changes_heap_addresses(self):
+        def addresses(policy):
+            process = Process(allocator=policy)
+            out = []
+            a = process.malloc("s", 100)
+            out.append(a)
+            process.free(a)
+            out.append(process.malloc("s", 40))
+            out.append(process.malloc("s", 100))
+            return out
+
+        assert addresses("bump") != addresses("first-fit")
+
+    def test_probe_padding_changes_static_addresses(self):
+        plain = Process()
+        plain.declare_static("t", 64)
+        padded = Process(probe_padding=1 << 16)
+        padded.declare_static("t", 64)
+        assert plain.static("t").address != padded.static("t").address
+
+    def test_os_offset_changes_everything(self):
+        a = Process()
+        b = Process(os_offset=1 << 20)
+        assert a.malloc("s", 8) != b.malloc("s", 8)

@@ -1,0 +1,109 @@
+"""Tests for profile serialization round trips."""
+
+import io
+
+import pytest
+
+from repro.baselines.dependence_lossless import LosslessDependenceProfiler
+from repro.core.profile_io import (
+    ProfileFormatError,
+    load_dependence,
+    load_leap,
+    load_whomp_streams,
+    save_dependence,
+    save_leap,
+    save_whomp,
+)
+from repro.core.tuples import DIMENSIONS
+from repro.postprocess.dependence import analyze_dependences
+from repro.profilers.leap import LeapProfiler
+from repro.profilers.whomp import WhompProfiler
+
+
+class TestWhompIO:
+    def test_round_trip_streams(self, list_trace):
+        profile = WhompProfiler().profile(list_trace)
+        buffer = io.StringIO()
+        save_whomp(profile, buffer)
+        buffer.seek(0)
+        loaded = load_whomp_streams(buffer)
+        for name in DIMENSIONS:
+            assert loaded["streams"][name] == profile.grammars[name].expand()
+        assert loaded["base_addresses"] == profile.base_addresses
+        assert loaded["access_count"] == profile.access_count
+        assert loaded["group_labels"] == profile.group_labels
+        assert [tuple(r) for r in loaded["lifetimes"]] == [
+            tuple(r) for r in profile.lifetimes
+        ]
+
+    def test_wrong_format_rejected(self, simple_trace):
+        profile = LeapProfiler().profile(simple_trace)
+        buffer = io.StringIO()
+        save_leap(profile, buffer)
+        buffer.seek(0)
+        with pytest.raises(ProfileFormatError):
+            load_whomp_streams(buffer)
+
+
+class TestLeapIO:
+    def test_round_trip(self, list_trace):
+        profile = LeapProfiler().profile(list_trace)
+        buffer = io.StringIO()
+        save_leap(profile, buffer)
+        buffer.seek(0)
+        loaded = load_leap(buffer)
+        assert loaded.entries == profile.entries
+        assert loaded.kinds == profile.kinds
+        assert loaded.exec_counts == profile.exec_counts
+        assert loaded.access_count == profile.access_count
+        assert loaded.budget == profile.budget
+        assert loaded.group_labels == profile.group_labels
+
+    def test_loaded_profile_analyzable(self, list_trace):
+        profile = LeapProfiler().profile(list_trace)
+        buffer = io.StringIO()
+        save_leap(profile, buffer)
+        buffer.seek(0)
+        loaded = load_leap(buffer)
+        original = analyze_dependences(profile).dependent_pairs()
+        reloaded = analyze_dependences(loaded).dependent_pairs()
+        assert original == reloaded
+
+    def test_overflow_summary_preserved(self):
+        from repro.workloads.micro import HashProbe
+
+        trace = HashProbe(buckets=512, probes=800).trace()
+        profile = LeapProfiler().profile(trace)
+        assert any(e.overflow.count for e in profile.entries.values())
+        buffer = io.StringIO()
+        save_leap(profile, buffer)
+        buffer.seek(0)
+        loaded = load_leap(buffer)
+        for key, entry in profile.entries.items():
+            assert loaded.entries[key].overflow.count == entry.overflow.count
+            assert loaded.entries[key].overflow.minimum == entry.overflow.minimum
+
+    def test_wrong_format_rejected(self, simple_trace):
+        profile = WhompProfiler().profile(simple_trace)
+        buffer = io.StringIO()
+        save_whomp(profile, buffer)
+        buffer.seek(0)
+        with pytest.raises(ProfileFormatError):
+            load_leap(buffer)
+
+
+class TestDependenceIO:
+    def test_round_trip(self, list_trace):
+        profile = LosslessDependenceProfiler().profile(list_trace)
+        buffer = io.StringIO()
+        save_dependence(profile, buffer)
+        buffer.seek(0)
+        loaded = load_dependence(buffer)
+        assert loaded.conflicts == profile.conflicts
+        assert loaded.load_counts == profile.load_counts
+        assert loaded.store_counts == profile.store_counts
+        assert loaded.dependent_pairs() == profile.dependent_pairs()
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ProfileFormatError):
+            load_dependence(io.StringIO('{"format": "other"}'))

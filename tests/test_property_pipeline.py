@@ -1,0 +1,126 @@
+"""Property-based tests over the whole pipeline.
+
+A hypothesis strategy generates random-but-valid process scripts
+(allocations, frees, loads/stores into live blocks); every generated
+trace must satisfy the library's global invariants: WHOMP losslessness,
+online/offline agreement, translation consistency, LEAP accounting.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cdc import OnlineCDC, translate_trace_list
+from repro.core.events import AccessKind
+from repro.profilers.leap import LeapProfiler
+from repro.profilers.whomp import WhompProfiler
+from repro.runtime.process import Process
+
+
+@st.composite
+def process_script(draw):
+    """A list of abstract operations over a bounded object population."""
+    operations = []
+    live = 0
+    for __ in range(draw(st.integers(1, 60))):
+        choice = draw(st.integers(0, 9))
+        if choice == 0 or live == 0:
+            operations.append(("alloc", draw(st.integers(1, 4)), draw(st.integers(8, 256))))
+            live += 1
+        elif choice == 1 and live > 1:
+            operations.append(("free", draw(st.integers(0, live - 1))))
+            live -= 1
+        else:
+            operations.append(
+                (
+                    "access",
+                    draw(st.integers(0, live - 1)),
+                    draw(st.integers(0, 31)),
+                    draw(st.booleans()),
+                    draw(st.integers(0, 3)),
+                )
+            )
+    return operations
+
+
+def run_script(operations, process):
+    """Interpret the abstract script against a process."""
+    blocks = []  # (address, size)
+    instructions = {}
+    for operation in operations:
+        if operation[0] == "alloc":
+            __, site, size = operation
+            address = process.malloc(f"site{site}", size)
+            blocks.append((address, size))
+        elif operation[0] == "free":
+            __, index = operation
+            address, __size = blocks.pop(index % len(blocks))
+            process.free(address)
+        else:
+            __, index, offset_slot, is_load, instr_slot = operation
+            address, size = blocks[index % len(blocks)]
+            offset = (offset_slot * 8) % max(size - 7, 1)
+            kind = AccessKind.LOAD if is_load else AccessKind.STORE
+            name = f"{'ld' if is_load else 'st'}{instr_slot}"
+            instr = instructions.get(name)
+            if instr is None:
+                instr = process.instruction(name, kind)
+                instructions[name] = instr
+            if is_load:
+                process.load(instr, address + offset)
+            else:
+                process.store(instr, address + offset)
+    for address, __size in blocks:
+        process.free(address)
+    process.finish()
+
+
+@settings(max_examples=60, deadline=None)
+@given(process_script())
+def test_whomp_lossless_on_random_scripts(operations):
+    process = Process()
+    run_script(operations, process)
+    trace = process.trace
+    profile = WhompProfiler().profile(trace)
+    raw = [(e.instruction_id, e.address) for e in trace.accesses()]
+    assert profile.reconstruct_accesses() == raw
+
+
+@settings(max_examples=40, deadline=None)
+@given(process_script())
+def test_online_translation_matches_offline(operations):
+    collected = []
+    process = Process()
+    process.bus.attach(OnlineCDC(collected.append))
+    run_script(operations, process)
+    assert collected == translate_trace_list(process.trace)
+
+
+@settings(max_examples=40, deadline=None)
+@given(process_script())
+def test_translation_invariants(operations):
+    process = Process()
+    run_script(operations, process)
+    translated = translate_trace_list(process.trace)
+    times = [a.time for a in translated]
+    assert times == list(range(len(times)))
+    for access in translated:
+        # scripts only touch live blocks, so nothing is wild, and the
+        # offset always lies inside the object
+        assert not access.wild
+        assert access.offset >= 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(process_script(), st.integers(1, 40))
+def test_leap_accounting_on_random_scripts(operations, budget):
+    process = Process()
+    run_script(operations, process)
+    trace = process.trace
+    profile = LeapProfiler(budget=budget).profile(trace)
+    assert sum(profile.exec_counts.values()) == trace.access_count
+    captured = sum(e.captured_symbols for e in profile.entries.values())
+    overflowed = sum(e.overflow.count for e in profile.entries.values())
+    assert captured + overflowed == trace.access_count
+    assert 0.0 <= profile.accesses_captured() <= 1.0
+    for entry in profile.entries.values():
+        assert len(entry.lmads) <= budget

@@ -1,0 +1,114 @@
+"""Tests for the delta + run-length codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.rle import DeltaRleCodec, Run, compress
+
+
+class TestEncoding:
+    def test_empty(self):
+        codec = compress([])
+        assert codec.size() == 0
+        assert codec.expand() == []
+
+    def test_single(self):
+        codec = compress([7])
+        assert codec.expand() == [7]
+        assert codec.size() == 1
+
+    def test_arithmetic_run(self):
+        codec = compress([0, 8, 16, 24, 32])
+        assert codec.size() == 1
+        assert codec._all_runs()[0] == Run(0, 8, 5)
+
+    def test_constant_run(self):
+        codec = compress([5] * 100)
+        assert codec.size() == 1
+        assert codec._all_runs()[0] == Run(5, 0, 100)
+
+    def test_delta_change_splits(self):
+        codec = compress([0, 8, 16, 17, 18])
+        assert codec.size() == 2
+
+    def test_negative_deltas(self):
+        codec = compress([100, 90, 80, 70])
+        assert codec._all_runs()[0] == Run(100, -10, 4)
+
+    def test_rejects_non_integers(self):
+        codec = DeltaRleCodec()
+        with pytest.raises(TypeError):
+            codec.feed("a")
+        with pytest.raises(TypeError):
+            codec.feed(True)
+
+    def test_tokens_fed(self):
+        codec = compress([1, 2, 3])
+        assert codec.tokens_fed == 3
+
+
+class TestSizes:
+    def test_fixed_width(self):
+        codec = compress([0, 8, 16, 100])
+        assert codec.size_bytes(4) == codec.size() * 12
+
+    def test_varint_smaller_for_small_values(self):
+        small = compress(list(range(0, 80, 8)) + [3])
+        large = compress([v + (1 << 40) for v in range(0, 80, 8)] + [3])
+        assert small.size_bytes_varint() < large.size_bytes_varint()
+
+    def test_strided_stream_much_smaller_than_input(self):
+        codec = compress(list(range(0, 80000, 8)))
+        assert codec.size_bytes_varint() < 20
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "tokens",
+        [
+            [0, 8, 16, 24, 5, 5, 5],
+            [1, -1, 1, -1],
+            [0],
+            list(range(100)) + list(range(100, 0, -1)),
+        ],
+    )
+    def test_examples(self, tokens):
+        assert compress(tokens).expand() == tokens
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(st.integers(-10**9, 10**9), max_size=200))
+    def test_property_roundtrip(self, tokens):
+        codec = compress(tokens)
+        assert codec.expand() == tokens
+        assert codec.size() <= max(1, len(tokens))
+
+
+class TestVsSequitur:
+    def test_rle_wins_on_pure_strides(self):
+        from repro.compression.sequitur import compress as seq_compress
+
+        tokens = list(range(0, 8000, 8))
+        assert (
+            compress(tokens).size_bytes_varint()
+            < seq_compress(tokens).size_bytes_varint()
+        )
+
+    def test_sequitur_wins_on_composite_repeats(self):
+        from repro.compression.sequitur import compress as seq_compress
+
+        motif = [0, 5, 17, 3, 99, 4, 62, 8]
+        tokens = motif * 200
+        assert (
+            seq_compress(tokens).size_bytes_varint()
+            < compress(tokens).size_bytes_varint()
+        )
+
+
+class TestAsWhompBackend:
+    def test_lossless_whomp(self, list_trace):
+        from repro.profilers.whomp import WhompProfiler
+
+        profile = WhompProfiler(compressor=DeltaRleCodec).profile(list_trace)
+        raw = [(e.instruction_id, e.address) for e in list_trace.accesses()]
+        assert profile.reconstruct_accesses() == raw

@@ -1,0 +1,78 @@
+"""Tests for the Separation and Compression Component."""
+
+from repro.compression.rle import DeltaRleCodec
+from repro.core.cdc import translate_trace_list
+from repro.core.events import AccessKind
+from repro.core.scc import HorizontalSequiturSCC, VerticalLMADSCC
+from repro.core.tuples import DIMENSIONS, ObjectRelativeAccess
+
+
+def access(i, g, o, f, t, kind=AccessKind.LOAD):
+    return ObjectRelativeAccess(i, g, o, f, t, 8, kind)
+
+
+class TestHorizontalSCC:
+    def test_streams_match_dimensions(self, simple_trace):
+        scc = HorizontalSequiturSCC()
+        stream = translate_trace_list(simple_trace)
+        for item in stream:
+            scc.consume(item)
+        assert set(scc.grammars) == set(DIMENSIONS)
+        for name in DIMENSIONS:
+            expanded = scc.grammars[name].expand()
+            assert expanded == [a.dimension(name) for a in stream]
+
+    def test_total_sizes(self, simple_trace):
+        scc = HorizontalSequiturSCC()
+        for item in translate_trace_list(simple_trace):
+            scc.consume(item)
+        assert scc.total_size() == sum(
+            g.size() for g in scc.grammars.values()
+        )
+        assert scc.total_size_bytes() > 0
+
+    def test_pluggable_compressor(self, simple_trace):
+        scc = HorizontalSequiturSCC(compressor=DeltaRleCodec)
+        stream = translate_trace_list(simple_trace)
+        for item in stream:
+            scc.consume(item)
+        for name in DIMENSIONS:
+            assert scc.grammars[name].expand() == [
+                a.dimension(name) for a in stream
+            ]
+
+
+class TestVerticalSCC:
+    def test_entries_partition_by_instruction_and_group(self):
+        scc = VerticalLMADSCC()
+        scc.consume(access(0, 0, 0, 0, 0))
+        scc.consume(access(0, 1, 0, 0, 1))
+        scc.consume(access(1, 0, 0, 8, 2, AccessKind.STORE))
+        entries = scc.finish()
+        assert set(entries) == {(0, 0), (0, 1), (1, 0)}
+
+    def test_kind_and_exec_tracking(self):
+        scc = VerticalLMADSCC()
+        scc.consume(access(0, 0, 0, 0, 0))
+        scc.consume(access(0, 0, 0, 8, 1))
+        scc.consume(access(1, 0, 0, 0, 2, AccessKind.STORE))
+        assert scc.kinds[0] is AccessKind.LOAD
+        assert scc.kinds[1] is AccessKind.STORE
+        assert scc.exec_counts == {0: 2, 1: 1}
+
+    def test_triples_fed_in_order(self):
+        scc = VerticalLMADSCC()
+        for t in range(10):
+            scc.consume(access(0, 0, 0, t * 8, t))
+        entry = scc.finish()[(0, 0)]
+        assert len(entry.lmads) == 1
+        assert entry.lmads[0].stride == (0, 8, 1)
+
+    def test_budget_respected(self):
+        scc = VerticalLMADSCC(budget=2)
+        # quadratic offsets: no linear chains longer than 2
+        for t in range(40):
+            scc.consume(access(0, 0, 0, t * t * 8, t))
+        entry = scc.finish()[(0, 0)]
+        assert len(entry.lmads) == 2
+        assert entry.overflow.count > 0

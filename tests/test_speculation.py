@@ -1,0 +1,113 @@
+"""Tests for speculative load reordering decisions."""
+
+import pytest
+
+from repro.baselines.dependence_lossless import DependenceProfile
+from repro.postprocess.speculation import (
+    DEFAULT_THRESHOLD,
+    Decision,
+    compare_plans,
+    evaluate,
+    expected_cost,
+    plan,
+)
+
+
+def profile_with(frequencies, load_count=100):
+    """Build a DependenceProfile from {(st, ld): frequency}."""
+    profile = DependenceProfile()
+    for (store, load), frequency in frequencies.items():
+        profile.conflicts[(store, load)] = int(frequency * load_count)
+        profile.load_counts[load] = load_count
+        profile.store_counts.setdefault(store, 10)
+    return profile
+
+
+class TestPlanning:
+    def test_low_frequency_speculates(self):
+        profile = profile_with({(0, 1): 0.01})
+        decisions = plan(profile, [(0, 1)])
+        assert decisions.decisions[(0, 1)] is Decision.SPECULATE
+
+    def test_high_frequency_keeps_order(self):
+        profile = profile_with({(0, 1): 0.9})
+        decisions = plan(profile, [(0, 1)])
+        assert decisions.decisions[(0, 1)] is Decision.KEEP_ORDER
+
+    def test_unobserved_pair_speculates(self):
+        profile = profile_with({})
+        decisions = plan(profile, [(5, 6)])
+        assert decisions.decisions[(5, 6)] is Decision.SPECULATE
+
+    def test_threshold_boundary(self):
+        profile = profile_with({(0, 1): DEFAULT_THRESHOLD})
+        decisions = plan(profile, [(0, 1)])
+        assert decisions.decisions[(0, 1)] is Decision.KEEP_ORDER
+
+    def test_speculated_set(self):
+        profile = profile_with({(0, 1): 0.9, (0, 2): 0.0})
+        decisions = plan(profile, [(0, 1), (0, 2)])
+        assert decisions.speculated() == {(0, 2)}
+
+
+class TestComparison:
+    def test_perfect_agreement(self):
+        profile = profile_with({(0, 1): 0.9, (2, 3): 0.0})
+        candidates = [(0, 1), (2, 3)]
+        quality = compare_plans(
+            plan(profile, candidates), plan(profile, candidates)
+        )
+        assert quality.agreement_rate == 1.0
+        assert quality.disagreements == 0
+
+    def test_unsafe_and_missed_classified(self):
+        truth = profile_with({(0, 1): 0.5, (2, 3): 0.0})
+        estimated = profile_with({(0, 1): 0.0, (2, 3): 0.5})
+        candidates = [(0, 1), (2, 3)]
+        quality = compare_plans(
+            plan(estimated, candidates), plan(truth, candidates)
+        )
+        assert quality.unsafe_speculations == 1  # (0,1) wrongly hoisted
+        assert quality.missed_speculations == 1  # (2,3) wrongly kept
+        assert quality.agreement_rate == 0.0
+
+    def test_empty_candidates(self):
+        profile = profile_with({})
+        quality = compare_plans(plan(profile, []), plan(profile, []))
+        assert quality.agreement_rate == 1.0
+
+
+class TestExpectedCost:
+    def test_safe_speculation_is_profitable(self):
+        truth = profile_with({(0, 1): 0.0})
+        decisions = plan(truth, [(0, 1)])
+        assert expected_cost(decisions, truth) < 0
+
+    def test_unsafe_speculation_is_costly(self):
+        truth = profile_with({(0, 1): 0.9})
+        wrong = profile_with({(0, 1): 0.0})
+        decisions = plan(wrong, [(0, 1)])
+        assert expected_cost(decisions, truth) > 0
+
+    def test_keep_order_costs_nothing(self):
+        truth = profile_with({(0, 1): 0.9})
+        decisions = plan(truth, [(0, 1)])
+        assert expected_cost(decisions, truth) == 0.0
+
+
+class TestEndToEnd:
+    def test_leap_close_to_oracle_on_workload(self):
+        from repro.baselines.dependence_lossless import (
+            LosslessDependenceProfiler,
+        )
+        from repro.postprocess.dependence import analyze_dependences
+        from repro.profilers.leap import LeapProfiler
+        from repro.workloads.micro import LinkedListTraversal
+
+        trace = LinkedListTraversal(nodes=40, sweeps=6).trace()
+        truth = LosslessDependenceProfiler().profile(trace)
+        estimated = analyze_dependences(LeapProfiler().profile(trace))
+        quality, cost, oracle_cost = evaluate(estimated, truth)
+        assert quality.agreement_rate > 0.9
+        assert cost <= 0  # profile-driven schedule is a net win
+        assert cost >= oracle_cost  # and never beats the oracle

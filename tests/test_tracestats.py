@@ -1,0 +1,135 @@
+"""Tests for trace characterization (reuse distance, working set)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.tracestats import (
+    COLD,
+    characterize,
+    format_statistics,
+    lru_miss_rate_from_distances,
+    reuse_distances,
+    reuse_histogram,
+    working_set_curve,
+)
+from repro.runtime.cache import CacheConfig, SetAssociativeCache
+
+
+def brute_force_distances(addresses, line_bytes=64):
+    """Reference implementation: scan back for the previous access."""
+    out = []
+    lines = [a // line_bytes for a in addresses]
+    for i, line in enumerate(lines):
+        previous = None
+        for j in range(i - 1, -1, -1):
+            if lines[j] == line:
+                previous = j
+                break
+        if previous is None:
+            out.append(COLD)
+        else:
+            out.append(len(set(lines[previous + 1 : i])))
+    return out
+
+
+class TestReuseDistance:
+    def test_first_touch_is_cold(self):
+        assert reuse_distances([0]) == [COLD]
+
+    def test_immediate_reuse_is_zero(self):
+        assert reuse_distances([0, 0]) == [COLD, 0]
+
+    def test_one_intervening_line(self):
+        assert reuse_distances([0, 64, 0]) == [COLD, COLD, 1]
+
+    def test_same_line_not_counted(self):
+        # 0, 0, 0: repeated access to one line never raises the distance
+        assert reuse_distances([0, 8, 0]) == [COLD, 0, 0]
+
+    def test_classic_pattern(self):
+        # lines a b c a: distance of the final a is 2
+        assert reuse_distances([0, 64, 128, 0])[-1] == 2
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.integers(0, 20), max_size=80))
+    def test_matches_brute_force(self, lines):
+        addresses = [line * 64 for line in lines]
+        assert reuse_distances(addresses) == brute_force_distances(addresses)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 30), max_size=120), st.sampled_from([2, 4, 8]))
+    def test_predicts_fully_associative_lru(self, lines, capacity):
+        """Stack processing theorem: distance >= capacity iff LRU miss."""
+        addresses = [line * 64 for line in lines]
+        distances = reuse_distances(addresses)
+        predicted = lru_miss_rate_from_distances(distances, capacity)
+        cache = SetAssociativeCache(
+            CacheConfig(capacity * 64, 64, capacity)  # one set: fully assoc.
+        )
+        for address in addresses:
+            cache.access(address)
+        if addresses:
+            assert predicted == pytest.approx(cache.stats.miss_rate)
+
+
+class TestHistogram:
+    def test_buckets(self):
+        histogram = reuse_histogram([COLD, 0, 1, 3, 100, 10_000])
+        assert histogram["cold"] == 1
+        assert histogram["<1"] == 1
+        assert histogram["<2"] == 1
+        assert histogram["<4"] == 1
+        assert histogram["<128"] == 1
+        assert histogram[">=512"] == 1
+
+    def test_total_preserved(self):
+        distances = [COLD, 0, 5, 7, 900]
+        histogram = reuse_histogram(distances)
+        assert sum(histogram.values()) == len(distances)
+
+
+class TestWorkingSet:
+    def test_windows(self):
+        addresses = [0, 64, 128, 0] * 2
+        curve = working_set_curve(addresses, window=4)
+        assert curve == [3, 3]
+
+    def test_tail_window(self):
+        curve = working_set_curve([0] * 5, window=4)
+        assert curve == [1, 1]
+
+    def test_empty(self):
+        assert working_set_curve([]) == []
+
+
+class TestCharacterize:
+    def test_counts(self, simple_trace):
+        stats = characterize(simple_trace)
+        assert stats.accesses == 16
+        assert stats.loads == 8
+        assert stats.stores == 8
+        assert stats.static_instructions == 2
+        assert stats.objects_allocated == 1
+        assert stats.groups == 1
+        assert stats.peak_live_objects == 1
+        assert stats.footprint_bytes == 64 or stats.footprint_bytes == 128
+
+    def test_load_fraction(self, simple_trace):
+        assert characterize(simple_trace).load_fraction == pytest.approx(0.5)
+
+    def test_reuse_can_be_skipped(self, simple_trace):
+        stats = characterize(simple_trace, with_reuse=False)
+        assert stats.reuse == {}
+
+    def test_format(self, simple_trace):
+        text = format_statistics(characterize(simple_trace))
+        assert "accesses" in text
+        assert "reuse" in text
+
+    def test_workload_stats(self, list_trace):
+        stats = characterize(list_trace, with_reuse=False)
+        assert stats.peak_live_objects > 1
+        assert stats.groups >= 2

@@ -1,0 +1,150 @@
+"""Tests for the WHOMP lossless profiler."""
+
+import pytest
+
+from repro.baselines.rasg import RasgProfiler
+from repro.core.tuples import DIMENSIONS
+from repro.profilers.whomp import WhompProfiler
+from repro.workloads.micro import ArraySweep, HashProbe, LinkedListTraversal
+
+
+def raw_stream(trace):
+    return [(e.instruction_id, e.address) for e in trace.accesses()]
+
+
+class TestLosslessness:
+    def test_reconstructs_list_trace(self, list_trace):
+        profile = WhompProfiler().profile(list_trace)
+        assert profile.reconstruct_accesses() == raw_stream(list_trace)
+
+    def test_reconstructs_matrix_trace(self, matrix_trace):
+        profile = WhompProfiler().profile(matrix_trace)
+        assert profile.reconstruct_accesses() == raw_stream(matrix_trace)
+
+    def test_reconstructs_with_wild_accesses(self):
+        """Reads of freed memory survive the round trip via the wild
+        group (offset = raw address)."""
+        from repro.core.events import AccessKind
+        from repro.runtime.process import Process
+
+        process = Process()
+        ld = process.instruction("ld", AccessKind.LOAD)
+        block = process.malloc("s", 64)
+        process.load(ld, block)
+        process.free(block)
+        process.load(ld, block)
+        process.finish()
+        profile = WhompProfiler().profile(process.trace)
+        assert profile.reconstruct_accesses() == raw_stream(process.trace)
+
+    def test_expand_tuples_length(self, list_trace):
+        profile = WhompProfiler().profile(list_trace)
+        assert len(profile.expand_tuples()) == list_trace.access_count
+
+
+class TestProfileStructure:
+    def test_four_dimension_grammars(self, list_trace):
+        profile = WhompProfiler().profile(list_trace)
+        assert set(profile.grammars) == set(DIMENSIONS)
+        sizes = profile.dimension_sizes()
+        assert all(size > 0 for size in sizes.values())
+
+    def test_auxiliary_tables_cover_objects(self, list_trace):
+        profile = WhompProfiler().profile(list_trace)
+        assert len(profile.base_addresses) == len(profile.lifetimes)
+        # every (group, serial) in the lifetimes has a base address
+        for group, serial, *__ in profile.lifetimes:
+            assert (group, serial) in profile.base_addresses
+
+    def test_group_labels_present(self, list_trace):
+        profile = WhompProfiler().profile(list_trace)
+        labels = set(profile.group_labels.values())
+        assert "list.new_node" in labels
+
+    def test_size_metrics_consistent(self, list_trace):
+        profile = WhompProfiler().profile(list_trace)
+        assert profile.size() == sum(profile.dimension_sizes().values())
+        assert profile.size_bytes_varint() > 0
+        assert profile.size_bytes() >= profile.size() * 4
+
+
+class TestObjectRelativeInvariance:
+    """The OMSG must be identical whatever the memory layout -- the
+    paper's run-to-run stability claim."""
+
+    @pytest.mark.parametrize(
+        "knobs",
+        [
+            dict(allocator="best-fit"),
+            dict(allocator="segregated"),
+            dict(allocator="bump"),
+            dict(probe_padding=1 << 16),
+            dict(os_offset=1 << 20),
+        ],
+    )
+    def test_omsg_invariant_under_layout(self, knobs):
+        workload = LinkedListTraversal(nodes=25, sweeps=4)
+        base = WhompProfiler().profile(workload.trace())
+        other = WhompProfiler().profile(workload.trace(**knobs))
+        for name in DIMENSIONS:
+            assert (
+                base.grammars[name].expand() == other.grammars[name].expand()
+            ), f"{name} stream changed under {knobs}"
+
+    def test_raw_stream_not_invariant(self):
+        workload = LinkedListTraversal(nodes=25, sweeps=4)
+        first = workload.trace().raw_address_stream()
+        second = workload.trace(os_offset=1 << 20).raw_address_stream()
+        assert first != second
+
+
+class TestCompressionShape:
+    def test_omsg_beats_rasg_on_cross_object_pattern(self):
+        """Many same-site objects with identical internal access patterns:
+        the structure OMSG exposes and raw addresses hide."""
+        from repro.core.events import AccessKind
+        from repro.runtime.process import Process
+
+        process = Process()
+        ld = process.instruction("scan", AccessKind.LOAD)
+        for __ in range(40):
+            block = process.malloc("site", 512)
+            for offset in range(0, 512, 8):
+                process.load(ld, block + offset)
+        process.finish()
+        whomp = WhompProfiler().profile(process.trace)
+        rasg = RasgProfiler().profile(process.trace)
+        assert whomp.size() < rasg.size()
+        assert whomp.size_bytes_varint() < rasg.size_bytes_varint()
+
+    def test_strided_sweep_compresses_offsets_dimension(self):
+        trace = ArraySweep(elements=128, sweeps=4).trace()
+        profile = WhompProfiler().profile(trace)
+        sizes = profile.dimension_sizes()
+        # repeated sweeps compress: far smaller than the access count
+        assert sizes["offset"] < trace.access_count / 3
+        assert sizes["group"] < 64
+
+    def test_random_offsets_do_not_compress(self):
+        trace = HashProbe(buckets=512, probes=1500).trace()
+        profile = WhompProfiler().profile(trace)
+        assert profile.dimension_sizes()["offset"] > 1000
+
+
+class TestTypeRefinement:
+    def test_refine_by_type_splits_groups(self):
+        from repro.core.events import AccessKind
+        from repro.runtime.process import Process
+
+        def run(refine):
+            process = Process()
+            st = process.instruction("st", AccessKind.STORE)
+            a = process.malloc("site", 32, type_name="node")
+            b = process.malloc("site", 32, type_name="edge")
+            process.store(st, a)
+            process.store(st, b)
+            process.finish()
+            return WhompProfiler(refine_by_type=refine).profile(process.trace)
+
+        assert len(run(False).group_labels) == 1
+        assert len(run(True).group_labels) == 2

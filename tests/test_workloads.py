@@ -1,0 +1,117 @@
+"""Tests for the workload suite."""
+
+import pytest
+
+from repro.core.cdc import translate_trace_list
+from repro.core.events import AccessKind
+from repro.workloads.base import REGISTRY, Workload
+from repro.workloads.registry import (
+    PAPER_NAMES,
+    SPEC_BENCHMARKS,
+    all_names,
+    create,
+    spec_suite,
+)
+
+#: small scale so the whole suite runs fast in tests
+SCALE = 0.05
+
+
+class TestRegistry:
+    def test_all_spec_benchmarks_registered(self):
+        names = all_names()
+        for benchmark in SPEC_BENCHMARKS:
+            assert benchmark in names
+
+    def test_micro_workloads_registered(self):
+        assert "micro.list" in all_names()
+        assert "micro.array" in all_names()
+
+    def test_paper_names_cover_suite(self):
+        assert set(PAPER_NAMES) == set(SPEC_BENCHMARKS)
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            create("nonexistent")
+
+    def test_duplicate_registration_rejected(self):
+        class Dupe(Workload):
+            name = "gzip"
+
+        with pytest.raises(ValueError):
+            REGISTRY.register(Dupe)
+
+    def test_spec_suite_order(self):
+        suite = spec_suite(scale=SCALE)
+        assert [w.name for w in suite] == list(SPEC_BENCHMARKS)
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            create("gzip", scale=0)
+
+
+@pytest.mark.parametrize("name", SPEC_BENCHMARKS)
+class TestEverySpecWorkload:
+    def test_produces_nonempty_trace(self, name):
+        trace = create(name, scale=SCALE).trace()
+        assert trace.access_count > 100
+
+    def test_deterministic_across_runs(self, name):
+        workload = create(name, scale=SCALE)
+        first = workload.trace()
+        second = create(name, scale=SCALE).trace()
+        assert list(first) == list(second)
+
+    def test_seed_changes_trace(self, name):
+        first = create(name, scale=SCALE, seed=0).trace()
+        second = create(name, scale=SCALE, seed=1).trace()
+        assert list(first) != list(second)
+
+    def test_has_loads_and_stores(self, name):
+        trace = create(name, scale=SCALE).trace()
+        kinds = {e.kind for e in trace.accesses()}
+        assert kinds == {AccessKind.LOAD, AccessKind.STORE}
+
+    def test_object_relative_stream_layout_invariant(self, name):
+        """The paper's core claim: logical behaviour is independent of
+        allocator and layout, so the object-relative stream is too."""
+        workload = create(name, scale=SCALE)
+        base = translate_trace_list(workload.trace())
+        moved = translate_trace_list(
+            workload.trace(allocator="best-fit", probe_padding=4096)
+        )
+        assert base == moved
+
+    def test_no_wild_accesses(self, name):
+        """Workloads only touch live objects (wild accesses would mean a
+        use-after-free bug in the workload)."""
+        translated = translate_trace_list(create(name, scale=SCALE).trace())
+        assert not any(a.wild for a in translated)
+
+    def test_balanced_alloc_free(self, name):
+        from repro.core.events import AllocEvent, FreeEvent
+
+        trace = create(name, scale=SCALE).trace()
+        allocs = sum(1 for e in trace if isinstance(e, AllocEvent))
+        frees = sum(1 for e in trace if isinstance(e, FreeEvent))
+        assert allocs == frees  # everything freed by finish()
+
+
+class TestScaling:
+    def test_scale_grows_trace(self):
+        small = create("gzip", scale=0.05).trace()
+        large = create("gzip", scale=0.2).trace()
+        assert large.access_count > small.access_count
+
+    def test_scaled_floor(self):
+        workload = create("gzip", scale=0.0001)
+        assert workload.scaled(10) >= 1
+
+
+class TestColdCode:
+    def test_startup_and_report_instructions_present(self):
+        process = create("gzip", scale=SCALE).execute()
+        names = set(process.instructions)
+        assert any(name.startswith("startup.load_config") for name in names)
+        assert any(name.startswith("shutdown.store_stat") for name in names)
+        assert any(name.startswith("report.load_stat") for name in names)
