@@ -1,0 +1,80 @@
+"""Telemetry self-dilation benchmark.
+
+Table 1's central observability claim is the *dilation factor*: how much
+slower the program runs with the profiler attached.  This benchmark is
+the repo's analogue for its own instrumentation -- it times the WHOMP
+and LEAP pipelines under the default :class:`~repro.telemetry.NullTelemetry`
+and under a live :class:`~repro.telemetry.Telemetry`, and records the
+instrumented-vs-null ratio in ``extra_info`` so future PRs can track
+whether the measurement substrate itself is getting heavier.
+
+The null path is additionally asserted against a hand-rolled bare loop
+(no telemetry plumbing at all) in
+``tests/test_telemetry_integration.py``; here the interest is the
+*enabled* cost.
+"""
+
+import time
+
+from repro.profilers.leap import LeapProfiler
+from repro.profilers.whomp import WhompProfiler
+from repro.telemetry import Telemetry
+from repro.workloads.registry import create
+
+#: Enabled telemetry stages the pipeline (materializes the translated
+#: stream to time each phase), so some dilation is expected; it must
+#: stay bounded or our own Table 1 numbers become lies.
+MAX_ENABLED_DILATION = 3.0
+
+
+def _micro_trace():
+    return create("micro.array", scale=2.0).trace()
+
+
+def _best_of(function, *args, rounds=3):
+    timings = []
+    for __ in range(rounds):
+        start = time.perf_counter()
+        function(*args)
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def test_whomp_telemetry_dilation(benchmark):
+    trace = _micro_trace()
+    null_profiler = WhompProfiler()
+
+    def instrumented():
+        return WhompProfiler(telemetry=Telemetry()).profile(trace)
+
+    null_profiler.profile(trace)  # warm
+    null_seconds = _best_of(null_profiler.profile, trace)
+    benchmark.pedantic(instrumented, rounds=3, iterations=1)
+    instrumented_seconds = _best_of(
+        lambda: WhompProfiler(telemetry=Telemetry()).profile(trace)
+    )
+    dilation = instrumented_seconds / null_seconds
+    benchmark.extra_info["null_seconds"] = null_seconds
+    benchmark.extra_info["instrumented_seconds"] = instrumented_seconds
+    benchmark.extra_info["telemetry_dilation"] = dilation
+    assert dilation < MAX_ENABLED_DILATION
+
+
+def test_leap_telemetry_dilation(benchmark):
+    trace = _micro_trace()
+    null_profiler = LeapProfiler()
+
+    def instrumented():
+        return LeapProfiler(telemetry=Telemetry()).profile(trace)
+
+    null_profiler.profile(trace)  # warm
+    null_seconds = _best_of(null_profiler.profile, trace)
+    benchmark.pedantic(instrumented, rounds=3, iterations=1)
+    instrumented_seconds = _best_of(
+        lambda: LeapProfiler(telemetry=Telemetry()).profile(trace)
+    )
+    dilation = instrumented_seconds / null_seconds
+    benchmark.extra_info["null_seconds"] = null_seconds
+    benchmark.extra_info["instrumented_seconds"] = instrumented_seconds
+    benchmark.extra_info["telemetry_dilation"] = dilation
+    assert dilation < MAX_ENABLED_DILATION

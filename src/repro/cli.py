@@ -8,11 +8,17 @@ Subcommands::
     repro-profile lang <source.mir> [--profiler ...] [-o DIR]
         Interpret a mini-IR source file under instrumentation.
 
-    repro-profile stats <workload>
+    repro-profile stats <workload> [--json]
         Print trace statistics (instruction mix, footprint, reuse).
 
     repro-profile list
         List registered workloads.
+
+Every profiling subcommand accepts ``--telemetry [report|json|prom]``
+(optionally with ``--telemetry-out PATH``) to self-profile the pipeline:
+a span tree timing trace collection, translation, decomposition, and
+compression, plus the metric registry described in README's
+"Observability" section.
 
 Profiles are written in the versioned JSON formats of
 :mod:`repro.core.profile_io` and can be reloaded for post-processing.
@@ -23,6 +29,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from dataclasses import asdict
 from typing import List, Optional
 
 from repro.analysis.tracestats import characterize, format_statistics
@@ -30,27 +37,42 @@ from repro.core.events import Trace
 from repro.core.profile_io import save_leap, save_whomp
 from repro.profilers.leap import LeapProfiler
 from repro.profilers.whomp import WhompProfiler
+from repro.telemetry import MODES, NULL_TELEMETRY, Telemetry, emit
 from repro.workloads.registry import all_names, create
 
 
-def _collect_workload_trace(name: str, scale: float, seed: int, allocator: str) -> Trace:
-    return create(name, scale=scale, seed=seed).trace(allocator=allocator)
+def _collect_workload_trace(
+    name: str, scale: float, seed: int, allocator: str, telemetry=None
+) -> Trace:
+    telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+    with telemetry.span("trace-collection") as span:
+        trace = create(name, scale=scale, seed=seed).trace(
+            allocator=allocator, telemetry=telemetry
+        )
+        span.add_items(trace.access_count, "accesses")
+    return trace
 
 
-def _collect_lang_trace(path: str) -> Trace:
+def _collect_lang_trace(path: str, telemetry=None) -> Trace:
     from repro.lang.interp import run_source
 
+    telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
     with open(path) as handle:
         source = handle.read()
-    result, interpreter = run_source(source)
+    with telemetry.span("trace-collection") as span:
+        result, interpreter = run_source(source)
+        trace = interpreter.process.trace
+        span.add_items(trace.access_count, "accesses")
     print(f"program returned {result}")
-    return interpreter.process.trace
+    return trace
 
 
-def _write_profiles(trace: Trace, profiler: str, out_dir: str, stem: str) -> None:
+def _write_profiles(
+    trace: Trace, profiler: str, out_dir: str, stem: str, telemetry=None
+) -> None:
     os.makedirs(out_dir, exist_ok=True)
     if profiler in ("whomp", "both"):
-        profile = WhompProfiler().profile(trace)
+        profile = WhompProfiler(telemetry=telemetry).profile(trace)
         path = os.path.join(out_dir, f"{stem}.whomp.json")
         with open(path, "w") as handle:
             save_whomp(profile, handle)
@@ -59,7 +81,7 @@ def _write_profiles(trace: Trace, profiler: str, out_dir: str, stem: str) -> Non
             f"({profile.size()} symbols) -> {path}"
         )
     if profiler in ("leap", "both"):
-        profile = LeapProfiler().profile(trace)
+        profile = LeapProfiler(telemetry=telemetry).profile(trace)
         path = os.path.join(out_dir, f"{stem}.leap.json")
         with open(path, "w") as handle:
             save_leap(profile, handle)
@@ -113,6 +135,20 @@ def _dump_profile(path: str, limit: int, parser) -> int:
     return 2
 
 
+def _add_telemetry_arguments(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--telemetry",
+        choices=MODES,
+        help="self-profile the pipeline and print spans/metrics in the "
+        "chosen format",
+    )
+    subparser.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        help="write the telemetry output to PATH instead of stdout",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-profile",
@@ -127,11 +163,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--allocator", default="first-fit")
     run.add_argument("-o", "--out", default=".", help="output directory")
+    _add_telemetry_arguments(run)
 
     lang = sub.add_parser("lang", help="profile a mini-IR source file")
     lang.add_argument("source", help="path to the .mir source")
     lang.add_argument("--profiler", choices=("whomp", "leap", "both"), default="both")
     lang.add_argument("-o", "--out", default=".", help="output directory")
+    _add_telemetry_arguments(lang)
 
     stats = sub.add_parser("stats", help="print trace statistics")
     stats.add_argument("workload", help="workload name (see `list`)")
@@ -141,6 +179,12 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--no-reuse", action="store_true", help="skip the reuse-distance pass"
     )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="print the statistics as JSON instead of text",
+    )
+    _add_telemetry_arguments(stats)
 
     sub.add_parser("list", help="list registered workloads")
 
@@ -162,24 +206,32 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name:<14} {workload.description}")
         return 0
 
+    telemetry_mode = getattr(args, "telemetry", None)
+    telemetry = Telemetry() if telemetry_mode else NULL_TELEMETRY
+
     if args.command == "run":
         try:
             trace = _collect_workload_trace(
-                args.workload, args.scale, args.seed, args.allocator
+                args.workload, args.scale, args.seed, args.allocator,
+                telemetry=telemetry,
             )
         except KeyError as exc:
             parser.error(str(exc))
         print(f"trace: {trace.access_count} accesses")
-        _write_profiles(trace, args.profiler, args.out, args.workload)
+        _write_profiles(
+            trace, args.profiler, args.out, args.workload, telemetry=telemetry
+        )
+        emit(telemetry, telemetry_mode, args.telemetry_out)
         return 0
 
     if args.command == "lang":
         if not os.path.exists(args.source):
             parser.error(f"no such file: {args.source}")
-        trace = _collect_lang_trace(args.source)
+        trace = _collect_lang_trace(args.source, telemetry=telemetry)
         print(f"trace: {trace.access_count} accesses")
         stem = os.path.splitext(os.path.basename(args.source))[0]
-        _write_profiles(trace, args.profiler, args.out, stem)
+        _write_profiles(trace, args.profiler, args.out, stem, telemetry=telemetry)
+        emit(telemetry, telemetry_mode, args.telemetry_out)
         return 0
 
     if args.command == "dump":
@@ -188,12 +240,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "stats":
         try:
             trace = _collect_workload_trace(
-                args.workload, args.scale, args.seed, args.allocator
+                args.workload, args.scale, args.seed, args.allocator,
+                telemetry=telemetry,
             )
         except KeyError as exc:
             parser.error(str(exc))
-        statistics = characterize(trace, with_reuse=not args.no_reuse)
-        print(format_statistics(statistics))
+        with telemetry.span("characterization") as span:
+            statistics = characterize(trace, with_reuse=not args.no_reuse)
+            span.add_items(statistics.accesses, "accesses")
+        if args.json:
+            import json as json_module
+
+            payload = asdict(statistics)
+            payload["load_fraction"] = statistics.load_fraction
+            print(json_module.dumps(payload, indent=2))
+        else:
+            print(format_statistics(statistics))
+        emit(telemetry, telemetry_mode, args.telemetry_out)
         return 0
 
     parser.error(f"unknown command {args.command!r}")

@@ -33,10 +33,14 @@ def collect_trace(
     allocator: str = "first-fit",
     probe_padding: int = 0,
     os_offset: int = 0,
+    telemetry=None,
 ) -> Trace:
     """Run a workload under instrumentation and return its trace."""
     return workload.trace(
-        allocator=allocator, probe_padding=probe_padding, os_offset=os_offset
+        allocator=allocator,
+        probe_padding=probe_padding,
+        os_offset=os_offset,
+        telemetry=telemetry,
     )
 
 
@@ -45,19 +49,26 @@ def profile_trace(
     profilers: Iterable[str] = PROFILERS,
     budget: Optional[int] = None,
     refine_by_type: bool = False,
+    telemetry=None,
 ) -> Dict[str, object]:
     """Collect the named profiles from one recorded trace."""
     results: Dict[str, object] = {}
     for name in profilers:
         if name == "whomp":
             results[name] = WhompProfiler(
-                refine_by_type=refine_by_type
+                refine_by_type=refine_by_type, telemetry=telemetry
             ).profile(trace)
         elif name == "leap":
             profiler = (
-                LeapProfiler(budget=budget, refine_by_type=refine_by_type)
+                LeapProfiler(
+                    budget=budget,
+                    refine_by_type=refine_by_type,
+                    telemetry=telemetry,
+                )
                 if budget is not None
-                else LeapProfiler(refine_by_type=refine_by_type)
+                else LeapProfiler(
+                    refine_by_type=refine_by_type, telemetry=telemetry
+                )
             )
             results[name] = profiler.profile(trace)
         else:
@@ -72,6 +83,7 @@ def profile_workload(
     profilers: Iterable[str] = PROFILERS,
     scale: float = 1.0,
     seed: int = 0,
+    telemetry=None,
     **layout,
 ) -> Dict[str, object]:
     """End-to-end: run a workload (by instance or registry name) and
@@ -80,8 +92,8 @@ def profile_workload(
         from repro.workloads.registry import create
 
         workload = create(workload, scale=scale, seed=seed)
-    trace = collect_trace(workload, **layout)
-    results = profile_trace(trace, profilers)
+    trace = collect_trace(workload, telemetry=telemetry, **layout)
+    results = profile_trace(trace, profilers, telemetry=telemetry)
     results["trace"] = trace
     return results
 

@@ -20,7 +20,7 @@ fed from an offline translated stream.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.compression.lmad import DEFAULT_BUDGET, LMADCompressor, LMADProfileEntry
 from repro.compression.sequitur import SequiturGrammar
@@ -53,6 +53,31 @@ class HorizontalSequiturSCC:
         self.grammars["group"].feed(access.group)
         self.grammars["object"].feed(access.object_serial)
         self.grammars["offset"].feed(access.offset)
+
+    # -- staged interface (telemetry-timed profiling) ------------------
+    #
+    # ``consume`` interleaves decomposition and compression per access;
+    # the staged pair below runs each phase over the whole stream so the
+    # profilers can time them as separate spans.  Output is identical.
+
+    def decompose(
+        self, accesses: Iterable[ObjectRelativeAccess]
+    ) -> Dict[str, List[int]]:
+        """Horizontal decomposition: the four dimension streams."""
+        accesses = list(accesses)
+        return {
+            "instruction": [a.instruction_id for a in accesses],
+            "group": [a.group for a in accesses],
+            "object": [a.object_serial for a in accesses],
+            "offset": [a.offset for a in accesses],
+        }
+
+    def compress_streams(self, streams: Dict[str, List[int]]) -> None:
+        """Feed each decomposed dimension stream to its compressor."""
+        for name, values in streams.items():
+            feed = self.grammars[name].feed
+            for value in values:
+                feed(value)
 
     def total_size(self) -> int:
         """Combined grammar size across the four dimensions."""
@@ -96,6 +121,40 @@ class VerticalLMADSCC:
         self._exec_counts[access.instruction_id] = (
             self._exec_counts.get(access.instruction_id, 0) + 1
         )
+
+    # -- staged interface (telemetry-timed profiling) ------------------
+
+    def decompose(
+        self, accesses: Iterable[ObjectRelativeAccess]
+    ) -> Dict[Tuple[int, int], List[Tuple[int, int, int]]]:
+        """Vertical decomposition: (instruction, group) -> triple stream.
+
+        Also tracks the side tables (kinds, execution counts) exactly as
+        per-access :meth:`consume` would.
+        """
+        substreams: Dict[Tuple[int, int], List[Tuple[int, int, int]]] = {}
+        for access in accesses:
+            key = (access.instruction_id, access.group)
+            stream = substreams.get(key)
+            if stream is None:
+                stream = substreams[key] = []
+            stream.append((access.object_serial, access.offset, access.time))
+            self._kinds.setdefault(access.instruction_id, access.kind)
+            self._exec_counts[access.instruction_id] = (
+                self._exec_counts.get(access.instruction_id, 0) + 1
+            )
+        return substreams
+
+    def compress_streams(
+        self, substreams: Dict[Tuple[int, int], List[Tuple[int, int, int]]]
+    ) -> None:
+        """Feed each decomposed sub-stream to its LMAD compressor."""
+        for key, triples in substreams.items():
+            compressor = self._compressors.get(key)
+            if compressor is None:
+                compressor = LMADCompressor(dims=3, budget=self.budget)
+                self._compressors[key] = compressor
+            compressor.feed_all(triples)
 
     def finish(self) -> Dict[Tuple[int, int], LMADProfileEntry]:
         """Close all compressors and return the entries."""

@@ -33,11 +33,13 @@ class SuiteContext:
         seed: int = 0,
         benchmarks: Sequence[str] = SPEC_BENCHMARKS,
         allocator: str = "first-fit",
+        telemetry=None,
     ) -> None:
         self.scale = scale
         self.seed = seed
         self.benchmarks = tuple(benchmarks)
         self.allocator = allocator
+        self.telemetry = telemetry
         self._traces: Dict[str, Trace] = {}
         self._whomp: Dict[str, WhompProfile] = {}
         self._rasg: Dict[str, RasgProfile] = {}
@@ -51,12 +53,16 @@ class SuiteContext:
 
     def trace(self, name: str) -> Trace:
         if name not in self._traces:
-            self._traces[name] = self.workload(name).trace(allocator=self.allocator)
+            self._traces[name] = self.workload(name).trace(
+                allocator=self.allocator, telemetry=self.telemetry
+            )
         return self._traces[name]
 
     def whomp(self, name: str) -> WhompProfile:
         if name not in self._whomp:
-            self._whomp[name] = WhompProfiler().profile(self.trace(name))
+            self._whomp[name] = WhompProfiler(
+                telemetry=self.telemetry
+            ).profile(self.trace(name))
         return self._whomp[name]
 
     def rasg(self, name: str) -> RasgProfile:
@@ -66,7 +72,9 @@ class SuiteContext:
 
     def leap(self, name: str) -> LeapProfile:
         if name not in self._leap:
-            self._leap[name] = LeapProfiler().profile(self.trace(name))
+            self._leap[name] = LeapProfiler(
+                telemetry=self.telemetry
+            ).profile(self.trace(name))
         return self._leap[name]
 
     def truth_dependence(self, name: str) -> DependenceProfile:

@@ -7,7 +7,10 @@ Regenerates every figure and table of the paper's evaluation::
     python -m repro.experiments.runner table1
 
 Results print as paper-style text tables and histograms; ``--json``
-writes the structured results to a file as well.
+writes the structured results (plus per-experiment elapsed seconds) to
+a file as well.  ``--telemetry [report|json|prom]`` self-profiles the
+suite with one span per experiment, and ``--heartbeat SECS`` emits a
+progress line to stderr while a long experiment runs.
 """
 
 from __future__ import annotations
@@ -15,11 +18,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.experiments import fig3, fig5, fig6, fig7, fig8, fig9, table1
 from repro.experiments.context import SuiteContext
+from repro.telemetry import MODES, NULL_TELEMETRY, Telemetry, emit
 
 EXPERIMENTS = {
     "fig3": (fig3.run, fig3.render),
@@ -50,7 +55,44 @@ def _jsonable(value: object) -> object:
     return repr(value)
 
 
-def main(argv: List[str] = None) -> int:
+class _Heartbeat:
+    """Background progress line for long-running experiments.
+
+    Prints ``[heartbeat] <name> running (12s)`` to stderr every
+    ``interval`` seconds until the guarded block exits.  A zero or
+    negative interval disables it entirely.
+    """
+
+    def __init__(self, name: str, interval: float) -> None:
+        self._name = name
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def __enter__(self) -> "_Heartbeat":
+        if self._interval > 0:
+            self._thread = threading.Thread(target=self._beat, daemon=True)
+            self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+        return False
+
+    def _beat(self) -> None:
+        started = time.perf_counter()
+        while not self._stop.wait(self._interval):
+            elapsed = time.perf_counter() - started
+            print(
+                f"[heartbeat] {self._name} running ({elapsed:.0f}s)",
+                file=sys.stderr,
+                flush=True,
+            )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's figures and tables.",
@@ -76,6 +118,25 @@ def main(argv: List[str] = None) -> int:
         help="skip the wall-clock dilation measurement in table1",
     )
     parser.add_argument("--json", metavar="PATH", help="also write results as JSON")
+    parser.add_argument(
+        "--telemetry",
+        choices=MODES,
+        help="self-profile the suite (one span per experiment) and print "
+        "spans/metrics in the chosen format",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        help="write the telemetry output to PATH instead of stdout",
+    )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=0.0,
+        metavar="SECS",
+        help="print a progress line to stderr every SECS seconds while an "
+        "experiment runs (0 disables)",
+    )
     args = parser.parse_args(argv)
 
     names = list(args.experiments)
@@ -88,24 +149,41 @@ def main(argv: List[str] = None) -> int:
     if args.all or "all" in names or not names:
         names = list(EXPERIMENTS)
 
-    context = SuiteContext(scale=args.scale, seed=args.seed)
+    telemetry = Telemetry() if args.telemetry else NULL_TELEMETRY
+    context = SuiteContext(
+        scale=args.scale,
+        seed=args.seed,
+        telemetry=telemetry if telemetry.enabled else None,
+    )
     collected: Dict[str, object] = {}
-    for name in names:
+    elapsed_seconds: Dict[str, float] = {}
+    for index, name in enumerate(names, start=1):
         run, render = EXPERIMENTS[name]
+        print(f"[{index}/{len(names)}] running {name} ...", flush=True)
         start = time.perf_counter()
-        if name == "table1":
-            results = run(context, measure_speed=not args.no_speed)
-        else:
-            results = run(context)
+        with _Heartbeat(name, args.heartbeat), telemetry.span(name):
+            if name == "table1":
+                results = run(context, measure_speed=not args.no_speed)
+            else:
+                results = run(context)
         elapsed = time.perf_counter() - start
         collected[name] = results
+        elapsed_seconds[name] = elapsed
         print(render(results))
         print(f"[{name} completed in {elapsed:.1f}s]\n")
 
     if args.json:
+        payload = {
+            name: {
+                "elapsed_seconds": elapsed_seconds[name],
+                "results": _jsonable(results),
+            }
+            for name, results in collected.items()
+        }
         with open(args.json, "w") as handle:
-            json.dump(_jsonable(collected), handle, indent=2)
+            json.dump(payload, handle, indent=2)
         print(f"JSON results written to {args.json}")
+    emit(telemetry, args.telemetry, args.telemetry_out)
     return 0
 
 

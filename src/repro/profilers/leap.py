@@ -23,6 +23,7 @@ from repro.core.cdc import OnlineCDC, translate_trace
 from repro.core.events import AccessKind, Trace
 from repro.core.omc import ObjectManager
 from repro.core.scc import VerticalLMADSCC
+from repro.telemetry.spans import Telemetry, coalesce
 
 #: bytes per serialized LMAD record: 3-d start + 3-d stride at 8 bytes
 #: each, plus an 8-byte count.
@@ -124,19 +125,89 @@ class LeapProfiler:
     process bus (online) via :meth:`attach`."""
 
     def __init__(
-        self, budget: int = DEFAULT_BUDGET, refine_by_type: bool = False
+        self,
+        budget: int = DEFAULT_BUDGET,
+        refine_by_type: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.budget = budget
         self.refine_by_type = refine_by_type
+        self.telemetry = coalesce(telemetry)
 
     def profile(self, trace: Trace) -> LeapProfile:
         omc = ObjectManager(refine_by_type=self.refine_by_type)
         scc = VerticalLMADSCC(budget=self.budget)
-        count = 0
-        for access in translate_trace(trace, omc):
-            scc.consume(access)
-            count += 1
-        return self._package(scc, omc, count)
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            count = 0
+            for access in translate_trace(trace, omc):
+                scc.consume(access)
+                count += 1
+            return self._package(scc, omc, count)
+        return self._profile_instrumented(trace, omc, scc, telemetry)
+
+    def _profile_instrumented(
+        self,
+        trace: Trace,
+        omc: ObjectManager,
+        scc: VerticalLMADSCC,
+        telemetry: Telemetry,
+    ) -> LeapProfile:
+        """The telemetry-timed pipeline: translation, vertical
+        decomposition, and LMAD fitting each get their own span, and the
+        Table 1 quality metrics land in the registry.  Output is
+        identical to the streaming path's."""
+        with telemetry.span("leap") as whole:
+            with telemetry.span("translation") as span:
+                accesses = list(translate_trace(trace, omc))
+                span.add_items(len(accesses), "accesses")
+            telemetry.counter(
+                "cdc.translated_total", "accesses made object-relative"
+            ).inc(len(accesses))
+            with telemetry.span("decomposition") as span:
+                substreams = scc.decompose(accesses)
+                span.add_items(len(accesses), "accesses")
+            with telemetry.span("compression") as span:
+                scc.compress_streams(substreams)
+                span.add_items(len(accesses), "symbols")
+            whole.add_items(len(accesses), "accesses")
+        profile = self._package(scc, omc, len(accesses))
+        lmads_histogram = telemetry.histogram(
+            "leap.lmads_per_entry", "descriptors per (instruction, group)"
+        )
+        total_lmads = 0
+        overflow_symbols = 0
+        overflowed_entries = 0
+        for entry in profile.entries.values():
+            lmads_histogram.observe(len(entry.lmads))
+            total_lmads += len(entry.lmads)
+            overflow_symbols += entry.overflow.count
+            if entry.overflow.count:
+                overflowed_entries += 1
+        telemetry.gauge(
+            "leap.entries", "(instruction, group) profile entries"
+        ).set(len(profile.entries))
+        telemetry.gauge(
+            "leap.lmads", "LMAD descriptors fitted across all entries"
+        ).set(total_lmads)
+        telemetry.counter(
+            "leap.overflow_symbols_total",
+            "symbols discarded to the min/max/granularity summaries "
+            "after the descriptor budget filled",
+        ).inc(overflow_symbols)
+        telemetry.gauge(
+            "leap.overflowed_entries", "entries that hit the budget"
+        ).set(overflowed_entries)
+        telemetry.gauge(
+            "leap.capture_rate", "fraction of accesses captured in LMADs"
+        ).set(profile.accesses_captured())
+        telemetry.gauge(
+            "leap.profile_bytes", "serialized LEAP profile size"
+        ).set(profile.size_bytes())
+        telemetry.gauge("leap.budget", "descriptor budget per entry").set(
+            self.budget
+        )
+        return profile
 
     def attach(self, bus) -> "OnlineLeapSession":
         """Attach an online LEAP pipeline to a
@@ -171,6 +242,7 @@ class OnlineLeapSession:
         self._cdc = OnlineCDC(
             self._scc.consume,
             ObjectManager(refine_by_type=profiler.refine_by_type),
+            telemetry=profiler.telemetry,
         )
         bus.attach(self._cdc)
 

@@ -23,6 +23,7 @@ from repro.core.events import Trace
 from repro.core.omc import ObjectManager
 from repro.core.scc import HorizontalSequiturSCC
 from repro.core.tuples import DIMENSIONS, WILD_GROUP
+from repro.telemetry.spans import Telemetry, coalesce
 
 
 @dataclass
@@ -99,18 +100,80 @@ class WhompProfiler:
     >>> profile = profiler.profile(trace)        # doctest: +SKIP
     """
 
-    def __init__(self, refine_by_type: bool = False, compressor=None) -> None:
+    def __init__(
+        self,
+        refine_by_type: bool = False,
+        compressor=None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self.refine_by_type = refine_by_type
         self.compressor = compressor if compressor is not None else SequiturGrammar
+        self.telemetry = coalesce(telemetry)
 
     def profile(self, trace: Trace) -> WhompProfile:
         omc = ObjectManager(refine_by_type=self.refine_by_type)
         scc = HorizontalSequiturSCC(compressor=self.compressor)
-        count = 0
-        for access in translate_trace(trace, omc):
-            scc.consume(access)
-            count += 1
-        return self._package(scc, omc, count)
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            count = 0
+            for access in translate_trace(trace, omc):
+                scc.consume(access)
+                count += 1
+            return self._package(scc, omc, count)
+        return self._profile_instrumented(trace, omc, scc, telemetry)
+
+    def _profile_instrumented(
+        self,
+        trace: Trace,
+        omc: ObjectManager,
+        scc: HorizontalSequiturSCC,
+        telemetry: Telemetry,
+    ) -> WhompProfile:
+        """The telemetry-timed pipeline: each paper stage is a span.
+
+        Staging materializes the translated stream so translation,
+        horizontal decomposition, and Sequitur compression can be timed
+        separately; the produced profile is identical to the streaming
+        path's.
+        """
+        with telemetry.span("whomp") as whole:
+            with telemetry.span("translation") as span:
+                accesses = list(translate_trace(trace, omc))
+                span.add_items(len(accesses), "accesses")
+            telemetry.counter(
+                "cdc.translated_total", "accesses made object-relative"
+            ).inc(len(accesses))
+            telemetry.counter(
+                "cdc.wild_total", "accesses resolving to no live object"
+            ).inc(sum(1 for a in accesses if a.group == WILD_GROUP))
+            with telemetry.span("decomposition") as span:
+                streams = scc.decompose(accesses)
+                span.add_items(len(accesses), "accesses")
+            with telemetry.span("compression") as span:
+                scc.compress_streams(streams)
+                span.add_items(
+                    sum(len(s) for s in streams.values()), "symbols"
+                )
+            whole.add_items(len(accesses), "accesses")
+        profile = self._package(scc, omc, len(accesses))
+        rules = 0
+        for grammar in profile.grammars.values():
+            rule_count = getattr(grammar, "rule_count", None)
+            if callable(rule_count):
+                rules += rule_count()
+        telemetry.gauge(
+            "whomp.grammar_rules", "Sequitur rules across the OMSG"
+        ).set(rules)
+        telemetry.gauge(
+            "whomp.profile_symbols", "total OMSG grammar symbols"
+        ).set(profile.size())
+        telemetry.gauge(
+            "whomp.profile_bytes", "varint-coded OMSG size"
+        ).set(profile.size_bytes_varint())
+        telemetry.gauge(
+            "whomp.groups", "object groups in the OMC tables"
+        ).set(len(profile.group_labels))
+        return profile
 
     def attach(self, bus) -> "OnlineWhompSession":
         """Attach an online WHOMP pipeline to a live probe bus (the
@@ -142,6 +205,7 @@ class OnlineWhompSession:
         self._cdc = OnlineCDC(
             self._scc.consume,
             ObjectManager(refine_by_type=profiler.refine_by_type),
+            telemetry=profiler.telemetry,
         )
         bus.attach(self._cdc)
 

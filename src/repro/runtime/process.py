@@ -65,6 +65,10 @@ class Process:
         When true (default) a :class:`TraceRecorder` is attached so the
         run yields a :class:`Trace`.  When false the process runs
         uninstrumented -- the "native" baseline for dilation timing.
+    ``telemetry``
+        Optional :class:`~repro.telemetry.spans.Telemetry`; when enabled
+        the probe bus counts firings and the recorded trace tracks its
+        own footprint growth.
     """
 
     def __init__(
@@ -74,14 +78,15 @@ class Process:
         os_offset: int = 0,
         record_trace: bool = True,
         heap_size: int = 1 << 30,
+        telemetry=None,
     ) -> None:
         self.space = AddressSpace(heap_size=heap_size, os_offset=os_offset)
         self.linker = Linker(self.space, probe_padding=probe_padding)
         self.heap: Allocator = make_allocator(allocator, self.space.heap)
-        self.bus = ProbeBus()
+        self.bus = ProbeBus(telemetry=telemetry)
         self._recorder: Optional[TraceRecorder] = None
         if record_trace:
-            self._recorder = TraceRecorder()
+            self._recorder = TraceRecorder(Trace(telemetry=telemetry))
             self.bus.attach(self._recorder)
         self._instructions: Dict[str, Instruction] = {}
         self._static_types: Dict[str, Optional[str]] = {}

@@ -1,0 +1,256 @@
+"""Nestable timing spans and the telemetry facade.
+
+A :class:`Span` is one named stage of the pipeline -- trace-collection,
+translation, decomposition, compression -- timed with the wall clock and
+annotated with a throughput item count (accesses, symbols).  Spans nest:
+entering a span while another is open makes it a child, so a profiled
+run yields a span *tree* mirroring the paper's Figure 4 pipeline.
+Re-entering the same name under the same parent merges into one node
+(``calls`` increments and wall time accumulates), which keeps loops from
+exploding the tree.
+
+:class:`Telemetry` bundles a span tree with a
+:class:`~repro.telemetry.registry.Registry` and is what gets threaded
+through the pipeline.  :class:`NullTelemetry` is the disabled fast
+path: every operation is a no-op against shared singletons, and
+instrumented components check ``telemetry.enabled`` once at
+construction time so uninstrumented runs keep the seed hot paths
+byte-for-byte identical.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.telemetry.registry import Counter, Gauge, Histogram, Registry
+
+
+class Span:
+    """One node of the span tree: accumulated wall time plus counts."""
+
+    __slots__ = ("name", "parent", "children", "calls", "seconds", "items",
+                 "unit")
+
+    def __init__(self, name: str, parent: Optional["Span"] = None) -> None:
+        self.name = name
+        self.parent = parent
+        self.children: Dict[str, "Span"] = {}
+        self.calls = 0
+        self.seconds = 0.0
+        self.items = 0
+        self.unit = "items"
+
+    def child(self, name: str) -> "Span":
+        """Get-or-create the named child (same-name spans merge)."""
+        span = self.children.get(name)
+        if span is None:
+            span = Span(name, parent=self)
+            self.children[name] = span
+        return span
+
+    def add_items(self, count: int, unit: Optional[str] = None) -> None:
+        """Attribute ``count`` processed items to this span; the
+        exporters derive per-stage throughput (items/sec) from it."""
+        self.items += count
+        if unit is not None:
+            self.unit = unit
+
+    @property
+    def throughput(self) -> float:
+        """Items per second over the accumulated wall time."""
+        if self.seconds <= 0.0 or not self.items:
+            return 0.0
+        return self.items / self.seconds
+
+    @property
+    def path(self) -> str:
+        """Slash-joined path from the root, e.g. ``whomp/compression``."""
+        parts: List[str] = []
+        node: Optional[Span] = self
+        while node is not None and node.name:
+            parts.append(node.name)
+            node = node.parent
+        return "/".join(reversed(parts))
+
+    def walk(self, depth: int = 0) -> Iterator[Tuple[int, "Span"]]:
+        """Depth-first (depth, span) pairs, children in creation order."""
+        yield depth, self
+        for child in self.children.values():
+            yield from child.walk(depth + 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.path or '<root>'}: {self.seconds * 1e3:.2f}ms, "
+            f"{self.calls} calls, {self.items} {self.unit})"
+        )
+
+
+class _SpanContext:
+    """Context manager driving one enter/exit of a span."""
+
+    __slots__ = ("_telemetry", "_span", "_start")
+
+    def __init__(self, telemetry: "Telemetry", span: Span) -> None:
+        self._telemetry = telemetry
+        self._span = span
+        self._start = 0.0
+
+    def __enter__(self) -> Span:
+        self._telemetry._stack.append(self._span)
+        self._span.calls += 1
+        self._start = self._telemetry._clock()
+        return self._span
+
+    def __exit__(self, *exc_info) -> bool:
+        self._span.seconds += self._telemetry._clock() - self._start
+        self._telemetry._stack.pop()
+        return False
+
+
+class Telemetry:
+    """The live observability facade threaded through the pipeline.
+
+    >>> telemetry = Telemetry()
+    >>> with telemetry.span("compression") as span:
+    ...     telemetry.counter("symbols").inc(4)
+    ...     span.add_items(4, "symbols")
+    >>> telemetry.registry.value("symbols")
+    4
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry: Optional[Registry] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.registry = registry if registry is not None else Registry()
+        self.root = Span("")
+        self._stack: List[Span] = [self.root]
+        self._clock = clock
+
+    # -- spans ---------------------------------------------------------
+
+    def span(self, name: str) -> _SpanContext:
+        """Open (or re-enter) the named span under the current one."""
+        return _SpanContext(self, self._stack[-1].child(name))
+
+    @property
+    def current_span(self) -> Span:
+        return self._stack[-1]
+
+    def spans(self) -> List[Span]:
+        """The top-level spans, in creation order."""
+        return list(self.root.children.values())
+
+    def find_span(self, path: str) -> Optional[Span]:
+        """Look a span up by its slash path (``whomp/compression``)."""
+        node = self.root
+        for part in path.split("/"):
+            node = node.children.get(part)  # type: ignore[assignment]
+            if node is None:
+                return None
+        return node
+
+    # -- metrics (registry delegates) ----------------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self.registry.counter(name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self.registry.gauge(name, help)
+
+    def histogram(self, name: str, help: str = "", **kwargs) -> Histogram:
+        return self.registry.histogram(name, help, **kwargs)
+
+
+class _NullMetric:
+    """Accepts every metric operation and records nothing."""
+
+    __slots__ = ()
+
+    name = "null"
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: Union[int, float]) -> None:
+        pass
+
+    def add(self, delta: Union[int, float]) -> None:
+        pass
+
+    def set_max(self, value: Union[int, float]) -> None:
+        pass
+
+    def observe(self, value: Union[int, float]) -> None:
+        pass
+
+
+class _NullSpan(Span):
+    """A span that swallows item attribution."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("null")
+
+    def add_items(self, count: int, unit: Optional[str] = None) -> None:
+        pass
+
+
+class _NullSpanContext:
+    """Shared no-op context manager for disabled telemetry."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self, span: _NullSpan) -> None:
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+class NullTelemetry(Telemetry):
+    """Disabled telemetry: every call is a no-op on shared singletons.
+
+    Components consult ``telemetry.enabled`` once, at construction, and
+    leave their hot paths untouched when it is False -- so a run under
+    :data:`NULL_TELEMETRY` (the default everywhere) pays no per-event
+    cost.  The registry stays empty and the span tree stays bare.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_metric = _NullMetric()
+        self._null_context = _NullSpanContext(_NullSpan())
+
+    def span(self, name: str) -> _NullSpanContext:  # type: ignore[override]
+        return self._null_context
+
+    def counter(self, name: str, help: str = "") -> Counter:  # type: ignore[override]
+        return self._null_metric  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:  # type: ignore[override]
+        return self._null_metric  # type: ignore[return-value]
+
+    def histogram(self, name: str, help: str = "", **kwargs) -> Histogram:  # type: ignore[override]
+        return self._null_metric  # type: ignore[return-value]
+
+
+#: Process-wide disabled-telemetry singleton; the default for every
+#: instrumented component.
+NULL_TELEMETRY = NullTelemetry()
+
+
+def coalesce(telemetry: Optional[Telemetry]) -> Telemetry:
+    """``telemetry`` if given, else the null singleton."""
+    return telemetry if telemetry is not None else NULL_TELEMETRY

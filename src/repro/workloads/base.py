@@ -105,6 +105,7 @@ class Workload:
         os_offset: int = 0,
         record_trace: bool = True,
         process: Optional[Process] = None,
+        telemetry=None,
     ) -> Process:
         """Run the workload on a (possibly fresh) process and finish it."""
         if process is None:
@@ -113,6 +114,7 @@ class Workload:
                 probe_padding=probe_padding,
                 os_offset=os_offset,
                 record_trace=record_trace,
+                telemetry=telemetry,
             )
         self.run(process)
         process.finish()
@@ -123,12 +125,14 @@ class Workload:
         allocator: str = "first-fit",
         probe_padding: int = 0,
         os_offset: int = 0,
+        telemetry=None,
     ) -> Trace:
         """Record and return this workload's trace."""
         return self.execute(
             allocator=allocator,
             probe_padding=probe_padding,
             os_offset=os_offset,
+            telemetry=telemetry,
         ).trace
 
 

@@ -37,9 +37,13 @@ PAPER_NAMES: Dict[str, str] = {
 }
 
 
+#: Convenience aliases accepted anywhere a workload name is.
+ALIASES: Dict[str, str] = {"micro": "micro.array"}
+
+
 def create(name: str, scale: float = 1.0, seed: int = 0) -> Workload:
-    """Instantiate a registered workload by name."""
-    return REGISTRY.create(name, scale=scale, seed=seed)
+    """Instantiate a registered workload by name (aliases resolve)."""
+    return REGISTRY.create(ALIASES.get(name, name), scale=scale, seed=seed)
 
 
 def spec_suite(scale: float = 1.0, seed: int = 0) -> List[Workload]:

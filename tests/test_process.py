@@ -149,6 +149,17 @@ class TestProbeBus:
         bus.fire_access(0, 0x5000, 8, AccessKind.LOAD)
         assert recorder.trace.access_count == 0
 
+    def test_detach_unattached_is_noop(self):
+        """Regression: detaching a never-attached (or already detached)
+        sink must not raise -- session finish() paths may detach twice."""
+        bus = ProbeBus()
+        recorder = TraceRecorder()
+        bus.detach(recorder)  # never attached
+        bus.attach(recorder)
+        bus.detach(recorder)
+        bus.detach(recorder)  # second detach
+        assert not bus.instrumented
+
     def test_recorder_wraps_existing_trace(self):
         trace = Trace()
         recorder = TraceRecorder(trace)

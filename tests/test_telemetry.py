@@ -1,0 +1,262 @@
+"""Unit tests for the telemetry subsystem: registry, spans, exporters."""
+
+import json
+import re
+
+import pytest
+
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Registry,
+    Telemetry,
+    coalesce,
+    render,
+    render_json,
+    render_prometheus,
+    render_report,
+    telemetry_to_dict,
+)
+from repro.telemetry.registry import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_add_and_peak(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value == 7
+        gauge.set_max(5)
+        assert gauge.value == 7  # max keeps the larger value
+        gauge.set_max(20)
+        assert gauge.value == 20
+
+
+class TestHistogram:
+    def test_count_sum_min_max_mean(self):
+        histogram = Histogram("h", bounds=(1, 10, 100))
+        for value in (1, 5, 50, 500):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == 556
+        assert histogram.minimum == 1
+        assert histogram.maximum == 500
+        assert histogram.mean == 139
+
+    def test_cumulative_buckets(self):
+        histogram = Histogram("h", bounds=(1, 10, 100))
+        for value in (1, 5, 50, 500):
+            histogram.observe(value)
+        buckets = dict(histogram.cumulative_buckets())
+        assert buckets[1] == 1
+        assert buckets[10] == 2
+        assert buckets[100] == 3
+        assert buckets[float("inf")] == 4
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = Registry()
+        first = registry.counter("probe.accesses")
+        second = registry.counter("probe.accesses")
+        assert first is second
+
+    def test_kind_conflict_raises(self):
+        registry = Registry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_iteration_is_name_sorted(self):
+        registry = Registry()
+        registry.counter("zz")
+        registry.gauge("aa")
+        assert [m.name for m in registry] == ["aa", "zz"]
+
+    def test_value_shortcut(self):
+        registry = Registry()
+        registry.counter("c").inc(3)
+        assert registry.value("c") == 3
+        assert registry.value("missing") is None
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        telemetry = Telemetry()
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                pass
+            with telemetry.span("inner2"):
+                pass
+        (outer,) = telemetry.spans()
+        assert outer.name == "outer"
+        assert list(outer.children) == ["inner", "inner2"]
+        assert outer.children["inner"].path == "outer/inner"
+
+    def test_same_name_spans_merge(self):
+        telemetry = Telemetry()
+        for __ in range(3):
+            with telemetry.span("stage"):
+                pass
+        (stage,) = telemetry.spans()
+        assert stage.calls == 3
+
+    def test_seconds_accumulate_and_cover_children(self):
+        clock_value = [0.0]
+
+        def clock():
+            clock_value[0] += 1.0
+            return clock_value[0]
+
+        telemetry = Telemetry(clock=clock)
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                pass
+        (outer,) = telemetry.spans()
+        inner = outer.children["inner"]
+        assert inner.seconds > 0
+        assert outer.seconds >= inner.seconds
+
+    def test_items_and_throughput(self):
+        telemetry = Telemetry()
+        with telemetry.span("stage") as span:
+            span.add_items(500, "accesses")
+        (stage,) = telemetry.spans()
+        assert stage.items == 500
+        assert stage.unit == "accesses"
+        assert stage.throughput > 0
+
+    def test_find_span_by_path(self):
+        telemetry = Telemetry()
+        with telemetry.span("a"):
+            with telemetry.span("b"):
+                pass
+        assert telemetry.find_span("a/b") is not None
+        assert telemetry.find_span("a/zz") is None
+
+    def test_span_survives_exception(self):
+        telemetry = Telemetry()
+        with pytest.raises(RuntimeError):
+            with telemetry.span("stage"):
+                raise RuntimeError("boom")
+        (stage,) = telemetry.spans()
+        assert stage.calls == 1
+        assert telemetry.current_span is telemetry.root
+
+
+class TestNullTelemetry:
+    def test_is_disabled_and_records_nothing(self):
+        null = NullTelemetry()
+        assert not null.enabled
+        with null.span("stage") as span:
+            span.add_items(10)
+            null.counter("c").inc()
+            null.gauge("g").set(5)
+            null.histogram("h").observe(1)
+        assert null.spans() == []
+        assert len(null.registry) == 0
+
+    def test_coalesce(self):
+        assert coalesce(None) is NULL_TELEMETRY
+        telemetry = Telemetry()
+        assert coalesce(telemetry) is telemetry
+
+
+def _sample_telemetry():
+    telemetry = Telemetry()
+    with telemetry.span("pipeline"):
+        with telemetry.span("compression") as span:
+            span.add_items(100, "symbols")
+    telemetry.counter("probe.accesses", "accesses fired").inc(100)
+    telemetry.gauge("leap.capture_rate").set(0.85)
+    histogram = telemetry.histogram("trace.alloc_size_bytes", bounds=(16, 256))
+    histogram.observe(8)
+    histogram.observe(1024)
+    return telemetry
+
+
+class TestReportExporter:
+    def test_contains_spans_and_metrics(self):
+        text = render_report(_sample_telemetry())
+        assert "pipeline" in text
+        assert "compression" in text
+        assert "symbols/s" in text
+        assert "probe.accesses" in text
+        assert "leap.capture_rate" in text
+
+    def test_empty_telemetry(self):
+        assert "no spans" in render_report(Telemetry())
+
+
+class TestJsonExporter:
+    def test_round_trips_through_json(self):
+        data = json.loads(render_json(_sample_telemetry()))
+        assert data["counters"]["probe.accesses"] == 100
+        assert data["gauges"]["leap.capture_rate"] == 0.85
+        assert data["histograms"]["trace.alloc_size_bytes"]["count"] == 2
+        (pipeline,) = data["spans"]
+        assert pipeline["name"] == "pipeline"
+        (compression,) = pipeline["children"]
+        assert compression["items"] == 100
+
+    def test_dict_form_has_all_sections(self):
+        data = telemetry_to_dict(Telemetry())
+        assert set(data) == {"spans", "counters", "gauges", "histograms"}
+
+
+#: One Prometheus text-exposition sample line: name, optional labels,
+#: then a number (or +Inf).
+_PROM_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (\+Inf|-?[0-9.e+-]+)$"
+)
+
+
+class TestPrometheusExporter:
+    def test_every_line_is_parseable(self):
+        text = render_prometheus(_sample_telemetry())
+        lines = [l for l in text.splitlines() if l]
+        assert lines
+        for line in lines:
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+            else:
+                assert _PROM_LINE.match(line), line
+
+    def test_names_are_sanitized_and_prefixed(self):
+        text = render_prometheus(_sample_telemetry())
+        assert "repro_probe_accesses 100" in text
+        assert "probe.accesses" not in text
+
+    def test_histogram_series(self):
+        text = render_prometheus(_sample_telemetry())
+        assert 'repro_trace_alloc_size_bytes_bucket{le="16"} 1' in text
+        assert 'repro_trace_alloc_size_bytes_bucket{le="+Inf"} 2' in text
+        assert "repro_trace_alloc_size_bytes_count 2" in text
+
+    def test_span_series(self):
+        text = render_prometheus(_sample_telemetry())
+        assert 'repro_span_seconds_total{span="pipeline/compression"}' in text
+        assert 'repro_span_items_total{span="pipeline/compression"} 100' in text
+
+
+class TestRenderDispatch:
+    def test_modes(self):
+        telemetry = _sample_telemetry()
+        assert render(telemetry, "report").startswith("== telemetry")
+        json.loads(render(telemetry, "json"))
+        assert render(telemetry, "prom").startswith("#")
+        with pytest.raises(ValueError):
+            render(telemetry, "xml")
