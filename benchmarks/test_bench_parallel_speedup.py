@@ -1,0 +1,89 @@
+"""Serial-vs-parallel wall-clock for the profiling pipeline.
+
+Records the serial and ``jobs=4`` timings of WHOMP (dimension fan-out)
+and LEAP (substream-shard fan-out) on the largest micro workload into
+the bench JSON (``extra_info``), so the perf trajectory of the parallel
+subsystem is tracked run over run.
+
+The speedup assertion is gated on the machine actually having multiple
+CPUs: on a single-core container a process pool can only add overhead,
+and asserting ``> 1.0`` there would test the scheduler, not the code.
+Equality of output is asserted unconditionally — a "speedup" that
+changes the profile would be a bug, not a win.
+"""
+
+import os
+import time
+
+from repro.parallel import fork_available
+from repro.profilers.leap import LeapProfiler
+from repro.profilers.whomp import WhompProfiler
+from repro.workloads.registry import create
+
+PARALLEL_JOBS = 4
+
+
+def _cpus():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _large_trace():
+    return create("micro.array", scale=3.0).trace()
+
+
+def _best_of(function, rounds=3):
+    timings = []
+    for __ in range(rounds):
+        start = time.perf_counter()
+        function()
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def _record(benchmark, serial_seconds, parallel_seconds):
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    benchmark.extra_info["serial_seconds"] = serial_seconds
+    benchmark.extra_info["parallel_seconds"] = parallel_seconds
+    benchmark.extra_info["jobs"] = PARALLEL_JOBS
+    benchmark.extra_info["cpus"] = _cpus()
+    benchmark.extra_info["speedup"] = speedup
+    if fork_available() and _cpus() >= 2:
+        assert speedup > 1.0, (
+            f"parallel pipeline slower than serial on {_cpus()} CPUs "
+            f"({parallel_seconds:.2f}s vs {serial_seconds:.2f}s)"
+        )
+
+
+def test_whomp_parallel_speedup(benchmark):
+    trace = _large_trace()
+    serial_profiler = WhompProfiler()
+    parallel_profiler = WhompProfiler(jobs=PARALLEL_JOBS)
+
+    serial_profile = serial_profiler.profile(trace)  # warm + reference
+    serial_seconds = _best_of(lambda: serial_profiler.profile(trace))
+    parallel_profile = benchmark.pedantic(
+        parallel_profiler.profile, args=(trace,), rounds=1, iterations=1
+    )
+    parallel_seconds = _best_of(lambda: parallel_profiler.profile(trace))
+    assert parallel_profile.size_bytes_varint() == serial_profile.size_bytes_varint()
+    assert parallel_profile.access_count == serial_profile.access_count
+    _record(benchmark, serial_seconds, parallel_seconds)
+
+
+def test_leap_parallel_speedup(benchmark):
+    trace = _large_trace()
+    serial_profiler = LeapProfiler()
+    parallel_profiler = LeapProfiler(jobs=PARALLEL_JOBS)
+
+    serial_profile = serial_profiler.profile(trace)  # warm + reference
+    serial_seconds = _best_of(lambda: serial_profiler.profile(trace))
+    parallel_profile = benchmark.pedantic(
+        parallel_profiler.profile, args=(trace,), rounds=1, iterations=1
+    )
+    parallel_seconds = _best_of(lambda: parallel_profiler.profile(trace))
+    assert parallel_profile.entries == serial_profile.entries
+    assert parallel_profile.exec_counts == serial_profile.exec_counts
+    _record(benchmark, serial_seconds, parallel_seconds)

@@ -14,7 +14,10 @@ Subcommands::
     repro-profile list
         List registered workloads.
 
-Every profiling subcommand accepts ``--telemetry [report|json|prom]``
+``run`` and ``lang`` accept ``--jobs N`` to compress the decomposed
+streams in up to N worker processes (profile outputs are identical to
+the serial run).  Every profiling subcommand accepts
+``--telemetry [report|json|prom]``
 (optionally with ``--telemetry-out PATH``) to self-profile the pipeline:
 a span tree timing trace collection, translation, decomposition, and
 compression, plus the metric registry described in README's
@@ -68,11 +71,12 @@ def _collect_lang_trace(path: str, telemetry=None) -> Trace:
 
 
 def _write_profiles(
-    trace: Trace, profiler: str, out_dir: str, stem: str, telemetry=None
+    trace: Trace, profiler: str, out_dir: str, stem: str, telemetry=None,
+    jobs: int = 1,
 ) -> None:
     os.makedirs(out_dir, exist_ok=True)
     if profiler in ("whomp", "both"):
-        profile = WhompProfiler(telemetry=telemetry).profile(trace)
+        profile = WhompProfiler(telemetry=telemetry, jobs=jobs).profile(trace)
         path = os.path.join(out_dir, f"{stem}.whomp.json")
         with open(path, "w") as handle:
             save_whomp(profile, handle)
@@ -81,7 +85,7 @@ def _write_profiles(
             f"({profile.size()} symbols) -> {path}"
         )
     if profiler in ("leap", "both"):
-        profile = LeapProfiler(telemetry=telemetry).profile(trace)
+        profile = LeapProfiler(telemetry=telemetry, jobs=jobs).profile(trace)
         path = os.path.join(out_dir, f"{stem}.leap.json")
         with open(path, "w") as handle:
             save_leap(profile, handle)
@@ -135,6 +139,17 @@ def _dump_profile(path: str, limit: int, parser) -> int:
     return 2
 
 
+def _add_jobs_argument(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="compress decomposed streams with up to N worker processes "
+        "(0 = all CPUs; 1 = serial; output is identical either way)",
+    )
+
+
 def _add_telemetry_arguments(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--telemetry",
@@ -163,12 +178,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--allocator", default="first-fit")
     run.add_argument("-o", "--out", default=".", help="output directory")
+    _add_jobs_argument(run)
     _add_telemetry_arguments(run)
 
     lang = sub.add_parser("lang", help="profile a mini-IR source file")
     lang.add_argument("source", help="path to the .mir source")
     lang.add_argument("--profiler", choices=("whomp", "leap", "both"), default="both")
     lang.add_argument("-o", "--out", default=".", help="output directory")
+    _add_jobs_argument(lang)
     _add_telemetry_arguments(lang)
 
     stats = sub.add_parser("stats", help="print trace statistics")
@@ -219,7 +236,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error(str(exc))
         print(f"trace: {trace.access_count} accesses")
         _write_profiles(
-            trace, args.profiler, args.out, args.workload, telemetry=telemetry
+            trace, args.profiler, args.out, args.workload, telemetry=telemetry,
+            jobs=args.jobs,
         )
         emit(telemetry, telemetry_mode, args.telemetry_out)
         return 0
@@ -230,7 +248,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         trace = _collect_lang_trace(args.source, telemetry=telemetry)
         print(f"trace: {trace.access_count} accesses")
         stem = os.path.splitext(os.path.basename(args.source))[0]
-        _write_profiles(trace, args.profiler, args.out, stem, telemetry=telemetry)
+        _write_profiles(
+            trace, args.profiler, args.out, stem, telemetry=telemetry,
+            jobs=args.jobs,
+        )
         emit(telemetry, telemetry_mode, args.telemetry_out)
         return 0
 

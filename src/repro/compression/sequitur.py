@@ -247,6 +247,58 @@ class SequiturGrammar:
             productions[rule.id] = rhs
         return productions
 
+    @classmethod
+    def from_productions(
+        cls,
+        productions: Dict[int, List[Union[Terminal, "Ref"]]],
+        start: int = 0,
+        tokens_fed: int = 0,
+    ) -> "SequiturGrammar":
+        """Rebuild a grammar from its :meth:`to_productions` view.
+
+        The reconstruction is structurally exact -- same rules, same
+        right-hand sides -- so every size metric, :meth:`expand`, and a
+        further :meth:`to_productions` round-trip match the original.
+        The digram index is re-derived (first occurrence per key), so
+        the grammar remains feedable.  This is also the pickle path:
+        the linked-symbol structure defeats naive pickling, but the
+        production view crosses process boundaries as plain data.
+        """
+        grammar = cls.__new__(cls)
+        grammar._digrams = {}
+        grammar._pending = []
+        grammar._tokens_fed = tokens_fed
+        rules: Dict[int, Rule] = {rid: Rule(rid) for rid in productions}
+        if start not in rules:
+            rules[start] = Rule(start)
+        grammar._next_rule_id = max(rules) + 1
+        grammar.start = rules[start]
+        for rule_id, rhs in productions.items():
+            rule = rules[rule_id]
+            for symbol in rhs:
+                if isinstance(symbol, Ref):
+                    try:
+                        node = _Symbol(rules[symbol.rule_id])
+                    except KeyError:
+                        raise ValueError(
+                            f"R{rule_id} references undefined R{symbol.rule_id}"
+                        ) from None
+                else:
+                    node = _Symbol(symbol)
+                grammar._insert_after(rule.guard.prev, node)
+        for rule_id in sorted(rules):
+            node = rules[rule_id].first
+            while not node.is_guard and not node.next.is_guard:
+                grammar._digrams.setdefault(_digram_key(node, node.next), node)
+                node = node.next
+        return grammar
+
+    def __reduce__(self):
+        return (
+            _grammar_from_state,
+            (self.to_productions(), self.start.id, self._tokens_fed),
+        )
+
     def check_invariants(self) -> None:
         """Assert digram uniqueness and rule utility (used by tests).
 
@@ -448,6 +500,14 @@ class Ref:
 
     def __repr__(self) -> str:
         return f"Ref({self.rule_id})"
+
+
+def _grammar_from_state(productions, start, tokens_fed) -> SequiturGrammar:
+    """Module-level unpickle hook for :meth:`SequiturGrammar.__reduce__`
+    (subclass-agnostic pickling would lose the production round-trip)."""
+    return SequiturGrammar.from_productions(
+        productions, start=start, tokens_fed=tokens_fed
+    )
 
 
 def compress(tokens: Iterable[Terminal]) -> SequiturGrammar:

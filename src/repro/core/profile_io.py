@@ -48,23 +48,47 @@ def _grammar_to_json(grammar: SequiturGrammar) -> Dict[str, object]:
 
 
 def _expand_productions(data: Dict[str, object]) -> List[object]:
-    """Expand serialized productions back into the terminal stream."""
+    """Expand serialized productions back into the terminal stream.
+
+    Expansion is iterative (explicit frame stack): rule chains in a
+    valid grammar can be arbitrarily deep, far past Python's recursion
+    limit, and must still load.  A rule re-entered while one of its own
+    expansions is in flight is a true cycle -- impossible in a grammar
+    produced by Sequitur -- and raises :class:`ProfileFormatError`.
+    """
     productions = data["productions"]
     start = str(data["start"])
-
-    def expand(rule_id: str, out: List[object], depth: int = 0) -> None:
-        if depth > 10_000:
-            raise ProfileFormatError("grammar expansion too deep (cycle?)")
-        for tag, value in productions[rule_id]:
-            if tag == "R":
-                expand(str(value), out, depth + 1)
-            elif tag == "T":
-                out.append(value)
-            else:
-                raise ProfileFormatError(f"bad symbol tag {tag!r}")
-
+    if start not in productions:
+        raise ProfileFormatError(f"start rule {start!r} not in productions")
     out: List[object] = []
-    expand(start, out)
+    # Each frame: [rule_id, rhs, next index].  ``active`` tracks the
+    # rules currently on the stack for cycle detection.
+    stack: List[List[object]] = [[start, productions[start], 0]]
+    active = {start}
+    while stack:
+        frame = stack[-1]
+        rule_id, rhs, index = frame
+        if index >= len(rhs):
+            stack.pop()
+            active.discard(rule_id)
+            continue
+        frame[2] = index + 1
+        tag, value = rhs[index]
+        if tag == "T":
+            out.append(value)
+        elif tag == "R":
+            child = str(value)
+            if child in active:
+                raise ProfileFormatError(
+                    f"grammar cycle through rule {child!r}"
+                )
+            child_rhs = productions.get(child)
+            if child_rhs is None:
+                raise ProfileFormatError(f"undefined rule {child!r}")
+            stack.append([child, child_rhs, 0])
+            active.add(child)
+        else:
+            raise ProfileFormatError(f"bad symbol tag {tag!r}")
     return out
 
 

@@ -9,14 +9,17 @@ Regenerates every figure and table of the paper's evaluation::
 Results print as paper-style text tables and histograms; ``--json``
 writes the structured results (plus per-experiment elapsed seconds) to
 a file as well.  ``--telemetry [report|json|prom]`` self-profiles the
-suite with one span per experiment, and ``--heartbeat SECS`` emits a
-progress line to stderr while a long experiment runs.
+suite with one span per experiment, ``--heartbeat SECS`` emits a
+progress line to stderr while a long experiment runs, and ``--jobs N``
+fans whole experiments out to worker processes (results identical to
+the serial run).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 import threading
 import time
@@ -44,13 +47,17 @@ def _jsonable(value: object) -> object:
         return {str(k): _jsonable(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
         return [_jsonable(v) for v in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        # json.dump would emit bare NaN/Infinity literals, which are not
+        # JSON; null is the honest portable encoding.
+        return None
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     fractions = getattr(value, "fractions", None)
     if callable(fractions):
         return {
-            "fractions": fractions(),
-            "total_pairs": getattr(value, "total_pairs", None),
+            "fractions": _jsonable(fractions()),
+            "total_pairs": _jsonable(getattr(value, "total_pairs", None)),
         }
     return repr(value)
 
@@ -90,6 +97,47 @@ class _Heartbeat:
                 file=sys.stderr,
                 flush=True,
             )
+
+
+def _run_parallel(
+    names: List[str],
+    args: argparse.Namespace,
+    telemetry,
+    collected: Dict[str, object],
+    elapsed_seconds: Dict[str, float],
+) -> None:
+    """Fan whole experiments out to worker processes.
+
+    Each worker builds its own :class:`SuiteContext` (traces are cheap
+    relative to the experiments and cannot be shared across processes),
+    runs one experiment, and reports its results, wall-clock, and span
+    tree back; the parent grafts each worker's spans under its own root
+    so ``--telemetry`` still shows one span per experiment.  Results
+    print in request order once everything has finished.
+    """
+    from repro.parallel import ParallelExecutor
+    from repro.parallel.workers import run_experiment
+
+    executor = ParallelExecutor(jobs=args.jobs, telemetry=telemetry)
+    workers = executor.effective_jobs(len(names))
+    print(
+        f"running {len(names)} experiments in up to {workers} workers ...",
+        flush=True,
+    )
+    tasks = [
+        (name, args.scale, args.seed, not args.no_speed, telemetry.enabled)
+        for name in names
+    ]
+    with _Heartbeat("experiments", args.heartbeat):
+        outcomes = executor.map(run_experiment, tasks, label="experiments")
+    for name, results, elapsed, span_data in outcomes:
+        __, render = EXPERIMENTS[name]
+        collected[name] = results
+        elapsed_seconds[name] = elapsed
+        if span_data is not None:
+            telemetry.root.absorb_plain(span_data)
+        print(render(results))
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -137,6 +185,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="print a progress line to stderr every SECS seconds while an "
         "experiment runs (0 disables)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run up to N whole experiments concurrently in worker "
+        "processes (0 = all CPUs; 1 = serial; falls back to serial "
+        "when the platform lacks fork)",
+    )
     args = parser.parse_args(argv)
 
     names = list(args.experiments)
@@ -157,20 +214,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     collected: Dict[str, object] = {}
     elapsed_seconds: Dict[str, float] = {}
-    for index, name in enumerate(names, start=1):
-        run, render = EXPERIMENTS[name]
-        print(f"[{index}/{len(names)}] running {name} ...", flush=True)
-        start = time.perf_counter()
-        with _Heartbeat(name, args.heartbeat), telemetry.span(name):
-            if name == "table1":
-                results = run(context, measure_speed=not args.no_speed)
-            else:
-                results = run(context)
-        elapsed = time.perf_counter() - start
-        collected[name] = results
-        elapsed_seconds[name] = elapsed
-        print(render(results))
-        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    from repro.parallel import resolve_jobs
+
+    if resolve_jobs(args.jobs) > 1 and len(names) > 1:
+        _run_parallel(names, args, telemetry, collected, elapsed_seconds)
+    else:
+        for index, name in enumerate(names, start=1):
+            run, render = EXPERIMENTS[name]
+            print(f"[{index}/{len(names)}] running {name} ...", flush=True)
+            start = time.perf_counter()
+            with _Heartbeat(name, args.heartbeat), telemetry.span(name):
+                if name == "table1":
+                    results = run(context, measure_speed=not args.no_speed)
+                else:
+                    results = run(context)
+            elapsed = time.perf_counter() - start
+            collected[name] = results
+            elapsed_seconds[name] = elapsed
+            print(render(results))
+            print(f"[{name} completed in {elapsed:.1f}s]\n")
 
     if args.json:
         payload = {

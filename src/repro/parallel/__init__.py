@@ -1,0 +1,27 @@
+"""Process-pool fan-out for the profiling pipeline.
+
+The paper's decompositions (Section 2.3) are also its parallelism
+seams: horizontally decomposed dimension streams and vertically
+decomposed ``(instruction, group)`` substreams are independent by
+construction, so each can be compressed in its own worker process and
+the results merged without any coordination beyond the final join.
+
+:mod:`repro.parallel.executor` provides the pool wrapper (worker
+bootstrap, chunked submission, crash/interrupt handling, serial
+fallback); :mod:`repro.parallel.workers` holds the top-level worker
+functions the profilers and the experiment runner fan out to.
+"""
+
+from repro.parallel.executor import (
+    ParallelExecutor,
+    WorkerCrashError,
+    fork_available,
+    resolve_jobs,
+)
+
+__all__ = [
+    "ParallelExecutor",
+    "WorkerCrashError",
+    "fork_available",
+    "resolve_jobs",
+]

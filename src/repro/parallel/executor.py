@@ -1,0 +1,166 @@
+"""The process-pool executor behind every ``--jobs N`` flag.
+
+A thin, predictable wrapper over :mod:`multiprocessing`:
+
+* **Serial fallback.**  ``jobs <= 1``, a platform without the ``fork``
+  start method, or a task list shorter than two items all run inline in
+  the calling process -- same results, no pool, no pickling.  (``fork``
+  is required because the profilers ship closed-over grammar classes
+  and large streams to the workers; ``spawn`` would re-import the world
+  per worker and still require every argument to cross a pipe.)
+* **Worker bootstrap.**  Workers ignore ``SIGINT`` so a Ctrl-C lands
+  only in the parent, which terminates the pool and re-raises
+  :class:`KeyboardInterrupt` cleanly instead of leaking children.
+* **Chunked submission.**  Tasks are submitted in contiguous chunks
+  (``chunksize`` heuristic below) to amortize IPC per task.
+* **Crash containment.**  A worker that raises reports the traceback
+  text back to the parent, which raises :class:`WorkerCrashError`
+  carrying it; a worker that *dies* (segfault, OOM-kill) surfaces as
+  the same error type instead of a hung join.
+
+Results are always returned in task order, so parallel runs are
+deterministic whenever the worker function is.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import traceback
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.telemetry.spans import Telemetry, coalesce
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker raised or died; carries the worker traceback."""
+
+    def __init__(self, message: str, worker_traceback: str = "") -> None:
+        super().__init__(message)
+        self.worker_traceback = worker_traceback
+
+
+def fork_available() -> bool:
+    """Whether this platform supports the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` and negatives mean
+    "use all CPUs"; positive values pass through; platforms without
+    ``fork`` always resolve to 1 (the serial fallback)."""
+    if not fork_available():
+        return 1
+    if jobs is None or jobs <= 0:
+        return multiprocessing.cpu_count()
+    return jobs
+
+
+def _bootstrap_worker() -> None:
+    """Pool initializer: leave interrupt handling to the parent."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+def _guarded_call(payload):
+    """Run one task inside a worker, trapping exceptions as data so the
+    parent can distinguish "task raised" from "worker died"."""
+    function, task = payload
+    try:
+        return True, function(task)
+    except BaseException as exc:  # noqa: BLE001 - report, don't unwind
+        return False, (type(exc).__name__, str(exc), traceback.format_exc())
+
+
+class ParallelExecutor:
+    """Map a picklable function over tasks with up to ``jobs`` workers.
+
+    >>> executor = ParallelExecutor(jobs=1)
+    >>> executor.map(abs, [-2, 3, -4])
+    [2, 3, 4]
+    """
+
+    def __init__(
+        self, jobs: Optional[int] = 1, telemetry: Optional[Telemetry] = None
+    ) -> None:
+        self.jobs = resolve_jobs(jobs if jobs is not None else 1)
+        self.telemetry = coalesce(telemetry)
+
+    def effective_jobs(self, task_count: int) -> int:
+        """Workers actually used for ``task_count`` tasks."""
+        return max(1, min(self.jobs, task_count))
+
+    @staticmethod
+    def _chunksize(task_count: int, workers: int) -> int:
+        """Contiguous tasks per submission: aim for ~4 chunks per worker
+        so stragglers rebalance without paying IPC per task."""
+        return max(1, task_count // (workers * 4))
+
+    def map(
+        self,
+        function: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        label: str = "parallel-map",
+    ) -> List[Any]:
+        """Apply ``function`` to every task; results in task order.
+
+        Falls back to an inline serial loop when only one worker would
+        be used (single job, single task, or no ``fork``).
+        """
+        tasks = list(tasks)
+        workers = self.effective_jobs(len(tasks)) if fork_available() else 1
+        if workers <= 1:
+            return [function(task) for task in tasks]
+        return self._map_pool(function, tasks, workers, label)
+
+    def _map_pool(
+        self,
+        function: Callable[[Any], Any],
+        tasks: List[Any],
+        workers: int,
+        label: str,
+    ) -> List[Any]:
+        context = multiprocessing.get_context("fork")
+        telemetry = self.telemetry
+        telemetry.counter(
+            "parallel.pools_total", "process pools started"
+        ).inc()
+        telemetry.gauge("parallel.jobs", "workers in the last pool").set(workers)
+        pool = context.Pool(processes=workers, initializer=_bootstrap_worker)
+        try:
+            payloads = [(function, task) for task in tasks]
+            chunksize = self._chunksize(len(tasks), workers)
+            with telemetry.span(label) as span:
+                try:
+                    outcomes = pool.map(_guarded_call, payloads, chunksize=chunksize)
+                except KeyboardInterrupt:
+                    pool.terminate()
+                    raise
+                except Exception as exc:
+                    # The pool machinery itself failed -- most commonly a
+                    # worker process died without reporting (the result
+                    # pipe closes).  Surface it as a crash, not a hang.
+                    pool.terminate()
+                    raise WorkerCrashError(
+                        f"{label}: worker pool failed: {exc}"
+                    ) from exc
+                span.add_items(len(tasks), "tasks")
+            results: List[Any] = []
+            for index, (ok, value) in enumerate(outcomes):
+                if not ok:
+                    name, message, worker_tb = value
+                    telemetry.counter(
+                        "parallel.worker_errors_total", "tasks that raised"
+                    ).inc()
+                    raise WorkerCrashError(
+                        f"{label}: task {index} raised {name}: {message}",
+                        worker_traceback=worker_tb,
+                    )
+                results.append(value)
+            telemetry.counter(
+                "parallel.tasks_total", "tasks executed in pools"
+            ).inc(len(tasks))
+            return results
+        finally:
+            pool.close()
+            pool.terminate()
+            pool.join()

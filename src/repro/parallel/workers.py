@@ -1,0 +1,95 @@
+"""Top-level worker functions for the process-pool fan-outs.
+
+Everything here must be picklable by reference (module-level, no
+closures): the executor ships ``(function, task)`` payloads through the
+pool's task pipe.  Each worker is a pure function of its task tuple so
+parallel output is deterministic and mergeable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.compression.lmad import LMADCompressor, LMADProfileEntry
+
+#: task: (dimension name, stream values, compressor factory)
+DimensionTask = Tuple[str, List[int], type]
+
+#: task: (budget, [(key, triples), ...]) -- one shard of LEAP substreams
+LeapShardTask = Tuple[int, List[Tuple[Tuple[int, int], List[Tuple[int, int, int]]]]]
+
+
+def compress_dimension(task: DimensionTask):
+    """WHOMP worker: compress one horizontal dimension stream.
+
+    Returns ``(name, compressor)``; the compressor object (e.g. a
+    :class:`~repro.compression.sequitur.SequiturGrammar`) rides back to
+    the parent via pickle, so it must round-trip exactly.
+    """
+    name, values, compressor_factory = task
+    compressor = compressor_factory()
+    feed = compressor.feed
+    for value in values:
+        feed(value)
+    return name, compressor
+
+
+def compress_leap_shard(
+    task: LeapShardTask,
+) -> List[Tuple[Tuple[int, int], LMADProfileEntry]]:
+    """LEAP worker: LMAD-compress one shard of (instruction, group)
+    substreams, returning closed profile entries keyed as given."""
+    budget, items = task
+    out: List[Tuple[Tuple[int, int], LMADProfileEntry]] = []
+    for key, triples in items:
+        compressor = LMADCompressor(dims=3, budget=budget)
+        compressor.feed_all(triples)
+        out.append((key, compressor.finish()))
+    return out
+
+
+def shard_round_robin(items: List, shards: int) -> List[List]:
+    """Deal ``items`` into ``shards`` lists round-robin.
+
+    Round-robin (rather than contiguous slicing) balances LEAP shards:
+    hot instructions cluster by id, so contiguous slices would hand one
+    worker all the heavy substreams.
+    """
+    shards = max(1, shards)
+    dealt: List[List] = [[] for __ in range(shards)]
+    for index, item in enumerate(items):
+        dealt[index % shards].append(item)
+    return [shard for shard in dealt if shard]
+
+
+def run_experiment(task):
+    """Experiment-runner worker: run one whole experiment in-process.
+
+    Task: ``(name, scale, seed, measure_speed, with_telemetry)``.
+    Returns ``(name, results, elapsed_seconds, span_data)`` where
+    ``span_data`` is the worker's span tree as plain data (see
+    :meth:`repro.telemetry.spans.Span.to_plain`) or ``None``.
+    """
+    import time
+
+    from repro.experiments.context import SuiteContext
+    from repro.experiments.runner import EXPERIMENTS
+    from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+    name, scale, seed, measure_speed, with_telemetry = task
+    telemetry = Telemetry() if with_telemetry else NULL_TELEMETRY
+    context = SuiteContext(
+        scale=scale,
+        seed=seed,
+        telemetry=telemetry if with_telemetry else None,
+    )
+    run, __ = EXPERIMENTS[name]
+    start = time.perf_counter()
+    with telemetry.span(name) as span:
+        if name == "table1":
+            results = run(context, measure_speed=measure_speed)
+        else:
+            results = run(context)
+    elapsed = time.perf_counter() - start
+    span_data = span.to_plain() if with_telemetry else None
+    return name, results, elapsed, span_data

@@ -129,15 +129,22 @@ class LeapProfiler:
         budget: int = DEFAULT_BUDGET,
         refine_by_type: bool = False,
         telemetry: Optional[Telemetry] = None,
+        jobs: int = 1,
     ) -> None:
         self.budget = budget
         self.refine_by_type = refine_by_type
         self.telemetry = coalesce(telemetry)
+        self.jobs = jobs
 
     def profile(self, trace: Trace) -> LeapProfile:
         omc = ObjectManager(refine_by_type=self.refine_by_type)
         scc = VerticalLMADSCC(budget=self.budget)
         telemetry = self.telemetry
+        if self.jobs != 1:
+            from repro.parallel import resolve_jobs
+
+            if resolve_jobs(self.jobs) > 1:
+                return self._profile_parallel(trace, omc, scc, telemetry)
         if not telemetry.enabled:
             count = 0
             for access in translate_trace(trace, omc):
@@ -145,6 +152,54 @@ class LeapProfiler:
                 count += 1
             return self._package(scc, omc, count)
         return self._profile_instrumented(trace, omc, scc, telemetry)
+
+    def _profile_parallel(
+        self,
+        trace: Trace,
+        omc: ObjectManager,
+        scc: VerticalLMADSCC,
+        telemetry: Telemetry,
+    ) -> LeapProfile:
+        """The fan-out pipeline: translation and vertical decomposition
+        (which also fills the kinds/exec-count side tables) stay
+        in-process, then the independent ``(instruction, group)``
+        substreams are dealt round-robin into shards, one pool worker
+        per shard, and the closed entries merge back keyed exactly as
+        serial :meth:`VerticalLMADSCC.finish` would produce them."""
+        from repro.parallel import ParallelExecutor
+        from repro.parallel.workers import compress_leap_shard, shard_round_robin
+
+        with telemetry.span("leap") as whole:
+            with telemetry.span("translation") as span:
+                accesses = list(translate_trace(trace, omc))
+                span.add_items(len(accesses), "accesses")
+            with telemetry.span("decomposition") as span:
+                substreams = scc.decompose(accesses)
+                span.add_items(len(accesses), "accesses")
+            executor = ParallelExecutor(jobs=self.jobs, telemetry=telemetry)
+            shards = shard_round_robin(
+                list(substreams.items()),
+                executor.effective_jobs(len(substreams)),
+            )
+            tasks = [(self.budget, shard) for shard in shards]
+            with telemetry.span("compression") as span:
+                results = executor.map(
+                    compress_leap_shard, tasks, label="leap-substreams"
+                )
+                span.add_items(len(accesses), "symbols")
+            merged = {
+                key: entry for shard_out in results for key, entry in shard_out
+            }
+            scc.adopt_entries({key: merged[key] for key in substreams})
+            whole.add_items(len(accesses), "accesses")
+        if telemetry.enabled:
+            telemetry.counter(
+                "cdc.translated_total", "accesses made object-relative"
+            ).inc(len(accesses))
+        profile = self._package(scc, omc, len(accesses))
+        if telemetry.enabled:
+            self._record_metrics(profile, telemetry)
+        return profile
 
     def _profile_instrumented(
         self,
@@ -172,6 +227,12 @@ class LeapProfiler:
                 span.add_items(len(accesses), "symbols")
             whole.add_items(len(accesses), "accesses")
         profile = self._package(scc, omc, len(accesses))
+        self._record_metrics(profile, telemetry)
+        return profile
+
+    def _record_metrics(self, profile: LeapProfile, telemetry: Telemetry) -> None:
+        """Registry metrics shared by the instrumented serial and the
+        parallel paths."""
         lmads_histogram = telemetry.histogram(
             "leap.lmads_per_entry", "descriptors per (instruction, group)"
         )
@@ -207,7 +268,6 @@ class LeapProfiler:
         telemetry.gauge("leap.budget", "descriptor budget per entry").set(
             self.budget
         )
-        return profile
 
     def attach(self, bus) -> "OnlineLeapSession":
         """Attach an online LEAP pipeline to a

@@ -105,15 +105,22 @@ class WhompProfiler:
         refine_by_type: bool = False,
         compressor=None,
         telemetry: Optional[Telemetry] = None,
+        jobs: int = 1,
     ) -> None:
         self.refine_by_type = refine_by_type
         self.compressor = compressor if compressor is not None else SequiturGrammar
         self.telemetry = coalesce(telemetry)
+        self.jobs = jobs
 
     def profile(self, trace: Trace) -> WhompProfile:
         omc = ObjectManager(refine_by_type=self.refine_by_type)
         scc = HorizontalSequiturSCC(compressor=self.compressor)
         telemetry = self.telemetry
+        if self.jobs != 1:
+            from repro.parallel import resolve_jobs
+
+            if resolve_jobs(self.jobs) > 1:
+                return self._profile_parallel(trace, omc, scc, telemetry)
         if not telemetry.enabled:
             count = 0
             for access in translate_trace(trace, omc):
@@ -121,6 +128,53 @@ class WhompProfiler:
                 count += 1
             return self._package(scc, omc, count)
         return self._profile_instrumented(trace, omc, scc, telemetry)
+
+    def _profile_parallel(
+        self,
+        trace: Trace,
+        omc: ObjectManager,
+        scc: HorizontalSequiturSCC,
+        telemetry: Telemetry,
+    ) -> WhompProfile:
+        """The fan-out pipeline: translation and horizontal
+        decomposition stay in-process (the CDC/OMC front-end is shared
+        state), then the four independent dimension streams compress in
+        up to four pool workers and the grammars merge back.  Output is
+        identical to the serial paths'; the compressor factory must be
+        a picklable (module-level) class.
+        """
+        from repro.parallel import ParallelExecutor
+        from repro.parallel.workers import compress_dimension
+
+        with telemetry.span("whomp") as whole:
+            with telemetry.span("translation") as span:
+                accesses = list(translate_trace(trace, omc))
+                span.add_items(len(accesses), "accesses")
+            with telemetry.span("decomposition") as span:
+                streams = scc.decompose(accesses)
+                span.add_items(len(accesses), "accesses")
+            executor = ParallelExecutor(jobs=self.jobs, telemetry=telemetry)
+            tasks = [
+                (name, streams[name], self.compressor) for name in DIMENSIONS
+            ]
+            with telemetry.span("compression") as span:
+                results = executor.map(
+                    compress_dimension, tasks, label="whomp-dimensions"
+                )
+                span.add_items(sum(len(s) for s in streams.values()), "symbols")
+            scc.adopt_grammars(dict(results))
+            whole.add_items(len(accesses), "accesses")
+        if telemetry.enabled:
+            telemetry.counter(
+                "cdc.translated_total", "accesses made object-relative"
+            ).inc(len(accesses))
+            telemetry.counter(
+                "cdc.wild_total", "accesses resolving to no live object"
+            ).inc(sum(1 for a in accesses if a.group == WILD_GROUP))
+        profile = self._package(scc, omc, len(accesses))
+        if telemetry.enabled:
+            self._record_metrics(profile, telemetry)
+        return profile
 
     def _profile_instrumented(
         self,
@@ -156,6 +210,13 @@ class WhompProfiler:
                 )
             whole.add_items(len(accesses), "accesses")
         profile = self._package(scc, omc, len(accesses))
+        self._record_metrics(profile, telemetry)
+        return profile
+
+    @staticmethod
+    def _record_metrics(profile: WhompProfile, telemetry: Telemetry) -> None:
+        """Registry gauges shared by the instrumented serial and the
+        parallel paths."""
         rules = 0
         for grammar in profile.grammars.values():
             rule_count = getattr(grammar, "rule_count", None)
@@ -173,7 +234,6 @@ class WhompProfiler:
         telemetry.gauge(
             "whomp.groups", "object groups in the OMC tables"
         ).set(len(profile.group_labels))
-        return profile
 
     def attach(self, bus) -> "OnlineWhompSession":
         """Attach an online WHOMP pipeline to a live probe bus (the

@@ -79,6 +79,33 @@ class Span:
         for child in self.children.values():
             yield from child.walk(depth + 1)
 
+    def to_plain(self) -> Dict[str, object]:
+        """This subtree as plain data -- the cross-process span wire
+        format used when pool workers report their timings back."""
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "seconds": self.seconds,
+            "items": self.items,
+            "unit": self.unit,
+            "children": [child.to_plain() for child in self.children.values()],
+        }
+
+    def absorb_plain(self, data: Dict[str, object]) -> "Span":
+        """Merge a :meth:`to_plain` tree (usually from a worker process)
+        under this span, accumulating into same-name children exactly
+        like re-entering a live span would."""
+        node = self.child(str(data["name"]))
+        node.calls += int(data.get("calls", 0))
+        node.seconds += float(data.get("seconds", 0.0))
+        node.items += int(data.get("items", 0))
+        unit = data.get("unit")
+        if unit is not None:
+            node.unit = str(unit)
+        for child in data.get("children", ()):
+            node.absorb_plain(child)
+        return node
+
     def __repr__(self) -> str:
         return (
             f"Span({self.path or '<root>'}: {self.seconds * 1e3:.2f}ms, "

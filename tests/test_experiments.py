@@ -128,3 +128,56 @@ class TestFig3:
         for triples in results["vertical"].values():
             offsets = {offset for __, offset, __t in triples}
             assert len(offsets) == 1  # each instruction has one offset
+
+
+class TestJsonSanitization:
+    """``--json`` output must be valid JSON even when results carry
+    non-finite floats (``json.dump`` would happily emit bare ``NaN`` /
+    ``Infinity`` literals, which no strict parser accepts)."""
+
+    def test_non_finite_floats_become_null(self):
+        from repro.experiments.runner import _jsonable
+
+        crafted = {
+            "nan": float("nan"),
+            "inf": float("inf"),
+            "ninf": float("-inf"),
+            "nested": [1.5, float("nan"), {"deep": float("inf")}],
+            "fine": 2.5,
+        }
+        cleaned = _jsonable(crafted)
+        assert cleaned["nan"] is None
+        assert cleaned["inf"] is None
+        assert cleaned["ninf"] is None
+        assert cleaned["nested"] == [1.5, None, {"deep": None}]
+        assert cleaned["fine"] == 2.5
+        # the result must survive a strict round trip
+        json.loads(json.dumps(cleaned, allow_nan=False))
+
+
+class TestRunnerParallelSmoke:
+    """Tier-1 smoke: ``fig5 --jobs 2`` end-to-end must produce exactly
+    the JSON of ``--jobs 1`` (minus wall-clock timings)."""
+
+    @staticmethod
+    def _strip_timings(payload):
+        return {
+            name: record["results"] for name, record in payload.items()
+        }
+
+    def test_fig5_jobs2_matches_serial(self, tmp_path, capsys):
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        # --jobs 2 with a single experiment exercises the jobs plumbing
+        # plus the profiler-level fan-out fallback decisions end-to-end.
+        assert runner_main(
+            ["fig5", "--scale", "0.1", "--jobs", "1", "--json", str(serial_path)]
+        ) == 0
+        assert runner_main(
+            ["fig5", "fig9", "--scale", "0.1", "--jobs", "2",
+             "--json", str(parallel_path)]
+        ) == 0
+        capsys.readouterr()
+        serial = self._strip_timings(json.loads(serial_path.read_text()))
+        parallel = self._strip_timings(json.loads(parallel_path.read_text()))
+        assert parallel["fig5"] == serial["fig5"]

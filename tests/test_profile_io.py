@@ -1,6 +1,7 @@
 """Tests for profile serialization round trips."""
 
 import io
+import json
 
 import pytest
 
@@ -107,3 +108,76 @@ class TestDependenceIO:
     def test_wrong_format_rejected(self):
         with pytest.raises(ProfileFormatError):
             load_dependence(io.StringIO('{"format": "other"}'))
+
+
+class TestProductionExpansion:
+    """Regression tests for the iterative grammar expansion.
+
+    The recursive implementation hit Python's ~1000-frame recursion
+    limit on deep-but-valid rule chains (its own ``depth > 10_000``
+    guard was unreachable); expansion must now handle arbitrary depth
+    while still rejecting true cycles.
+    """
+
+    @staticmethod
+    def _chain(depth, terminal=7):
+        productions = {str(i): [["R", i + 1]] for i in range(depth - 1)}
+        productions[str(depth - 1)] = [["T", terminal]]
+        return {"start": 0, "productions": productions}
+
+    def test_deep_chain_expands(self):
+        from repro.core.profile_io import _expand_productions
+
+        assert _expand_productions(self._chain(5000)) == [7]
+
+    def test_deep_chain_loads_as_whomp_stream(self):
+        document = {
+            "format": "whomp",
+            "version": 1,
+            "access_count": 1,
+            "grammars": {name: self._chain(3000) for name in DIMENSIONS},
+            "base_addresses": [],
+            "lifetimes": [],
+            "group_labels": {},
+        }
+        loaded = load_whomp_streams(io.StringIO(json.dumps(document)))
+        assert all(stream == [7] for stream in loaded["streams"].values())
+
+    def test_two_rule_cycle_rejected(self):
+        from repro.core.profile_io import _expand_productions
+
+        cyclic = {
+            "start": 0,
+            "productions": {"0": [["R", 1]], "1": [["R", 0]]},
+        }
+        with pytest.raises(ProfileFormatError, match="cycle"):
+            _expand_productions(cyclic)
+
+    def test_self_cycle_rejected(self):
+        from repro.core.profile_io import _expand_productions
+
+        with pytest.raises(ProfileFormatError, match="cycle"):
+            _expand_productions(
+                {"start": 0, "productions": {"0": [["T", 1], ["R", 0]]}}
+            )
+
+    def test_repeated_sibling_reference_is_not_a_cycle(self):
+        from repro.core.profile_io import _expand_productions
+
+        document = {
+            "start": 0,
+            "productions": {"0": [["R", 1], ["R", 1]], "1": [["T", 4]]},
+        }
+        assert _expand_productions(document) == [4, 4]
+
+    def test_undefined_rule_rejected(self):
+        from repro.core.profile_io import _expand_productions
+
+        with pytest.raises(ProfileFormatError, match="undefined"):
+            _expand_productions({"start": 0, "productions": {"0": [["R", 9]]}})
+
+    def test_bad_tag_rejected(self):
+        from repro.core.profile_io import _expand_productions
+
+        with pytest.raises(ProfileFormatError, match="tag"):
+            _expand_productions({"start": 0, "productions": {"0": [["X", 1]]}})

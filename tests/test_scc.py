@@ -1,5 +1,9 @@
 """Tests for the Separation and Compression Component."""
 
+import pytest
+
+from repro.workloads.registry import create
+
 from repro.compression.rle import DeltaRleCodec
 from repro.core.cdc import translate_trace_list
 from repro.core.events import AccessKind
@@ -76,3 +80,54 @@ class TestVerticalSCC:
         entry = scc.finish()[(0, 0)]
         assert len(entry.lmads) == 2
         assert entry.overflow.count > 0
+
+
+class TestStagedEqualsStreaming:
+    """Property: the staged ``decompose`` + ``compress_streams`` path is
+    observationally identical to per-access ``consume`` — the invariant
+    both the telemetry-instrumented and the parallel pipelines rely on.
+    """
+
+    WORKLOADS = (
+        ("micro.array", 0.2),
+        ("micro.list", 0.2),
+        ("micro.hash", 0.2),
+    )
+
+    @pytest.mark.parametrize("name,scale", WORKLOADS)
+    def test_vertical_staged_equals_consume(self, name, scale):
+        trace = create(name, scale=scale).trace()
+        stream = translate_trace_list(trace)
+
+        streaming = VerticalLMADSCC()
+        for item in stream:
+            streaming.consume(item)
+
+        staged = VerticalLMADSCC()
+        substreams = staged.decompose(stream)
+        staged.compress_streams(substreams)
+
+        streaming_entries = streaming.finish()
+        staged_entries = staged.finish()
+        assert staged_entries == streaming_entries
+        assert list(staged_entries) == list(streaming_entries)
+        assert staged.kinds == streaming.kinds
+        assert staged.exec_counts == streaming.exec_counts
+
+    @pytest.mark.parametrize("name,scale", WORKLOADS)
+    def test_horizontal_staged_equals_consume(self, name, scale):
+        trace = create(name, scale=scale).trace()
+        stream = translate_trace_list(trace)
+
+        streaming = HorizontalSequiturSCC()
+        for item in stream:
+            streaming.consume(item)
+
+        staged = HorizontalSequiturSCC()
+        staged.compress_streams(staged.decompose(stream))
+
+        for dim in DIMENSIONS:
+            assert (
+                staged.grammars[dim].to_productions()
+                == streaming.grammars[dim].to_productions()
+            )
