@@ -16,7 +16,9 @@ Subcommands::
 
 ``run`` and ``lang`` accept ``--jobs N`` to compress the decomposed
 streams in up to N worker processes (profile outputs are identical to
-the serial run).  Every profiling subcommand accepts
+the serial run) and ``--degraded`` to quarantine untrustworthy tuples
+instead of failing (profiles then report a capture-completeness ratio;
+see README's "Resilience" section).  Every profiling subcommand accepts
 ``--telemetry [report|json|prom]``
 (optionally with ``--telemetry-out PATH``) to self-profile the pipeline:
 a span tree timing trace collection, translation, decomposition, and
@@ -37,7 +39,7 @@ from typing import List, Optional
 
 from repro.analysis.tracestats import characterize, format_statistics
 from repro.core.events import Trace
-from repro.core.profile_io import save_leap, save_whomp
+from repro.core.profile_io import save
 from repro.profilers.leap import LeapProfiler
 from repro.profilers.whomp import WhompProfiler
 from repro.telemetry import MODES, NULL_TELEMETRY, Telemetry, emit
@@ -72,27 +74,58 @@ def _collect_lang_trace(path: str, telemetry=None) -> Trace:
 
 def _write_profiles(
     trace: Trace, profiler: str, out_dir: str, stem: str, telemetry=None,
-    jobs: int = 1,
+    jobs: int = 1, degraded: bool = False,
 ) -> None:
-    os.makedirs(out_dir, exist_ok=True)
+    """Profile ``trace`` and write each profile atomically (a crash
+    mid-write leaves the previous file, never a truncated one).
+
+    ``degraded`` runs the profilers behind a shared quarantine: tuples
+    the compressors cannot be trusted with are diverted instead of
+    raising, and each profile reports its capture-completeness ratio.
+    """
+    quarantine = None
+    if degraded:
+        from repro.resilience import Quarantine
+
+        quarantine = Quarantine()
     if profiler in ("whomp", "both"):
-        profile = WhompProfiler(telemetry=telemetry, jobs=jobs).profile(trace)
+        profile = WhompProfiler(
+            telemetry=telemetry, jobs=jobs, quarantine=quarantine
+        ).profile(trace)
         path = os.path.join(out_dir, f"{stem}.whomp.json")
-        with open(path, "w") as handle:
-            save_whomp(profile, handle)
+        save(profile, path)
+        completeness = (
+            f", {profile.capture_completeness:.1%} capture completeness"
+            if degraded
+            else ""
+        )
         print(
             f"WHOMP: {profile.size_bytes_varint()} bytes "
-            f"({profile.size()} symbols) -> {path}"
+            f"({profile.size()} symbols){completeness} -> {path}"
         )
     if profiler in ("leap", "both"):
-        profile = LeapProfiler(telemetry=telemetry, jobs=jobs).profile(trace)
+        profile = LeapProfiler(
+            telemetry=telemetry, jobs=jobs, quarantine=quarantine
+        ).profile(trace)
         path = os.path.join(out_dir, f"{stem}.leap.json")
-        with open(path, "w") as handle:
-            save_leap(profile, handle)
+        save(profile, path)
+        completeness = (
+            f", {profile.capture_completeness:.1%} capture completeness"
+            if degraded
+            else ""
+        )
         print(
             f"LEAP:  {profile.size_bytes()} bytes, "
-            f"{profile.accesses_captured():.1%} of accesses captured "
-            f"-> {path}"
+            f"{profile.accesses_captured():.1%} of accesses captured"
+            f"{completeness} -> {path}"
+        )
+    if quarantine is not None and quarantine.total:
+        print(
+            f"quarantined {quarantine.total} tuple(s): "
+            + ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(quarantine.reasons.items())
+            )
         )
 
 
@@ -100,15 +133,20 @@ def _dump_profile(path: str, limit: int, parser) -> int:
     """Pretty-print a saved WHOMP or LEAP profile."""
     import json
 
-    from repro.core.profile_io import load_leap, load_whomp_streams
+    from repro.core.profile_io import ProfileFormatError, load
 
     if not os.path.exists(path):
         parser.error(f"no such file: {path}")
     with open(path) as handle:
-        kind = json.load(handle).get("format")
+        try:
+            kind = json.load(handle).get("format")
+        except ValueError:
+            kind = None
     if kind == "whomp":
-        with open(path) as handle:
-            data = load_whomp_streams(handle)
+        try:
+            data = load(path)
+        except ProfileFormatError as exc:
+            parser.error(f"corrupt profile {path}: {exc}")
         print(f"WHOMP profile: {data['access_count']} accesses")
         print("groups:")
         for group_id, label in sorted(data["group_labels"].items())[:limit]:
@@ -118,8 +156,10 @@ def _dump_profile(path: str, limit: int, parser) -> int:
             print(f"{name} stream ({len(stream)} values): {head} ...")
         return 0
     if kind == "leap":
-        with open(path) as handle:
-            profile = load_leap(handle)
+        try:
+            profile = load(path)
+        except ProfileFormatError as exc:
+            parser.error(f"corrupt profile {path}: {exc}")
         print(
             f"LEAP profile: {profile.access_count} accesses, "
             f"{len(profile.entries)} (instruction, group) entries, "
@@ -178,6 +218,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--allocator", default="first-fit")
     run.add_argument("-o", "--out", default=".", help="output directory")
+    run.add_argument(
+        "--degraded",
+        action="store_true",
+        help="quarantine untrustworthy tuples instead of failing; "
+        "profiles report capture completeness",
+    )
     _add_jobs_argument(run)
     _add_telemetry_arguments(run)
 
@@ -185,6 +231,12 @@ def build_parser() -> argparse.ArgumentParser:
     lang.add_argument("source", help="path to the .mir source")
     lang.add_argument("--profiler", choices=("whomp", "leap", "both"), default="both")
     lang.add_argument("-o", "--out", default=".", help="output directory")
+    lang.add_argument(
+        "--degraded",
+        action="store_true",
+        help="quarantine untrustworthy tuples instead of failing; "
+        "profiles report capture completeness",
+    )
     _add_jobs_argument(lang)
     _add_telemetry_arguments(lang)
 
@@ -237,7 +289,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"trace: {trace.access_count} accesses")
         _write_profiles(
             trace, args.profiler, args.out, args.workload, telemetry=telemetry,
-            jobs=args.jobs,
+            jobs=args.jobs, degraded=args.degraded,
         )
         emit(telemetry, telemetry_mode, args.telemetry_out)
         return 0
@@ -250,7 +302,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         stem = os.path.splitext(os.path.basename(args.source))[0]
         _write_profiles(
             trace, args.profiler, args.out, stem, telemetry=telemetry,
-            jobs=args.jobs,
+            jobs=args.jobs, degraded=args.degraded,
         )
         emit(telemetry, telemetry_mode, args.telemetry_out)
         return 0

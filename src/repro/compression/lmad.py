@@ -126,15 +126,33 @@ class LMADCompressor:
     A non-fitting symbol closes the descriptor and opens a new one if
     the budget allows, otherwise the symbol goes to the overflow
     summary.
+
+    ``overflow_cap`` is the degraded-mode backstop: when more than that
+    many symbols have spilled past the budget, the stream is evidently
+    too irregular for descriptors to matter, so the compressor *folds
+    its own descriptors into the overflow summary* and degrades to a
+    pure summary descriptor (min/max/granularity over everything).
+    That keeps the entry O(1) no matter how hostile the stream, at the
+    price of marking it :attr:`LMADProfileEntry.summarized`.  ``None``
+    (the default) disables the fallback and reproduces the paper's
+    behaviour exactly.
     """
 
-    def __init__(self, dims: int, budget: int = DEFAULT_BUDGET) -> None:
+    def __init__(
+        self,
+        dims: int,
+        budget: int = DEFAULT_BUDGET,
+        overflow_cap: Optional[int] = None,
+    ) -> None:
         if dims < 1:
             raise ValueError("dims must be >= 1")
         if budget < 1:
             raise ValueError("budget must be >= 1")
+        if overflow_cap is not None and overflow_cap < 1:
+            raise ValueError("overflow_cap must be >= 1 or None")
         self.dims = dims
         self.budget = budget
+        self.overflow_cap = overflow_cap
         self.lmads: List[LMAD] = []
         self.overflow = OverflowSummary(dims)
         self._open_start: Optional[Vector] = None
@@ -142,6 +160,7 @@ class LMADCompressor:
         self._open_count = 0
         self._fed = 0
         self._finished = False
+        self._summarized = False
 
     # -- feeding ---------------------------------------------------------
 
@@ -154,6 +173,9 @@ class LMADCompressor:
                 f"expected {self.dims}-dimensional symbol, got {len(vector)}"
             )
         self._fed += 1
+        if self._summarized:
+            self.overflow.add(vector)
+            return
         if self._open_start is None:
             self._open(vector)
             return
@@ -186,10 +208,38 @@ class LMADCompressor:
             self._open_start = None
             self._open_stride = None
             self._open_count = 0
+            if (
+                self.overflow_cap is not None
+                and self.overflow.count > self.overflow_cap
+            ):
+                self._summarize()
             return
         self._open_start = vector
         self._open_stride = None
         self._open_count = 1
+
+    def _summarize(self) -> None:
+        """Degrade to a pure summary: fold every closed descriptor into
+        the overflow summary and drop the descriptor list.
+
+        Each LMAD's elements form an arithmetic sequence, so feeding the
+        summary its endpoints and folding ``|stride|`` into the per-
+        dimension gcd yields the same min/max and a granularity no finer
+        than the elementwise one -- without expanding the sequence.
+        """
+        for lmad in self.lmads:
+            self.overflow.add(lmad.start)
+            extra = lmad.count - 1
+            if extra > 0:
+                self.overflow.add(lmad.last)
+                self.overflow.count += extra - 1
+                assert self.overflow.granularity is not None
+                self.overflow.granularity = tuple(
+                    gcd(g, abs(d))
+                    for g, d in zip(self.overflow.granularity, lmad.stride)
+                )
+        self.lmads = []
+        self._summarized = True
 
     def _close_open(self) -> None:
         if self._open_start is None:
@@ -213,6 +263,7 @@ class LMADCompressor:
             lmads=tuple(self.lmads),
             overflow=self.overflow,
             total_symbols=self._fed,
+            summarized=self._summarized,
         )
 
     # -- metrics -------------------------------------------------------------
@@ -233,6 +284,9 @@ class LMADProfileEntry:
     lmads: Tuple[LMAD, ...]
     overflow: OverflowSummary
     total_symbols: int
+    #: True when the compressor gave up on descriptors entirely and the
+    #: whole stream lives in the overflow summary (overflow-cap fallback)
+    summarized: bool = False
 
     @property
     def captured_symbols(self) -> int:

@@ -10,17 +10,33 @@ Supported payloads: :class:`~repro.profilers.whomp.WhompProfile`
 :class:`~repro.profilers.leap.LeapProfile` (LMAD records), and
 :class:`~repro.baselines.dependence_lossless.DependenceProfile` (the
 post-processed MDF table).
+
+Robustness contract: **loading never trusts the file**.  Whatever a
+truncated write, a flipped bit, or a hand-edited document does to the
+bytes, a loader either returns a valid profile or raises
+:class:`ProfileFormatError` -- never a ``KeyError``/``TypeError`` from
+half-decoded structure, and never unbounded work from a malicious
+document (a doubling grammar claiming a small ``access_count`` is cut
+off at the claimed length; internal totals are cross-checked).  The
+fuzz tests in ``tests/test_profile_io.py`` drive this with bit flips
+and truncations at every offset.
+
+:func:`save` / :func:`load` are the path-level API: atomic writes
+(temp file + ``os.replace``) and format sniffing, so a crash mid-save
+can never leave a truncated profile where a good one stood.
 """
 
 from __future__ import annotations
 
 import json
-from typing import IO, Dict, List, Tuple
+from typing import IO, Dict, List, Optional, Tuple
 
 from repro.baselines.dependence_lossless import DependenceProfile
 from repro.compression.lmad import LMAD, LMADProfileEntry, OverflowSummary
 from repro.compression.sequitur import Ref, SequiturGrammar
 from repro.core.events import AccessKind
+from repro.core.fsutil import atomic_write_text
+from repro.core.tuples import DIMENSIONS
 from repro.profilers.leap import LeapProfile
 from repro.profilers.whomp import WhompProfile
 
@@ -29,6 +45,40 @@ FORMAT_VERSION = 1
 
 class ProfileFormatError(Exception):
     """Raised when a profile file cannot be decoded."""
+
+
+#: exception classes that half-decoded JSON structure raises when the
+#: decoders index into it; all converted to :class:`ProfileFormatError`
+_DECODE_ERRORS = (KeyError, IndexError, TypeError, ValueError, AttributeError)
+
+
+def _load_document(stream: IO[str]) -> Dict[str, object]:
+    """Parse one JSON document, normalizing every parse-level failure
+    (bad JSON, binary garbage, a non-object top level) to
+    :class:`ProfileFormatError`."""
+    try:
+        document = json.load(stream)
+    except ProfileFormatError:
+        raise
+    except (ValueError, RecursionError, OSError, UnicodeDecodeError) as exc:
+        raise ProfileFormatError(f"unparseable profile: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ProfileFormatError("profile document is not a JSON object")
+    return document
+
+
+def _require_version(document: Dict[str, object], fmt: str) -> None:
+    if document.get("format") != fmt:
+        raise ProfileFormatError(f"not a {fmt.upper()} profile")
+    if document.get("version") != FORMAT_VERSION:
+        raise ProfileFormatError(f"unsupported version {document.get('version')}")
+
+
+def _count_field(document: Dict[str, object], key: str) -> int:
+    value = document.get(key)
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ProfileFormatError(f"bad {key}: {value!r}")
+    return value
 
 
 # -- grammar (de)serialization ------------------------------------------------
@@ -47,7 +97,9 @@ def _grammar_to_json(grammar: SequiturGrammar) -> Dict[str, object]:
     return {"start": grammar.start.id, "productions": productions}
 
 
-def _expand_productions(data: Dict[str, object]) -> List[object]:
+def _expand_productions(
+    data: Dict[str, object], max_symbols: Optional[int] = None
+) -> List[object]:
     """Expand serialized productions back into the terminal stream.
 
     Expansion is iterative (explicit frame stack): rule chains in a
@@ -55,41 +107,56 @@ def _expand_productions(data: Dict[str, object]) -> List[object]:
     limit, and must still load.  A rule re-entered while one of its own
     expansions is in flight is a true cycle -- impossible in a grammar
     produced by Sequitur -- and raises :class:`ProfileFormatError`.
+
+    ``max_symbols`` bounds the output length: a crafted document can
+    describe exponentially many terminals in linear space (a doubling
+    chain of rules), so a loader that knows the expected stream length
+    passes it and the expansion aborts the moment the claim is
+    exceeded, instead of filling memory first and failing later.
     """
-    productions = data["productions"]
-    start = str(data["start"])
-    if start not in productions:
-        raise ProfileFormatError(f"start rule {start!r} not in productions")
-    out: List[object] = []
-    # Each frame: [rule_id, rhs, next index].  ``active`` tracks the
-    # rules currently on the stack for cycle detection.
-    stack: List[List[object]] = [[start, productions[start], 0]]
-    active = {start}
-    while stack:
-        frame = stack[-1]
-        rule_id, rhs, index = frame
-        if index >= len(rhs):
-            stack.pop()
-            active.discard(rule_id)
-            continue
-        frame[2] = index + 1
-        tag, value = rhs[index]
-        if tag == "T":
-            out.append(value)
-        elif tag == "R":
-            child = str(value)
-            if child in active:
-                raise ProfileFormatError(
-                    f"grammar cycle through rule {child!r}"
-                )
-            child_rhs = productions.get(child)
-            if child_rhs is None:
-                raise ProfileFormatError(f"undefined rule {child!r}")
-            stack.append([child, child_rhs, 0])
-            active.add(child)
-        else:
-            raise ProfileFormatError(f"bad symbol tag {tag!r}")
-    return out
+    try:
+        productions = data["productions"]
+        start = str(data["start"])
+        if start not in productions:
+            raise ProfileFormatError(f"start rule {start!r} not in productions")
+        out: List[object] = []
+        # Each frame: [rule_id, rhs, next index].  ``active`` tracks the
+        # rules currently on the stack for cycle detection.
+        stack: List[List[object]] = [[start, productions[start], 0]]
+        active = {start}
+        while stack:
+            frame = stack[-1]
+            rule_id, rhs, index = frame
+            if index >= len(rhs):
+                stack.pop()
+                active.discard(rule_id)
+                continue
+            frame[2] = index + 1
+            tag, value = rhs[index]
+            if tag == "T":
+                out.append(value)
+                if max_symbols is not None and len(out) > max_symbols:
+                    raise ProfileFormatError(
+                        f"grammar expands past the claimed {max_symbols} symbols"
+                    )
+            elif tag == "R":
+                child = str(value)
+                if child in active:
+                    raise ProfileFormatError(
+                        f"grammar cycle through rule {child!r}"
+                    )
+                child_rhs = productions.get(child)
+                if child_rhs is None:
+                    raise ProfileFormatError(f"undefined rule {child!r}")
+                stack.append([child, child_rhs, 0])
+                active.add(child)
+            else:
+                raise ProfileFormatError(f"bad symbol tag {tag!r}")
+        return out
+    except ProfileFormatError:
+        raise
+    except _DECODE_ERRORS as exc:
+        raise ProfileFormatError(f"malformed grammar: {exc}") from exc
 
 
 # -- WHOMP ----------------------------------------------------------------
@@ -100,6 +167,8 @@ def save_whomp(profile: WhompProfile, stream: IO[str]) -> None:
         "format": "whomp",
         "version": FORMAT_VERSION,
         "access_count": profile.access_count,
+        "capture_completeness": profile.capture_completeness,
+        "quarantined": profile.quarantined,
         "grammars": {
             name: _grammar_to_json(grammar)
             for name, grammar in profile.grammars.items()
@@ -121,28 +190,48 @@ def load_whomp_streams(stream: IO[str]) -> Dict[str, object]:
     The Sequitur grammar objects themselves are not reconstructed (the
     grammar is a compression artifact); consumers want the streams.
     Returns a dict with ``streams``, ``base_addresses``, ``lifetimes``,
-    ``group_labels``, ``access_count``.
+    ``group_labels``, ``access_count``, ``capture_completeness``,
+    ``quarantined``.
     """
-    document = json.load(stream)
-    if document.get("format") != "whomp":
-        raise ProfileFormatError("not a WHOMP profile")
-    if document.get("version") != FORMAT_VERSION:
-        raise ProfileFormatError(f"unsupported version {document.get('version')}")
-    streams = {
-        name: _expand_productions(grammar_data)
-        for name, grammar_data in document["grammars"].items()
-    }
-    base_addresses = {
-        (group, serial): address
-        for group, serial, address in document["base_addresses"]
-    }
-    return {
-        "streams": streams,
-        "base_addresses": base_addresses,
-        "lifetimes": [tuple(row) for row in document["lifetimes"]],
-        "group_labels": {int(k): v for k, v in document["group_labels"].items()},
-        "access_count": document["access_count"],
-    }
+    return _decode_whomp(_load_document(stream))
+
+
+def _decode_whomp(document: Dict[str, object]) -> Dict[str, object]:
+    _require_version(document, "whomp")
+    try:
+        access_count = _count_field(document, "access_count")
+        streams = {
+            name: _expand_productions(grammar_data, max_symbols=access_count)
+            for name, grammar_data in document["grammars"].items()
+        }
+        missing = [name for name in DIMENSIONS if name not in streams]
+        if missing:
+            raise ProfileFormatError(f"missing dimension streams: {missing}")
+        for name, values in streams.items():
+            if len(values) != access_count:
+                raise ProfileFormatError(
+                    f"{name} stream has {len(values)} symbols, "
+                    f"expected {access_count}"
+                )
+        base_addresses = {
+            (group, serial): address
+            for group, serial, address in document["base_addresses"]
+        }
+        return {
+            "streams": streams,
+            "base_addresses": base_addresses,
+            "lifetimes": [tuple(row) for row in document["lifetimes"]],
+            "group_labels": {
+                int(k): v for k, v in document["group_labels"].items()
+            },
+            "access_count": access_count,
+            "capture_completeness": document.get("capture_completeness", 1.0),
+            "quarantined": document.get("quarantined", 0),
+        }
+    except ProfileFormatError:
+        raise
+    except _DECODE_ERRORS as exc:
+        raise ProfileFormatError(f"malformed WHOMP profile: {exc}") from exc
 
 
 # -- LEAP --------------------------------------------------------------------
@@ -157,6 +246,7 @@ def save_leap(profile: LeapProfile, stream: IO[str]) -> None:
                 "instruction": instruction,
                 "group": group,
                 "total": entry.total_symbols,
+                "summarized": entry.summarized,
                 "lmads": [
                     [list(l.start), list(l.stride), l.count] for l in entry.lmads
                 ],
@@ -175,6 +265,8 @@ def save_leap(profile: LeapProfile, stream: IO[str]) -> None:
         "version": FORMAT_VERSION,
         "budget": profile.budget,
         "access_count": profile.access_count,
+        "capture_completeness": profile.capture_completeness,
+        "quarantined": profile.quarantined,
         "entries": entries,
         "kinds": {str(k): v.value for k, v in profile.kinds.items()},
         "exec_counts": {str(k): v for k, v in profile.exec_counts.items()},
@@ -185,38 +277,55 @@ def save_leap(profile: LeapProfile, stream: IO[str]) -> None:
 
 
 def load_leap(stream: IO[str]) -> LeapProfile:
-    document = json.load(stream)
-    if document.get("format") != "leap":
-        raise ProfileFormatError("not a LEAP profile")
-    if document.get("version") != FORMAT_VERSION:
-        raise ProfileFormatError(f"unsupported version {document.get('version')}")
-    entries: Dict[Tuple[int, int], LMADProfileEntry] = {}
-    for record in document["entries"]:
-        lmads = tuple(
-            LMAD(tuple(start), tuple(stride), count)
-            for start, stride, count in record["lmads"]
+    return _decode_leap(_load_document(stream))
+
+
+def _decode_leap(document: Dict[str, object]) -> LeapProfile:
+    _require_version(document, "leap")
+    try:
+        entries: Dict[Tuple[int, int], LMADProfileEntry] = {}
+        for record in document["entries"]:
+            lmads = tuple(
+                LMAD(tuple(start), tuple(stride), count)
+                for start, stride, count in record["lmads"]
+            )
+            dims = lmads[0].dims if lmads else 3
+            overflow = OverflowSummary(dims=dims)
+            overflow.count = _count_field(record["overflow"], "count")
+            if record["overflow"]["min"] is not None:
+                overflow.minimum = tuple(record["overflow"]["min"])
+                overflow.maximum = tuple(record["overflow"]["max"])
+                overflow.granularity = tuple(record["overflow"]["granularity"])
+            total = _count_field(record, "total")
+            described = sum(l.count for l in lmads) + overflow.count
+            if described != total:
+                raise ProfileFormatError(
+                    f"entry ({record['instruction']}, {record['group']}) "
+                    f"describes {described} symbols but claims {total}"
+                )
+            entries[(record["instruction"], record["group"])] = LMADProfileEntry(
+                lmads=lmads,
+                overflow=overflow,
+                total_symbols=total,
+                summarized=bool(record.get("summarized", False)),
+            )
+        return LeapProfile(
+            entries=entries,
+            kinds={int(k): AccessKind(v) for k, v in document["kinds"].items()},
+            exec_counts={int(k): v for k, v in document["exec_counts"].items()},
+            group_labels={
+                int(k): v for k, v in document["group_labels"].items()
+            },
+            access_count=_count_field(document, "access_count"),
+            budget=document["budget"],
+            lifetimes=[tuple(row) for row in document["lifetimes"]],
+            capture_completeness=document.get("capture_completeness", 1.0),
+            quarantined=document.get("quarantined", 0),
         )
-        dims = lmads[0].dims if lmads else 3
-        overflow = OverflowSummary(dims=dims)
-        overflow.count = record["overflow"]["count"]
-        if record["overflow"]["min"] is not None:
-            overflow.minimum = tuple(record["overflow"]["min"])
-            overflow.maximum = tuple(record["overflow"]["max"])
-            overflow.granularity = tuple(record["overflow"]["granularity"])
-        entries[(record["instruction"], record["group"])] = LMADProfileEntry(
-            lmads=lmads,
-            overflow=overflow,
-            total_symbols=record["total"],
-        )
-    return LeapProfile(
-        entries=entries,
-        kinds={int(k): AccessKind(v) for k, v in document["kinds"].items()},
-        exec_counts={int(k): v for k, v in document["exec_counts"].items()},
-        group_labels={int(k): v for k, v in document["group_labels"].items()},
-        access_count=document["access_count"],
-        budget=document["budget"],
-        lifetimes=[tuple(row) for row in document["lifetimes"]],
-    )
+    except ProfileFormatError:
+        raise
+    except _DECODE_ERRORS as exc:
+        raise ProfileFormatError(f"malformed LEAP profile: {exc}") from exc
 
 
 # -- dependence tables -------------------------------------------------------
@@ -237,13 +346,80 @@ def save_dependence(profile: DependenceProfile, stream: IO[str]) -> None:
 
 
 def load_dependence(stream: IO[str]) -> DependenceProfile:
-    document = json.load(stream)
+    return _decode_dependence(_load_document(stream))
+
+
+def _decode_dependence(document: Dict[str, object]) -> DependenceProfile:
     if document.get("format") != "dependence":
         raise ProfileFormatError("not a dependence profile")
-    return DependenceProfile(
-        conflicts={
-            (store, load): count for store, load, count in document["conflicts"]
-        },
-        load_counts={int(k): v for k, v in document["load_counts"].items()},
-        store_counts={int(k): v for k, v in document["store_counts"].items()},
-    )
+    try:
+        return DependenceProfile(
+            conflicts={
+                (store, load): count
+                for store, load, count in document["conflicts"]
+            },
+            load_counts={
+                int(k): v for k, v in document["load_counts"].items()
+            },
+            store_counts={
+                int(k): v for k, v in document["store_counts"].items()
+            },
+        )
+    except ProfileFormatError:
+        raise
+    except _DECODE_ERRORS as exc:
+        raise ProfileFormatError(f"malformed dependence profile: {exc}") from exc
+
+
+# -- path-level API -----------------------------------------------------------
+
+_SAVERS = (
+    (WhompProfile, save_whomp),
+    (LeapProfile, save_leap),
+    (DependenceProfile, save_dependence),
+)
+
+_DECODERS = {
+    "whomp": _decode_whomp,
+    "leap": _decode_leap,
+    "dependence": _decode_dependence,
+}
+
+
+def save(profile: object, path: str) -> None:
+    """Serialize any supported profile to ``path`` atomically.
+
+    The document is fully rendered in memory, written to a temp file in
+    the target directory, fsynced, and renamed into place -- a crash at
+    any instant leaves either the previous file or the complete new
+    one, never a truncation.
+    """
+    import io
+
+    for cls, saver in _SAVERS:
+        if isinstance(profile, cls):
+            buffer = io.StringIO()
+            saver(profile, buffer)
+            atomic_write_text(path, buffer.getvalue())
+            return
+    raise TypeError(f"unsupported profile type {type(profile).__name__}")
+
+
+def load(path: str) -> object:
+    """Load any supported profile file, sniffing the ``format`` field.
+
+    Returns what the format's loader returns: a stream dict for WHOMP
+    (see :func:`load_whomp_streams`), a :class:`LeapProfile`, or a
+    :class:`DependenceProfile`.  Raises :class:`ProfileFormatError` for
+    anything unreadable or unrecognized (including an unreadable path).
+    """
+    try:
+        with open(path) as handle:
+            document = _load_document(handle)
+    except OSError as exc:
+        raise ProfileFormatError(f"cannot read {path!r}: {exc}") from exc
+    fmt = document.get("format")
+    decoder = _DECODERS.get(fmt)
+    if decoder is None:
+        raise ProfileFormatError(f"unknown profile format {fmt!r}")
+    return decoder(document)

@@ -113,8 +113,13 @@ class VerticalLMADSCC:
     #: dimension order inside each compressed triple
     TRIPLE_DIMS = ("object", "offset", "time")
 
-    def __init__(self, budget: int = DEFAULT_BUDGET) -> None:
+    def __init__(
+        self,
+        budget: int = DEFAULT_BUDGET,
+        overflow_cap: "int | None" = None,
+    ) -> None:
         self.budget = budget
+        self.overflow_cap = overflow_cap
         self._compressors: Dict[Tuple[int, int], LMADCompressor] = {}
         self._kinds: Dict[int, AccessKind] = {}
         self._exec_counts: Dict[int, int] = {}
@@ -124,7 +129,9 @@ class VerticalLMADSCC:
         key = (access.instruction_id, access.group)
         compressor = self._compressors.get(key)
         if compressor is None:
-            compressor = LMADCompressor(dims=3, budget=self.budget)
+            compressor = LMADCompressor(
+                dims=3, budget=self.budget, overflow_cap=self.overflow_cap
+            )
             self._compressors[key] = compressor
         compressor.feed((access.object_serial, access.offset, access.time))
         self._kinds.setdefault(access.instruction_id, access.kind)
@@ -162,7 +169,9 @@ class VerticalLMADSCC:
         for key, triples in substreams.items():
             compressor = self._compressors.get(key)
             if compressor is None:
-                compressor = LMADCompressor(dims=3, budget=self.budget)
+                compressor = LMADCompressor(
+                    dims=3, budget=self.budget, overflow_cap=self.overflow_cap
+                )
                 self._compressors[key] = compressor
             compressor.feed_all(triples)
 

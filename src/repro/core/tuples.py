@@ -67,6 +67,31 @@ class ObjectRelativeAccess:
         """True when the access resolved to no live object."""
         return self.group == WILD_GROUP
 
+    def malformation(self) -> "str | None":
+        """Why this tuple cannot be trusted by the compressors, or
+        ``None`` when it is well-formed.
+
+        Corrupted probe events (bit-flipped addresses, damaged sizes or
+        instruction ids) surface here as out-of-domain fields; degraded
+        profiling quarantines such tuples instead of letting them crash
+        or poison a compressor downstream.
+        """
+        if not isinstance(self.instruction_id, int) or self.instruction_id < 0:
+            return "bad-instruction"
+        if not isinstance(self.size, int) or self.size < 0:
+            return "bad-size"
+        if not isinstance(self.kind, AccessKind):
+            return "bad-kind"
+        if not isinstance(self.offset, int):
+            return "bad-offset"
+        if not isinstance(self.time, int) or self.time < 0:
+            return "bad-time"
+        if not isinstance(self.group, int) or not isinstance(
+            self.object_serial, int
+        ):
+            return "bad-object"
+        return None
+
     def dimension(self, name: str) -> int:
         """Fetch one of the paper's dimensions by name.
 

@@ -34,12 +34,21 @@ class SuiteContext:
         benchmarks: Sequence[str] = SPEC_BENCHMARKS,
         allocator: str = "first-fit",
         telemetry=None,
+        fault_injector=None,
     ) -> None:
         self.scale = scale
         self.seed = seed
         self.benchmarks = tuple(benchmarks)
         self.allocator = allocator
         self.telemetry = telemetry
+        #: fault drills: traces are damaged per the injector's plan and
+        #: the profilers run in degraded mode behind a shared quarantine
+        self.fault_injector = fault_injector
+        self.quarantine = None
+        if fault_injector is not None and fault_injector.plan.any_event_faults():
+            from repro.resilience.degraded import Quarantine
+
+            self.quarantine = Quarantine()
         self._traces: Dict[str, Trace] = {}
         self._whomp: Dict[str, WhompProfile] = {}
         self._rasg: Dict[str, RasgProfile] = {}
@@ -53,15 +62,18 @@ class SuiteContext:
 
     def trace(self, name: str) -> Trace:
         if name not in self._traces:
-            self._traces[name] = self.workload(name).trace(
+            trace = self.workload(name).trace(
                 allocator=self.allocator, telemetry=self.telemetry
             )
+            if self.fault_injector is not None:
+                trace = self.fault_injector.corrupt_trace(trace)
+            self._traces[name] = trace
         return self._traces[name]
 
     def whomp(self, name: str) -> WhompProfile:
         if name not in self._whomp:
             self._whomp[name] = WhompProfiler(
-                telemetry=self.telemetry
+                telemetry=self.telemetry, quarantine=self.quarantine
             ).profile(self.trace(name))
         return self._whomp[name]
 
@@ -73,7 +85,7 @@ class SuiteContext:
     def leap(self, name: str) -> LeapProfile:
         if name not in self._leap:
             self._leap[name] = LeapProfiler(
-                telemetry=self.telemetry
+                telemetry=self.telemetry, quarantine=self.quarantine
             ).profile(self.trace(name))
         return self._leap[name]
 
@@ -100,3 +112,13 @@ class SuiteContext:
                 self.trace(name)
             )
         return self._stride_real[name]
+
+    def fault_activity(self) -> bool:
+        """Whether any fault actually landed in this context's data:
+        events dropped/corrupted by the injector, or tuples
+        quarantined by a degraded profiler.  The experiments runner
+        reports ``degraded`` status off this."""
+        injector = self.fault_injector
+        if injector is not None and (injector.dropped or injector.corrupted):
+            return True
+        return self.quarantine is not None and self.quarantine.total > 0

@@ -7,12 +7,21 @@ Regenerates every figure and table of the paper's evaluation::
     python -m repro.experiments.runner table1
 
 Results print as paper-style text tables and histograms; ``--json``
-writes the structured results (plus per-experiment elapsed seconds) to
-a file as well.  ``--telemetry [report|json|prom]`` self-profiles the
-suite with one span per experiment, ``--heartbeat SECS`` emits a
-progress line to stderr while a long experiment runs, and ``--jobs N``
-fans whole experiments out to worker processes (results identical to
-the serial run).
+writes the structured results (plus per-experiment elapsed seconds and
+a ``status`` of ``ok`` / ``retried`` / ``degraded`` / ``failed``) to a
+file as well -- a partially failed sweep still produces valid JSON
+instead of dying on the first failure.  ``--telemetry
+[report|json|prom]`` self-profiles the suite with one span per
+experiment, ``--heartbeat SECS`` emits a progress line to stderr while
+a long experiment runs, and ``--jobs N`` fans whole experiments out to
+worker processes (results identical to the serial run).
+
+Resilience switches: ``--checkpoint-dir DIR`` persists each completed
+experiment atomically and resumes an interrupted sweep from where it
+stopped; ``--inject-faults SPEC`` runs the whole sweep under the fault
+harness (see :mod:`repro.resilience.faults` for the clause grammar).
+An interrupted run -- real Ctrl-C or an injected ``abort-after=N`` --
+exits with code 130, the checkpoints already on disk.
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
 import threading
 import time
@@ -99,45 +109,166 @@ class _Heartbeat:
             )
 
 
+class _SimulatedInterrupt(Exception):
+    """An injected ``abort-after=N`` fired mid-sweep: stop exactly as a
+    Ctrl-C would, with checkpoints for everything already completed."""
+
+
+class _Sweep:
+    """Book-keeping shared by the serial and parallel sweep paths:
+    per-experiment status records, checkpoint persistence and restore,
+    and the simulated-interrupt countdown.
+
+    A record is ``{status, elapsed_seconds, results[, error]}`` with
+    ``status`` one of ``ok`` (clean), ``retried`` (clean results, but
+    the pool needed resubmissions or a serial fallback), ``degraded``
+    (faults landed in the data; results reflect a reduced capture) or
+    ``failed`` (the experiment raised; ``error`` has the text).  The
+    records dict is exactly what ``--json`` serializes.
+    """
+
+    def __init__(self, store, abort_after: Optional[int], telemetry) -> None:
+        self.store = store
+        self.abort_after = abort_after
+        self.telemetry = telemetry
+        self.records: Dict[str, Dict[str, object]] = {}
+        self._newly_completed = 0
+
+    def restore(self, name: str) -> bool:
+        """Adopt ``name``'s checkpoint if one is loadable: record
+        restored, saved span tree grafted back under the live root."""
+        if self.store is None:
+            return False
+        saved = self.store.load(name)
+        if saved is None:
+            return False
+        record: Dict[str, object] = {
+            "status": saved.get("status", "ok"),
+            "elapsed_seconds": saved.get("elapsed_seconds", 0.0),
+            "results": saved.get("results"),
+        }
+        if saved.get("error"):
+            record["error"] = saved["error"]
+        self.records[name] = record
+        span_data = saved.get("span")
+        if span_data and self.telemetry.enabled:
+            self.telemetry.root.absorb_plain(span_data)
+        return True
+
+    def record(
+        self,
+        name: str,
+        status: str,
+        elapsed: float,
+        results: object,
+        error: Optional[str] = None,
+        span_data=None,
+    ) -> None:
+        """Record one completed experiment (checkpointing it if a store
+        is attached), then fire the simulated interrupt when the
+        ``abort-after`` countdown hits zero."""
+        record: Dict[str, object] = {
+            "status": status,
+            "elapsed_seconds": elapsed,
+            "results": _jsonable(results) if results is not None else None,
+        }
+        if error:
+            record["error"] = error
+        self.records[name] = record
+        if self.store is not None:
+            payload = dict(record)
+            if span_data is not None:
+                payload["span"] = span_data
+            self.store.save(name, payload)
+        self._newly_completed += 1
+        if (
+            self.abort_after is not None
+            and self._newly_completed >= self.abort_after
+        ):
+            raise _SimulatedInterrupt(name)
+
+    @property
+    def any_failed(self) -> bool:
+        return any(
+            record["status"] == "failed" for record in self.records.values()
+        )
+
+
 def _run_parallel(
     names: List[str],
     args: argparse.Namespace,
     telemetry,
-    collected: Dict[str, object],
-    elapsed_seconds: Dict[str, float],
+    sweep: _Sweep,
+    ledger_dir: Optional[str],
 ) -> None:
     """Fan whole experiments out to worker processes.
 
     Each worker builds its own :class:`SuiteContext` (traces are cheap
     relative to the experiments and cannot be shared across processes),
-    runs one experiment, and reports its results, wall-clock, and span
-    tree back; the parent grafts each worker's spans under its own root
-    so ``--telemetry`` still shows one span per experiment.  Results
-    print in request order once everything has finished.
+    runs one experiment, and reports its status, results, wall-clock,
+    and span tree back; the parent grafts each worker's spans under its
+    own root so ``--telemetry`` still shows one span per experiment.
+    Results print in request order as they complete, and each is
+    checkpointed the moment it exists -- an interrupt mid-sweep loses
+    only the experiments still in flight.
     """
     from repro.parallel import ParallelExecutor
     from repro.parallel.workers import run_experiment
 
-    executor = ParallelExecutor(jobs=args.jobs, telemetry=telemetry)
+    injector = None
+    if args.inject_faults:
+        from repro.resilience import FaultInjector, parse_fault_spec
+
+        injector = FaultInjector(parse_fault_spec(args.inject_faults), ledger_dir)
+    executor = ParallelExecutor(
+        jobs=args.jobs, telemetry=telemetry, fault_injector=injector
+    )
     workers = executor.effective_jobs(len(names))
     print(
         f"running {len(names)} experiments in up to {workers} workers ...",
         flush=True,
     )
     tasks = [
-        (name, args.scale, args.seed, not args.no_speed, telemetry.enabled)
+        (
+            name,
+            args.scale,
+            args.seed,
+            not args.no_speed,
+            telemetry.enabled,
+            args.inject_faults,
+            ledger_dir,
+        )
         for name in names
     ]
-    with _Heartbeat("experiments", args.heartbeat):
-        outcomes = executor.map(run_experiment, tasks, label="experiments")
-    for name, results, elapsed, span_data in outcomes:
-        __, render = EXPERIMENTS[name]
-        collected[name] = results
-        elapsed_seconds[name] = elapsed
+
+    def progress(index: int, outcome) -> None:
+        name = names[index]
+        if outcome.error is not None:
+            # The worker function itself crashed (not the experiment's
+            # own guarded failure path) -- still just one failed row.
+            print(f"[{name} FAILED: {outcome.error}]\n")
+            sweep.record(name, "failed", 0.0, None, error=str(outcome.error))
+            return
+        name, status, results, elapsed, span_data, error = outcome.value
+        if status == "ok" and (outcome.attempts > 1 or outcome.fallback):
+            status = "retried"
         if span_data is not None:
             telemetry.root.absorb_plain(span_data)
-        print(render(results))
-        print(f"[{name} completed in {elapsed:.1f}s]\n")
+        if status == "failed":
+            headline = (error or "unknown error").splitlines()[0]
+            print(f"[{name} FAILED: {headline}]\n")
+        else:
+            __, render = EXPERIMENTS[name]
+            print(render(results))
+            print(f"[{name} completed in {elapsed:.1f}s, status {status}]\n")
+        sweep.record(
+            name, status, elapsed, results, error=error, span_data=span_data
+        )
+
+    with _Heartbeat("experiments", args.heartbeat):
+        executor.map_outcomes(
+            run_experiment, tasks, label="experiments", progress=progress
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -194,6 +325,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "processes (0 = all CPUs; 1 = serial; falls back to serial "
         "when the platform lacks fork)",
     )
+    parser.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        help="run the sweep under the fault harness; SPEC is a "
+        "';'-joined clause list, e.g. "
+        "'seed=7;corrupt-events=0.01;kill-task=2;timeout=30'",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="persist each completed experiment atomically under DIR "
+        "and resume an interrupted sweep from what is already there",
+    )
     args = parser.parse_args(argv)
 
     names = list(args.experiments)
@@ -206,47 +350,130 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.all or "all" in names or not names:
         names = list(EXPERIMENTS)
 
+    plan = None
+    if args.inject_faults:
+        from repro.resilience import parse_fault_spec
+
+        try:
+            plan = parse_fault_spec(args.inject_faults)
+        except ValueError as exc:
+            parser.error(str(exc))
+
+    store = None
+    ledger_dir = None
+    if args.checkpoint_dir:
+        from repro.resilience import CheckpointStore
+
+        store = CheckpointStore(args.checkpoint_dir)
+        # Kill-fault at-most-once state shares the checkpoint directory
+        # so a resumed drill remembers which faults already fired.
+        ledger_dir = os.path.join(args.checkpoint_dir, "fault-ledger")
+
     telemetry = Telemetry() if args.telemetry else NULL_TELEMETRY
+    sweep = _Sweep(
+        store, plan.abort_after if plan is not None else None, telemetry
+    )
+    pending: List[str] = []
+    for name in names:
+        if sweep.restore(name):
+            print(
+                f"[resume] {name} restored from checkpoint "
+                f"(status {sweep.records[name]['status']})",
+                flush=True,
+            )
+        else:
+            pending.append(name)
+
+    from repro.parallel import resolve_jobs
+
+    interrupted = False
+    try:
+        if resolve_jobs(args.jobs) > 1 and len(pending) > 1:
+            _run_parallel(pending, args, telemetry, sweep, ledger_dir)
+        else:
+            _run_serial(pending, args, telemetry, sweep, plan, ledger_dir)
+    except (_SimulatedInterrupt, KeyboardInterrupt) as exc:
+        interrupted = True
+        cause = (
+            f"abort-after fired at {exc}"
+            if isinstance(exc, _SimulatedInterrupt)
+            else "keyboard interrupt"
+        )
+        print(
+            f"[sweep interrupted ({cause}); "
+            f"{len(sweep.records)} checkpointed result(s) preserved]",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    if args.json:
+        from repro.core.fsutil import atomic_write_text
+
+        atomic_write_text(args.json, json.dumps(sweep.records, indent=2))
+        print(f"JSON results written to {args.json}")
+    emit(telemetry, args.telemetry, args.telemetry_out)
+    if interrupted:
+        return 130
+    return 1 if sweep.any_failed else 0
+
+
+def _run_serial(
+    names: List[str],
+    args: argparse.Namespace,
+    telemetry,
+    sweep: _Sweep,
+    plan,
+    ledger_dir: Optional[str],
+) -> None:
+    """The in-process sweep: one shared :class:`SuiteContext`, each
+    experiment guarded so a failure becomes a ``failed`` record instead
+    of aborting the remainder."""
+    import traceback
+
+    injector = None
+    if plan is not None:
+        from repro.resilience import FaultInjector
+
+        injector = FaultInjector(plan, ledger_dir)
     context = SuiteContext(
         scale=args.scale,
         seed=args.seed,
         telemetry=telemetry if telemetry.enabled else None,
+        fault_injector=injector,
     )
-    collected: Dict[str, object] = {}
-    elapsed_seconds: Dict[str, float] = {}
-    from repro.parallel import resolve_jobs
-
-    if resolve_jobs(args.jobs) > 1 and len(names) > 1:
-        _run_parallel(names, args, telemetry, collected, elapsed_seconds)
-    else:
-        for index, name in enumerate(names, start=1):
-            run, render = EXPERIMENTS[name]
-            print(f"[{index}/{len(names)}] running {name} ...", flush=True)
-            start = time.perf_counter()
-            with _Heartbeat(name, args.heartbeat), telemetry.span(name):
+    for index, name in enumerate(names, start=1):
+        run, render = EXPERIMENTS[name]
+        print(f"[{index}/{len(names)}] running {name} ...", flush=True)
+        start = time.perf_counter()
+        results = None
+        error = None
+        with _Heartbeat(name, args.heartbeat), telemetry.span(name) as span:
+            try:
                 if name == "table1":
                     results = run(context, measure_speed=not args.no_speed)
                 else:
                     results = run(context)
-            elapsed = time.perf_counter() - start
-            collected[name] = results
-            elapsed_seconds[name] = elapsed
+                status = "degraded" if context.fault_activity() else "ok"
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:  # noqa: BLE001 - contain, report
+                status = "failed"
+                error = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+        elapsed = time.perf_counter() - start
+        if status == "failed":
+            assert error is not None
+            print(f"[{name} FAILED: {error.splitlines()[0]}]\n")
+        else:
             print(render(results))
-            print(f"[{name} completed in {elapsed:.1f}s]\n")
-
-    if args.json:
-        payload = {
-            name: {
-                "elapsed_seconds": elapsed_seconds[name],
-                "results": _jsonable(results),
-            }
-            for name, results in collected.items()
-        }
-        with open(args.json, "w") as handle:
-            json.dump(payload, handle, indent=2)
-        print(f"JSON results written to {args.json}")
-    emit(telemetry, args.telemetry, args.telemetry_out)
-    return 0
+            print(f"[{name} completed in {elapsed:.1f}s, status {status}]\n")
+        sweep.record(
+            name,
+            status,
+            elapsed,
+            results,
+            error=error,
+            span_data=span.to_plain() if telemetry.enabled else None,
+        )
 
 
 if __name__ == "__main__":

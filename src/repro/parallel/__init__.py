@@ -14,6 +14,7 @@ functions the profilers and the experiment runner fan out to.
 
 from repro.parallel.executor import (
     ParallelExecutor,
+    TaskOutcome,
     WorkerCrashError,
     fork_available,
     resolve_jobs,
@@ -21,6 +22,7 @@ from repro.parallel.executor import (
 
 __all__ = [
     "ParallelExecutor",
+    "TaskOutcome",
     "WorkerCrashError",
     "fork_available",
     "resolve_jobs",

@@ -15,29 +15,118 @@ A thin, predictable wrapper over :mod:`multiprocessing`:
   (``chunksize`` heuristic below) to amortize IPC per task.
 * **Crash containment.**  A worker that raises reports the traceback
   text back to the parent, which raises :class:`WorkerCrashError`
-  carrying it; a worker that *dies* (segfault, OOM-kill) surfaces as
-  the same error type instead of a hung join.
+  carrying it plus the chunk index and how many of the chunk's items
+  completed; a worker that *dies* (segfault, OOM-kill, an injected
+  ``os._exit``) surfaces as a timed-out chunk instead of a hung join.
+* **Retry / timeout / backoff.**  Each chunk is an independently
+  awaited submission with an optional ``timeout`` deadline.
+  Infrastructure failures -- a lost worker, a deadline miss, broken
+  pool machinery -- are retried with exponential backoff up to
+  ``retries`` times, and after the cap the chunk runs inline in the
+  parent (the *serial fallback*), so a sick pool degrades instead of
+  failing the run.  All of it is surfaced as telemetry counters:
+  ``resilience.retries``, ``resilience.timeouts``,
+  ``resilience.fallbacks``.  Exceptions raised *by the task function*
+  are deterministic and are never retried.
 
 Results are always returned in task order, so parallel runs are
-deterministic whenever the worker function is.
+deterministic whenever the worker function is.  With ``timeout=None``
+and no faults the added machinery is dormant: one ``apply_async`` per
+chunk and an unbounded ``get``, the same traffic the plain ``pool.map``
+produced.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.pool
 import signal
+import time
 import traceback
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.telemetry.spans import Telemetry, coalesce
 
+#: default retry cap per chunk (attempts = retries + 1)
+DEFAULT_RETRIES = 2
+
+#: default base backoff seconds between chunk retries (doubles per retry)
+DEFAULT_BACKOFF = 0.05
+
+#: deadline imposed when a fault plan kills/stalls workers but names no
+#: timeout -- a killed worker's chunk would otherwise hang forever
+FAULTED_DEFAULT_TIMEOUT = 30.0
+
 
 class WorkerCrashError(RuntimeError):
-    """A pool worker raised or died; carries the worker traceback."""
+    """A pool worker raised or died.
 
-    def __init__(self, message: str, worker_traceback: str = "") -> None:
+    Carries the failure's context across the pool boundary: the worker
+    traceback text, the chunk the task belonged to, and how many items
+    of that chunk had already completed when the failure hit.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        worker_traceback: str = "",
+        chunk_index: Optional[int] = None,
+        items_processed: Optional[int] = None,
+    ) -> None:
         super().__init__(message)
         self.worker_traceback = worker_traceback
+        self.chunk_index = chunk_index
+        self.items_processed = items_processed
+
+    def __reduce__(self):
+        # RuntimeError's default pickling would drop every keyword
+        # attribute; the context must survive nested pool boundaries
+        # (an experiment worker re-raising a profiler worker's crash).
+        return (
+            type(self),
+            (
+                self.args[0] if self.args else "",
+                self.worker_traceback,
+                self.chunk_index,
+                self.items_processed,
+            ),
+        )
+
+
+class TaskOutcome:
+    """One task's fate under :meth:`ParallelExecutor.map_outcomes`.
+
+    ``value`` is the task's result (``None`` on failure), ``error`` the
+    contained :class:`WorkerCrashError` if the task function raised,
+    ``attempts`` how many submissions its chunk needed, and
+    ``fallback`` whether its chunk ended up running inline in the
+    parent after the pool gave up.
+    """
+
+    __slots__ = ("value", "error", "attempts", "fallback")
+
+    def __init__(
+        self,
+        value: Any = None,
+        error: Optional[WorkerCrashError] = None,
+        attempts: int = 1,
+        fallback: bool = False,
+    ) -> None:
+        self.value = value
+        self.error = error
+        self.attempts = attempts
+        self.fallback = fallback
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def __repr__(self) -> str:
+        state = "ok" if self.ok else f"error={self.error}"
+        return (
+            f"TaskOutcome({state}, attempts={self.attempts}, "
+            f"fallback={self.fallback})"
+        )
 
 
 def fork_available() -> bool:
@@ -61,14 +150,35 @@ def _bootstrap_worker() -> None:
     signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
-def _guarded_call(payload):
-    """Run one task inside a worker, trapping exceptions as data so the
-    parent can distinguish "task raised" from "worker died"."""
-    function, task = payload
-    try:
-        return True, function(task)
-    except BaseException as exc:  # noqa: BLE001 - report, don't unwind
-        return False, (type(exc).__name__, str(exc), traceback.format_exc())
+def _run_chunk(payload):
+    """Run one contiguous chunk of tasks inside a worker.
+
+    Applies the fault injector's kill/stall schedule (pool workers
+    only: the inline fallback path never self-injects), and traps
+    per-task exceptions as data so one bad task does not void its
+    chunk-mates' results.  Returns a list of
+    ``(True, value) | (False, (type name, message, traceback text))``
+    entries, one per task, in order.
+    """
+    function, start_index, tasks, injector = payload
+    entries = []
+    for offset, task in enumerate(tasks):
+        index = start_index + offset
+        if injector is not None:
+            stall = injector.stall_seconds(index)
+            if stall > 0.0:
+                time.sleep(stall)
+            if injector.should_kill(index):
+                import os
+
+                os._exit(13)
+        try:
+            entries.append((True, function(task)))
+        except BaseException as exc:  # noqa: BLE001 - report, don't unwind
+            entries.append(
+                (False, (type(exc).__name__, str(exc), traceback.format_exc()))
+            )
+    return entries
 
 
 class ParallelExecutor:
@@ -80,10 +190,30 @@ class ParallelExecutor:
     """
 
     def __init__(
-        self, jobs: Optional[int] = 1, telemetry: Optional[Telemetry] = None
+        self,
+        jobs: Optional[int] = 1,
+        telemetry: Optional[Telemetry] = None,
+        retries: int = DEFAULT_RETRIES,
+        timeout: Optional[float] = None,
+        backoff: float = DEFAULT_BACKOFF,
+        fault_injector=None,
     ) -> None:
         self.jobs = resolve_jobs(jobs if jobs is not None else 1)
         self.telemetry = coalesce(telemetry)
+        self.fault_injector = fault_injector
+        if fault_injector is not None:
+            plan = fault_injector.plan
+            if plan.retries is not None:
+                retries = plan.retries
+            if plan.timeout is not None:
+                timeout = plan.timeout
+            elif timeout is None and plan.any_process_faults():
+                timeout = FAULTED_DEFAULT_TIMEOUT
+            if plan.backoff is not None:
+                backoff = plan.backoff
+        self.retries = max(0, retries)
+        self.timeout = timeout
+        self.backoff = max(0.0, backoff)
 
     def effective_jobs(self, task_count: int) -> int:
         """Workers actually used for ``task_count`` tasks."""
@@ -104,63 +234,233 @@ class ParallelExecutor:
         """Apply ``function`` to every task; results in task order.
 
         Falls back to an inline serial loop when only one worker would
-        be used (single job, single task, or no ``fork``).
+        be used (single job, single task, or no ``fork``).  The first
+        task-raised exception surfaces as :class:`WorkerCrashError`
+        (with context) on the pool path, or propagates raw on the
+        inline path -- matching where the code actually ran.
         """
         tasks = list(tasks)
         workers = self.effective_jobs(len(tasks)) if fork_available() else 1
         if workers <= 1:
             return [function(task) for task in tasks]
-        return self._map_pool(function, tasks, workers, label)
+        outcomes = self._pool_outcomes(function, tasks, workers, label, None)
+        for outcome in outcomes:
+            if outcome.error is not None:
+                raise outcome.error
+        return [outcome.value for outcome in outcomes]
 
-    def _map_pool(
+    def map_outcomes(
+        self,
+        function: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        label: str = "parallel-map",
+        progress: Optional[Callable[[int, TaskOutcome], None]] = None,
+    ) -> List[TaskOutcome]:
+        """Like :meth:`map`, but contains failures instead of raising.
+
+        Each task yields a :class:`TaskOutcome`; a task function that
+        raises produces an outcome carrying the contextualized
+        :class:`WorkerCrashError` while its neighbours keep their
+        results.  ``progress`` (if given) is called in the parent as
+        ``progress(task_index, outcome)``, in task order, as outcomes
+        arrive -- the hook the experiments runner uses to checkpoint
+        each result the moment it exists.  An exception raised by
+        ``progress`` aborts the run (the pool is terminated) and
+        propagates.
+        """
+        tasks = list(tasks)
+        workers = self.effective_jobs(len(tasks)) if fork_available() else 1
+        if workers <= 1:
+            return self._serial_outcomes(function, tasks, label, progress)
+        return self._pool_outcomes(function, tasks, workers, label, progress)
+
+    # -- inline path ---------------------------------------------------
+
+    def _serial_outcomes(
+        self,
+        function: Callable[[Any], Any],
+        tasks: List[Any],
+        label: str,
+        progress: Optional[Callable[[int, TaskOutcome], None]],
+    ) -> List[TaskOutcome]:
+        outcomes: List[TaskOutcome] = []
+        for index, task in enumerate(tasks):
+            try:
+                outcome = TaskOutcome(value=function(task))
+            except KeyboardInterrupt:
+                raise
+            except BaseException as exc:  # noqa: BLE001 - contain
+                outcome = TaskOutcome(
+                    error=WorkerCrashError(
+                        f"{label}: task {index} raised "
+                        f"{type(exc).__name__}: {exc}",
+                        worker_traceback=traceback.format_exc(),
+                        chunk_index=index,
+                        items_processed=0,
+                    )
+                )
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(index, outcome)
+        return outcomes
+
+    # -- pool path -----------------------------------------------------
+
+    def _pool_outcomes(
         self,
         function: Callable[[Any], Any],
         tasks: List[Any],
         workers: int,
         label: str,
-    ) -> List[Any]:
+        progress: Optional[Callable[[int, TaskOutcome], None]],
+    ) -> List[TaskOutcome]:
         context = multiprocessing.get_context("fork")
         telemetry = self.telemetry
         telemetry.counter(
             "parallel.pools_total", "process pools started"
         ).inc()
         telemetry.gauge("parallel.jobs", "workers in the last pool").set(workers)
+        chunksize = self._chunksize(len(tasks), workers)
+        chunks = [
+            (start, tasks[start : start + chunksize])
+            for start in range(0, len(tasks), chunksize)
+        ]
         pool = context.Pool(processes=workers, initializer=_bootstrap_worker)
+        outcomes: List[TaskOutcome] = []
         try:
-            payloads = [(function, task) for task in tasks]
-            chunksize = self._chunksize(len(tasks), workers)
             with telemetry.span(label) as span:
-                try:
-                    outcomes = pool.map(_guarded_call, payloads, chunksize=chunksize)
-                except KeyboardInterrupt:
-                    pool.terminate()
-                    raise
-                except Exception as exc:
-                    # The pool machinery itself failed -- most commonly a
-                    # worker process died without reporting (the result
-                    # pipe closes).  Surface it as a crash, not a hang.
-                    pool.terminate()
-                    raise WorkerCrashError(
-                        f"{label}: worker pool failed: {exc}"
-                    ) from exc
-                span.add_items(len(tasks), "tasks")
-            results: List[Any] = []
-            for index, (ok, value) in enumerate(outcomes):
-                if not ok:
-                    name, message, worker_tb = value
-                    telemetry.counter(
-                        "parallel.worker_errors_total", "tasks that raised"
-                    ).inc()
-                    raise WorkerCrashError(
-                        f"{label}: task {index} raised {name}: {message}",
-                        worker_traceback=worker_tb,
+                handles = [
+                    self._submit(pool, function, start, chunk_tasks)
+                    for start, chunk_tasks in chunks
+                ]
+                for chunk_index, (start, chunk_tasks) in enumerate(chunks):
+                    entries, attempts, fallback = self._collect_chunk(
+                        pool,
+                        handles,
+                        chunk_index,
+                        function,
+                        start,
+                        chunk_tasks,
+                        label,
                     )
-                results.append(value)
+                    chunk_outcomes = self._entries_to_outcomes(
+                        entries, chunk_index, start, attempts, fallback, label
+                    )
+                    for offset, outcome in enumerate(chunk_outcomes):
+                        outcomes.append(outcome)
+                        if progress is not None:
+                            try:
+                                progress(start + offset, outcome)
+                            except BaseException:
+                                pool.terminate()
+                                raise
+                span.add_items(len(tasks), "tasks")
             telemetry.counter(
                 "parallel.tasks_total", "tasks executed in pools"
             ).inc(len(tasks))
-            return results
+            return outcomes
+        except KeyboardInterrupt:
+            pool.terminate()
+            raise
         finally:
             pool.close()
             pool.terminate()
             pool.join()
+
+    def _submit(self, pool, function, start, chunk_tasks):
+        payload = (function, start, chunk_tasks, self.fault_injector)
+        return pool.apply_async(_run_chunk, (payload,))
+
+    def _collect_chunk(
+        self,
+        pool,
+        handles,
+        chunk_index: int,
+        function,
+        start: int,
+        chunk_tasks: List[Any],
+        label: str,
+    ):
+        """Await one chunk, retrying infrastructure failures.
+
+        Returns ``(entries, attempts, fallback)``.  Task-raised
+        exceptions arrive *inside* ``entries`` (the worker reports them
+        as data) and are deterministic, so they are never retried; what
+        is retried is the chunk failing to report at all -- a deadline
+        miss (``resilience.timeouts``) or broken pool machinery such as
+        a worker dying mid-task.  After ``retries`` resubmissions the
+        chunk runs inline in the parent (``resilience.fallbacks``),
+        without fault injection: the fallback exists to rescue work,
+        not to re-break it.
+        """
+        telemetry = self.telemetry
+        attempt = 1
+        while True:
+            try:
+                entries = handles[chunk_index].get(self.timeout)
+                return entries, attempt, False
+            except KeyboardInterrupt:
+                raise
+            except multiprocessing.TimeoutError:
+                telemetry.counter(
+                    "resilience.timeouts",
+                    "pool chunks that missed their deadline",
+                ).inc()
+            except Exception:  # noqa: BLE001 - broken pool machinery
+                pass
+            if attempt <= self.retries:
+                telemetry.counter(
+                    "resilience.retries", "pool chunk resubmissions"
+                ).inc()
+                time.sleep(self.backoff * (2 ** (attempt - 1)))
+                attempt += 1
+                try:
+                    handles[chunk_index] = self._submit(
+                        pool, function, start, chunk_tasks
+                    )
+                    continue
+                except Exception:  # noqa: BLE001 - pool is gone; go inline
+                    pass
+            telemetry.counter(
+                "resilience.fallbacks",
+                "chunks rerun inline after the pool gave up",
+            ).inc()
+            entries = _run_chunk((function, start, chunk_tasks, None))
+            return entries, attempt, True
+
+    def _entries_to_outcomes(
+        self,
+        entries,
+        chunk_index: int,
+        start: int,
+        attempts: int,
+        fallback: bool,
+        label: str,
+    ) -> List[TaskOutcome]:
+        telemetry = self.telemetry
+        outcomes: List[TaskOutcome] = []
+        completed = 0
+        for offset, (ok, value) in enumerate(entries):
+            if ok:
+                completed += 1
+                outcomes.append(
+                    TaskOutcome(value=value, attempts=attempts, fallback=fallback)
+                )
+                continue
+            name, message, worker_tb = value
+            telemetry.counter(
+                "parallel.worker_errors_total", "tasks that raised"
+            ).inc()
+            outcomes.append(
+                TaskOutcome(
+                    error=WorkerCrashError(
+                        f"{label}: task {start + offset} raised {name}: {message}",
+                        worker_traceback=worker_tb,
+                        chunk_index=chunk_index,
+                        items_processed=completed,
+                    ),
+                    attempts=attempts,
+                    fallback=fallback,
+                )
+            )
+        return outcomes

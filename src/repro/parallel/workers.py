@@ -15,8 +15,13 @@ from repro.compression.lmad import LMADCompressor, LMADProfileEntry
 #: task: (dimension name, stream values, compressor factory)
 DimensionTask = Tuple[str, List[int], type]
 
-#: task: (budget, [(key, triples), ...]) -- one shard of LEAP substreams
-LeapShardTask = Tuple[int, List[Tuple[Tuple[int, int], List[Tuple[int, int, int]]]]]
+#: task: (budget, overflow_cap, [(key, triples), ...]) -- one shard of
+#: LEAP substreams
+LeapShardTask = Tuple[
+    int,
+    "int | None",
+    List[Tuple[Tuple[int, int], List[Tuple[int, int, int]]]],
+]
 
 
 def compress_dimension(task: DimensionTask):
@@ -39,10 +44,12 @@ def compress_leap_shard(
 ) -> List[Tuple[Tuple[int, int], LMADProfileEntry]]:
     """LEAP worker: LMAD-compress one shard of (instruction, group)
     substreams, returning closed profile entries keyed as given."""
-    budget, items = task
+    budget, overflow_cap, items = task
     out: List[Tuple[Tuple[int, int], LMADProfileEntry]] = []
     for key, triples in items:
-        compressor = LMADCompressor(dims=3, budget=budget)
+        compressor = LMADCompressor(
+            dims=3, budget=budget, overflow_cap=overflow_cap
+        )
         compressor.feed_all(triples)
         out.append((key, compressor.finish()))
     return out
@@ -65,31 +72,54 @@ def shard_round_robin(items: List, shards: int) -> List[List]:
 def run_experiment(task):
     """Experiment-runner worker: run one whole experiment in-process.
 
-    Task: ``(name, scale, seed, measure_speed, with_telemetry)``.
-    Returns ``(name, results, elapsed_seconds, span_data)`` where
-    ``span_data`` is the worker's span tree as plain data (see
+    Task: ``(name, scale, seed, measure_speed, with_telemetry,
+    fault_spec, ledger_dir)`` where ``fault_spec`` is an
+    ``--inject-faults`` clause string (or ``None``) applied to this
+    worker's own context, and ``ledger_dir`` the shared at-most-once
+    ledger for kill faults.
+
+    Returns ``(name, status, results, elapsed_seconds, span_data,
+    error)``: ``status`` is ``"ok"``, ``"degraded"`` (faults actually
+    landed in the data) or ``"failed"`` (the experiment raised --
+    contained here, as data, so one failed experiment cannot void a
+    sweep); ``error`` is the failure text or ``None``; ``span_data`` is
+    the worker's span tree as plain data (see
     :meth:`repro.telemetry.spans.Span.to_plain`) or ``None``.
     """
     import time
+    import traceback
 
     from repro.experiments.context import SuiteContext
     from repro.experiments.runner import EXPERIMENTS
     from repro.telemetry import NULL_TELEMETRY, Telemetry
 
-    name, scale, seed, measure_speed, with_telemetry = task
+    name, scale, seed, measure_speed, with_telemetry, fault_spec, ledger_dir = task
+    injector = None
+    if fault_spec:
+        from repro.resilience import FaultInjector, parse_fault_spec
+
+        injector = FaultInjector(parse_fault_spec(fault_spec), ledger_dir)
     telemetry = Telemetry() if with_telemetry else NULL_TELEMETRY
     context = SuiteContext(
         scale=scale,
         seed=seed,
         telemetry=telemetry if with_telemetry else None,
+        fault_injector=injector,
     )
     run, __ = EXPERIMENTS[name]
+    results = None
+    error = None
     start = time.perf_counter()
     with telemetry.span(name) as span:
-        if name == "table1":
-            results = run(context, measure_speed=measure_speed)
-        else:
-            results = run(context)
+        try:
+            if name == "table1":
+                results = run(context, measure_speed=measure_speed)
+            else:
+                results = run(context)
+            status = "degraded" if context.fault_activity() else "ok"
+        except Exception as exc:  # noqa: BLE001 - contain, report
+            status = "failed"
+            error = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
     elapsed = time.perf_counter() - start
     span_data = span.to_plain() if with_telemetry else None
-    return name, results, elapsed, span_data
+    return name, status, results, elapsed, span_data, error

@@ -55,6 +55,10 @@ class LeapProfile:
     lifetimes: List[Tuple[int, int, int, Optional[int], int]] = field(
         default_factory=list
     )
+    #: kept / (kept + quarantined); 1.0 outside degraded mode
+    capture_completeness: float = 1.0
+    #: tuples diverted to the quarantine sidecar instead of the entries
+    quarantined: int = 0
 
     # -- indexing ------------------------------------------------------
 
@@ -130,28 +134,54 @@ class LeapProfiler:
         refine_by_type: bool = False,
         telemetry: Optional[Telemetry] = None,
         jobs: int = 1,
+        quarantine=None,
+        overflow_cap: Optional[int] = None,
     ) -> None:
         self.budget = budget
         self.refine_by_type = refine_by_type
         self.telemetry = coalesce(telemetry)
         self.jobs = jobs
+        #: a :class:`~repro.resilience.degraded.Quarantine` enables
+        #: degraded mode: untrustworthy tuples are diverted to it and
+        #: the profile reports :attr:`LeapProfile.capture_completeness`
+        self.quarantine = quarantine
+        #: overflow backstop per entry: past this many budget-spilled
+        #: symbols an entry degrades to a pure summary descriptor (see
+        #: :class:`~repro.compression.lmad.LMADCompressor`)
+        self.overflow_cap = overflow_cap
+
+    def _translated(self, trace: Trace, omc: ObjectManager):
+        """The translated stream, filtered through the quarantine when
+        degraded mode is on."""
+        stream = translate_trace(trace, omc)
+        if self.quarantine is None:
+            return stream
+        from repro.resilience.degraded import quarantine_stream
+
+        return quarantine_stream(stream, self.quarantine)
+
+    def _quarantined_since(self, mark: int) -> int:
+        if self.quarantine is None:
+            return 0
+        return self.quarantine.total - mark
 
     def profile(self, trace: Trace) -> LeapProfile:
         omc = ObjectManager(refine_by_type=self.refine_by_type)
-        scc = VerticalLMADSCC(budget=self.budget)
+        scc = VerticalLMADSCC(budget=self.budget, overflow_cap=self.overflow_cap)
         telemetry = self.telemetry
+        mark = self.quarantine.total if self.quarantine is not None else 0
         if self.jobs != 1:
             from repro.parallel import resolve_jobs
 
             if resolve_jobs(self.jobs) > 1:
-                return self._profile_parallel(trace, omc, scc, telemetry)
+                return self._profile_parallel(trace, omc, scc, telemetry, mark)
         if not telemetry.enabled:
             count = 0
-            for access in translate_trace(trace, omc):
+            for access in self._translated(trace, omc):
                 scc.consume(access)
                 count += 1
-            return self._package(scc, omc, count)
-        return self._profile_instrumented(trace, omc, scc, telemetry)
+            return self._package(scc, omc, count, self._quarantined_since(mark))
+        return self._profile_instrumented(trace, omc, scc, telemetry, mark)
 
     def _profile_parallel(
         self,
@@ -159,6 +189,7 @@ class LeapProfiler:
         omc: ObjectManager,
         scc: VerticalLMADSCC,
         telemetry: Telemetry,
+        mark: int = 0,
     ) -> LeapProfile:
         """The fan-out pipeline: translation and vertical decomposition
         (which also fills the kinds/exec-count side tables) stay
@@ -171,7 +202,7 @@ class LeapProfiler:
 
         with telemetry.span("leap") as whole:
             with telemetry.span("translation") as span:
-                accesses = list(translate_trace(trace, omc))
+                accesses = list(self._translated(trace, omc))
                 span.add_items(len(accesses), "accesses")
             with telemetry.span("decomposition") as span:
                 substreams = scc.decompose(accesses)
@@ -181,7 +212,7 @@ class LeapProfiler:
                 list(substreams.items()),
                 executor.effective_jobs(len(substreams)),
             )
-            tasks = [(self.budget, shard) for shard in shards]
+            tasks = [(self.budget, self.overflow_cap, shard) for shard in shards]
             with telemetry.span("compression") as span:
                 results = executor.map(
                     compress_leap_shard, tasks, label="leap-substreams"
@@ -196,7 +227,9 @@ class LeapProfiler:
             telemetry.counter(
                 "cdc.translated_total", "accesses made object-relative"
             ).inc(len(accesses))
-        profile = self._package(scc, omc, len(accesses))
+        profile = self._package(
+            scc, omc, len(accesses), self._quarantined_since(mark)
+        )
         if telemetry.enabled:
             self._record_metrics(profile, telemetry)
         return profile
@@ -207,6 +240,7 @@ class LeapProfiler:
         omc: ObjectManager,
         scc: VerticalLMADSCC,
         telemetry: Telemetry,
+        mark: int = 0,
     ) -> LeapProfile:
         """The telemetry-timed pipeline: translation, vertical
         decomposition, and LMAD fitting each get their own span, and the
@@ -214,7 +248,7 @@ class LeapProfiler:
         identical to the streaming path's."""
         with telemetry.span("leap") as whole:
             with telemetry.span("translation") as span:
-                accesses = list(translate_trace(trace, omc))
+                accesses = list(self._translated(trace, omc))
                 span.add_items(len(accesses), "accesses")
             telemetry.counter(
                 "cdc.translated_total", "accesses made object-relative"
@@ -226,7 +260,9 @@ class LeapProfiler:
                 scc.compress_streams(substreams)
                 span.add_items(len(accesses), "symbols")
             whole.add_items(len(accesses), "accesses")
-        profile = self._package(scc, omc, len(accesses))
+        profile = self._package(
+            scc, omc, len(accesses), self._quarantined_since(mark)
+        )
         self._record_metrics(profile, telemetry)
         return profile
 
@@ -276,8 +312,18 @@ class LeapProfiler:
         return OnlineLeapSession(self, bus)
 
     def _package(
-        self, scc: VerticalLMADSCC, omc: ObjectManager, count: int
+        self,
+        scc: VerticalLMADSCC,
+        omc: ObjectManager,
+        count: int,
+        quarantined: int = 0,
     ) -> LeapProfile:
+        total = count + quarantined
+        if quarantined and self.telemetry.enabled:
+            self.telemetry.counter(
+                "resilience.quarantined",
+                "tuples diverted to the quarantine sidecar",
+            ).inc(quarantined)
         return LeapProfile(
             entries=scc.finish(),
             kinds=scc.kinds,
@@ -286,6 +332,8 @@ class LeapProfiler:
             access_count=count,
             budget=self.budget,
             lifetimes=omc.lifetime_table(),
+            capture_completeness=(count / total) if total else 1.0,
+            quarantined=quarantined,
         )
 
 
@@ -298,9 +346,18 @@ class OnlineLeapSession:
     def __init__(self, profiler: LeapProfiler, bus) -> None:
         self._profiler = profiler
         self._bus = bus
-        self._scc = VerticalLMADSCC(budget=profiler.budget)
+        self._scc = VerticalLMADSCC(
+            budget=profiler.budget, overflow_cap=profiler.overflow_cap
+        )
+        consumer = self._scc.consume
+        self._mark = 0
+        if profiler.quarantine is not None:
+            from repro.resilience.degraded import quarantine_consumer
+
+            self._mark = profiler.quarantine.total
+            consumer = quarantine_consumer(consumer, profiler.quarantine)
         self._cdc = OnlineCDC(
-            self._scc.consume,
+            consumer,
             ObjectManager(refine_by_type=profiler.refine_by_type),
             telemetry=profiler.telemetry,
         )
@@ -308,6 +365,7 @@ class OnlineLeapSession:
 
     def finish(self) -> LeapProfile:
         self._bus.detach(self._cdc)
+        quarantined = self._profiler._quarantined_since(self._mark)
         return self._profiler._package(
-            self._scc, self._cdc.omc, self._cdc.clock
+            self._scc, self._cdc.omc, self._cdc.clock - quarantined, quarantined
         )

@@ -39,8 +39,12 @@ class WhompProfile:
     lifetimes: List[Tuple[int, int, int, Optional[int], int]]
     #: group id -> human-readable label (site / type)
     group_labels: Dict[int, str]
-    #: number of accesses profiled
+    #: number of accesses profiled (degraded mode: accesses *kept*)
     access_count: int
+    #: kept / (kept + quarantined); 1.0 outside degraded mode
+    capture_completeness: float = 1.0
+    #: tuples diverted to the quarantine sidecar instead of the OMSG
+    quarantined: int = 0
 
     def size(self) -> int:
         """OMSG size: total grammar symbols across dimensions."""
@@ -106,28 +110,49 @@ class WhompProfiler:
         compressor=None,
         telemetry: Optional[Telemetry] = None,
         jobs: int = 1,
+        quarantine=None,
     ) -> None:
         self.refine_by_type = refine_by_type
         self.compressor = compressor if compressor is not None else SequiturGrammar
         self.telemetry = coalesce(telemetry)
         self.jobs = jobs
+        #: a :class:`~repro.resilience.degraded.Quarantine` enables
+        #: degraded mode: untrustworthy tuples are diverted to it and
+        #: the profile reports :attr:`WhompProfile.capture_completeness`
+        self.quarantine = quarantine
+
+    def _translated(self, trace: Trace, omc: ObjectManager):
+        """The translated stream, filtered through the quarantine when
+        degraded mode is on."""
+        stream = translate_trace(trace, omc)
+        if self.quarantine is None:
+            return stream
+        from repro.resilience.degraded import quarantine_stream
+
+        return quarantine_stream(stream, self.quarantine)
+
+    def _quarantined_since(self, mark: int) -> int:
+        if self.quarantine is None:
+            return 0
+        return self.quarantine.total - mark
 
     def profile(self, trace: Trace) -> WhompProfile:
         omc = ObjectManager(refine_by_type=self.refine_by_type)
         scc = HorizontalSequiturSCC(compressor=self.compressor)
         telemetry = self.telemetry
+        mark = self.quarantine.total if self.quarantine is not None else 0
         if self.jobs != 1:
             from repro.parallel import resolve_jobs
 
             if resolve_jobs(self.jobs) > 1:
-                return self._profile_parallel(trace, omc, scc, telemetry)
+                return self._profile_parallel(trace, omc, scc, telemetry, mark)
         if not telemetry.enabled:
             count = 0
-            for access in translate_trace(trace, omc):
+            for access in self._translated(trace, omc):
                 scc.consume(access)
                 count += 1
-            return self._package(scc, omc, count)
-        return self._profile_instrumented(trace, omc, scc, telemetry)
+            return self._package(scc, omc, count, self._quarantined_since(mark))
+        return self._profile_instrumented(trace, omc, scc, telemetry, mark)
 
     def _profile_parallel(
         self,
@@ -135,6 +160,7 @@ class WhompProfiler:
         omc: ObjectManager,
         scc: HorizontalSequiturSCC,
         telemetry: Telemetry,
+        mark: int = 0,
     ) -> WhompProfile:
         """The fan-out pipeline: translation and horizontal
         decomposition stay in-process (the CDC/OMC front-end is shared
@@ -148,7 +174,7 @@ class WhompProfiler:
 
         with telemetry.span("whomp") as whole:
             with telemetry.span("translation") as span:
-                accesses = list(translate_trace(trace, omc))
+                accesses = list(self._translated(trace, omc))
                 span.add_items(len(accesses), "accesses")
             with telemetry.span("decomposition") as span:
                 streams = scc.decompose(accesses)
@@ -171,7 +197,9 @@ class WhompProfiler:
             telemetry.counter(
                 "cdc.wild_total", "accesses resolving to no live object"
             ).inc(sum(1 for a in accesses if a.group == WILD_GROUP))
-        profile = self._package(scc, omc, len(accesses))
+        profile = self._package(
+            scc, omc, len(accesses), self._quarantined_since(mark)
+        )
         if telemetry.enabled:
             self._record_metrics(profile, telemetry)
         return profile
@@ -182,6 +210,7 @@ class WhompProfiler:
         omc: ObjectManager,
         scc: HorizontalSequiturSCC,
         telemetry: Telemetry,
+        mark: int = 0,
     ) -> WhompProfile:
         """The telemetry-timed pipeline: each paper stage is a span.
 
@@ -192,7 +221,7 @@ class WhompProfiler:
         """
         with telemetry.span("whomp") as whole:
             with telemetry.span("translation") as span:
-                accesses = list(translate_trace(trace, omc))
+                accesses = list(self._translated(trace, omc))
                 span.add_items(len(accesses), "accesses")
             telemetry.counter(
                 "cdc.translated_total", "accesses made object-relative"
@@ -209,7 +238,9 @@ class WhompProfiler:
                     sum(len(s) for s in streams.values()), "symbols"
                 )
             whole.add_items(len(accesses), "accesses")
-        profile = self._package(scc, omc, len(accesses))
+        profile = self._package(
+            scc, omc, len(accesses), self._quarantined_since(mark)
+        )
         self._record_metrics(profile, telemetry)
         return profile
 
@@ -242,14 +273,26 @@ class WhompProfiler:
         return OnlineWhompSession(self, bus)
 
     def _package(
-        self, scc: HorizontalSequiturSCC, omc: ObjectManager, count: int
+        self,
+        scc: HorizontalSequiturSCC,
+        omc: ObjectManager,
+        count: int,
+        quarantined: int = 0,
     ) -> WhompProfile:
+        total = count + quarantined
+        if quarantined and self.telemetry.enabled:
+            self.telemetry.counter(
+                "resilience.quarantined",
+                "tuples diverted to the quarantine sidecar",
+            ).inc(quarantined)
         return WhompProfile(
             grammars=scc.grammars,
             base_addresses=omc.base_address_table(),
             lifetimes=omc.lifetime_table(),
             group_labels={g.group_id: g.label for g in omc.groups},
             access_count=count,
+            capture_completeness=(count / total) if total else 1.0,
+            quarantined=quarantined,
         )
 
 
@@ -262,8 +305,15 @@ class OnlineWhompSession:
         self._profiler = profiler
         self._bus = bus
         self._scc = HorizontalSequiturSCC(compressor=profiler.compressor)
+        consumer = self._scc.consume
+        self._mark = 0
+        if profiler.quarantine is not None:
+            from repro.resilience.degraded import quarantine_consumer
+
+            self._mark = profiler.quarantine.total
+            consumer = quarantine_consumer(consumer, profiler.quarantine)
         self._cdc = OnlineCDC(
-            self._scc.consume,
+            consumer,
             ObjectManager(refine_by_type=profiler.refine_by_type),
             telemetry=profiler.telemetry,
         )
@@ -271,6 +321,7 @@ class OnlineWhompSession:
 
     def finish(self) -> WhompProfile:
         self._bus.detach(self._cdc)
+        quarantined = self._profiler._quarantined_since(self._mark)
         return self._profiler._package(
-            self._scc, self._cdc.omc, self._cdc.clock
+            self._scc, self._cdc.omc, self._cdc.clock - quarantined, quarantined
         )

@@ -120,6 +120,38 @@ class ProbeBus:
             sink.on_free(address)
 
 
+class FilteredSink:
+    """A sink interposer: every access firing passes through a filter
+    before reaching the wrapped sink.
+
+    The filter receives ``(instruction_id, address, size, kind)`` and
+    returns either a (possibly rewritten) 4-tuple to forward or
+    ``None`` to drop the firing.  Object events forward untouched.
+    This is the seam the fault harness uses to damage a live event
+    stream (:meth:`repro.resilience.faults.FaultInjector.wrap_sink`)
+    without the bus or the profilers knowing.
+    """
+
+    def __init__(self, sink: ProbeSink, access_filter) -> None:
+        self._sink = sink
+        self._filter = access_filter
+
+    def on_access(
+        self, instruction_id: int, address: int, size: int, kind: AccessKind
+    ) -> None:
+        record = self._filter(instruction_id, address, size, kind)
+        if record is not None:
+            self._sink.on_access(*record)
+
+    def on_alloc(
+        self, address: int, size: int, site: str, type_name: Optional[str]
+    ) -> None:
+        self._sink.on_alloc(address, size, site, type_name)
+
+    def on_free(self, address: int) -> None:
+        self._sink.on_free(address)
+
+
 class TraceRecorder:
     """Probe sink that appends every firing to a :class:`Trace`.
 

@@ -1,0 +1,132 @@
+"""End-to-end fault drills for the experiments runner.
+
+These are the acceptance drills of the resilience layer: a sweep run
+under ``--inject-faults`` with seeded worker kills and event
+corruption, interrupted mid-flight and resumed from its checkpoints,
+must complete with valid JSON whose per-experiment statuses say exactly
+what happened to each experiment.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import main as runner_main
+from repro.parallel import fork_available
+
+pytestmark = pytest.mark.faults
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform lacks the fork start method"
+)
+
+SCALE = "0.05"
+
+
+def _read_json(path):
+    data = json.loads(path.read_text())
+    assert isinstance(data, dict)
+    for record in data.values():
+        assert record["status"] in ("ok", "retried", "degraded", "failed")
+        assert "elapsed_seconds" in record
+    return data
+
+
+class TestInterruptAndResume:
+    def test_injected_interrupt_checkpoints_then_resume_completes(
+        self, tmp_path, capsys
+    ):
+        checkpoint_dir = tmp_path / "ckpt"
+        json_path = tmp_path / "results.json"
+        faults = "seed=5;corrupt-events=0.02"
+
+        code = runner_main(
+            [
+                "fig3", "fig5", "--scale", SCALE,
+                "--inject-faults", faults + ";abort-after=1",
+                "--checkpoint-dir", str(checkpoint_dir),
+                "--json", str(json_path),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 130  # the interrupt exit code, like a real Ctrl-C
+        assert "interrupted" in captured.err
+        # the partial sweep still wrote valid JSON with one result
+        partial = _read_json(json_path)
+        assert len(partial) == 1
+        # exactly one atomic checkpoint exists
+        assert (checkpoint_dir / "fig3.json").exists()
+
+        code = runner_main(
+            [
+                "fig3", "fig5", "--scale", SCALE,
+                "--inject-faults", faults,
+                "--checkpoint-dir", str(checkpoint_dir),
+                "--json", str(json_path),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "restored from checkpoint" in captured.out
+        final = _read_json(json_path)
+        assert set(final) == {"fig3", "fig5"}
+        # fig3 runs the paper's worked example on its own tiny program
+        # (no SuiteContext traces), so no fault can land in it; fig5
+        # profiles corrupted traces through the quarantine.
+        assert final["fig3"]["status"] == "ok"
+        assert final["fig5"]["status"] == "degraded"
+
+    def test_resume_skips_completed_work(self, tmp_path, capsys):
+        checkpoint_dir = tmp_path / "ckpt"
+        assert runner_main(
+            ["fig3", "--scale", SCALE, "--checkpoint-dir", str(checkpoint_dir)]
+        ) == 0
+        capsys.readouterr()
+        assert runner_main(
+            ["fig3", "--scale", SCALE, "--checkpoint-dir", str(checkpoint_dir)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "restored from checkpoint" in output
+        # nothing reran: no completion line, only the restore line
+        assert "completed in" not in output
+
+
+@needs_fork
+class TestParallelKillDrill:
+    def test_killed_worker_sweep_completes_with_retried_status(
+        self, tmp_path, capsys
+    ):
+        json_path = tmp_path / "results.json"
+        code = runner_main(
+            [
+                "fig3", "fig5", "fig9", "--scale", SCALE, "--jobs", "4",
+                "--inject-faults",
+                "seed=1;kill-task=0;timeout=60;retries=2;backoff=0.05",
+                "--checkpoint-dir", str(tmp_path / "ckpt"),
+                "--json", str(json_path),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        data = _read_json(json_path)
+        assert set(data) == {"fig3", "fig5", "fig9"}
+        statuses = {name: record["status"] for name, record in data.items()}
+        assert "failed" not in statuses.values()
+        # the killed task's experiment recovered via resubmission
+        assert statuses["fig3"] == "retried"
+
+    def test_no_fault_parallel_results_match_serial(self, tmp_path, capsys):
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        assert runner_main(
+            ["fig3", "--scale", SCALE, "--json", str(serial_path)]
+        ) == 0
+        assert runner_main(
+            ["fig3", "fig5", "--scale", SCALE, "--jobs", "2",
+             "--json", str(parallel_path)]
+        ) == 0
+        capsys.readouterr()
+        serial = json.loads(serial_path.read_text())
+        parallel = json.loads(parallel_path.read_text())
+        assert parallel["fig3"]["results"] == serial["fig3"]["results"]
+        assert parallel["fig3"]["status"] == serial["fig3"]["status"] == "ok"

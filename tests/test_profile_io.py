@@ -181,3 +181,97 @@ class TestProductionExpansion:
 
         with pytest.raises(ProfileFormatError, match="tag"):
             _expand_productions({"start": 0, "productions": {"0": [["X", 1]]}})
+
+    def test_expansion_bomb_capped(self):
+        # A doubling grammar describes 2**40 symbols in 40 rules; the
+        # loader must abort at its cap instead of materializing it.
+        from repro.core.profile_io import _expand_productions
+
+        productions = {"39": [["T", 1], ["T", 1]]}
+        for rule in range(39):
+            productions[str(rule)] = [["R", rule + 1], ["R", rule + 1]]
+        with pytest.raises(ProfileFormatError, match="expands"):
+            _expand_productions(
+                {"start": 0, "productions": productions}, max_symbols=10_000
+            )
+
+
+@pytest.mark.faults
+class TestFuzzedLoading:
+    """Fuzz the loaders with the fault harness: any damaged input must
+    raise :class:`ProfileFormatError` -- never a raw ``KeyError`` /
+    ``TypeError`` / ``RecursionError`` escaping the decoder, and never
+    a silently inconsistent profile."""
+
+    @pytest.fixture(scope="class")
+    def whomp_text(self, list_trace):
+        buffer = io.StringIO()
+        save_whomp(WhompProfiler().profile(list_trace), buffer)
+        return buffer.getvalue()
+
+    @pytest.fixture(scope="class")
+    def leap_text(self, list_trace):
+        buffer = io.StringIO()
+        save_leap(LeapProfiler().profile(list_trace), buffer)
+        return buffer.getvalue()
+
+    def test_truncation_always_rejected(self, whomp_text, leap_text):
+        for text, loader in ((whomp_text, load_whomp_streams),
+                             (leap_text, load_leap)):
+            step = max(1, len(text) // 97)  # ~100 cut points incl. 0
+            for cut in range(0, len(text), step):
+                with pytest.raises(ProfileFormatError):
+                    loader(io.StringIO(text[:cut]))
+
+    def test_bit_flips_never_escape_format_error(self, tmp_path, whomp_text, leap_text):
+        from repro.core.profile_io import load
+        from repro.resilience import FaultInjector, parse_fault_spec
+
+        path = tmp_path / "fuzzed.json"
+        for text in (whomp_text, leap_text):
+            data = text.encode("utf-8")
+            for seed in range(40):
+                injector = FaultInjector(
+                    parse_fault_spec(f"seed={seed};flip-profile=3")
+                )
+                path.write_bytes(injector.corrupt_bytes(data))
+                try:
+                    load(str(path))
+                except ProfileFormatError:
+                    pass  # the only acceptable exception
+
+    def test_oversized_access_count_rejected(self, whomp_text):
+        document = json.loads(whomp_text)
+        document["access_count"] = document["access_count"] + 1
+        with pytest.raises(ProfileFormatError):
+            load_whomp_streams(io.StringIO(json.dumps(document)))
+
+    def test_negative_access_count_rejected(self, whomp_text):
+        document = json.loads(whomp_text)
+        document["access_count"] = -1
+        with pytest.raises(ProfileFormatError):
+            load_whomp_streams(io.StringIO(json.dumps(document)))
+
+    def test_leap_count_mismatch_rejected(self, leap_text):
+        document = json.loads(leap_text)
+        entry = document["entries"][0]
+        entry["total"] = entry["total"] + 5
+        with pytest.raises(ProfileFormatError):
+            load_leap(io.StringIO(json.dumps(document)))
+
+    def test_missing_dimension_rejected(self, whomp_text):
+        document = json.loads(whomp_text)
+        del document["grammars"][DIMENSIONS[0]]
+        with pytest.raises(ProfileFormatError):
+            load_whomp_streams(io.StringIO(json.dumps(document)))
+
+    def test_non_json_and_non_object_documents_rejected(self):
+        for text in ("", "not json", "[1, 2, 3]", '"a string"', "null"):
+            with pytest.raises(ProfileFormatError):
+                load_whomp_streams(io.StringIO(text))
+
+    def test_load_missing_file_rejected(self, tmp_path):
+        from repro.core.profile_io import load
+
+        with pytest.raises(ProfileFormatError):
+            load(str(tmp_path / "absent.json"))
