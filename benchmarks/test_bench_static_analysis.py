@@ -1,0 +1,64 @@
+"""MIRCHECK bench: static analyzer wall-clock and static-vs-LEAP
+agreement.
+
+Times the full static pipeline (parse -> CFG/lint -> static LMAD
+inference) on the largest bundled example, and asserts the oracle's
+agreement-rate floor: every LMAD the static side predicts for a
+proved-regular instruction must match the profiled one exactly.
+"""
+
+import os
+
+from conftest import once
+
+from repro.experiments import staticvs
+from repro.lang import parse
+from repro.lang.analysis import StaticLmadAnalyzer, lint_program
+
+EXAMPLES = os.path.join(
+    os.path.dirname(__file__), os.pardir, "examples", "programs"
+)
+
+
+def _largest_example() -> str:
+    candidates = [
+        os.path.join(EXAMPLES, name)
+        for name in os.listdir(EXAMPLES)
+        if name.endswith(".mir") and not name.startswith("defects_")
+    ]
+    return max(candidates, key=os.path.getsize)
+
+
+def _analyze(source: str):
+    program = parse(source)
+    diagnostics = lint_program(program, source)
+    result = StaticLmadAnalyzer(program).run()
+    return diagnostics, result
+
+
+def test_static_analyzer_wall_clock(benchmark):
+    """Full static pipeline on the largest bundled example."""
+    path = _largest_example()
+    with open(path) as handle:
+        source = handle.read()
+    diagnostics, result = once(benchmark, _analyze, source)
+    assert diagnostics == []
+    assert result.instructions
+
+
+def test_static_vs_leap_agreement_rate(benchmark):
+    """The oracle sweep: every program clean, full agreement."""
+    results = once(benchmark, staticvs.run)
+    print()
+    print(staticvs.render(results))
+    assert results["programs"], "bundled examples must be present"
+    for row in results["programs"]:
+        assert row["lmad_agreement"] == 1.0, row
+        assert row["exec_agreement"] == 1.0, row
+        assert row["dependence_agreement"] == 1.0, row
+        assert row["clean"], row
+    # matrix.mir is fully analyzable: everything proved regular
+    matrix = next(
+        row for row in results["programs"] if row["program"] == "matrix.mir"
+    )
+    assert matrix["proved_regular"] == matrix["instructions"]

@@ -8,6 +8,11 @@ Subcommands::
     repro-profile lang <source.mir> [--profiler ...] [-o DIR]
         Interpret a mini-IR source file under instrumentation.
 
+    repro-profile check <source.mir>... [--json]
+        Statically analyze mini-IR sources (MIRCHECK): lint diagnostics
+        plus static LMAD classification.  Exit 0 when clean, 1 when any
+        diagnostic fired, 2 on a parse/lex error.
+
     repro-profile stats <workload> [--json]
         Print trace statistics (instruction mix, footprint, reuse).
 
@@ -179,6 +184,74 @@ def _dump_profile(path: str, limit: int, parser) -> int:
     return 2
 
 
+def _run_check(paths: List[str], as_json: bool, static: bool) -> int:
+    """MIRCHECK driver: lint every source, optionally classify accesses.
+
+    Exit codes: 0 all clean, 1 diagnostics reported, 2 parse/lex error.
+    """
+    import json as json_module
+
+    from repro.lang import LangError, parse
+    from repro.lang.analysis import StaticLmadAnalyzer, lint_program
+
+    reports = []
+    had_diagnostics = False
+    for path in paths:
+        try:
+            with open(path) as handle:
+                source = handle.read()
+            program = parse(source)
+        except LangError as exc:
+            print(
+                f"{path}:{exc.line}:{exc.column}: {exc.message}",
+                file=sys.stderr,
+            )
+            return 2
+        diagnostics = lint_program(program, source)
+        classes = {}
+        if static and any(f.name == "main" for f in program.functions):
+            result = StaticLmadAnalyzer(program).run()
+            classes = {
+                instr.name: instr.classification
+                for instr in result.instructions.values()
+            }
+        if diagnostics:
+            had_diagnostics = True
+        reports.append((path, diagnostics, classes))
+
+    if as_json:
+        payload = {
+            "files": [
+                {
+                    "path": path,
+                    "diagnostics": [d.to_dict() for d in diagnostics],
+                    "classifications": dict(sorted(classes.items())),
+                }
+                for path, diagnostics, classes in reports
+            ],
+            "total_diagnostics": sum(
+                len(diagnostics) for __, diagnostics, __ in reports
+            ),
+        }
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for path, diagnostics, classes in reports:
+            for diagnostic in diagnostics:
+                print(diagnostic.render(path))
+            if classes:
+                regular = sum(
+                    1 for value in classes.values()
+                    if value == "proved-regular"
+                )
+                print(
+                    f"{path}: {len(diagnostics)} diagnostic(s), "
+                    f"{regular}/{len(classes)} instructions proved regular"
+                )
+            else:
+                print(f"{path}: {len(diagnostics)} diagnostic(s)")
+    return 1 if had_diagnostics else 0
+
+
 def _add_jobs_argument(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--jobs",
@@ -240,6 +313,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_argument(lang)
     _add_telemetry_arguments(lang)
 
+    check = sub.add_parser(
+        "check", help="statically analyze mini-IR sources (MIRCHECK)"
+    )
+    check.add_argument(
+        "sources", nargs="+", help="paths to .mir sources to analyze"
+    )
+    check.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="machine-readable report on stdout",
+    )
+    check.add_argument(
+        "--no-static", action="store_true",
+        help="skip static LMAD classification (lint only)",
+    )
+
     stats = sub.add_parser("stats", help="print trace statistics")
     stats.add_argument("workload", help="workload name (see `list`)")
     stats.add_argument("--scale", type=float, default=1.0)
@@ -294,10 +382,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         emit(telemetry, telemetry_mode, args.telemetry_out)
         return 0
 
+    if args.command == "check":
+        for path in args.sources:
+            if not os.path.exists(path):
+                parser.error(f"no such file: {path}")
+        return _run_check(args.sources, args.as_json, not args.no_static)
+
     if args.command == "lang":
         if not os.path.exists(args.source):
             parser.error(f"no such file: {args.source}")
-        trace = _collect_lang_trace(args.source, telemetry=telemetry)
+        from repro.lang import LangError
+
+        try:
+            trace = _collect_lang_trace(args.source, telemetry=telemetry)
+        except LangError as exc:
+            print(
+                f"{args.source}:{exc.line}:{exc.column}: {exc.message}",
+                file=sys.stderr,
+            )
+            return 2
         print(f"trace: {trace.access_count} accesses")
         stem = os.path.splitext(os.path.basename(args.source))[0]
         _write_profiles(

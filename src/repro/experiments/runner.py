@@ -35,7 +35,7 @@ import threading
 import time
 from typing import Dict, List, Optional
 
-from repro.experiments import fig3, fig5, fig6, fig7, fig8, fig9, table1
+from repro.experiments import fig3, fig5, fig6, fig7, fig8, fig9, staticvs, table1
 from repro.experiments.context import SuiteContext
 from repro.telemetry import MODES, NULL_TELEMETRY, Telemetry, emit
 
@@ -47,6 +47,7 @@ EXPERIMENTS = {
     "fig8": (fig8.run, fig8.render),
     "fig9": (fig9.run, fig9.render),
     "table1": (table1.run, table1.render),
+    "staticvs": (staticvs.run, staticvs.render),
 }
 
 

@@ -1,0 +1,79 @@
+"""Static analysis over the mini-IR: CFG, dataflow, lint, LMAD inference.
+
+This package is MIRCHECK, the static counterpart of the dynamic
+profilers: where LEAP observes a program's memory accesses and
+compresses them into LMADs, :mod:`repro.lang.analysis.static_lmad`
+*predicts* those LMADs from the source alone, and
+:mod:`repro.lang.analysis.oracle` checks the two against each other.
+The same CFG/dataflow machinery also powers a conventional linter
+(:mod:`repro.lang.analysis.lint`).
+"""
+
+from repro.lang.analysis.cfg import CFG, BasicBlock, CFGBuilder, CFGNode, build_cfg
+from repro.lang.analysis.dataflow import (
+    ArrayRef,
+    DataflowAnalysis,
+    Interval,
+    Liveness,
+    ReachingDefinitions,
+    Solution,
+    ValueAnalysis,
+    solve,
+)
+from repro.lang.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    DiagnosticSink,
+    suppressed_lines,
+)
+from repro.lang.analysis.affine import Affine
+from repro.lang.analysis.lint import HeapAnalysis, Linter, lint_program, lint_source
+from repro.lang.analysis.oracle import (
+    OracleReport,
+    StaticOracle,
+    canonical_lmads,
+    validate_source,
+)
+from repro.lang.analysis.static_lmad import (
+    PROVED_INDEPENDENT,
+    PROVED_REGULAR,
+    UNKNOWN_CLASS,
+    StaticLmadAnalyzer,
+    StaticLmadResult,
+    analyze_source,
+)
+
+__all__ = [
+    "CFG",
+    "BasicBlock",
+    "CFGBuilder",
+    "CFGNode",
+    "build_cfg",
+    "ArrayRef",
+    "DataflowAnalysis",
+    "Interval",
+    "Liveness",
+    "ReachingDefinitions",
+    "Solution",
+    "ValueAnalysis",
+    "solve",
+    "CODES",
+    "Diagnostic",
+    "DiagnosticSink",
+    "suppressed_lines",
+    "HeapAnalysis",
+    "Linter",
+    "lint_program",
+    "lint_source",
+    "Affine",
+    "OracleReport",
+    "StaticOracle",
+    "canonical_lmads",
+    "validate_source",
+    "PROVED_INDEPENDENT",
+    "PROVED_REGULAR",
+    "UNKNOWN_CLASS",
+    "StaticLmadAnalyzer",
+    "StaticLmadResult",
+    "analyze_source",
+]

@@ -1,0 +1,105 @@
+"""Affine forms over loop symbols: ``c0 + c1*s1 + ... + ck*sk``.
+
+The static LMAD inference represents every statically-tracked integer
+(loop counters, pointer offsets, allocation instance numbers) as an
+affine combination of *normalized loop counters* -- fresh symbols, one
+per recognized counted loop, each ranging over ``0..trips-1``.  An
+access whose offset stays affine in those symbols has, by construction,
+a closed LMAD: the constant part is the start, each symbol's
+coefficient is a stride, and the symbol's trip count is the count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Affine:
+    """An immutable affine form; ``terms`` maps symbol -> coefficient."""
+
+    const: int = 0
+    terms: Tuple[Tuple[str, int], ...] = ()
+
+    @classmethod
+    def constant(cls, value: int) -> "Affine":
+        return cls(value, ())
+
+    @classmethod
+    def symbol(cls, name: str, coefficient: int = 1) -> "Affine":
+        if coefficient == 0:
+            return cls(0, ())
+        return cls(0, ((name, coefficient),))
+
+    @classmethod
+    def _from_dict(cls, const: int, terms: Dict[str, int]) -> "Affine":
+        packed = tuple(
+            (name, coefficient)
+            for name, coefficient in sorted(terms.items())
+            if coefficient != 0
+        )
+        return cls(const, packed)
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def is_const(self) -> bool:
+        return not self.terms
+
+    def coeff(self, symbol: str) -> int:
+        for name, coefficient in self.terms:
+            if name == symbol:
+                return coefficient
+        return 0
+
+    def symbols(self) -> Tuple[str, ...]:
+        return tuple(name for name, __ in self.terms)
+
+    # -- arithmetic ------------------------------------------------------
+
+    def add(self, other: "Affine") -> "Affine":
+        terms = dict(self.terms)
+        for name, coefficient in other.terms:
+            terms[name] = terms.get(name, 0) + coefficient
+        return Affine._from_dict(self.const + other.const, terms)
+
+    def neg(self) -> "Affine":
+        return Affine(
+            -self.const,
+            tuple((name, -coefficient) for name, coefficient in self.terms),
+        )
+
+    def sub(self, other: "Affine") -> "Affine":
+        return self.add(other.neg())
+
+    def scale(self, factor: int) -> "Affine":
+        if factor == 0:
+            return Affine.constant(0)
+        return Affine(
+            self.const * factor,
+            tuple(
+                (name, coefficient * factor)
+                for name, coefficient in self.terms
+            ),
+        )
+
+    def mul(self, other: "Affine") -> Optional["Affine"]:
+        """Product, affine only when at least one side is constant."""
+        if self.is_const:
+            return other.scale(self.const)
+        if other.is_const:
+            return self.scale(other.const)
+        return None
+
+    def add_const(self, value: int) -> "Affine":
+        return Affine(self.const + value, self.terms)
+
+    def __repr__(self) -> str:
+        parts = [str(self.const)] if self.const or not self.terms else []
+        for name, coefficient in self.terms:
+            if coefficient == 1:
+                parts.append(name)
+            else:
+                parts.append(f"{coefficient}*{name}")
+        return " + ".join(parts) if parts else "0"

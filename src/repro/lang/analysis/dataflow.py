@@ -1,0 +1,576 @@
+"""Generic forward/backward dataflow over mini-IR CFGs.
+
+The framework is the classic iterative worklist solver: an analysis
+supplies a lattice (``initial`` / ``join`` / optional ``widen``), a
+boundary state, and a per-node transfer function; :func:`solve` iterates
+to a fixpoint and exposes states at *execution-oriented* program points
+(the state immediately before / after each node executes), for forward
+and backward analyses alike.
+
+Three concrete analyses ship with the framework:
+
+* :class:`ReachingDefinitions` -- which definitions of each local reach
+  a point (drives the possibly-uninitialized-use check);
+* :class:`Liveness` -- backward live-variable analysis (drives the
+  dead-store check);
+* :class:`ValueAnalysis` -- interval/constant propagation over locals,
+  including array extents from ``new T[k]`` and global declarations
+  (drives the constant out-of-bounds index check and the loop-bound
+  reasoning of the static LMAD inference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lang import ast
+from repro.lang.analysis.cfg import CFG, CFGNode
+
+# --------------------------------------------------------------------------
+# framework
+# --------------------------------------------------------------------------
+
+
+class DataflowAnalysis:
+    """Base class: subclass and override the lattice + transfer."""
+
+    #: "forward" or "backward"
+    direction = "forward"
+
+    def boundary(self, cfg: CFG) -> object:
+        """State at the entry (forward) / exit (backward) of the CFG."""
+        raise NotImplementedError
+
+    def initial(self) -> object:
+        """The identity of ``join`` (state of an unvisited path)."""
+        raise NotImplementedError
+
+    def join(self, a: object, b: object) -> object:
+        raise NotImplementedError
+
+    def transfer(self, node: CFGNode, state: object) -> object:
+        """State after ``node`` executes, given the state before it.
+
+        Backward analyses receive the state *after* execution and return
+        the state *before* it (the transfer runs against the arrow of
+        execution).
+        """
+        raise NotImplementedError
+
+    def widen(self, old: object, new: object, visits: int) -> object:
+        """Accelerate convergence; default is plain replacement."""
+        return new
+
+
+@dataclass
+class Solution:
+    """Fixpoint states in execution orientation.
+
+    ``entry_state[bid]`` / ``exit_state[bid]`` are the states at block
+    entry and block exit *in execution order*, whatever the analysis
+    direction was.
+    """
+
+    cfg: CFG
+    analysis: DataflowAnalysis
+    entry_state: Dict[int, object]
+    exit_state: Dict[int, object]
+
+    def node_states(
+        self, bid: int
+    ) -> List[Tuple[CFGNode, object, object]]:
+        """Per-node ``(node, state_before, state_after)`` in execution
+        order, for the nodes of block ``bid``."""
+        block = self.cfg.block(bid)
+        out: List[Tuple[CFGNode, object, object]] = []
+        if self.analysis.direction == "forward":
+            state = self.entry_state[bid]
+            for node in block.nodes:
+                after = self.analysis.transfer(node, state)
+                out.append((node, state, after))
+                state = after
+        else:
+            state = self.exit_state[bid]
+            backwards: List[Tuple[CFGNode, object, object]] = []
+            for node in reversed(block.nodes):
+                before = self.analysis.transfer(node, state)
+                backwards.append((node, before, state))
+                state = before
+            out = list(reversed(backwards))
+        return out
+
+
+def solve(cfg: CFG, analysis: DataflowAnalysis) -> Solution:
+    """Iterate ``analysis`` over ``cfg`` to a fixpoint."""
+    forward = analysis.direction == "forward"
+    reachable = cfg.reachable()
+    order = [bid for bid in cfg.rpo() if bid in reachable]
+    if not forward:
+        order = list(reversed(order))
+
+    boundary_bid = cfg.entry.bid if forward else cfg.exit.bid
+    in_state: Dict[int, object] = {}  # direction-oriented input
+    out_state: Dict[int, object] = {}  # direction-oriented output
+    visits: Dict[int, int] = {}
+
+    def edges_in(bid: int) -> Iterable[int]:
+        block = cfg.block(bid)
+        return block.preds if forward else block.succs
+
+    def block_transfer(bid: int, state: object) -> object:
+        nodes = cfg.block(bid).nodes
+        for node in nodes if forward else reversed(nodes):
+            state = analysis.transfer(node, state)
+        return state
+
+    worklist = list(order)
+    in_worklist: Set[int] = set(worklist)
+    while worklist:
+        bid = worklist.pop(0)
+        in_worklist.discard(bid)
+        if bid == boundary_bid:
+            incoming = analysis.boundary(cfg)
+        else:
+            incoming = analysis.initial()
+            for source in edges_in(bid):
+                if source in out_state:
+                    incoming = analysis.join(incoming, out_state[source])
+        visits[bid] = visits.get(bid, 0) + 1
+        if bid in in_state:
+            incoming = analysis.widen(in_state[bid], incoming, visits[bid])
+        if bid in in_state and incoming == in_state[bid] and bid in out_state:
+            continue
+        in_state[bid] = incoming
+        result = block_transfer(bid, incoming)
+        if bid not in out_state or result != out_state[bid]:
+            out_state[bid] = result
+            block = cfg.block(bid)
+            targets = block.succs if forward else block.preds
+            for target in targets:
+                if target in reachable and target not in in_worklist:
+                    worklist.append(target)
+                    in_worklist.add(target)
+        else:
+            out_state[bid] = result
+
+    if forward:
+        entry, exit_ = in_state, out_state
+    else:
+        entry, exit_ = out_state, in_state
+    return Solution(cfg, analysis, entry, exit_)
+
+
+# --------------------------------------------------------------------------
+# expression use/def helpers (shared by the analyses and the linter)
+# --------------------------------------------------------------------------
+
+
+def expr_reads(expr: Optional[ast.Expr]) -> List[ast.VarRef]:
+    """Every ``VarRef`` evaluated for its value inside ``expr``, in
+    evaluation order (assignment targets are handled separately)."""
+    out: List[ast.VarRef] = []
+    _collect_reads(expr, out)
+    return out
+
+
+def _collect_reads(expr: Optional[ast.Expr], out: List[ast.VarRef]) -> None:
+    if expr is None:
+        return
+    if isinstance(expr, ast.VarRef):
+        out.append(expr)
+    elif isinstance(expr, ast.Unary):
+        _collect_reads(expr.operand, out)
+    elif isinstance(expr, ast.Binary):
+        _collect_reads(expr.left, out)
+        _collect_reads(expr.right, out)
+    elif isinstance(expr, ast.Call):
+        for argument in expr.args:
+            _collect_reads(argument, out)
+    elif isinstance(expr, ast.New):
+        _collect_reads(expr.count, out)
+    elif isinstance(expr, ast.FieldAccess):
+        _collect_reads(expr.base, out)
+    elif isinstance(expr, ast.Index):
+        _collect_reads(expr.base, out)
+        _collect_reads(expr.index, out)
+    elif isinstance(expr, ast.AddressOf):
+        # &x names a location; the base expression of a field/index
+        # chain is still evaluated.
+        if not isinstance(expr.target, ast.VarRef):
+            _collect_reads(expr.target, out)
+
+
+def node_reads(node: CFGNode) -> List[ast.VarRef]:
+    """Variable reads performed by one CFG node, in evaluation order."""
+    element = node.element
+    if node.is_condition:
+        return expr_reads(element)  # type: ignore[arg-type]
+    if isinstance(element, ast.VarDecl):
+        return expr_reads(element.initializer)
+    if isinstance(element, ast.Assign):
+        # The interpreter evaluates the value first, then the lvalue.
+        reads = expr_reads(element.value)
+        if not isinstance(element.target, ast.VarRef):
+            reads.extend(expr_reads(element.target))
+        return reads
+    if isinstance(element, ast.ExprStmt):
+        return expr_reads(element.expr)
+    if isinstance(element, ast.Delete):
+        return expr_reads(element.pointer)
+    if isinstance(element, ast.Return):
+        return expr_reads(element.value)
+    return []
+
+
+def node_local_def(node: CFGNode) -> Optional[str]:
+    """The local variable this node defines, if any."""
+    element = node.element
+    if node.is_condition:
+        return None
+    if isinstance(element, ast.VarDecl):
+        return element.name
+    if isinstance(element, ast.Assign) and isinstance(element.target, ast.VarRef):
+        return element.target.name
+    return None
+
+
+def declared_locals(function: ast.FunctionDecl) -> Set[str]:
+    """Every name declared as a parameter or ``var`` in ``function``."""
+    names = {param.name for param in function.params}
+
+    def walk(body: Tuple[ast.Stmt, ...]) -> None:
+        for statement in body:
+            if isinstance(statement, ast.VarDecl):
+                names.add(statement.name)
+            elif isinstance(statement, ast.If):
+                walk(statement.then_body)
+                walk(statement.else_body)
+            elif isinstance(statement, ast.While):
+                walk(statement.body)
+                if statement.step is not None:
+                    walk((statement.step,))
+            elif hasattr(statement, "init") and hasattr(statement, "loop"):
+                walk((statement.init, statement.loop))
+
+    walk(function.body)
+    return names
+
+
+# --------------------------------------------------------------------------
+# reaching definitions
+# --------------------------------------------------------------------------
+
+#: pseudo-definition marking "never assigned on this path"
+UNINIT = ("uninit",)
+
+
+class ReachingDefinitions(DataflowAnalysis):
+    """var -> frozenset of definition sites ``(line, column)``.
+
+    Parameters are defined at the function header.  A ``var`` declaration
+    *without* an initializer contributes the :data:`UNINIT` pseudo-def,
+    so a use reached by it is possibly uninitialized.
+    """
+
+    direction = "forward"
+
+    def __init__(self, function: ast.FunctionDecl) -> None:
+        self.function = function
+        self.locals = declared_locals(function)
+
+    def boundary(self, cfg: CFG) -> object:
+        state = {name: frozenset([UNINIT]) for name in self.locals}
+        for param in cfg.function.params:
+            state[param.name] = frozenset(
+                [(cfg.function.line, cfg.function.column)]
+            )
+        return state
+
+    def initial(self) -> object:
+        return {}
+
+    def join(self, a: object, b: object) -> object:
+        if not a:
+            return b
+        if not b:
+            return a
+        merged = dict(a)
+        for name, defs in b.items():  # type: ignore[union-attr]
+            merged[name] = merged.get(name, frozenset()) | defs
+        return merged
+
+    def transfer(self, node: CFGNode, state: object) -> object:
+        name = node_local_def(node)
+        if name is None or name not in self.locals:
+            return state
+        element = node.element
+        if isinstance(element, ast.VarDecl) and element.initializer is None:
+            new_defs = frozenset([UNINIT])
+        else:
+            new_defs = frozenset([(element.line, element.column)])
+        updated = dict(state)  # type: ignore[arg-type]
+        updated[name] = new_defs
+        return updated
+
+
+# --------------------------------------------------------------------------
+# liveness
+# --------------------------------------------------------------------------
+
+
+class Liveness(DataflowAnalysis):
+    """Backward live-variable analysis over function locals."""
+
+    direction = "backward"
+
+    def __init__(self, function: ast.FunctionDecl) -> None:
+        self.function = function
+        self.locals = declared_locals(function)
+
+    def boundary(self, cfg: CFG) -> object:
+        return frozenset()
+
+    def initial(self) -> object:
+        return frozenset()
+
+    def join(self, a: object, b: object) -> object:
+        return a | b  # type: ignore[operator]
+
+    def transfer(self, node: CFGNode, state: object) -> object:
+        live: frozenset = state  # type: ignore[assignment]
+        name = node_local_def(node)
+        if name is not None and name in self.locals:
+            live = live - {name}
+        reads = {
+            ref.name for ref in node_reads(node) if ref.name in self.locals
+        }
+        return live | frozenset(reads)
+
+
+# --------------------------------------------------------------------------
+# interval / constant propagation
+# --------------------------------------------------------------------------
+
+_NEG_INF = None  # encoded as None in the lo slot
+_POS_INF = None  # encoded as None in the hi slot
+
+#: widening kicks in after this many visits to a block
+WIDEN_AFTER = 3
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A (possibly unbounded) integer interval; ``None`` = infinite."""
+
+    lo: Optional[int]
+    hi: Optional[int]
+
+    @classmethod
+    def const(cls, value: int) -> "Interval":
+        return cls(value, value)
+
+    @classmethod
+    def top(cls) -> "Interval":
+        return cls(None, None)
+
+    @property
+    def is_const(self) -> bool:
+        return self.lo is not None and self.lo == self.hi
+
+    def hull(self, other: "Interval") -> "Interval":
+        lo = None if self.lo is None or other.lo is None else min(self.lo, other.lo)
+        hi = None if self.hi is None or other.hi is None else max(self.hi, other.hi)
+        return Interval(lo, hi)
+
+    def widened(self, newer: "Interval") -> "Interval":
+        """Jump moving bounds to infinity (standard interval widening)."""
+        lo = self.lo
+        if newer.lo is None or (lo is not None and newer.lo < lo):
+            lo = None
+        hi = self.hi
+        if newer.hi is None or (hi is not None and newer.hi > hi):
+            hi = None
+        return Interval(lo, hi)
+
+    def add(self, other: "Interval") -> "Interval":
+        lo = None if self.lo is None or other.lo is None else self.lo + other.lo
+        hi = None if self.hi is None or other.hi is None else self.hi + other.hi
+        return Interval(lo, hi)
+
+    def neg(self) -> "Interval":
+        return Interval(
+            None if self.hi is None else -self.hi,
+            None if self.lo is None else -self.lo,
+        )
+
+    def sub(self, other: "Interval") -> "Interval":
+        return self.add(other.neg())
+
+    def mul(self, other: "Interval") -> "Interval":
+        corners = []
+        for a in (self.lo, self.hi):
+            for b in (other.lo, other.hi):
+                if a is None or b is None:
+                    return Interval.top()
+                corners.append(a * b)
+        return Interval(min(corners), max(corners))
+
+    def __repr__(self) -> str:
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """A pointer known to address an array of ``length`` elements."""
+
+    length: Optional[int]
+    element_size: int
+
+
+TOP = object()  # unknown value of unknown shape
+
+
+class ValueAnalysis(DataflowAnalysis):
+    """Interval/constant propagation with array-extent tracking.
+
+    State: dict of local name -> :class:`Interval` | :class:`ArrayRef` |
+    :data:`TOP`.  Globals, memory loads, and call results are ``TOP``
+    (the linter stays intraprocedural); ``new T[k]`` with a constant
+    ``k``, and references to declared global arrays, produce
+    :class:`ArrayRef` so constant-index bound checks work on both heap
+    and static arrays.
+    """
+
+    direction = "forward"
+
+    def __init__(self, function: ast.FunctionDecl, program: ast.Program) -> None:
+        self.function = function
+        self.locals = declared_locals(function)
+        self.global_arrays: Dict[str, Tuple[int, int]] = {}
+        self._element_sizes: Dict[str, int] = {}
+        try:
+            from repro.lang.typesys import TypeTable
+
+            types = TypeTable(program)
+            for declaration in program.globals:
+                resolved = types.resolve(declaration.type_expr)
+                from repro.lang.typesys import ArrayType
+
+                if isinstance(resolved, ArrayType):
+                    self.global_arrays[declaration.name] = (
+                        resolved.length,
+                        resolved.element.size(),
+                    )
+            self._types = types
+        except Exception:  # malformed types: checked elsewhere
+            self._types = None
+
+    # -- lattice ---------------------------------------------------------
+
+    def boundary(self, cfg: CFG) -> object:
+        return {name: TOP for name in self.locals}
+
+    def initial(self) -> object:
+        return {}
+
+    def join(self, a: object, b: object) -> object:
+        if not a:
+            return b
+        if not b:
+            return a
+        merged = {}
+        for name in set(a) | set(b):  # type: ignore[arg-type]
+            va = a.get(name, TOP)  # type: ignore[union-attr]
+            vb = b.get(name, TOP)  # type: ignore[union-attr]
+            if isinstance(va, Interval) and isinstance(vb, Interval):
+                merged[name] = va.hull(vb)
+            elif va == vb:
+                merged[name] = va
+            else:
+                merged[name] = TOP
+        return merged
+
+    def widen(self, old: object, new: object, visits: int) -> object:
+        if visits <= WIDEN_AFTER or not isinstance(old, dict):
+            return new
+        widened = dict(new)  # type: ignore[arg-type]
+        for name, value in widened.items():
+            previous = old.get(name)
+            if isinstance(previous, Interval) and isinstance(value, Interval):
+                widened[name] = previous.widened(value)
+        return widened
+
+    # -- transfer --------------------------------------------------------
+
+    def transfer(self, node: CFGNode, state: object) -> object:
+        name = node_local_def(node)
+        if name is None or name not in self.locals:
+            return state
+        element = node.element
+        if isinstance(element, ast.VarDecl):
+            value_expr = element.initializer
+            value = (
+                Interval.const(0)
+                if value_expr is None
+                else self.eval(value_expr, state)
+            )
+        else:
+            value = self.eval(element.value, state)  # type: ignore[union-attr]
+        updated = dict(state)  # type: ignore[arg-type]
+        updated[name] = value
+        return updated
+
+    # -- evaluation ------------------------------------------------------
+
+    def eval(self, expr: Optional[ast.Expr], state: object) -> object:
+        """Abstract evaluation of ``expr`` in ``state``."""
+        env: Dict[str, object] = state if isinstance(state, dict) else {}
+        if expr is None:
+            return TOP
+        if isinstance(expr, ast.IntLiteral):
+            return Interval.const(expr.value)
+        if isinstance(expr, ast.NullLiteral):
+            return Interval.const(0)
+        if isinstance(expr, ast.VarRef):
+            if expr.name in env:
+                return env[expr.name]
+            if expr.name in self.global_arrays:
+                length, size = self.global_arrays[expr.name]
+                return ArrayRef(length, size)
+            return TOP
+        if isinstance(expr, ast.Unary):
+            inner = self.eval(expr.operand, state)
+            if expr.op == "-" and isinstance(inner, Interval):
+                return inner.neg()
+            return TOP
+        if isinstance(expr, ast.Binary):
+            left = self.eval(expr.left, state)
+            right = self.eval(expr.right, state)
+            if isinstance(left, Interval) and isinstance(right, Interval):
+                if expr.op == "+":
+                    return left.add(right)
+                if expr.op == "-":
+                    return left.sub(right)
+                if expr.op == "*":
+                    return left.mul(right)
+            return TOP
+        if isinstance(expr, ast.New):
+            return self._eval_new(expr, state)
+        return TOP
+
+    def _eval_new(self, expr: ast.New, state: object) -> object:
+        element_size = 8
+        if self._types is not None:
+            try:
+                element_size = self._types.resolve(expr.type_expr).size()
+            except Exception:
+                return TOP
+        if expr.count is None:
+            return ArrayRef(1, element_size)
+        count = self.eval(expr.count, state)
+        if isinstance(count, Interval) and count.is_const:
+            return ArrayRef(count.lo, element_size)
+        return ArrayRef(None, element_size)

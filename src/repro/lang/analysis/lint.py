@@ -1,0 +1,499 @@
+"""The mini-IR linter: CFG + dataflow passes -> diagnostics.
+
+Checks (see :mod:`repro.lang.analysis.diagnostics` for the code table):
+
+====== ==========================================================
+MIR101 read of a variable that may be uninitialized on some path
+MIR102 load/store through a pointer after ``delete``
+MIR103 ``delete`` of an already-freed allocation
+MIR104 allocation that is never freed and never escapes
+MIR105 constant array index provably out of bounds
+MIR106 store to a local whose value is never read (dead store)
+MIR107 statements no execution can reach
+MIR108 function with a return type that can fall off the end
+====== ==========================================================
+
+The heap checks run a per-function *allocation-site* dataflow: each
+``new`` site is tracked through local pointer variables as live / freed
+/ maybe-freed; pointers stored to memory, passed to calls, or returned
+are *escaped* and exempt from leak reporting (the analysis is
+intraprocedural and must not guess at callees).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.lang import ast
+from repro.lang.analysis.cfg import CFG, CFGNode, build_cfg
+from repro.lang.analysis.dataflow import (
+    UNINIT,
+    ArrayRef,
+    DataflowAnalysis,
+    Interval,
+    Liveness,
+    ReachingDefinitions,
+    ValueAnalysis,
+    declared_locals,
+    node_local_def,
+    node_reads,
+    solve,
+)
+from repro.lang.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticSink,
+    suppressed_lines,
+)
+from repro.lang.parser import parse
+
+# --------------------------------------------------------------------------
+# expression walking helpers
+# --------------------------------------------------------------------------
+
+
+def node_top_exprs(node: CFGNode) -> List[ast.Expr]:
+    """The expressions a CFG node evaluates, in evaluation order."""
+    element = node.element
+    if node.is_condition:
+        return [element]  # type: ignore[list-item]
+    if isinstance(element, ast.VarDecl):
+        return [element.initializer] if element.initializer is not None else []
+    if isinstance(element, ast.Assign):
+        exprs = [element.value]
+        if not isinstance(element.target, ast.VarRef):
+            exprs.append(element.target)
+        return exprs
+    if isinstance(element, ast.ExprStmt):
+        return [element.expr]
+    if isinstance(element, ast.Delete):
+        return [element.pointer]
+    if isinstance(element, ast.Return):
+        return [element.value] if element.value is not None else []
+    return []
+
+
+def iter_exprs(expr: Optional[ast.Expr]) -> Iterator[ast.Expr]:
+    """Yield ``expr`` and every sub-expression."""
+    if expr is None:
+        return
+    yield expr
+    if isinstance(expr, ast.Unary):
+        yield from iter_exprs(expr.operand)
+    elif isinstance(expr, ast.Binary):
+        yield from iter_exprs(expr.left)
+        yield from iter_exprs(expr.right)
+    elif isinstance(expr, ast.Call):
+        for argument in expr.args:
+            yield from iter_exprs(argument)
+    elif isinstance(expr, ast.New):
+        yield from iter_exprs(expr.count)
+    elif isinstance(expr, ast.FieldAccess):
+        yield from iter_exprs(expr.base)
+    elif isinstance(expr, ast.Index):
+        yield from iter_exprs(expr.base)
+        yield from iter_exprs(expr.index)
+    elif isinstance(expr, ast.AddressOf):
+        yield from iter_exprs(expr.target)
+
+
+# --------------------------------------------------------------------------
+# allocation-site heap analysis (MIR102/103/104)
+# --------------------------------------------------------------------------
+
+LIVE = "live"
+FREED = "freed"
+MAYBE = "maybe-freed"
+
+Site = Tuple[int, int]  # (line, column) of the ``new``
+
+
+def _join_status(a: str, b: str) -> str:
+    return a if a == b else MAYBE
+
+
+class HeapAnalysis(DataflowAnalysis):
+    """Track ``new`` sites through local pointers.
+
+    State: ``{"env": {var: frozenset(sites)}, "allocs": {site: status},
+    "escaped": frozenset(sites)}``.
+    """
+
+    direction = "forward"
+
+    def __init__(self, function: ast.FunctionDecl) -> None:
+        self.function = function
+        self.locals = declared_locals(function)
+        #: site -> human label ("new int[1600]"), filled during transfer
+        self.site_labels: Dict[Site, str] = {}
+
+    def boundary(self, cfg: CFG) -> object:
+        return {"env": {}, "allocs": {}, "escaped": frozenset()}
+
+    def initial(self) -> object:
+        return {}
+
+    def join(self, a: object, b: object) -> object:
+        if not a:
+            return b
+        if not b:
+            return a
+        env: Dict[str, FrozenSet[Site]] = dict(a["env"])  # type: ignore[index]
+        for name, sites in b["env"].items():  # type: ignore[index]
+            env[name] = env.get(name, frozenset()) | sites
+        allocs: Dict[Site, str] = dict(a["allocs"])  # type: ignore[index]
+        for site, status in b["allocs"].items():  # type: ignore[index]
+            allocs[site] = (
+                _join_status(allocs[site], status) if site in allocs else status
+            )
+        escaped = a["escaped"] | b["escaped"]  # type: ignore[index]
+        return {"env": env, "allocs": allocs, "escaped": escaped}
+
+    def transfer(self, node: CFGNode, state: object) -> object:
+        return self.apply(node, state, report=None)
+
+    # -- the shared transfer/check walk ---------------------------------
+
+    def apply(
+        self,
+        node: CFGNode,
+        state: object,
+        report: Optional[Callable[[str, int, int, str], None]],
+    ) -> object:
+        env: Dict[str, FrozenSet[Site]] = dict(state["env"])  # type: ignore[index]
+        allocs: Dict[Site, str] = dict(state["allocs"])  # type: ignore[index]
+        escaped: FrozenSet[Site] = state["escaped"]  # type: ignore[index]
+
+        def sources(expr: Optional[ast.Expr]) -> FrozenSet[Site]:
+            if expr is None:
+                return frozenset()
+            if isinstance(expr, ast.VarRef):
+                return env.get(expr.name, frozenset())
+            if isinstance(expr, ast.New):
+                return frozenset([(expr.line, expr.column)])
+            if isinstance(expr, ast.Binary):
+                return sources(expr.left) | sources(expr.right)
+            if isinstance(expr, ast.Unary):
+                return sources(expr.operand)
+            return frozenset()
+
+        def describe(site: Site) -> str:
+            label = self.site_labels.get(site, "new")
+            return f"allocation `{label}` from line {site[0]}"
+
+        def check_deref(expr: ast.Expr, base: ast.Expr) -> None:
+            if report is None:
+                return
+            for site in sources(base):
+                status = allocs.get(site)
+                if status == FREED:
+                    report(
+                        "MIR102",
+                        expr.line,
+                        expr.column,
+                        f"use of {describe(site)} after delete",
+                    )
+                elif status == MAYBE:
+                    report(
+                        "MIR102",
+                        expr.line,
+                        expr.column,
+                        f"use of {describe(site)}, deleted on some path",
+                    )
+
+        def walk(expr: Optional[ast.Expr]) -> None:
+            """Register allocations, escape call arguments, and (in the
+            check pass) flag derefs of freed sites."""
+            nonlocal escaped
+            for sub in iter_exprs(expr):
+                if isinstance(sub, ast.New):
+                    site = (sub.line, sub.column)
+                    allocs[site] = LIVE
+                    label = f"new {sub.type_expr}"
+                    if sub.count is not None:
+                        label = f"new {sub.type_expr}[...]"
+                    self.site_labels[site] = label
+                elif isinstance(sub, ast.Call):
+                    for argument in sub.args:
+                        escaped = escaped | sources(argument)
+                elif isinstance(sub, ast.FieldAccess) and sub.through_pointer:
+                    check_deref(sub, sub.base)
+                elif isinstance(sub, ast.Index):
+                    check_deref(sub, sub.base)
+
+        element = node.element
+        if node.is_condition:
+            walk(element)  # type: ignore[arg-type]
+            return {"env": env, "allocs": allocs, "escaped": escaped}
+
+        if isinstance(element, ast.VarDecl):
+            walk(element.initializer)
+            if element.name in self.locals:
+                env[element.name] = sources(element.initializer)
+        elif isinstance(element, ast.Assign):
+            walk(element.value)
+            if isinstance(element.target, ast.VarRef):
+                if element.target.name in self.locals:
+                    env[element.target.name] = sources(element.value)
+                else:  # store to a global scalar: the pointer escapes
+                    escaped = escaped | sources(element.value)
+            else:
+                walk(element.target)
+                escaped = escaped | sources(element.value)
+        elif isinstance(element, ast.ExprStmt):
+            walk(element.expr)
+        elif isinstance(element, ast.Delete):
+            walk(element.pointer)
+            pointed = sources(element.pointer)
+            if report is not None:
+                for site in pointed:
+                    status = allocs.get(site)
+                    if status == FREED:
+                        report(
+                            "MIR103",
+                            element.line,
+                            element.column,
+                            f"double delete of {describe(site)}",
+                        )
+                    elif status == MAYBE:
+                        report(
+                            "MIR103",
+                            element.line,
+                            element.column,
+                            f"delete of {describe(site)},"
+                            " already deleted on some path",
+                        )
+            if len(pointed) == 1:
+                allocs[next(iter(pointed))] = FREED
+            else:
+                for site in pointed:
+                    if allocs.get(site) == LIVE:
+                        allocs[site] = MAYBE
+        elif isinstance(element, ast.Return):
+            walk(element.value)
+            escaped = escaped | sources(element.value)
+
+        return {"env": env, "allocs": allocs, "escaped": escaped}
+
+
+# --------------------------------------------------------------------------
+# the linter
+# --------------------------------------------------------------------------
+
+
+class Linter:
+    """Run every check over one program."""
+
+    def __init__(self, program: ast.Program, source: str = "") -> None:
+        self.program = program
+        self.sink = DiagnosticSink(suppressed_lines(source))
+        self.cfgs: Dict[str, CFG] = {}
+
+    def run(self) -> List[Diagnostic]:
+        for function in self.program.functions:
+            self._lint_function(function)
+        return self.sink.sorted()
+
+    # -- per-function orchestration --------------------------------------
+
+    def _lint_function(self, function: ast.FunctionDecl) -> None:
+        cfg = build_cfg(function)
+        self.cfgs[function.name] = cfg
+        reachable = cfg.reachable()
+
+        self._check_unreachable(function, cfg, reachable)
+        self._check_missing_return(function, cfg)
+        self._check_uninitialized(function, cfg, reachable)
+        self._check_dead_stores(function, cfg, reachable)
+        self._check_bounds(function, cfg, reachable)
+        self._check_heap(function, cfg, reachable)
+
+    def _report(
+        self, function: ast.FunctionDecl
+    ) -> Callable[[str, int, int, str], None]:
+        def report(code: str, line: int, column: int, message: str) -> None:
+            self.sink.report(code, line, column, message, function.name)
+
+        return report
+
+    # -- MIR107 ----------------------------------------------------------
+
+    def _check_unreachable(
+        self, function: ast.FunctionDecl, cfg: CFG, reachable: set
+    ) -> None:
+        report = self._report(function)
+        dead_blocks = {
+            block.bid
+            for block in cfg.blocks
+            if block.bid not in reachable and block.nodes
+        }
+        for bid in sorted(dead_blocks):
+            block = cfg.block(bid)
+            # Report only region heads: a dead block all of whose
+            # predecessors are also dead is a continuation, not a new
+            # finding.
+            if any(pred in dead_blocks for pred in block.preds):
+                continue
+            node = block.nodes[0]
+            report(
+                "MIR107",
+                node.line,
+                node.column,
+                "unreachable code",
+            )
+
+    # -- MIR108 ----------------------------------------------------------
+
+    def _check_missing_return(
+        self, function: ast.FunctionDecl, cfg: CFG
+    ) -> None:
+        if function.return_type is None:
+            return
+        if cfg.falls_through():
+            self._report(function)(
+                "MIR108",
+                function.line,
+                function.column,
+                f"function `{function.name}` can reach the end of its body"
+                " without returning a value",
+            )
+
+    # -- MIR101 ----------------------------------------------------------
+
+    def _check_uninitialized(
+        self, function: ast.FunctionDecl, cfg: CFG, reachable: set
+    ) -> None:
+        analysis = ReachingDefinitions(function)
+        solution = solve(cfg, analysis)
+        report = self._report(function)
+        for bid in sorted(reachable):
+            if bid not in solution.entry_state:
+                continue
+            for node, before, _after in solution.node_states(bid):
+                for ref in node_reads(node):
+                    if ref.name not in analysis.locals:
+                        continue
+                    defs = before.get(ref.name, frozenset())
+                    if UNINIT in defs:
+                        qualifier = (
+                            "may be" if len(defs) > 1 else "is"
+                        )
+                        report(
+                            "MIR101",
+                            ref.line,
+                            ref.column,
+                            f"variable `{ref.name}` {qualifier} used"
+                            " before initialization",
+                        )
+
+    # -- MIR106 ----------------------------------------------------------
+
+    def _check_dead_stores(
+        self, function: ast.FunctionDecl, cfg: CFG, reachable: set
+    ) -> None:
+        analysis = Liveness(function)
+        solution = solve(cfg, analysis)
+        report = self._report(function)
+        for bid in sorted(reachable):
+            if bid not in solution.entry_state:
+                continue
+            for node, _before, after in solution.node_states(bid):
+                element = node.element
+                if node.is_condition or not isinstance(element, ast.Assign):
+                    continue
+                name = node_local_def(node)
+                if name is None or name not in analysis.locals:
+                    continue
+                if name in after:
+                    continue
+                # Keep stores whose right-hand side has effects the
+                # program may rely on (calls, allocations).
+                if any(
+                    isinstance(sub, (ast.Call, ast.New))
+                    for sub in iter_exprs(element.value)
+                ):
+                    continue
+                report(
+                    "MIR106",
+                    element.line,
+                    element.column,
+                    f"value stored to `{name}` is never read",
+                )
+
+    # -- MIR105 ----------------------------------------------------------
+
+    def _check_bounds(
+        self, function: ast.FunctionDecl, cfg: CFG, reachable: set
+    ) -> None:
+        analysis = ValueAnalysis(function, self.program)
+        solution = solve(cfg, analysis)
+        report = self._report(function)
+        for bid in sorted(reachable):
+            if bid not in solution.entry_state:
+                continue
+            for node, before, _after in solution.node_states(bid):
+                for top in node_top_exprs(node):
+                    for sub in iter_exprs(top):
+                        if not isinstance(sub, ast.Index):
+                            continue
+                        base = analysis.eval(sub.base, before)
+                        index = analysis.eval(sub.index, before)
+                        if not (
+                            isinstance(base, ArrayRef)
+                            and base.length is not None
+                            and isinstance(index, Interval)
+                            and index.is_const
+                        ):
+                            continue
+                        value = index.lo
+                        if value < 0 or value >= base.length:
+                            report(
+                                "MIR105",
+                                sub.line,
+                                sub.column,
+                                f"index {value} is out of bounds for an"
+                                f" array of {base.length} elements",
+                            )
+
+    # -- MIR102 / MIR103 / MIR104 ----------------------------------------
+
+    def _check_heap(
+        self, function: ast.FunctionDecl, cfg: CFG, reachable: set
+    ) -> None:
+        analysis = HeapAnalysis(function)
+        solution = solve(cfg, analysis)
+        report = self._report(function)
+        for bid in sorted(reachable):
+            if bid not in solution.entry_state:
+                continue
+            state = solution.entry_state[bid]
+            for node in cfg.block(bid).nodes:
+                state = analysis.apply(node, state, report)
+        exit_state = solution.entry_state.get(cfg.exit.bid)
+        if exit_state is None:
+            return
+        escaped = exit_state["escaped"]
+        for site, status in sorted(exit_state["allocs"].items()):
+            if status != LIVE or site in escaped:
+                continue
+            label = analysis.site_labels.get(site, "new")
+            report(
+                "MIR104",
+                site[0],
+                site[1],
+                f"allocation `{label}` is never freed",
+            )
+
+
+# --------------------------------------------------------------------------
+# entry points
+# --------------------------------------------------------------------------
+
+
+def lint_program(program: ast.Program, source: str = "") -> List[Diagnostic]:
+    return Linter(program, source).run()
+
+
+def lint_source(source: str) -> List[Diagnostic]:
+    """Parse ``source`` and lint it (parse errors propagate as
+    :class:`~repro.lang.lexer.LangError`)."""
+    return lint_program(parse(source), source)

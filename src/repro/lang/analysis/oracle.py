@@ -1,0 +1,355 @@
+"""Static-vs-profiled oracle: check MIRCHECK's predictions against LEAP.
+
+The analyzer in :mod:`repro.lang.analysis.static_lmad` predicts, per
+static instruction and per object group, the exact (serial, offset)
+point set a program will touch.  LEAP *observes* the same thing by
+running the program on the simulated process and compressing the probe
+stream.  This module runs both on one shared parse tree and compares:
+
+* **LMAD agreement** -- for every proved-regular static instruction,
+  the predicted point stream and the profiled point stream (projected
+  from (serial, offset, time) down to (serial, offset)) are pushed
+  through the same :class:`~repro.compression.lmad.LMADCompressor`, and
+  the resulting descriptor lists must be identical.  Canonicalizing
+  both sides through one compressor makes the comparison independent of
+  how either side happened to factor its descriptors.
+* **Execution counts** -- static trip-count arithmetic vs the profiler's
+  per-instruction exec counters.
+* **Dependence agreement** -- static store/load pairs proved to
+  intersect vs the profiled MDF table
+  (:func:`repro.postprocess.dependence.analyze_dependences`), restricted
+  to pairs whose two endpoints are both proved-regular (the static side
+  abstains on ``unknown`` instructions, it is never *wrong* about them).
+
+Sharing one :class:`~repro.lang.ast.Program` between the interpreter and
+the analyzer is what makes instruction identity trivial: the dynamic
+instruction name is ``{static name}#{seq}`` where ``seq`` is the
+interpreter's first-touch intern order for the same AST node object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.compression.lmad import LMAD, LMADCompressor
+from repro.lang import Interpreter, parse
+from repro.lang.analysis.static_lmad import (
+    REGULAR_CLASSES,
+    StaticLmadAnalyzer,
+    StaticLmadResult,
+)
+from repro.lang.ast import Program
+from repro.postprocess.dependence import analyze_dependences
+from repro.profilers.leap import LeapProfile, LeapProfiler
+from repro.runtime.process import Process
+
+#: compressor budget used on both sides of every comparison
+ORACLE_BUDGET = 256
+
+
+def canonical_lmads(
+    points: Sequence[Tuple[int, int]], budget: int = ORACLE_BUDGET
+) -> Tuple[LMAD, ...]:
+    """Canonical descriptor list for a 2-D point stream."""
+    compressor = LMADCompressor(dims=2, budget=budget)
+    compressor.feed_all(points)
+    return tuple(compressor.finish().lmads)
+
+
+@dataclass(frozen=True)
+class InstructionVerdict:
+    """One static instruction checked against its profiled counterpart."""
+
+    static_name: str
+    dynamic_name: Optional[str]
+    verb: str
+    classification: str
+    static_exec: int
+    dynamic_exec: Optional[int]
+    #: per-site comparison: site -> True/False, or None when the
+    #: profiled entry was lossy (overflowed) and has no exact stream
+    site_matches: Dict[str, Optional[bool]] = field(default_factory=dict)
+
+    @property
+    def exec_match(self) -> Optional[bool]:
+        if self.dynamic_exec is None:
+            return None
+        return self.static_exec == self.dynamic_exec
+
+    @property
+    def lmads_match(self) -> Optional[bool]:
+        """True when every comparable site matched, False on any
+        mismatch, None when nothing was comparable."""
+        verdicts = [v for v in self.site_matches.values() if v is not None]
+        if any(v is False for v in verdicts):
+            return False
+        return True if verdicts else None
+
+    def to_dict(self) -> dict:
+        return {
+            "static_name": self.static_name,
+            "dynamic_name": self.dynamic_name,
+            "verb": self.verb,
+            "classification": self.classification,
+            "static_exec": self.static_exec,
+            "dynamic_exec": self.dynamic_exec,
+            "exec_match": self.exec_match,
+            "lmads_match": self.lmads_match,
+            "site_matches": dict(self.site_matches),
+        }
+
+
+@dataclass
+class OracleReport:
+    """The full static-vs-profiled comparison for one program."""
+
+    entry: str
+    verdicts: List[InstructionVerdict] = field(default_factory=list)
+    #: dependence pairs as (store static-name, load static-name)
+    static_pairs: Set[Tuple[str, str]] = field(default_factory=set)
+    profiled_pairs: Set[Tuple[str, str]] = field(default_factory=set)
+    #: pairs whose endpoints are both proved-regular: the comparable set
+    comparable_pairs: Set[Tuple[str, str]] = field(default_factory=set)
+
+    # -- LMAD / exec-count agreement -------------------------------------
+
+    @property
+    def regular(self) -> List[InstructionVerdict]:
+        return [
+            v for v in self.verdicts if v.classification in REGULAR_CLASSES
+        ]
+
+    @property
+    def lmad_compared(self) -> int:
+        return sum(1 for v in self.regular if v.lmads_match is not None)
+
+    @property
+    def lmad_matched(self) -> int:
+        return sum(1 for v in self.regular if v.lmads_match)
+
+    @property
+    def lmad_agreement(self) -> float:
+        compared = self.lmad_compared
+        return self.lmad_matched / compared if compared else 1.0
+
+    @property
+    def exec_agreement(self) -> float:
+        compared = [v for v in self.regular if v.exec_match is not None]
+        if not compared:
+            return 1.0
+        return sum(1 for v in compared if v.exec_match) / len(compared)
+
+    # -- dependence agreement --------------------------------------------
+
+    @property
+    def dependence_agree(self) -> Set[Tuple[str, str]]:
+        return self.static_pairs & self.profiled_pairs & self.comparable_pairs
+
+    @property
+    def static_only_pairs(self) -> Set[Tuple[str, str]]:
+        """Statically proved dependences the profiler never observed."""
+        return (self.static_pairs & self.comparable_pairs) - self.profiled_pairs
+
+    @property
+    def profiled_only_pairs(self) -> Set[Tuple[str, str]]:
+        """Profiled dependences the static side proved independent."""
+        return (self.profiled_pairs & self.comparable_pairs) - self.static_pairs
+
+    @property
+    def dependence_agreement(self) -> float:
+        relevant = (self.static_pairs | self.profiled_pairs) & self.comparable_pairs
+        if not relevant:
+            return 1.0
+        return len(self.dependence_agree) / len(relevant)
+
+    @property
+    def clean(self) -> bool:
+        """No disagreement anywhere the static side claimed precision."""
+        return (
+            self.lmad_agreement == 1.0
+            and self.exec_agreement == 1.0
+            and not self.static_only_pairs
+            and not self.profiled_only_pairs
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "entry": self.entry,
+            "instructions": [v.to_dict() for v in self.verdicts],
+            "lmad_compared": self.lmad_compared,
+            "lmad_matched": self.lmad_matched,
+            "lmad_agreement": self.lmad_agreement,
+            "exec_agreement": self.exec_agreement,
+            "static_pairs": sorted(self.static_pairs),
+            "profiled_pairs": sorted(self.profiled_pairs),
+            "static_only_pairs": sorted(self.static_only_pairs),
+            "profiled_only_pairs": sorted(self.profiled_only_pairs),
+            "dependence_agreement": self.dependence_agreement,
+            "clean": self.clean,
+        }
+
+
+class StaticOracle:
+    """Run the profiler and the static analyzer on one shared program."""
+
+    def __init__(
+        self,
+        source: str,
+        entry: str = "main",
+        args: Tuple[int, ...] = (),
+        budget: int = ORACLE_BUDGET,
+    ) -> None:
+        self.source = source
+        self.entry = entry
+        self.args = args
+        self.budget = budget
+        self.program: Program = parse(source)
+        self.interpreter: Optional[Interpreter] = None
+        self.profile: Optional[LeapProfile] = None
+        self.static: Optional[StaticLmadResult] = None
+
+    def run(self) -> OracleReport:
+        process = Process()
+        interpreter = Interpreter(self.program, process)
+        interpreter.run(self.entry, self.args)
+        profile = LeapProfiler(budget=self.budget).profile(process.trace)
+        static = StaticLmadAnalyzer(
+            self.program, self.entry, self.args
+        ).run()
+        self.interpreter = interpreter
+        self.profile = profile
+        self.static = static
+
+        # Identity maps: static node -> dynamic instruction id, and
+        # group label -> group id.
+        instructions_by_name = {
+            instr.name: instr for instr in process.instructions.values()
+        }
+        group_of_label = {
+            label: gid for gid, label in profile.group_labels.items()
+        }
+
+        report = OracleReport(entry=self.entry)
+        key_to_iid: Dict[int, int] = {}
+        for node_key, instruction in sorted(
+            static.instructions.items(), key=lambda kv: kv[1].name
+        ):
+            sequence = interpreter._sites.get(node_key)
+            dynamic_name = (
+                f"{instruction.name}#{sequence}"
+                if sequence is not None
+                else None
+            )
+            dynamic = (
+                instructions_by_name.get(dynamic_name)
+                if dynamic_name
+                else None
+            )
+            dynamic_exec = None
+            site_matches: Dict[str, Optional[bool]] = {}
+            if dynamic is not None:
+                iid = dynamic.instruction_id
+                key_to_iid[node_key] = iid
+                dynamic_exec = profile.exec_counts.get(iid, 0)
+                if instruction.classification in REGULAR_CLASSES:
+                    site_matches = self._compare_sites(
+                        static, node_key, instruction.sites, profile,
+                        iid, group_of_label,
+                    )
+            report.verdicts.append(
+                InstructionVerdict(
+                    static_name=instruction.name,
+                    dynamic_name=dynamic_name,
+                    verb=instruction.verb,
+                    classification=instruction.classification,
+                    static_exec=instruction.exec_count,
+                    dynamic_exec=dynamic_exec,
+                    site_matches=site_matches,
+                )
+            )
+
+        self._compare_dependences(report, static, profile, key_to_iid)
+        return report
+
+    # -- internals -------------------------------------------------------
+
+    def _compare_sites(
+        self,
+        static: StaticLmadResult,
+        node_key: int,
+        sites: Sequence[str],
+        profile: LeapProfile,
+        iid: int,
+        group_of_label: Dict[str, int],
+    ) -> Dict[str, Optional[bool]]:
+        """Per-site canonical LMAD comparison for one instruction."""
+        matches: Dict[str, Optional[bool]] = {}
+        dynamic_entries = profile.entries_for_instruction(iid)
+        for site in sites:
+            gid = group_of_label.get(site)
+            entry = dynamic_entries.get(gid) if gid is not None else None
+            if entry is None:
+                # The profiler never attributed an access of this
+                # instruction to this group: disagreement.
+                matches[site] = False
+                continue
+            if not entry.complete:
+                matches[site] = None  # lossy profile: nothing exact
+                continue
+            profiled = canonical_lmads(
+                [tuple(point[:2]) for point in entry.expand()], self.budget
+            )
+            predicted = canonical_lmads(
+                static.points(node_key, site), self.budget
+            )
+            matches[site] = predicted == profiled
+        return matches
+
+    def _compare_dependences(
+        self,
+        report: OracleReport,
+        static: StaticLmadResult,
+        profile: LeapProfile,
+        key_to_iid: Dict[int, int],
+    ) -> None:
+        names = {
+            key: instr.name for key, instr in static.instructions.items()
+        }
+        regular_keys = {
+            key
+            for key, instr in static.instructions.items()
+            if instr.classification in REGULAR_CLASSES
+        }
+        for writer_key, reader_key, __ in static.dependences():
+            report.static_pairs.add((names[writer_key], names[reader_key]))
+        for writer_key in regular_keys:
+            if static.instructions[writer_key].verb != "store":
+                continue
+            for reader_key in regular_keys:
+                if static.instructions[reader_key].verb != "load":
+                    continue
+                report.comparable_pairs.add(
+                    (names[writer_key], names[reader_key])
+                )
+        iid_to_name = {
+            iid: names[key] for key, iid in key_to_iid.items()
+        }
+        mdf = analyze_dependences(profile)
+        for (store_id, load_id), conflicts in mdf.conflicts.items():
+            if conflicts <= 0:
+                continue
+            store = iid_to_name.get(store_id)
+            load = iid_to_name.get(load_id)
+            if store is not None and load is not None:
+                report.profiled_pairs.add((store, load))
+
+
+def validate_source(
+    source: str,
+    entry: str = "main",
+    args: Tuple[int, ...] = (),
+    budget: int = ORACLE_BUDGET,
+) -> OracleReport:
+    """Convenience wrapper: parse, profile, analyze, compare."""
+    return StaticOracle(source, entry, args, budget).run()

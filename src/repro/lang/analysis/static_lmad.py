@@ -1,0 +1,1333 @@
+"""Static LMAD inference: predict LEAP's descriptors from source alone.
+
+The dynamic LEAP profiler observes ``(object-serial, offset, time)``
+triples per static instruction and compresses them into LMADs.  This
+module computes the *predicted* ``(object-serial, offset)`` projection
+of those streams without running the program: a symbolic executor walks
+the AST from the entry function, carrying
+
+* integer values as :class:`~repro.lang.analysis.affine.Affine` forms
+  over normalized loop counters (one fresh symbol per recognized
+  counted loop),
+* pointers as ``(allocation site, instance#, offset)`` with the
+  instance number and offset affine in the same symbols.
+
+Per-site allocation counters reproduce the object-manager's per-group
+serial numbering (serials are assigned in allocation order within a
+group), so a heap access whose pointer is statically tracked yields the
+exact ``(serial, offset)`` points the profiler will observe.
+
+Counted ``for`` loops execute their body **once** symbolically: the
+induction variable becomes ``init + step*s`` for a fresh symbol ``s``
+with a known trip count, and each access recorded inside gains an LMAD
+dimension ``(stride = d offset/d s, count = trips)``.  A havoc pre-pass
+detects loop-carried variables (anything whose value after one
+iteration differs from its entry value) and forgets them, so only
+genuinely affine state survives.  Everything the executor cannot prove
+-- pointer-chasing loops, data-dependent branches, recursion -- is
+recorded as *imprecise* and classified ``unknown`` rather than guessed.
+
+Classification per static instruction:
+
+``proved-regular``
+    every access is affine with statically known trip counts;
+``proved-independent``
+    regular, and the omega test proves its accesses disjoint from every
+    other instruction's (no possible flow through memory);
+``unknown``
+    anything the executor could not track.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.omega import intersect_lmads
+from repro.compression.lmad import LMAD, LMADCompressor, LMADProfileEntry
+from repro.lang import ast
+from repro.lang.analysis.affine import Affine
+from repro.lang.parser import _ForWrapper, parse
+from repro.lang.typesys import (
+    ArrayType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    TypeTable,
+)
+
+#: refuse to materialize predicted streams larger than this many points
+DEFAULT_EXPANSION_CAP = 2_000_000
+
+#: inline depth backstop; deeper nests are treated like recursion
+MAX_INLINE_DEPTH = 64
+
+PROVED_REGULAR = "proved-regular"
+PROVED_INDEPENDENT = "proved-independent"
+UNKNOWN_CLASS = "unknown"
+
+#: both "regular" verdicts: independent is regular *plus* conflict-free
+REGULAR_CLASSES = frozenset({PROVED_REGULAR, PROVED_INDEPENDENT})
+
+
+# --------------------------------------------------------------------------
+# symbolic values
+# --------------------------------------------------------------------------
+
+
+class _UnknownValue:
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "UNKNOWN"
+
+
+UNKNOWN = _UnknownValue()
+
+
+@dataclass(frozen=True)
+class SInt:
+    """A statically-tracked integer (affine in loop symbols)."""
+
+    value: Affine
+
+
+@dataclass(frozen=True)
+class StaticBase:
+    """A global object; its group has exactly one object, serial 0."""
+
+    name: str
+
+    @property
+    def site(self) -> str:
+        return f"static:{self.name}"
+
+    @property
+    def instance(self) -> Optional[Affine]:
+        return Affine.constant(0)
+
+
+@dataclass(frozen=True)
+class HeapBase:
+    """One allocation site plus which allocation from it (the serial)."""
+
+    site: str
+    instance: Optional[Affine]
+
+
+@dataclass(frozen=True)
+class SPointer:
+    """A tracked pointer: base object + byte offset + pointee type."""
+
+    base: object  # StaticBase | HeapBase
+    offset: Affine
+    element: Type
+
+
+# control-flow signals (mirroring the interpreter's)
+
+
+class _SReturn(Exception):
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+
+class _SBreak(Exception):
+    pass
+
+
+class _SContinue(Exception):
+    pass
+
+
+# --------------------------------------------------------------------------
+# access records
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class StaticAccess:
+    """One symbolic execution of one syntactic load/store site."""
+
+    node_key: int  # id() of the AST expression, shared with the interp
+    function: str
+    line: int
+    verb: str  # "load" | "store"
+    desc: str
+    site: Optional[str]  # group label; None when the object is unknown
+    instance: Optional[Affine]
+    offset: Optional[Affine]
+    dims: Tuple[Tuple[str, int], ...]  # (symbol, trips), outermost first
+    precise: bool
+
+    @property
+    def name(self) -> str:
+        """Instruction name without the dynamic ``#seq`` suffix."""
+        return f"{self.function}:{self.line}:{self.verb}:{self.desc}"
+
+    @property
+    def count(self) -> int:
+        total = 1
+        for __, trips in self.dims:
+            total *= trips
+        return total
+
+    def points(self) -> List[Tuple[int, int]]:
+        """The predicted ``(serial, offset)`` stream, execution order."""
+        if not self.precise or self.instance is None or self.offset is None:
+            raise ValueError("cannot expand an imprecise access")
+        symbols = [symbol for symbol, __ in self.dims]
+        ranges = [range(trips) for __, trips in self.dims]
+        instance_coeffs = [self.instance.coeff(s) for s in symbols]
+        offset_coeffs = [self.offset.coeff(s) for s in symbols]
+        base_instance = self.instance.const
+        base_offset = self.offset.const
+        out: List[Tuple[int, int]] = []
+        for indices in itertools.product(*ranges):
+            serial = base_instance + sum(
+                c * k for c, k in zip(instance_coeffs, indices)
+            )
+            offset = base_offset + sum(
+                c * k for c, k in zip(offset_coeffs, indices)
+            )
+            out.append((serial, offset))
+        return out
+
+
+@dataclass
+class StaticInstruction:
+    """Everything inferred about one static instruction."""
+
+    node_key: int
+    name: str  # fn:line:verb:desc (no #seq)
+    function: str
+    verb: str
+    records: List[StaticAccess] = field(default_factory=list)
+    classification: str = UNKNOWN_CLASS
+
+    @property
+    def precise(self) -> bool:
+        return all(record.precise for record in self.records)
+
+    @property
+    def exec_count(self) -> int:
+        return sum(record.count for record in self.records)
+
+    @property
+    def sites(self) -> List[str]:
+        return sorted(
+            {record.site for record in self.records if record.site is not None}
+        )
+
+
+# --------------------------------------------------------------------------
+# result
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class StaticLmadResult:
+    """Predicted access behaviour for one program + entry point."""
+
+    program: ast.Program
+    entry: str
+    records: List[StaticAccess]
+    instructions: Dict[int, StaticInstruction]
+    tainted_functions: Set[str]
+    expansion_cap: int = DEFAULT_EXPANSION_CAP
+
+    # -- expansion / compression ----------------------------------------
+
+    def points(self, node_key: int, site: str) -> List[Tuple[int, int]]:
+        """Predicted ``(serial, offset)`` stream of one instruction on
+        one object group, in execution order."""
+        instruction = self.instructions[node_key]
+        if not instruction.precise:
+            raise ValueError(f"{instruction.name} is not statically known")
+        if instruction.exec_count > self.expansion_cap:
+            raise ValueError(
+                f"{instruction.name} expands to {instruction.exec_count}"
+                f" points (cap {self.expansion_cap})"
+            )
+        stream: List[Tuple[int, int]] = []
+        for record in instruction.records:
+            if record.site == site:
+                stream.extend(record.points())
+        return stream
+
+    def compress(
+        self, node_key: int, site: str, budget: int = 256
+    ) -> LMADProfileEntry:
+        """Canonical LMAD form of one predicted stream: expand, then
+        run the profiler's own greedy compressor over the points."""
+        compressor = LMADCompressor(dims=2, budget=budget)
+        compressor.feed_all(self.points(node_key, site))
+        return compressor.finish()
+
+    # -- classification --------------------------------------------------
+
+    def classify(self) -> Dict[int, str]:
+        """Fill and return ``classification`` for every instruction."""
+        expandable: Dict[int, bool] = {}
+        for key, instruction in self.instructions.items():
+            expandable[key] = (
+                instruction.precise
+                and instruction.exec_count <= self.expansion_cap
+            )
+            instruction.classification = (
+                PROVED_REGULAR if expandable[key] else UNKNOWN_CLASS
+            )
+        conflicts = self.dependences()
+        conflicted: Set[int] = set()
+        for writer_key, reader_key, __ in conflicts:
+            conflicted.add(writer_key)
+            conflicted.add(reader_key)
+        # Independence additionally needs the object to be free of
+        # untracked accesses: an imprecise access (or any recursion)
+        # could alias anything on the heap.
+        hazy_sites: Set[str] = set()
+        any_wild = bool(self.tainted_functions)
+        for record in self.records:
+            if not record.precise:
+                if record.site is None:
+                    any_wild = True
+                else:
+                    hazy_sites.add(record.site)
+        for key, instruction in self.instructions.items():
+            if not expandable[key] or key in conflicted:
+                continue
+            if any_wild and any(
+                not site.startswith("static:") for site in instruction.sites
+            ):
+                continue
+            if any(site in hazy_sites for site in instruction.sites):
+                continue
+            instruction.classification = PROVED_INDEPENDENT
+        return {
+            key: instruction.classification
+            for key, instruction in self.instructions.items()
+        }
+
+    def dependences(
+        self, budget: int = 1024
+    ) -> List[Tuple[int, int, str]]:
+        """Store/access conflicts proved possible by the omega test.
+
+        Returns ``(writer node_key, reader node_key, site)`` for every
+        pair of statically-known instructions whose predicted point sets
+        intersect on the same object group (writer is a store; reader is
+        any other instruction touching the same location).
+        """
+        usable = [
+            instruction
+            for instruction in self.instructions.values()
+            if instruction.precise
+            and instruction.exec_count <= self.expansion_cap
+        ]
+        by_site: Dict[str, List[StaticInstruction]] = {}
+        for instruction in usable:
+            for site in instruction.sites:
+                by_site.setdefault(site, []).append(instruction)
+        entries: Dict[Tuple[int, str], List[LMAD]] = {}
+
+        def lmads(instruction: StaticInstruction, site: str) -> List[LMAD]:
+            key = (instruction.node_key, site)
+            if key not in entries:
+                entry = self.compress(instruction.node_key, site, budget)
+                entries[key] = list(entry.lmads)
+            return entries[key]
+
+        out: List[Tuple[int, int, str]] = []
+        for site, members in sorted(by_site.items()):
+            writers = [m for m in members if m.verb == "store"]
+            for writer in writers:
+                for reader in members:
+                    if reader.node_key == writer.node_key:
+                        continue
+                    if self._intersects(lmads(writer, site), lmads(reader, site)):
+                        out.append((writer.node_key, reader.node_key, site))
+        return out
+
+    @staticmethod
+    def _intersects(writers: List[LMAD], readers: List[LMAD]) -> bool:
+        for writer in writers:
+            for reader in readers:
+                solution = intersect_lmads(
+                    writer, reader, equal_dims=(0, 1), time_dim=None
+                )
+                if not solution.is_empty:
+                    return True
+        return False
+
+
+# --------------------------------------------------------------------------
+# the symbolic executor
+# --------------------------------------------------------------------------
+
+
+def _describe(expr: ast.Expr) -> str:
+    # Mirror of Interpreter._describe: instruction names must agree.
+    if isinstance(expr, ast.FieldAccess):
+        return ("->" if expr.through_pointer else ".") + expr.field_name
+    if isinstance(expr, ast.Index):
+        return "[]"
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    return type(expr).__name__.lower()
+
+
+def _assigned_names(statements) -> Set[str]:
+    """Names (re)assigned anywhere in a statement subtree."""
+    names: Set[str] = set()
+    stack = list(statements)
+    while stack:
+        statement = stack.pop()
+        if isinstance(statement, ast.VarDecl):
+            names.add(statement.name)
+        elif isinstance(statement, ast.Assign):
+            if isinstance(statement.target, ast.VarRef):
+                names.add(statement.target.name)
+        elif isinstance(statement, ast.If):
+            stack.extend(statement.then_body)
+            stack.extend(statement.else_body)
+        elif isinstance(statement, ast.While):
+            stack.extend(statement.body)
+            if statement.step is not None:
+                stack.append(statement.step)
+        elif isinstance(statement, _ForWrapper):
+            stack.append(statement.init)
+            stack.append(statement.loop)
+    return names
+
+
+class StaticLmadAnalyzer:
+    """Symbolically execute a program and record predicted accesses."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        entry: str = "main",
+        args: Tuple[int, ...] = (),
+        expansion_cap: int = DEFAULT_EXPANSION_CAP,
+    ) -> None:
+        self.program = program
+        self.entry = entry
+        self.args = args
+        self.expansion_cap = expansion_cap
+        self.types = TypeTable(program)
+        self.globals: Dict[str, Type] = {
+            declaration.name: self.types.resolve(declaration.type_expr)
+            for declaration in program.globals
+        }
+        self._records: List[StaticAccess] = []
+        self._counters: Dict[str, Optional[Affine]] = {}
+        #: static model of global *scalar* memory (ints and pointers);
+        #: the simulated process zero-initializes statics, so absent
+        #: entries read as the constant 0
+        self._global_scalars: Dict[str, object] = {}
+        self._loop_stack: List[Tuple[str, int]] = []
+        self._imprecise = 0
+        self._tainted: Set[str] = set()
+        self._call_stack: List[str] = []
+        self._symbols = 0
+
+    # -- entry -----------------------------------------------------------
+
+    def run(self) -> StaticLmadResult:
+        function = self.program.function(self.entry)
+        env: Dict[str, object] = {}
+        for index, param in enumerate(function.params):
+            if index < len(self.args):
+                env[param.name] = SInt(Affine.constant(self.args[index]))
+            else:
+                env[param.name] = SInt(Affine.constant(0))
+        self._call_stack.append(function.name)
+        try:
+            self._exec_block(function.body, env, function)
+        except _SReturn:
+            pass
+        finally:
+            self._call_stack.pop()
+        return self._build_result()
+
+    def _build_result(self) -> StaticLmadResult:
+        instructions: Dict[int, StaticInstruction] = {}
+        for record in self._records:
+            if record.function in self._tainted:
+                record.precise = False
+            instruction = instructions.get(record.node_key)
+            if instruction is None:
+                instruction = StaticInstruction(
+                    node_key=record.node_key,
+                    name=record.name,
+                    function=record.function,
+                    verb=record.verb,
+                )
+                instructions[record.node_key] = instruction
+            instruction.records.append(record)
+        result = StaticLmadResult(
+            program=self.program,
+            entry=self.entry,
+            records=self._records,
+            instructions=instructions,
+            tainted_functions=set(self._tainted),
+            expansion_cap=self.expansion_cap,
+        )
+        result.classify()
+        return result
+
+    # -- helpers ---------------------------------------------------------
+
+    def _fresh_symbol(self) -> str:
+        self._symbols += 1
+        return f"s{self._symbols}"
+
+    def _concrete(self, value_type: Type) -> Type:
+        if isinstance(value_type, StructType) and not value_type.fields:
+            try:
+                return self.types.struct(value_type.name)
+            except Exception:
+                return value_type
+        return value_type
+
+    def _element_type(self, aggregate: Type) -> Type:
+        if isinstance(aggregate, ArrayType):
+            return self._concrete(aggregate.element)
+        return aggregate
+
+    def _record(
+        self,
+        expr: ast.Expr,
+        verb: str,
+        function: ast.FunctionDecl,
+        base: object,
+        offset: Optional[Affine],
+    ) -> None:
+        site: Optional[str] = None
+        instance: Optional[Affine] = None
+        if isinstance(base, StaticBase):
+            site = base.site
+            instance = base.instance
+        elif isinstance(base, HeapBase):
+            site = base.site
+            instance = base.instance
+        precise = (
+            self._imprecise == 0
+            and site is not None
+            and instance is not None
+            and offset is not None
+        )
+        self._records.append(
+            StaticAccess(
+                node_key=id(expr),
+                function=function.name,
+                line=expr.line,
+                verb=verb,
+                desc=_describe(expr),
+                site=site,
+                instance=instance,
+                offset=offset,
+                dims=tuple(self._loop_stack),
+                precise=precise,
+            )
+        )
+
+    # -- statements ------------------------------------------------------
+
+    def _exec_block(self, body, env, function) -> None:
+        for statement in body:
+            self._exec_stmt(statement, env, function)
+
+    def _exec_stmt(self, statement, env, function) -> None:
+        if isinstance(statement, ast.VarDecl):
+            if statement.initializer is not None:
+                env[statement.name] = self._eval(
+                    statement.initializer, env, function
+                )
+            else:
+                env[statement.name] = SInt(Affine.constant(0))
+        elif isinstance(statement, ast.Assign):
+            value = self._eval(statement.value, env, function)
+            target = statement.target
+            if isinstance(target, ast.VarRef) and target.name in env:
+                env[target.name] = value
+                return
+            base, offset, __ = self._lvalue(target, env, function)
+            self._record(target, "store", function, base, offset)
+            self._note_store(base, offset, value)
+        elif isinstance(statement, ast.ExprStmt):
+            self._eval(statement.expr, env, function)
+        elif isinstance(statement, ast.Delete):
+            self._eval(statement.pointer, env, function)
+        elif isinstance(statement, ast.If):
+            self._exec_if(statement, env, function)
+        elif isinstance(statement, ast.While):
+            self._exec_while(statement, env, function)
+        elif isinstance(statement, _ForWrapper):
+            self._exec_stmt(statement.init, env, function)
+            self._exec_stmt(statement.loop, env, function)
+        elif isinstance(statement, ast.Return):
+            if statement.value is None:
+                raise _SReturn(SInt(Affine.constant(0)))
+            raise _SReturn(self._eval(statement.value, env, function))
+        elif isinstance(statement, ast.Break):
+            raise _SBreak()
+        elif isinstance(statement, ast.Continue):
+            raise _SContinue()
+
+    # -- if --------------------------------------------------------------
+
+    def _exec_if(self, statement: ast.If, env, function) -> None:
+        condition = self._eval(statement.condition, env, function)
+        truth = self._truthiness(condition)
+        if truth is not None:
+            body = statement.then_body if truth else statement.else_body
+            self._exec_block(body, env, function)
+            return
+        # Unknown condition: run both arms imprecisely and join.
+        self._imprecise += 1
+        counters_before = dict(self._counters)
+        globals_before = dict(self._global_scalars)
+        then_env = dict(env)
+        then_signal: Optional[Exception] = None
+        try:
+            self._exec_block(statement.then_body, then_env, function)
+        except (_SBreak, _SContinue, _SReturn) as signal:
+            then_signal = signal
+        counters_then = self._counters
+        globals_then = self._global_scalars
+        self._counters = dict(counters_before)
+        self._global_scalars = dict(globals_before)
+        else_env = dict(env)
+        else_signal: Optional[Exception] = None
+        try:
+            self._exec_block(statement.else_body, else_env, function)
+        except (_SBreak, _SContinue, _SReturn) as signal:
+            else_signal = signal
+        counters_else = self._counters
+        globals_else = self._global_scalars
+        self._imprecise -= 1
+
+        if then_signal is not None and else_signal is not None:
+            # Neither arm falls through; execution cannot continue here.
+            self._counters = self._merge_tables(counters_then, counters_else)
+            self._global_scalars = self._merge_tables(
+                globals_then, globals_else, UNKNOWN
+            )
+            raise then_signal
+        if then_signal is not None:
+            # Only the else path continues past this statement.
+            env.clear()
+            env.update(else_env)
+            self._counters = counters_else
+            self._global_scalars = globals_else
+            return
+        if else_signal is not None:
+            env.clear()
+            env.update(then_env)
+            self._counters = counters_then
+            self._global_scalars = globals_then
+            return
+
+        merged: Dict[str, object] = {}
+        for name in set(then_env) | set(else_env):
+            a = then_env.get(name)
+            b = else_env.get(name)
+            merged[name] = a if a == b else UNKNOWN
+        env.clear()
+        env.update(merged)
+        self._counters = self._merge_tables(counters_then, counters_else)
+        self._global_scalars = self._merge_tables(
+            globals_then, globals_else, UNKNOWN
+        )
+
+    @staticmethod
+    def _merge_tables(a: Dict, b: Dict, bottom=None) -> Dict:
+        merged: Dict = {}
+        for key in set(a) | set(b):
+            merged[key] = a.get(key) if a.get(key) == b.get(key) else bottom
+        return merged
+
+    def _note_store(
+        self, base: object, offset: Optional[Affine], value: object
+    ) -> None:
+        """Keep the global-scalar model in sync with a memory store."""
+        if isinstance(base, StaticBase):
+            name = base.name
+            if isinstance(self.globals.get(name), (StructType, ArrayType)):
+                return  # aggregate interiors are not value-tracked
+            if (
+                self._imprecise == 0
+                and offset is not None
+                and offset.is_const
+                and offset.const == 0
+            ):
+                self._global_scalars[name] = value
+            else:
+                self._global_scalars[name] = UNKNOWN
+        elif base is None:
+            # A store through an untracked pointer could alias any
+            # global scalar (e.g. via AddressOf).
+            self._havoc_globals()
+
+    def _havoc_globals(self) -> None:
+        for name, declared in self.globals.items():
+            if not isinstance(declared, (StructType, ArrayType)):
+                self._global_scalars[name] = UNKNOWN
+
+    def _truthiness(self, value: object) -> Optional[bool]:
+        if isinstance(value, SInt) and value.value.is_const:
+            return value.value.const != 0
+        if isinstance(value, SPointer):
+            # Simulated object addresses are never zero.
+            return True
+        return None
+
+    # -- loops -----------------------------------------------------------
+
+    def _exec_while(self, statement: ast.While, env, function) -> None:
+        plan = self._recognize_loop(statement, env, function)
+        if plan is None:
+            self._exec_unknown_loop(statement, env, function)
+            return
+        ivar, init, step, trips, bound_globals = plan
+        if trips == 0:
+            # The condition is still evaluated once (and may probe
+            # global scalars); the body never runs.
+            self._eval(statement.condition, env, function)
+            return
+        symbol = self._fresh_symbol()
+        induction = SInt(Affine.symbol(symbol, step).add_const(init))
+
+        def run_body_once(body_env) -> None:
+            try:
+                self._exec_block(statement.body, body_env, function)
+            except _SContinue:
+                pass
+            if statement.step is not None:
+                self._exec_stmt(statement.step, body_env, function)
+
+        # Havoc pre-pass: find loop-carried state.
+        records_mark = len(self._records)
+        counters_before = dict(self._counters)
+        globals_before = dict(self._global_scalars)
+        probe_env = dict(env)
+        probe_env[ivar] = induction
+        baseline = dict(probe_env)
+        self._loop_stack.append((symbol, trips))
+        try:
+            run_body_once(probe_env)
+            clean = True
+        except (_SBreak, _SReturn):
+            clean = False
+        self._loop_stack.pop()
+        del self._records[records_mark:]
+        counters_after = self._counters
+        globals_after = self._global_scalars
+        # Restore *copies*: the real pass mutates the live tables, and
+        # the exit seeding below must still see the pristine snapshots.
+        self._counters = dict(counters_before)
+        self._global_scalars = dict(globals_before)
+
+        variant_globals = {
+            name
+            for name in set(globals_before) | set(globals_after)
+            if globals_after.get(name) != globals_before.get(name)
+        }
+        if not clean or (bound_globals & variant_globals):
+            # A break/return inside, or the loop rewrites its own
+            # bound: the counted model does not hold.
+            self._exec_unknown_loop(statement, env, function)
+            return
+
+        variant = {
+            name
+            for name in set(baseline) | set(probe_env)
+            if name != ivar and probe_env.get(name) != baseline.get(name)
+        }
+        deltas: Dict[str, Optional[int]] = {}
+        for site in set(counters_before) | set(counters_after):
+            before = counters_before.get(site, Affine.constant(0))
+            after = counters_after.get(site)
+            if before is None or after is None:
+                deltas[site] = None
+            else:
+                change = after.sub(before)
+                deltas[site] = change.const if change.is_const else None
+
+        # Real pass.
+        env[ivar] = induction
+        for name in variant:
+            if name in env:
+                env[name] = UNKNOWN
+        for name in variant_globals:
+            self._global_scalars[name] = UNKNOWN
+        for site, delta in deltas.items():
+            base = counters_before.get(site, Affine.constant(0))
+            if delta is None or base is None:
+                self._counters[site] = None
+            elif delta:
+                self._counters[site] = base.add(Affine.symbol(symbol, delta))
+        # The condition runs trips+1 times (the last check fails); its
+        # probes get a count-trips+1 dimension over the same symbol.
+        self._loop_stack.append((symbol, trips + 1))
+        self._eval(statement.condition, env, function)
+        self._loop_stack.pop()
+        self._loop_stack.append((symbol, trips))
+        try:
+            run_body_once(env)
+        except (_SBreak, _SReturn):
+            # The probe pass was clean, so this only happens when a
+            # havocked variable made a branch diverge; degrade safely.
+            for name in list(env):
+                env[name] = UNKNOWN
+            self._havoc_globals()
+            for record in self._records[records_mark:]:
+                record.precise = False
+        self._loop_stack.pop()
+
+        env[ivar] = SInt(Affine.constant(init + step * trips))
+        for name in variant:
+            if name in env:
+                env[name] = UNKNOWN
+        for name in variant_globals:
+            self._global_scalars[name] = UNKNOWN
+        for site, delta in deltas.items():
+            base = counters_before.get(site, Affine.constant(0))
+            poisoned = (
+                site in self._counters and self._counters[site] is None
+            )
+            if delta is None or base is None or poisoned:
+                # Poisoned during the real pass (a havocked variable
+                # steered an allocation branch): stay unknown.
+                self._counters[site] = None
+            elif delta:
+                self._counters[site] = base.add_const(delta * trips)
+
+    def _exec_unknown_loop(self, statement: ast.While, env, function) -> None:
+        """A loop whose trip count is unknown: run the body once with
+        every assigned variable forgotten, recording accesses as
+        imprecise."""
+        assigned = _assigned_names(statement.body)
+        if statement.step is not None:
+            assigned |= _assigned_names((statement.step,))
+        for name in assigned:
+            if name in env:
+                env[name] = UNKNOWN
+            elif name in self.globals:
+                self._global_scalars[name] = UNKNOWN
+        self._imprecise += 1
+        try:
+            self._eval(statement.condition, env, function)
+            try:
+                self._exec_block(statement.body, env, function)
+            except (_SBreak, _SContinue):
+                pass
+            if statement.step is not None:
+                self._exec_stmt(statement.step, env, function)
+        finally:
+            self._imprecise -= 1
+        for name in assigned:
+            if name in env:
+                env[name] = UNKNOWN
+            elif name in self.globals:
+                self._global_scalars[name] = UNKNOWN
+
+    def _recognize_loop(
+        self, statement: ast.While, env, function
+    ) -> Optional[Tuple[str, int, int, int, Set[str]]]:
+        """Recognize ``for (i = K0; i REL K1; i = i + C)``.
+
+        Returns ``(induction var, init, step, trips, bound globals)``
+        or None.  The bound must fold to a constant over literals,
+        locals, and global scalars, and the induction variable must not
+        be written inside the body.  The returned global-name set lets
+        the caller reject loops that rewrite their own bound.
+        """
+        step_stmt = statement.step
+        if not isinstance(step_stmt, ast.Assign):
+            return None
+        if not isinstance(step_stmt.target, ast.VarRef):
+            return None
+        ivar = step_stmt.target.name
+        if ivar not in env:
+            return None
+        increment = self._step_increment(step_stmt.value, ivar)
+        if increment is None or increment == 0:
+            return None
+        if ivar in _assigned_names(statement.body):
+            return None
+        current = env.get(ivar)
+        if not isinstance(current, SInt) or not current.value.is_const:
+            return None
+        init = current.value.const
+        condition = statement.condition
+        if not isinstance(condition, ast.Binary):
+            return None
+        op = condition.op
+        if isinstance(condition.left, ast.VarRef) and condition.left.name == ivar:
+            bound_expr = condition.right
+        elif (
+            isinstance(condition.right, ast.VarRef)
+            and condition.right.name == ivar
+        ):
+            bound_expr = condition.left
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "!=": "!="}.get(op)
+            if op is None:
+                return None
+        else:
+            return None
+        bound_globals = self._bound_reads(bound_expr, env)
+        if bound_globals is None:
+            return None
+        # Probe-evaluate the bound without keeping its records: the
+        # real pass re-evaluates the whole condition with the proper
+        # trips+1 repetition dimension.
+        records_mark = len(self._records)
+        bound_value = self._eval(bound_expr, env, function)
+        del self._records[records_mark:]
+        if not isinstance(bound_value, SInt) or not bound_value.value.is_const:
+            return None
+        bound = bound_value.value.const
+        trips = self._trip_count(op, init, bound, increment)
+        if trips is None:
+            return None
+        return (ivar, init, increment, trips, bound_globals)
+
+    @staticmethod
+    def _step_increment(value: ast.Expr, ivar: str) -> Optional[int]:
+        if not isinstance(value, ast.Binary) or value.op not in ("+", "-"):
+            return None
+        left, right = value.left, value.right
+        if (
+            isinstance(left, ast.VarRef)
+            and left.name == ivar
+            and isinstance(right, ast.IntLiteral)
+        ):
+            return right.value if value.op == "+" else -right.value
+        if (
+            value.op == "+"
+            and isinstance(right, ast.VarRef)
+            and right.name == ivar
+            and isinstance(left, ast.IntLiteral)
+        ):
+            return left.value
+        return None
+
+    def _bound_reads(self, expr: ast.Expr, env) -> Optional[Set[str]]:
+        """Which global scalars a loop bound reads, or None when the
+        expression is not a pure arithmetic form over literals, locals,
+        and global scalars (calls, dereferences, allocation...)."""
+        if isinstance(expr, (ast.IntLiteral, ast.NullLiteral)):
+            return set()
+        if isinstance(expr, ast.VarRef):
+            if expr.name in env:
+                return set()
+            declared = self.globals.get(expr.name)
+            if declared is not None and not isinstance(
+                declared, (StructType, ArrayType)
+            ):
+                return {expr.name}
+            return None
+        if isinstance(expr, ast.Unary):
+            return self._bound_reads(expr.operand, env)
+        if isinstance(expr, ast.Binary):
+            left = self._bound_reads(expr.left, env)
+            right = self._bound_reads(expr.right, env)
+            if left is None or right is None:
+                return None
+            return left | right
+        return None
+
+    @staticmethod
+    def _trip_count(
+        op: str, init: int, bound: int, step: int
+    ) -> Optional[int]:
+        def ceil_div(a: int, b: int) -> int:
+            return -(-a // b)
+
+        if op == "<":
+            if step <= 0:
+                return 0 if init >= bound else None
+            return max(0, ceil_div(bound - init, step))
+        if op == "<=":
+            if step <= 0:
+                return 0 if init > bound else None
+            return max(0, ceil_div(bound + 1 - init, step))
+        if op == ">":
+            if step >= 0:
+                return 0 if init <= bound else None
+            return max(0, ceil_div(init - bound, -step))
+        if op == ">=":
+            if step >= 0:
+                return 0 if init < bound else None
+            return max(0, ceil_div(init - (bound - 1), -step))
+        if op == "!=":
+            difference = bound - init
+            if difference == 0:
+                return 0
+            if step != 0 and difference % step == 0 and difference // step > 0:
+                return difference // step
+            return None
+        return None
+
+    # -- expressions -----------------------------------------------------
+
+    def _eval(self, expr: ast.Expr, env, function) -> object:
+        if isinstance(expr, ast.IntLiteral):
+            return SInt(Affine.constant(expr.value))
+        if isinstance(expr, ast.NullLiteral):
+            return SInt(Affine.constant(0))
+        if isinstance(expr, ast.VarRef):
+            return self._eval_varref(expr, env, function)
+        if isinstance(expr, ast.Unary):
+            operand = self._eval(expr.operand, env, function)
+            if expr.op == "-" and isinstance(operand, SInt):
+                return SInt(operand.value.neg())
+            if expr.op == "!":
+                truth = self._truthiness(operand)
+                if truth is not None:
+                    return SInt(Affine.constant(0 if truth else 1))
+            return UNKNOWN
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr, env, function)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env, function)
+        if isinstance(expr, ast.New):
+            return self._eval_new(expr, env, function)
+        if isinstance(expr, (ast.FieldAccess, ast.Index)):
+            base, offset, value_type = self._lvalue(expr, env, function)
+            self._record(expr, "load", function, base, offset)
+            if value_type is not None and isinstance(
+                value_type, (StructType, ArrayType)
+            ):
+                if base is not None and offset is not None:
+                    return SPointer(
+                        base, offset, self._element_type(value_type)
+                    )
+            return UNKNOWN
+        if isinstance(expr, ast.AddressOf):
+            base, offset, value_type = self._lvalue(
+                expr.target, env, function
+            )
+            if base is not None and offset is not None and value_type is not None:
+                return SPointer(base, offset, value_type)
+            return UNKNOWN
+        return UNKNOWN
+
+    def _eval_varref(self, expr: ast.VarRef, env, function) -> object:
+        if expr.name in env:
+            return env[expr.name]
+        declared = self.globals.get(expr.name)
+        if declared is None:
+            return UNKNOWN
+        if isinstance(declared, (StructType, ArrayType)):
+            # Aggregates decay to their address without an access.
+            return SPointer(
+                StaticBase(expr.name),
+                Affine.constant(0),
+                self._element_type(declared),
+            )
+        # Global scalar: a profiled load of static:<name> offset 0.
+        self._record(
+            expr, "load", function, StaticBase(expr.name), Affine.constant(0)
+        )
+        return self._global_scalars.get(
+            expr.name, SInt(Affine.constant(0))
+        )
+
+    def _eval_binary(self, expr: ast.Binary, env, function) -> object:
+        op = expr.op
+        if op in ("&&", "||"):
+            left = self._eval(expr.left, env, function)
+            truth = self._truthiness(left)
+            if truth is not None:
+                if op == "&&" and not truth:
+                    return SInt(Affine.constant(0))
+                if op == "||" and truth:
+                    return SInt(Affine.constant(1))
+                right = self._eval(expr.right, env, function)
+                right_truth = self._truthiness(right)
+                if right_truth is None:
+                    return UNKNOWN
+                return SInt(Affine.constant(1 if right_truth else 0))
+            # Short-circuit on an unknown left: the right side runs on
+            # some executions only.
+            self._imprecise += 1
+            try:
+                self._eval(expr.right, env, function)
+            finally:
+                self._imprecise -= 1
+            return UNKNOWN
+
+        left = self._eval(expr.left, env, function)
+        right = self._eval(expr.right, env, function)
+        if op in ("==", "!="):
+            return self._eval_equality(op, left, right)
+        if isinstance(left, SInt) and isinstance(right, SInt):
+            a, b = left.value, right.value
+            if op == "+":
+                return SInt(a.add(b))
+            if op == "-":
+                return SInt(a.sub(b))
+            if op == "*":
+                product = a.mul(b)
+                return SInt(product) if product is not None else UNKNOWN
+            if a.is_const and b.is_const:
+                return self._fold_const(op, a.const, b.const)
+            if op in ("<", "<=", ">", ">="):
+                difference = a.sub(b)
+                if difference.is_const:
+                    value = difference.const
+                    result = {
+                        "<": value < 0,
+                        "<=": value <= 0,
+                        ">": value > 0,
+                        ">=": value >= 0,
+                    }[op]
+                    return SInt(Affine.constant(1 if result else 0))
+        return UNKNOWN
+
+    def _eval_equality(self, op: str, left: object, right: object) -> object:
+        equal: Optional[bool] = None
+        if isinstance(left, SInt) and isinstance(right, SInt):
+            difference = left.value.sub(right.value)
+            if difference.is_const:
+                equal = difference.const == 0
+        elif isinstance(left, SPointer) and isinstance(right, SPointer):
+            if left.base == right.base:
+                difference = left.offset.sub(right.offset)
+                if difference.is_const:
+                    equal = difference.const == 0
+            else:
+                equal = False  # distinct objects never share addresses
+        elif isinstance(left, SPointer) and isinstance(right, SInt):
+            if right.value.is_const and right.value.const == 0:
+                equal = False  # object addresses are never null
+        elif isinstance(left, SInt) and isinstance(right, SPointer):
+            if left.value.is_const and left.value.const == 0:
+                equal = False
+        if equal is None:
+            return UNKNOWN
+        if op == "!=":
+            equal = not equal
+        return SInt(Affine.constant(1 if equal else 0))
+
+    @staticmethod
+    def _fold_const(op: str, left: int, right: int) -> object:
+        if op == "/":
+            if right == 0:
+                return UNKNOWN
+            return SInt(Affine.constant(int(left / right)))
+        if op == "%":
+            if right == 0:
+                return UNKNOWN
+            return SInt(Affine.constant(left - int(left / right) * right))
+        table = {
+            "<": left < right,
+            "<=": left <= right,
+            ">": left > right,
+            ">=": left >= right,
+        }
+        if op in table:
+            return SInt(Affine.constant(1 if table[op] else 0))
+        return UNKNOWN
+
+    def _eval_call(self, expr: ast.Call, env, function) -> object:
+        try:
+            callee = self.program.function(expr.name)
+        except KeyError:
+            return UNKNOWN
+        arguments = [
+            self._eval(argument, env, function) for argument in expr.args
+        ]
+        if (
+            expr.name in self._call_stack
+            or len(self._call_stack) >= MAX_INLINE_DEPTH
+        ):
+            # Recursion: every instruction in the callee (and below) is
+            # beyond static tracking, and it may write any global.
+            self._taint(expr.name)
+            self._havoc_globals()
+            return UNKNOWN
+        callee_env: Dict[str, object] = {}
+        for index, param in enumerate(callee.params):
+            callee_env[param.name] = (
+                arguments[index] if index < len(arguments) else UNKNOWN
+            )
+        self._call_stack.append(expr.name)
+        try:
+            self._exec_block(callee.body, callee_env, callee)
+        except _SReturn as signal:
+            return signal.value
+        finally:
+            self._call_stack.pop()
+        return SInt(Affine.constant(0))
+
+    def _taint(self, name: str) -> None:
+        """Mark ``name`` and everything it can call as unpredictable."""
+        pending = [name]
+        while pending:
+            current = pending.pop()
+            if current in self._tainted:
+                continue
+            self._tainted.add(current)
+            try:
+                callee = self.program.function(current)
+            except KeyError:
+                continue
+            stack = list(callee.body)
+            while stack:
+                statement = stack.pop()
+                if isinstance(statement, ast.If):
+                    stack.extend(statement.then_body)
+                    stack.extend(statement.else_body)
+                elif isinstance(statement, ast.While):
+                    stack.extend(statement.body)
+                    if statement.step is not None:
+                        stack.append(statement.step)
+                elif isinstance(statement, _ForWrapper):
+                    stack.extend((statement.init, statement.loop))
+                for top in _statement_exprs(statement):
+                    for sub in _walk_expr(top):
+                        if isinstance(sub, ast.Call):
+                            pending.append(sub.name)
+
+    def _eval_new(self, expr: ast.New, env, function) -> object:
+        if expr.count is not None:
+            self._eval(expr.count, env, function)
+        site = f"{function.name}:{expr.line}:new {expr.type_expr}"
+        if self._imprecise > 0:
+            self._counters[site] = None
+            instance: Optional[Affine] = None
+        else:
+            counter = self._counters.get(site, Affine.constant(0))
+            if counter is None:
+                instance = None
+            else:
+                instance = counter
+                self._counters[site] = counter.add_const(1)
+        element = self._concrete(self.types.resolve(expr.type_expr))
+        return SPointer(
+            HeapBase(site, instance), Affine.constant(0), element
+        )
+
+    # -- lvalues ---------------------------------------------------------
+
+    def _lvalue(
+        self, expr: ast.Expr, env, function
+    ) -> Tuple[Optional[object], Optional[Affine], Optional[Type]]:
+        if isinstance(expr, ast.VarRef):
+            declared = self.globals.get(expr.name)
+            if expr.name in env or declared is None:
+                return (None, None, None)
+            return (StaticBase(expr.name), Affine.constant(0), declared)
+        if isinstance(expr, ast.FieldAccess):
+            return self._field_lvalue(expr, env, function)
+        if isinstance(expr, ast.Index):
+            pointer = self._pointer_operand(expr.base, env, function)
+            index = self._eval(expr.index, env, function)
+            if pointer is None:
+                # Still evaluate operands for their effects, then give up.
+                return (None, None, None)
+            base, offset, element = pointer
+            if not isinstance(index, SInt):
+                return (base, None, element)
+            scaled = index.value.scale(element.size())
+            return (base, offset.add(scaled), element)
+        return (None, None, None)
+
+    def _field_lvalue(
+        self, expr: ast.FieldAccess, env, function
+    ) -> Tuple[Optional[object], Optional[Affine], Optional[Type]]:
+        if expr.through_pointer:
+            pointer = self._pointer_operand(expr.base, env, function)
+            if pointer is None:
+                return (None, None, None)
+            base, offset, pointee = pointer
+            struct = self._concrete(pointee)
+            if not isinstance(struct, StructType):
+                return (None, None, None)
+            try:
+                field_record = struct.field(expr.field_name)
+            except Exception:
+                return (None, None, None)
+            return (
+                base,
+                offset.add_const(field_record.offset),
+                self._concrete(field_record.type),
+            )
+        base, offset, base_type = self._lvalue(expr.base, env, function)
+        if base is None or offset is None or base_type is None:
+            return (None, None, None)
+        struct = self._concrete(base_type)
+        if not isinstance(struct, StructType):
+            return (None, None, None)
+        try:
+            field_record = struct.field(expr.field_name)
+        except Exception:
+            return (None, None, None)
+        return (
+            base,
+            offset.add_const(field_record.offset),
+            self._concrete(field_record.type),
+        )
+
+    def _pointer_operand(
+        self, expr: ast.Expr, env, function
+    ) -> Optional[Tuple[object, Affine, Type]]:
+        value = self._eval(expr, env, function)
+        if isinstance(value, SPointer):
+            element = self._concrete(value.element)
+            if isinstance(element, ArrayType):
+                element = self._concrete(element.element)
+            return (value.base, value.offset, element)
+        return None
+
+
+def _statement_exprs(statement) -> List[ast.Expr]:
+    if isinstance(statement, ast.VarDecl):
+        return [] if statement.initializer is None else [statement.initializer]
+    if isinstance(statement, ast.Assign):
+        return [statement.value, statement.target]
+    if isinstance(statement, ast.ExprStmt):
+        return [statement.expr]
+    if isinstance(statement, ast.Delete):
+        return [statement.pointer]
+    if isinstance(statement, ast.Return):
+        return [] if statement.value is None else [statement.value]
+    if isinstance(statement, ast.If):
+        return [statement.condition]
+    if isinstance(statement, ast.While):
+        return [statement.condition]
+    return []
+
+
+def _walk_expr(expr: Optional[ast.Expr]):
+    if expr is None:
+        return
+    yield expr
+    if isinstance(expr, ast.Unary):
+        yield from _walk_expr(expr.operand)
+    elif isinstance(expr, ast.Binary):
+        yield from _walk_expr(expr.left)
+        yield from _walk_expr(expr.right)
+    elif isinstance(expr, ast.Call):
+        for argument in expr.args:
+            yield from _walk_expr(argument)
+    elif isinstance(expr, ast.New):
+        yield from _walk_expr(expr.count)
+    elif isinstance(expr, ast.FieldAccess):
+        yield from _walk_expr(expr.base)
+    elif isinstance(expr, ast.Index):
+        yield from _walk_expr(expr.base)
+        yield from _walk_expr(expr.index)
+    elif isinstance(expr, ast.AddressOf):
+        yield from _walk_expr(expr.target)
+
+
+def analyze_source(
+    source: str, entry: str = "main", args: Tuple[int, ...] = ()
+) -> StaticLmadResult:
+    """Parse and statically analyze mini-IR source."""
+    return StaticLmadAnalyzer(parse(source), entry=entry, args=args).run()

@@ -2,7 +2,10 @@
 
 Every node carries its source line so the interpreter can name the
 static instructions it emits after program points (``main:12``), the way
-native instruction probes are named after PCs.
+native instruction probes are named after PCs.  Nodes also carry the
+source column so the static analyzer (:mod:`repro.lang.analysis`) can
+point diagnostics at exact positions; both fields are excluded from
+equality so structurally identical nodes still compare equal.
 """
 
 from __future__ import annotations
@@ -38,6 +41,7 @@ class TypeExpr:
 @dataclass(frozen=True)
 class Expr:
     line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -117,6 +121,7 @@ class AddressOf(Expr):
 @dataclass(frozen=True)
 class Stmt:
     line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -187,6 +192,7 @@ class FieldDecl:
     name: str
     type_expr: TypeExpr
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)
@@ -194,6 +200,7 @@ class StructDecl:
     name: str
     fields: tuple  # of FieldDecl
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)
@@ -203,6 +210,7 @@ class GlobalDecl:
     name: str
     type_expr: TypeExpr
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)
@@ -218,6 +226,7 @@ class FunctionDecl:
     return_type: Optional[TypeExpr]
     body: tuple  # of Stmt
     line: int = 0
+    column: int = 0
 
 
 @dataclass(frozen=True)

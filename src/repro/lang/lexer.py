@@ -21,6 +21,9 @@ class LangError(Exception):
     def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
         location = f" at {line}:{column}" if line else ""
         super().__init__(f"{message}{location}")
+        #: the bare message, without the baked-in location suffix, for
+        #: tools that format their own ``file:line:col:`` prefix
+        self.message = message
         self.line = line
         self.column = column
 

@@ -133,16 +133,21 @@ class Parser:
             field_name = self._expect_ident()
             self._expect(";")
             fields.append(
-                ast.FieldDecl(field_name.text, field_type, field_name.line)
+                ast.FieldDecl(
+                    field_name.text,
+                    field_type,
+                    field_name.line,
+                    field_name.column,
+                )
             )
-        return ast.StructDecl(name, tuple(fields), start.line)
+        return ast.StructDecl(name, tuple(fields), start.line, start.column)
 
     def _parse_global(self) -> ast.GlobalDecl:
         start = self._expect("global")
         type_expr = self._parse_type()
         name = self._expect_ident().text
         self._expect(";")
-        return ast.GlobalDecl(name, type_expr, start.line)
+        return ast.GlobalDecl(name, type_expr, start.line, start.column)
 
     def _parse_function(self) -> ast.FunctionDecl:
         start = self._expect("fn")
@@ -161,7 +166,9 @@ class Parser:
         if self._accept(":"):
             return_type = self._parse_type()
         body = self._parse_block()
-        return ast.FunctionDecl(name, tuple(params), return_type, body, start.line)
+        return ast.FunctionDecl(
+            name, tuple(params), return_type, body, start.line, start.column
+        )
 
     def _parse_type(self, allow_array: bool = True) -> ast.TypeExpr:
         token = self._current
@@ -212,27 +219,27 @@ class Parser:
             condition = self._parse_expression()
             self._expect(")")
             body = self._parse_block()
-            return ast.While(token.line, condition, body)
+            return ast.While(token.line, token.column, condition, body)
         if self._check("for"):
             return self._parse_for()
         if self._check("return"):
             self._advance()
             value = None if self._check(";") else self._parse_expression()
             self._expect(";")
-            return ast.Return(token.line, value)
+            return ast.Return(token.line, token.column, value)
         if self._check("break"):
             self._advance()
             self._expect(";")
-            return ast.Break(token.line)
+            return ast.Break(token.line, token.column)
         if self._check("continue"):
             self._advance()
             self._expect(";")
-            return ast.Continue(token.line)
+            return ast.Continue(token.line, token.column)
         if self._check("delete"):
             self._advance()
             pointer = self._parse_expression()
             self._expect(";")
-            return ast.Delete(token.line, pointer)
+            return ast.Delete(token.line, token.column, pointer)
         statement = self._parse_simple()
         self._expect(";")
         return statement
@@ -246,7 +253,7 @@ class Parser:
         if self._accept("="):
             initializer = self._parse_expression()
         self._expect(";")
-        return ast.VarDecl(start.line, name, type_expr, initializer)
+        return ast.VarDecl(start.line, start.column, name, type_expr, initializer)
 
     def _parse_if(self) -> ast.If:
         start = self._expect("if")
@@ -260,7 +267,7 @@ class Parser:
                 else_body = (self._parse_if(),)
             else:
                 else_body = self._parse_block()
-        return ast.If(start.line, condition, then_body, else_body)
+        return ast.If(start.line, start.column, condition, then_body, else_body)
 
     def _parse_for(self) -> ast.While:
         """``for`` desugars to a while loop with init/step spliced in."""
@@ -269,7 +276,7 @@ class Parser:
         init = None if self._check(";") else self._parse_simple_or_decl()
         self._expect(";")
         condition = (
-            ast.IntLiteral(start.line, 1)
+            ast.IntLiteral(start.line, start.column, 1)
             if self._check(";")
             else self._parse_expression()
         )
@@ -277,10 +284,10 @@ class Parser:
         step = None if self._check(")") else self._parse_simple()
         self._expect(")")
         body = self._parse_block()
-        loop = ast.While(start.line, condition, body, step)
+        loop = ast.While(start.line, start.column, condition, body, step)
         if init is None:
             return loop
-        return _ForWrapper(start.line, init, loop)
+        return _ForWrapper(start.line, start.column, init, loop)
 
     def _parse_simple_or_decl(self) -> ast.Stmt:
         if self._check("var"):
@@ -292,15 +299,15 @@ class Parser:
             initializer = None
             if self._accept("="):
                 initializer = self._parse_expression()
-            return ast.VarDecl(start.line, name, type_expr, initializer)
+            return ast.VarDecl(start.line, start.column, name, type_expr, initializer)
         return self._parse_simple()
 
     def _parse_simple(self) -> ast.Stmt:
         expr = self._parse_expression()
         if self._accept("="):
             value = self._parse_expression()
-            return ast.Assign(expr.line, expr, value)
-        return ast.ExprStmt(expr.line, expr)
+            return ast.Assign(expr.line, expr.column, expr, value)
+        return ast.ExprStmt(expr.line, expr.column, expr)
 
     # -- expressions -------------------------------------------------------
 
@@ -317,16 +324,16 @@ class Parser:
                 return left
             self._advance()
             right = self._parse_expression(precedence + 1)
-            left = ast.Binary(left.line, op, left, right)
+            left = ast.Binary(left.line, left.column, op, left, right)
 
     def _parse_unary(self) -> ast.Expr:
         token = self._current
         if self._accept("-"):
-            return ast.Unary(token.line, "-", self._parse_unary())
+            return ast.Unary(token.line, token.column, "-", self._parse_unary())
         if self._accept("!"):
-            return ast.Unary(token.line, "!", self._parse_unary())
+            return ast.Unary(token.line, token.column, "!", self._parse_unary())
         if self._accept("&"):
-            return ast.AddressOf(token.line, self._parse_postfix())
+            return ast.AddressOf(token.line, token.column, self._parse_postfix())
         return self._parse_postfix()
 
     def _parse_postfix(self) -> ast.Expr:
@@ -335,16 +342,16 @@ class Parser:
             token = self._current
             if self._accept("."):
                 expr = ast.FieldAccess(
-                    token.line, expr, self._expect_ident().text, False
+                    token.line, token.column, expr, self._expect_ident().text, False
                 )
             elif self._accept("->"):
                 expr = ast.FieldAccess(
-                    token.line, expr, self._expect_ident().text, True
+                    token.line, token.column, expr, self._expect_ident().text, True
                 )
             elif self._accept("["):
                 index = self._parse_expression()
                 self._expect("]")
-                expr = ast.Index(token.line, expr, index)
+                expr = ast.Index(token.line, token.column, expr, index)
             else:
                 return expr
 
@@ -352,13 +359,13 @@ class Parser:
         token = self._current
         if token.kind is TokenKind.INT:
             self._advance()
-            return ast.IntLiteral(token.line, int(token.text, 0))
+            return ast.IntLiteral(token.line, token.column, int(token.text, 0))
         if self._accept("null"):
-            return ast.NullLiteral(token.line)
+            return ast.NullLiteral(token.line, token.column)
         if self._accept("true"):
-            return ast.IntLiteral(token.line, 1)
+            return ast.IntLiteral(token.line, token.column, 1)
         if self._accept("false"):
-            return ast.IntLiteral(token.line, 0)
+            return ast.IntLiteral(token.line, token.column, 0)
         if self._accept("new"):
             # ``new T[n]``: n is a runtime expression, so the type is
             # parsed without an array suffix.
@@ -367,7 +374,7 @@ class Parser:
             if self._accept("["):
                 count = self._parse_expression()
                 self._expect("]")
-            return ast.New(token.line, type_expr, count)
+            return ast.New(token.line, token.column, type_expr, count)
         if self._accept("("):
             expr = self._parse_expression()
             self._expect(")")
@@ -382,8 +389,8 @@ class Parser:
                         if not self._accept(","):
                             break
                 self._expect(")")
-                return ast.Call(token.line, token.text, tuple(args))
-            return ast.VarRef(token.line, token.text)
+                return ast.Call(token.line, token.column, token.text, tuple(args))
+            return ast.VarRef(token.line, token.column, token.text)
         raise ParseError(
             f"expected expression, found {token.text!r}", token.line, token.column
         )
@@ -395,8 +402,10 @@ class _ForWrapper(ast.Stmt):
     The interpreter executes ``init`` then the loop in the same scope.
     """
 
-    def __init__(self, line: int, init: ast.Stmt, loop: ast.While) -> None:
-        super().__init__(line)
+    def __init__(
+        self, line: int, column: int, init: ast.Stmt, loop: ast.While
+    ) -> None:
+        super().__init__(line, column)
         object.__setattr__(self, "init", init)
         object.__setattr__(self, "loop", loop)
 

@@ -1,0 +1,215 @@
+"""Tests for the mini-IR CFG builder and dataflow framework."""
+
+import pytest
+
+from repro.lang import parse
+from repro.lang.analysis import (
+    Interval,
+    Liveness,
+    ReachingDefinitions,
+    ValueAnalysis,
+    build_cfg,
+    solve,
+)
+from repro.lang.analysis.cfg import CFGBuilder
+from repro.lang.analysis.dataflow import UNINIT
+
+
+def cfg_of(source, name="main"):
+    program = parse(source)
+    return program, build_cfg(program.function(name))
+
+
+class TestCFGShape:
+    def test_straight_line_single_block(self):
+        __, cfg = cfg_of("fn main(): int { var x: int = 1; return x; }")
+        reachable = cfg.reachable()
+        # entry and exit plus one body block, all connected
+        assert cfg.entry.bid in reachable and cfg.exit.bid in reachable
+        assert not cfg.unreachable_nodes()
+
+    def test_if_produces_branch_and_join(self):
+        __, cfg = cfg_of(
+            """
+            fn main(): int {
+              var x: int = 0;
+              if (x > 0) { x = 1; } else { x = 2; }
+              return x;
+            }
+            """
+        )
+        branching = [b for b in cfg.blocks if len(b.succs) == 2]
+        assert len(branching) == 1
+        joining = [
+            b for b in cfg.blocks
+            if len(b.preds) == 2 and b.bid != cfg.exit.bid
+        ]
+        assert joining
+
+    def test_while_forms_back_edge(self):
+        __, cfg = cfg_of(
+            """
+            fn main(): int {
+              var i: int = 0;
+              while (i < 10) { i = i + 1; }
+              return i;
+            }
+            """
+        )
+        ids = {b.bid for b in cfg.blocks}
+        back_edges = [
+            (b.bid, s)
+            for b in cfg.blocks
+            for s in b.succs
+            if s in ids and s <= b.bid and b.bid != cfg.entry
+        ]
+        assert back_edges, "loop must produce a back edge"
+
+    def test_code_after_return_is_unreachable(self):
+        __, cfg = cfg_of(
+            """
+            fn main(): int {
+              return 1;
+              var x: int = 2;
+            }
+            """
+        )
+        dead = cfg.unreachable_nodes()
+        assert dead
+        assert any(node.line == 4 for node in dead)
+
+    def test_falls_through_detection(self):
+        __, with_return = cfg_of("fn main(): int { return 1; }")
+        assert not with_return.falls_through()
+        __, without = cfg_of(
+            """
+            fn main(): int {
+              var x: int = 0;
+              if (x > 0) { return 1; }
+            }
+            """
+        )
+        assert without.falls_through()
+
+    def test_rpo_starts_at_entry(self):
+        __, cfg = cfg_of(
+            """
+            fn main(): int {
+              var i: int = 0;
+              while (i < 3) { i = i + 1; }
+              return i;
+            }
+            """
+        )
+        order = cfg.rpo()
+        assert order[0] == cfg.entry.bid
+
+
+class TestReachingDefinitions:
+    def test_uninitialized_marker_reaches_use(self):
+        program, cfg = cfg_of(
+            """
+            fn main(): int {
+              var u: int;
+              var v: int = 1;
+              if (v > 0) { u = 2; }
+              return u;
+            }
+            """
+        )
+        solution = solve(cfg, ReachingDefinitions(cfg.function))
+        return_states = [
+            before
+            for b in cfg.blocks
+            for node, before, __ in solution.node_states(b.bid)
+            if type(node.element).__name__ == "Return"
+        ]
+        # On some path u is still the UNINIT marker, on another it is
+        # the line-5 assignment: both definitions reach the return.
+        final = return_states[-1]["u"]
+        assert UNINIT in final and len(final) == 2
+
+    def test_params_are_defined(self):
+        program = parse("fn f(a: int): int { return a; } fn main(): int { return f(1); }")
+        cfg = build_cfg(program.function("f"))
+        solution = solve(cfg, ReachingDefinitions(cfg.function))
+        for __, before, __ in solution.node_states(cfg.rpo()[1]):
+            assert UNINIT not in before.get("a", frozenset())
+
+
+class TestLiveness:
+    def test_dead_store_not_live(self):
+        __, cfg = cfg_of(
+            """
+            fn main(): int {
+              var x: int = 1;
+              x = 2;
+              return x;
+            }
+            """
+        )
+        solution = solve(cfg, Liveness(cfg.function))
+        # After the final store x is live (the return reads it); after
+        # the first it is not: the initializer's value dies.
+        nodes = [
+            (node, before, after)
+            for bid in [b.bid for b in cfg.blocks]
+            for node, before, after in solution.node_states(bid)
+        ]
+        stores = [
+            (node, after) for node, __, after in nodes
+            if getattr(getattr(node.element, "target", None), "name", None) == "x"
+        ]
+        assert stores and any("x" in after for __, after in stores)
+
+
+class TestValueAnalysis:
+    def test_constant_propagates_through_branch_join(self):
+        program, cfg = cfg_of(
+            """
+            fn main(): int {
+              var a: int = 3;
+              var b: int = 0;
+              if (a > 1) { b = 5; } else { b = 9; }
+              return b;
+            }
+            """
+        )
+        analysis = ValueAnalysis(cfg.function, program)
+        solution = solve(cfg, analysis)
+        # a stays the constant 3 everywhere
+        for bid in [b.bid for b in cfg.blocks]:
+            for __, before, __ in solution.node_states(bid):
+                value = before.get("a")
+                if isinstance(value, Interval) and value.is_const:
+                    assert value.lo == 3
+
+    def test_interval_hull_and_widening(self):
+        a = Interval.const(1)
+        b = Interval.const(10)
+        hull = a.hull(b)
+        assert (hull.lo, hull.hi) == (1, 10)
+        widened = a.widened(hull)
+        assert widened.hi is None  # upper bound blown to +inf
+        assert widened.lo == 1
+
+    def test_interval_arithmetic(self):
+        assert Interval.const(4).add(Interval.const(5)).lo == 9
+        assert Interval.const(4).neg().lo == -4
+        product = Interval(2, 3).mul(Interval(-1, 1))
+        assert (product.lo, product.hi) == (-3, 3)
+
+    def test_loop_counter_does_not_diverge(self):
+        program, cfg = cfg_of(
+            """
+            fn main(): int {
+              var i: int = 0;
+              while (i < 100) { i = i + 1; }
+              return i;
+            }
+            """
+        )
+        # The solve must terminate (widening) and keep a finite lower
+        # bound for i.
+        solution = solve(cfg, ValueAnalysis(cfg.function, program))
+        assert solution is not None

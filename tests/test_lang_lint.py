@@ -1,0 +1,306 @@
+"""Tests for the MIRCHECK linter: every code, both polarities, plus
+suppressions and the bundled example programs."""
+
+import os
+
+import pytest
+
+from repro.lang import LangError, parse
+from repro.lang.analysis import lint_source
+
+EXAMPLES = os.path.join(
+    os.path.dirname(__file__), os.pardir, "examples", "programs"
+)
+
+
+def codes(source):
+    return sorted({d.code for d in lint_source(source)})
+
+
+def by_code(source, code):
+    return [d for d in lint_source(source) if d.code == code]
+
+
+class TestUninitialized:
+    def test_maybe_uninitialized_on_one_path(self):
+        found = by_code(
+            """
+            fn main(): int {
+              var u: int;
+              var v: int = 1;
+              if (v > 0) { u = 2; }
+              return u;
+            }
+            """,
+            "MIR101",
+        )
+        assert len(found) == 1
+        assert found[0].line == 6
+        assert "may be" in found[0].message
+
+    def test_definitely_uninitialized(self):
+        found = by_code(
+            "fn main(): int { var u: int; return u; }", "MIR101"
+        )
+        assert len(found) == 1
+        assert "is" in found[0].message
+
+    def test_initialized_on_all_paths_clean(self):
+        assert not by_code(
+            """
+            fn main(): int {
+              var u: int;
+              var v: int = 1;
+              if (v > 0) { u = 2; } else { u = 3; }
+              return u;
+            }
+            """,
+            "MIR101",
+        )
+
+
+class TestHeapCodes:
+    def test_use_after_delete(self):
+        found = by_code(
+            """
+            fn main(): int {
+              var a: int* = new int[4];
+              delete a;
+              return a[0];
+            }
+            """,
+            "MIR102",
+        )
+        assert len(found) == 1 and found[0].line == 5
+
+    def test_use_after_delete_on_some_path_qualified(self):
+        found = by_code(
+            """
+            fn main(): int {
+              var a: int* = new int[4];
+              var c: int = 1;
+              if (c > 0) { delete a; }
+              return a[0];
+            }
+            """,
+            "MIR102",
+        )
+        assert len(found) == 1
+        assert "some path" in found[0].message
+
+    def test_double_delete(self):
+        found = by_code(
+            """
+            fn main(): int {
+              var a: int* = new int[4];
+              delete a;
+              delete a;
+              return 0;
+            }
+            """,
+            "MIR103",
+        )
+        assert len(found) == 1 and found[0].line == 5
+
+    def test_leak_reported_at_allocation(self):
+        found = by_code(
+            """
+            fn main(): int {
+              var a: int* = new int[4];
+              return 0;
+            }
+            """,
+            "MIR104",
+        )
+        assert len(found) == 1 and found[0].line == 3
+
+    def test_no_leak_when_deleted(self):
+        assert not by_code(
+            """
+            fn main(): int {
+              var a: int* = new int[4];
+              delete a;
+              return 0;
+            }
+            """,
+            "MIR104",
+        )
+
+    def test_no_leak_when_escaping_via_return(self):
+        assert not by_code(
+            """
+            fn make(): int* { return new int[4]; }
+            fn main(): int {
+              var a: int* = make();
+              delete a;
+              return 0;
+            }
+            """,
+            "MIR104",
+        )
+
+    def test_no_leak_when_stored_to_global(self):
+        assert not by_code(
+            """
+            global int* keep;
+            fn main(): int {
+              keep = new int[4];
+              return 0;
+            }
+            """,
+            "MIR104",
+        )
+
+
+class TestFlowCodes:
+    def test_constant_index_out_of_bounds(self):
+        found = by_code(
+            """
+            fn main(): int {
+              var a: int* = new int[4];
+              a[7] = 1;
+              delete a;
+              return 0;
+            }
+            """,
+            "MIR105",
+        )
+        assert len(found) == 1 and found[0].line == 4
+
+    def test_in_bounds_constant_index_clean(self):
+        assert not by_code(
+            """
+            fn main(): int {
+              var a: int* = new int[4];
+              a[3] = 1;
+              delete a;
+              return 0;
+            }
+            """,
+            "MIR105",
+        )
+
+    def test_dead_store(self):
+        found = by_code(
+            """
+            fn main(): int {
+              var x: int = 1;
+              x = 2;
+              x = 3;
+              return x;
+            }
+            """,
+            "MIR106",
+        )
+        assert [d.line for d in found] == [4]
+
+    def test_store_with_call_rhs_not_dead(self):
+        # a call may have side effects; silencing the store would hide them
+        assert not by_code(
+            """
+            fn f(): int { return 1; }
+            fn main(): int {
+              var x: int = 0;
+              x = f();
+              return 0;
+            }
+            """,
+            "MIR106",
+        )
+
+    def test_unreachable_code(self):
+        found = by_code(
+            """
+            fn main(): int {
+              return 1;
+              var x: int = 2;
+            }
+            """,
+            "MIR107",
+        )
+        assert len(found) == 1 and found[0].line == 4
+
+    def test_missing_return(self):
+        found = by_code(
+            """
+            fn f(limit: int): int {
+              if (limit > 0) { return limit; }
+            }
+            fn main(): int { return f(1); }
+            """,
+            "MIR108",
+        )
+        assert len(found) == 1
+        assert found[0].function == "f"
+
+    def test_void_function_needs_no_return(self):
+        assert not by_code(
+            """
+            fn poke() { var x: int = 1; }
+            fn main(): int { poke(); return 0; }
+            """,
+            "MIR108",
+        )
+
+
+class TestSuppression:
+    SOURCE = """
+    fn main(): int {
+      var a: int* = new int[4];   // mir: allow(MIR104)
+      return 0;
+    }
+    """
+
+    def test_allow_comment_silences_code(self):
+        assert not by_code(self.SOURCE, "MIR104")
+
+    def test_allow_all_wildcard(self):
+        assert not codes(
+            """
+            fn main(): int {
+              var a: int* = new int[4];   // mir: allow(all)
+              return 0;
+            }
+            """
+        )
+
+    def test_allow_is_line_scoped(self):
+        found = by_code(
+            """
+            fn main(): int {
+              var a: int* = new int[4];   // mir: allow(MIR102)
+              return 0;
+            }
+            """,
+            "MIR104",
+        )
+        assert len(found) == 1  # wrong code listed: not suppressed
+
+
+class TestBundledExamples:
+    @pytest.mark.parametrize(
+        "name", ["matrix.mir", "binary_tree.mir", "linked_list.mir"]
+    )
+    def test_clean(self, name):
+        with open(os.path.join(EXAMPLES, name)) as handle:
+            source = handle.read()
+        assert lint_source(source) == []
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("defects_heap.mir", {"MIR102", "MIR103", "MIR104"}),
+            (
+                "defects_flow.mir",
+                {"MIR101", "MIR105", "MIR106", "MIR107", "MIR108"},
+            ),
+        ],
+    )
+    def test_defect_fixtures(self, name, expected):
+        with open(os.path.join(EXAMPLES, name)) as handle:
+            source = handle.read()
+        assert {d.code for d in lint_source(source)} == expected
+
+    def test_parse_error_propagates(self):
+        with pytest.raises(LangError):
+            lint_source("fn main(): int { return 1 +; }")

@@ -183,3 +183,109 @@ class TestIntersectLmads:
         solution = intersect_lmads(writer, reader, (0, 1), time_dim=2)
         expected = brute_force_intersection(writer, reader, (0, 1), 2)
         assert solution.distinct_k2() == len(expected)
+
+
+class TestEdgeCases:
+    """Degenerate descriptor shapes: zero strides, single-element
+    streams, negative strides in every position."""
+
+    def test_zero_stride_both_sides_same_location(self):
+        # both pin offset 16; the one-parameter family collapses to
+        # distinct-k2 semantics: every reader iteration conflicts
+        solution = solve_equality(16, 0, 6, 16, 0, 9)
+        assert not solution.is_empty
+        assert solution.distinct_k2() == 9
+
+    def test_zero_stride_writer_moving_reader(self):
+        # writer stays at 24, reader sweeps 0,8,...,72: one hit
+        solution = solve_equality(24, 0, 5, 0, 8, 10)
+        assert solution.distinct_k2() == 1
+        assert (0, 3) in {
+            (k1, k2)
+            for k1 in range(5)
+            for k2 in range(10)
+            if 24 == 8 * k2
+        }
+
+    def test_single_iteration_both(self):
+        assert not solve_equality(8, 0, 1, 8, 0, 1).is_empty
+        assert solve_equality(8, 0, 1, 16, 0, 1).is_empty
+
+    def test_single_iteration_lmads(self):
+        writer = LMAD((0, 8, 100), (0, 0, 0), 1)
+        hit = LMAD((0, 8, 200), (0, 0, 0), 1)
+        miss = LMAD((0, 16, 200), (0, 0, 0), 1)
+        assert not intersect_lmads(writer, hit, (0, 1), time_dim=2).is_empty
+        assert intersect_lmads(writer, miss, (0, 1), time_dim=2).is_empty
+
+    def test_negative_stride_on_object_dimension(self):
+        # writer walks objects 5,4,3; reader walks 3,4,5 at offset 0
+        writer = LMAD((5, 0, 100), (-1, 0, 1), 3)
+        reader = LMAD((3, 0, 200), (1, 0, 1), 3)
+        solution = intersect_lmads(writer, reader, (0, 1), time_dim=2)
+        assert solution.distinct_k2() == 3
+
+    def test_both_strides_negative(self):
+        solution = solve_equality(72, -8, 10, 72, -8, 10)
+        assert solution.count() == 10
+
+    def test_mixed_sign_disjoint(self):
+        # writer descends 40,32,24; reader ascends 48,56,64: no overlap
+        assert solve_equality(40, -8, 3, 48, 8, 3).is_empty
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        st.integers(-20, 20),
+        st.sampled_from([-8, -4, -1, 0, 1, 4, 8]),
+        st.integers(1, 10),
+        st.integers(-20, 20),
+        st.sampled_from([-8, -4, -1, 0, 1, 4, 8]),
+        st.integers(1, 10),
+    )
+    def test_degenerate_strides_match_brute_force(
+        self, ws, wd, wc, rs, rd, rc
+    ):
+        solution = solve_equality(ws, wd, wc, rs, rd, rc)
+        expected = brute_force_pairs(ws, wd, wc, rs, rd, rc)
+        assert solution.distinct_k2() == len({k2 for __, k2 in expected})
+        if wd == 0 and rd == 0:
+            return  # one-parameter set cannot enumerate the full product
+        got = set()
+        if not solution.is_empty:
+            for s in range(solution.s_min, solution.s_max + 1):
+                got.add(
+                    (
+                        solution.k1_0 + s * solution.q1,
+                        solution.k2_0 + s * solution.q2,
+                    )
+                )
+        assert got == expected
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.integers(0, 2),
+        st.integers(-16, 16),
+        st.sampled_from([-8, 0, 8]),
+        st.integers(1, 6),
+        st.integers(0, 2),
+        st.integers(-16, 16),
+        st.sampled_from([-8, 0, 8]),
+        st.integers(1, 6),
+    )
+    def test_untimed_intersection_matches_brute_force(
+        self, wobj, woff, wstride, wcount, robj, roff, rstride, rcount
+    ):
+        """2-D (object, offset) intersection with no time dimension --
+        the shape the static dependence tester uses."""
+        writer = LMAD((wobj, woff), (0, wstride), wcount)
+        reader = LMAD((robj, roff), (0, rstride), rcount)
+        solution = intersect_lmads(writer, reader, (0, 1))
+        expected = {
+            (k1, k2)
+            for k1 in range(wcount)
+            for k2 in range(rcount)
+            if wobj == robj and woff + wstride * k1 == roff + rstride * k2
+        }
+        assert solution.is_empty == (not expected)
+        if expected:
+            assert solution.distinct_k2() == len({k2 for __, k2 in expected})

@@ -1,0 +1,309 @@
+"""Tests for static LMAD inference over the mini-IR."""
+
+import pytest
+
+from repro.lang import parse
+from repro.lang.analysis import (
+    PROVED_INDEPENDENT,
+    PROVED_REGULAR,
+    UNKNOWN_CLASS,
+    StaticLmadAnalyzer,
+    analyze_source,
+)
+from repro.lang.analysis.static_lmad import REGULAR_CLASSES
+from repro.lang.analysis.affine import Affine
+
+
+def instruction(result, fragment):
+    matches = [
+        i for i in result.instructions.values() if fragment in i.name
+    ]
+    assert matches, f"no instruction matching {fragment!r}"
+    assert len(matches) == 1, f"ambiguous fragment {fragment!r}"
+    return matches[0]
+
+
+class TestAffine:
+    def test_arithmetic(self):
+        a = Affine.symbol("i", 3).add_const(2)
+        b = Affine.symbol("j", 5)
+        total = a.add(b)
+        assert total.const == 2
+        assert total.coeff("i") == 3 and total.coeff("j") == 5
+        assert total.sub(b) == a
+
+    def test_mul_requires_constant_side(self):
+        i = Affine.symbol("i")
+        assert i.mul(Affine.constant(4)) == Affine.symbol("i", 4)
+        assert i.mul(Affine.symbol("j")) is None
+
+    def test_zero_coefficients_normalize_away(self):
+        assert Affine.symbol("i", 0) == Affine.constant(0)
+        assert Affine.symbol("i").sub(Affine.symbol("i")).is_const
+
+
+class TestSimpleLoops:
+    def test_unit_stride_fill(self):
+        result = analyze_source(
+            """
+            fn main(): int {
+              var a: int* = new int[10];
+              for (var i: int = 0; i < 10; i = i + 1) { a[i] = i; }
+              delete a;
+              return 0;
+            }
+            """
+        )
+        store = instruction(result, "store:[]")
+        assert store.classification in REGULAR_CLASSES
+        assert store.exec_count == 10
+        points = result.points(store.node_key, store.sites[0])
+        assert points == [(0, offset) for offset in range(0, 80, 8)]
+
+    def test_strided_and_offset_access(self):
+        result = analyze_source(
+            """
+            fn main(): int {
+              var a: int* = new int[64];
+              for (var i: int = 0; i < 8; i = i + 1) { a[i * 4 + 1] = i; }
+              delete a;
+              return 0;
+            }
+            """
+        )
+        store = instruction(result, "store:[]")
+        points = result.points(store.node_key, store.sites[0])
+        assert points == [(0, 8 + 32 * i) for i in range(8)]
+
+    def test_nested_loops_row_major(self):
+        result = analyze_source(
+            """
+            fn main(): int {
+              var a: int* = new int[12];
+              for (var r: int = 0; r < 3; r = r + 1) {
+                for (var c: int = 0; c < 4; c = c + 1) {
+                  a[r * 4 + c] = r;
+                }
+              }
+              delete a;
+              return 0;
+            }
+            """
+        )
+        store = instruction(result, "store:[]")
+        assert store.exec_count == 12
+        points = result.points(store.node_key, store.sites[0])
+        # row-major: execution order is offset order
+        assert points == [(0, 8 * k) for k in range(12)]
+
+    def test_downward_loop(self):
+        result = analyze_source(
+            """
+            fn main(): int {
+              var a: int* = new int[8];
+              for (var i: int = 7; i >= 0; i = i - 1) { a[i] = i; }
+              delete a;
+              return 0;
+            }
+            """
+        )
+        store = instruction(result, "store:[]")
+        assert store.classification in REGULAR_CLASSES
+        points = result.points(store.node_key, store.sites[0])
+        assert points == [(0, 8 * i) for i in range(7, -1, -1)]
+
+    def test_zero_trip_loop_records_nothing(self):
+        result = analyze_source(
+            """
+            fn main(): int {
+              var a: int* = new int[4];
+              for (var i: int = 0; i < 0; i = i + 1) { a[i] = i; }
+              delete a;
+              return 0;
+            }
+            """
+        )
+        assert not any(
+            "store:[]" in i.name for i in result.instructions.values()
+        )
+
+
+class TestAllocationSerials:
+    def test_per_iteration_allocations_get_serial_stride(self):
+        result = analyze_source(
+            """
+            struct node { int data; node* next; }
+            fn main(): int {
+              for (var i: int = 0; i < 5; i = i + 1) {
+                var fresh: node* = new node;
+                fresh->data = i;
+              }
+              return 0;
+            }
+            """
+        )
+        store = instruction(result, "store:->data")
+        assert store.classification in REGULAR_CLASSES
+        points = result.points(store.node_key, store.sites[0])
+        # serial advances with the loop, offset stays at field 0
+        assert points == [(serial, 0) for serial in range(5)]
+
+
+class TestIrregularity:
+    def test_pointer_chase_is_unknown(self):
+        result = analyze_source(
+            """
+            struct node { int data; node* next; }
+            fn main(): int {
+              var head: node* = null;
+              for (var i: int = 0; i < 4; i = i + 1) {
+                var fresh: node* = new node;
+                fresh->next = head;
+                head = fresh;
+              }
+              var total: int = 0;
+              var p: node* = head;
+              while (p != null) {
+                total = total + p->data;
+                p = p->next;
+              }
+              return total;
+            }
+            """
+        )
+        load = instruction(result, "load:->data")
+        assert load.classification == UNKNOWN_CLASS
+
+    def test_data_dependent_index_is_unknown(self):
+        result = analyze_source(
+            """
+            global int k;
+            fn main(): int {
+              var a: int* = new int[16];
+              for (var i: int = 0; i < 4; i = i + 1) {
+                a[k] = i;
+                k = k + i;
+              }
+              delete a;
+              return 0;
+            }
+            """
+        )
+        store = instruction(result, "store:[]")
+        assert store.classification == UNKNOWN_CLASS
+
+    def test_loop_rewriting_its_bound_is_unknown(self):
+        result = analyze_source(
+            """
+            global int n;
+            fn main(): int {
+              n = 8;
+              var a: int* = new int[64];
+              for (var i: int = 0; i < n; i = i + 1) {
+                a[i] = i;
+                n = n - 1;
+              }
+              delete a;
+              return 0;
+            }
+            """
+        )
+        store = instruction(result, "store:[]")
+        assert store.classification == UNKNOWN_CLASS
+
+
+class TestGlobalScalars:
+    def test_global_bound_recognized(self):
+        result = analyze_source(
+            """
+            global int n;
+            fn main(): int {
+              n = 6;
+              var a: int* = new int[6];
+              for (var i: int = 0; i < n; i = i + 1) { a[i] = i; }
+              delete a;
+              return 0;
+            }
+            """
+        )
+        store = instruction(result, "store:[]")
+        assert store.classification in REGULAR_CLASSES
+        assert store.exec_count == 6
+
+    def test_condition_load_counts_trips_plus_one(self):
+        result = analyze_source(
+            """
+            global int n;
+            fn main(): int {
+              n = 6;
+              var a: int* = new int[6];
+              for (var i: int = 0; i < n; i = i + 1) { a[i] = i; }
+              delete a;
+              return 0;
+            }
+            """
+        )
+        # `n` is loaded once per condition check: trips + 1 times.
+        loads = [
+            i for i in result.instructions.values()
+            if i.verb == "load" and "load:n" in i.name
+        ]
+        assert loads and loads[0].exec_count == 7
+
+
+class TestDependences:
+    def test_overlapping_store_load_conflict(self):
+        result = analyze_source(
+            """
+            fn main(): int {
+              var a: int* = new int[8];
+              for (var i: int = 0; i < 8; i = i + 1) { a[i] = i; }
+              var total: int = 0;
+              for (var j: int = 0; j < 8; j = j + 1) { total = total + a[j]; }
+              delete a;
+              return total;
+            }
+            """
+        )
+        store = instruction(result, "store:[]")
+        load = instruction(result, "load:[]")
+        pairs = {
+            (w, r) for w, r, __ in result.dependences()
+        }
+        assert (store.node_key, load.node_key) in pairs
+
+    def test_disjoint_halves_proved_independent(self):
+        result = analyze_source(
+            """
+            fn main(): int {
+              var a: int* = new int[8];
+              for (var i: int = 0; i < 4; i = i + 1) { a[i] = i; }
+              var total: int = 0;
+              for (var j: int = 4; j < 8; j = j + 1) { total = total + a[j]; }
+              delete a;
+              return total;
+            }
+            """
+        )
+        load = instruction(result, "load:[]")
+        assert load.classification == PROVED_INDEPENDENT
+        pairs = {(w, r) for w, r, __ in result.dependences()}
+        store = instruction(result, "store:[]")
+        assert (store.node_key, load.node_key) not in pairs
+
+
+class TestEntryArguments:
+    def test_entry_args_bind_parameters(self):
+        program = parse(
+            """
+            fn main(count: int): int {
+              var a: int* = new int[16];
+              for (var i: int = 0; i < count; i = i + 1) { a[i] = i; }
+              delete a;
+              return 0;
+            }
+            """
+        )
+        result = StaticLmadAnalyzer(program, args=(3,)).run()
+        store = instruction(result, "store:[]")
+        assert store.exec_count == 3
