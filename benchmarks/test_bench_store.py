@@ -1,0 +1,86 @@
+"""PROFSTORE bench: ingest/query latency and the serving cache floor.
+
+Three measurements over the eight bundled workloads (the seven SPEC
+stand-ins plus ``micro.array``):
+
+* **ingest** -- validate + compress + manifest-append every WHOMP and
+  LEAP document into a fresh store (16 documents);
+* **query** -- a repeated-query pattern against the populated store
+  (the daemon's hot path: entries filtered by workload, shapes, diffs
+  of latest-vs-previous);
+* **cache** -- the acceptance floor: the decoded-profile LRU must
+  serve >= 50% of lookups on that repeated pattern, because every
+  decode after a run's first query is a hit.
+"""
+
+import tempfile
+
+from conftest import once
+
+from repro.core.profile_io import dumps
+from repro.store import ProfileStore, QueryEngine, detect_regressions, diff_texts
+
+
+def bundled_documents(context):
+    """(workload, text) for every WHOMP/LEAP document of the suite."""
+    names = list(context.benchmarks) + ["micro.array"]
+    documents = []
+    for name in names:
+        documents.append((name, dumps(context.whomp(name))))
+        documents.append((name, dumps(context.leap(name))))
+    return documents
+
+
+def test_store_ingest_latency(benchmark, context):
+    documents = bundled_documents(context)
+
+    def ingest_all():
+        with tempfile.TemporaryDirectory() as root:
+            store = ProfileStore(root)
+            for workload, text in documents:
+                store.ingest_text(text, workload)
+            return store.stats()
+
+    stats = once(benchmark, ingest_all)
+    print()
+    print(f"ingested {stats['runs']} runs / {stats['blobs']} blobs, "
+          f"{stats['profile_bytes']} -> {stats['stored_bytes']} bytes "
+          f"(compression "
+          f"{stats['profile_bytes'] / max(1, stats['stored_bytes']):.1f}x)")
+    assert stats["runs"] == len(documents)
+    # zlib should beat the raw documents comfortably on JSON text
+    assert stats["stored_bytes"] < stats["profile_bytes"]
+
+
+def test_store_query_latency_and_cache_floor(benchmark, context):
+    documents = bundled_documents(context)
+    root = tempfile.mkdtemp(prefix="repro-bench-store-")
+    store = ProfileStore(root, cache_size=32)
+    for workload, text in documents:
+        store.ingest_text(text, workload)
+        store.ingest_text(text, workload)  # a second run per document
+    engine = QueryEngine(store)
+    workloads = sorted({w for w, __ in documents})
+
+    def repeated_queries():
+        rows = 0
+        for __ in range(5):
+            for workload in workloads:
+                rows += len(engine.find_entries(workload=workload,
+                                                min_count=1))
+                diff = diff_texts(
+                    store.get_text(f"{workload}@leap~1"),
+                    store.get_text(f"{workload}@leap"),
+                )
+                assert not detect_regressions(diff)
+        return rows
+
+    rows = once(benchmark, repeated_queries)
+    hits, misses, __ = store.cache.stats()
+    print()
+    print(f"{rows} entry rows over {len(workloads)} workloads; "
+          f"cache {hits} hits / {misses} misses "
+          f"(hit rate {store.cache.hit_rate:.0%})")
+    assert rows > 0
+    # the acceptance floor: repeated queries are mostly cache hits
+    assert store.cache.hit_rate >= 0.5

@@ -13,6 +13,12 @@ Subcommands::
         plus static LMAD classification.  Exit 0 when clean, 1 when any
         diagnostic fired, 2 on a parse/lex error.
 
+    repro-profile diff <a> <b> [--json]
+        Structurally diff two saved profiles of the same format and
+        detect regressions (compression-ratio or capture degradation).
+        Exit 0 when clean, 1 when regressions are detected, 2 on a
+        bad input.
+
     repro-profile stats <workload> [--json]
         Print trace statistics (instruction mix, footprint, reuse).
 
@@ -184,6 +190,44 @@ def _dump_profile(path: str, limit: int, parser) -> int:
     return 2
 
 
+def _run_diff(path_a: str, path_b: str, as_json: bool, parser) -> int:
+    """Diff two saved profiles; exit 1 when regressions are detected.
+
+    A thin wrapper over :mod:`repro.store.diff`: the same differ the
+    profile store's daemon and ``repro-serve diff`` use, pointed at two
+    loose files.
+    """
+    import json as json_module
+
+    from repro.core.profile_io import ProfileFormatError
+    from repro.store.diff import detect_regressions, diff_texts, render_diff
+
+    for path in (path_a, path_b):
+        if not os.path.exists(path):
+            parser.error(f"no such file: {path}")
+    try:
+        with open(path_a) as handle:
+            text_a = handle.read()
+        with open(path_b) as handle:
+            text_b = handle.read()
+        diff = diff_texts(
+            text_a, text_b,
+            label_a=os.path.basename(path_a),
+            label_b=os.path.basename(path_b),
+        )
+    except (OSError, ProfileFormatError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    regressions = detect_regressions(diff)
+    if as_json:
+        payload = diff.to_json()
+        payload["regressions"] = [r.to_json() for r in regressions]
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_diff(diff, regressions))
+    return 1 if regressions else 0
+
+
 def _run_check(paths: List[str], as_json: bool, static: bool) -> int:
     """MIRCHECK driver: lint every source, optionally classify accesses.
 
@@ -328,6 +372,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip static LMAD classification (lint only)",
     )
 
+    diff = sub.add_parser(
+        "diff", help="structurally diff two saved profiles"
+    )
+    diff.add_argument("a", help="baseline profile file")
+    diff.add_argument("b", help="candidate profile file")
+    diff.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="machine-readable diff (with regression verdicts) on stdout",
+    )
+
     stats = sub.add_parser("stats", help="print trace statistics")
     stats.add_argument("workload", help="workload name (see `list`)")
     stats.add_argument("--scale", type=float, default=1.0)
@@ -381,6 +435,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         emit(telemetry, telemetry_mode, args.telemetry_out)
         return 0
+
+    if args.command == "diff":
+        return _run_diff(args.a, args.b, args.as_json, parser)
 
     if args.command == "check":
         for path in args.sources:

@@ -385,6 +385,58 @@ _DECODERS = {
     "dependence": _decode_dependence,
 }
 
+#: format names the text-level API recognizes (sniffable documents)
+FORMATS = tuple(sorted(_DECODERS))
+
+
+def dumps(profile: object) -> str:
+    """Serialize any supported profile to its canonical document text.
+
+    This is exactly the content :func:`save` writes to disk; the profile
+    store keys blobs by the sha256 of this text, so two ingests of the
+    same profile deduplicate to one blob.
+    """
+    import io
+
+    for cls, saver in _SAVERS:
+        if isinstance(profile, cls):
+            buffer = io.StringIO()
+            saver(profile, buffer)
+            return buffer.getvalue()
+    raise TypeError(f"unsupported profile type {type(profile).__name__}")
+
+
+def loads(text: str) -> object:
+    """Decode a profile document from text, sniffing the format.
+
+    The text-level twin of :func:`load`, with the same robustness
+    contract: a valid profile or :class:`ProfileFormatError`, nothing in
+    between.
+    """
+    import io
+
+    document = _load_document(io.StringIO(text))
+    fmt = document.get("format")
+    decoder = _DECODERS.get(fmt)
+    if decoder is None:
+        raise ProfileFormatError(f"unknown profile format {fmt!r}")
+    return decoder(document)
+
+
+def sniff_format(text: str) -> str:
+    """The ``format`` field of a profile document (cheap validity gate).
+
+    Raises :class:`ProfileFormatError` when the text is not a JSON
+    object carrying a recognized format name.
+    """
+    import io
+
+    document = _load_document(io.StringIO(text))
+    fmt = document.get("format")
+    if fmt not in _DECODERS:
+        raise ProfileFormatError(f"unknown profile format {fmt!r}")
+    return fmt
+
 
 def save(profile: object, path: str) -> None:
     """Serialize any supported profile to ``path`` atomically.
@@ -394,15 +446,7 @@ def save(profile: object, path: str) -> None:
     any instant leaves either the previous file or the complete new
     one, never a truncation.
     """
-    import io
-
-    for cls, saver in _SAVERS:
-        if isinstance(profile, cls):
-            buffer = io.StringIO()
-            saver(profile, buffer)
-            atomic_write_text(path, buffer.getvalue())
-            return
-    raise TypeError(f"unsupported profile type {type(profile).__name__}")
+    atomic_write_text(path, dumps(profile))
 
 
 def load(path: str) -> object:

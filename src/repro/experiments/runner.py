@@ -35,7 +35,17 @@ import threading
 import time
 from typing import Dict, List, Optional
 
-from repro.experiments import fig3, fig5, fig6, fig7, fig8, fig9, staticvs, table1
+from repro.experiments import (
+    fig3,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    staticvs,
+    storereg,
+    table1,
+)
 from repro.experiments.context import SuiteContext
 from repro.telemetry import MODES, NULL_TELEMETRY, Telemetry, emit
 
@@ -48,6 +58,7 @@ EXPERIMENTS = {
     "fig9": (fig9.run, fig9.render),
     "table1": (table1.run, table1.render),
     "staticvs": (staticvs.run, staticvs.render),
+    "storereg": (storereg.run, storereg.render),
 }
 
 

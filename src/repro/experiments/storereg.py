@@ -1,0 +1,107 @@
+"""Store-backed cross-run regression sweep (PROFSTORE).
+
+Not a figure from the paper, but the workflow its artifacts exist for:
+profile every benchmark twice (the context's seed as baseline, seed+1
+as candidate -- a different heap layout over the same program shape),
+ingest all four documents per benchmark into a throwaway profile
+store, and diff baseline against candidate through the store's query
+engine.  Object-relative profiles should shrug off an allocation-seed
+change -- that is the paper's whole invariance argument -- so the
+sweep reports, per benchmark, the LMAD-entry drift and whether the
+regression detector fired on compression ratio or capture quality.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Dict, List
+
+from repro.profilers.leap import LeapProfiler
+from repro.profilers.whomp import WhompProfiler
+from repro.store.diff import detect_regressions, diff_texts
+from repro.store.store import ProfileStore
+from repro.workloads.registry import create
+
+
+def run(context) -> Dict[str, object]:
+    rows: List[Dict[str, object]] = []
+    with tempfile.TemporaryDirectory(prefix="repro-storereg-") as root:
+        store = ProfileStore(root)
+        for name in context.benchmarks:
+            store.ingest_profile(
+                context.leap(name), name, meta={"seed": context.seed}
+            )
+            store.ingest_profile(
+                context.whomp(name), name, meta={"seed": context.seed}
+            )
+            variant_trace = create(
+                name, scale=context.scale, seed=context.seed + 1
+            ).trace(allocator=context.allocator)
+            store.ingest_profile(
+                LeapProfiler().profile(variant_trace),
+                name,
+                meta={"seed": context.seed + 1},
+            )
+            store.ingest_profile(
+                WhompProfiler().profile(variant_trace),
+                name,
+                meta={"seed": context.seed + 1},
+            )
+            row: Dict[str, object] = {"benchmark": name}
+            for kind in ("leap", "whomp"):
+                diff = diff_texts(
+                    store.get_text(f"{name}@{kind}~1"),
+                    store.get_text(f"{name}@{kind}"),
+                    label_a=f"{name} seed {context.seed}",
+                    label_b=f"{name} seed {context.seed + 1}",
+                )
+                regressions = detect_regressions(diff)
+                row[kind] = {
+                    "identical": diff.identical,
+                    "added_keys": len(diff.added_keys),
+                    "removed_keys": len(diff.removed_keys),
+                    "changed_keys": len(diff.changed),
+                    "regressions": [r.metric for r in regressions],
+                }
+            rows.append(row)
+        snapshot = store.stats()
+    return {
+        "rows": rows,
+        "runs_ingested": snapshot["runs"],
+        "blobs": snapshot["blobs"],
+        "stored_bytes": snapshot["stored_bytes"],
+        "benchmarks_regressed": sum(
+            1
+            for row in rows
+            if row["leap"]["regressions"] or row["whomp"]["regressions"]
+        ),
+    }
+
+
+def render(results: Dict[str, object]) -> str:
+    lines = [
+        "Store-backed regression sweep: seed vs seed+1 through PROFSTORE",
+        "",
+        f"{'benchmark':<12} {'leap drift (+/-/~)':>20} {'whomp':>7} "
+        f"{'regressions':>12}",
+    ]
+    for row in results["rows"]:
+        leap = row["leap"]
+        whomp = row["whomp"]
+        drift = (
+            f"{leap['added_keys']}/{leap['removed_keys']}/"
+            f"{leap['changed_keys']}"
+        )
+        regressed = sorted(set(leap["regressions"]) | set(whomp["regressions"]))
+        lines.append(
+            f"{row['benchmark']:<12} {drift:>20} "
+            f"{'same' if whomp['identical'] else 'drift':>7} "
+            f"{', '.join(regressed) if regressed else '-':>12}"
+        )
+    lines.append("")
+    lines.append(
+        f"{results['runs_ingested']} runs ingested into "
+        f"{results['blobs']} blobs ({results['stored_bytes']} compressed "
+        f"bytes); {results['benchmarks_regressed']} benchmark(s) flagged"
+    )
+    return "\n".join(lines)

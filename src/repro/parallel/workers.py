@@ -69,6 +69,43 @@ def shard_round_robin(items: List, shards: int) -> List[List]:
     return [shard for shard in dealt if shard]
 
 
+def profile_workload_documents(task):
+    """Store-ingest worker: trace one workload and serialize its
+    profiles.
+
+    Task: ``(name, scale, seed, profiler)`` with ``profiler`` one of
+    ``whomp`` / ``leap`` / ``both``.  Returns ``(name, [(kind, text),
+    ...], meta)`` where each ``text`` is the canonical profile document
+    (what :func:`repro.core.profile_io.dumps` produces) ready for
+    ``ProfileStore.ingest_text`` in the parent, and ``meta`` carries the
+    run configuration for the manifest.  Documents cross the pool as
+    text rather than profile objects: they are smaller, and the parent
+    needs the exact bytes anyway for content addressing.
+    """
+    import time
+
+    from repro.core.profile_io import dumps
+    from repro.profilers.leap import LeapProfiler
+    from repro.profilers.whomp import WhompProfiler
+    from repro.workloads.registry import create
+
+    name, scale, seed, profiler = task
+    start = time.perf_counter()
+    trace = create(name, scale=scale, seed=seed).trace()
+    documents = []
+    if profiler in ("whomp", "both"):
+        documents.append(("whomp", dumps(WhompProfiler().profile(trace))))
+    if profiler in ("leap", "both"):
+        documents.append(("leap", dumps(LeapProfiler().profile(trace))))
+    meta = {
+        "scale": scale,
+        "seed": seed,
+        "accesses": trace.access_count,
+        "profiling_seconds": time.perf_counter() - start,
+    }
+    return name, documents, meta
+
+
 def run_experiment(task):
     """Experiment-runner worker: run one whole experiment in-process.
 

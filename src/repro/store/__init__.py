@@ -1,0 +1,52 @@
+"""PROFSTORE: the profile store, query/diff engine, and serving daemon.
+
+The paper's payoff is that object-relative profiles are *compact,
+comparable artifacts* -- small enough to keep every run, regular
+enough to diff run against run.  This package is the layer that makes
+the artifacts durable and queryable:
+
+* :mod:`repro.store.blobs` / :mod:`repro.store.store` -- a
+  content-addressed repository: profiles as sha256-keyed,
+  zlib-compressed blobs behind an atomic append-only manifest of run
+  metadata, with ``git gc``-style collection of unreferenced blobs.
+  Retrieval is bit-identical to ingest by construction.
+* :mod:`repro.store.query` -- indexed lookups by workload, profiler
+  kind, instruction, group, and LMAD stride shape.
+* :mod:`repro.store.diff` -- the structural differ (per-key LMAD
+  drift, grammar-size deltas, dependence-frequency changes) and the
+  regression detector behind ``repro-profile diff``'s exit code.
+* :mod:`repro.store.server` / :mod:`repro.store.serve_cli` -- the
+  ``repro-serve`` daemon: a stdlib ``ThreadingHTTPServer`` JSON API
+  (ingest / get / query / diff / healthz / metricsz) with a decoded-
+  profile LRU cache, bounded request concurrency, and per-endpoint
+  telemetry.
+"""
+
+from repro.store.blobs import BlobStore, sha256_hex
+from repro.store.cache import LRUCache
+from repro.store.diff import (
+    EntryDelta,
+    ProfileDiff,
+    Regression,
+    detect_regressions,
+    diff_texts,
+    render_diff,
+)
+from repro.store.query import QueryEngine
+from repro.store.store import GCStats, ProfileStore, RunRecord
+
+__all__ = [
+    "BlobStore",
+    "EntryDelta",
+    "GCStats",
+    "LRUCache",
+    "ProfileDiff",
+    "ProfileStore",
+    "QueryEngine",
+    "Regression",
+    "RunRecord",
+    "detect_regressions",
+    "diff_texts",
+    "render_diff",
+    "sha256_hex",
+]

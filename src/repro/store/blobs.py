@@ -1,0 +1,136 @@
+"""Content-addressed blob storage (the bottom layer of PROFSTORE).
+
+A blob is an immutable byte string keyed by the sha256 hex digest of
+its *uncompressed* content and stored zlib-compressed under a git-style
+fan-out directory (``objects/ab/cdef...``).  Content addressing gives
+three properties the profile store builds on:
+
+* **Deduplication** -- ingesting the same profile twice stores one
+  blob; the manifest may reference it from many runs.
+* **Integrity** -- every read decompresses and re-hashes; a flipped
+  bit anywhere in the file surfaces as
+  :class:`~repro.core.profile_io.ProfileFormatError`, never as silently
+  wrong profile data.
+* **Crash safety** -- blobs are written to a temp file and
+  ``os.replace``d into place, and a half-written temp file is invisible
+  to readers.  Writing an already-present digest is a no-op.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import zlib
+from typing import Iterator
+
+from repro.core.profile_io import ProfileFormatError
+
+
+def sha256_hex(data: bytes) -> str:
+    """The content address of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+class BlobStore:
+    """sha256-keyed, zlib-compressed blobs under one directory."""
+
+    def __init__(self, directory: str, compress_level: int = 6) -> None:
+        self.directory = directory
+        self.compress_level = compress_level
+        os.makedirs(directory, exist_ok=True)
+
+    def path(self, digest: str) -> str:
+        if len(digest) != 64 or any(c not in "0123456789abcdef" for c in digest):
+            raise ValueError(f"not a sha256 hex digest: {digest!r}")
+        return os.path.join(self.directory, digest[:2], digest[2:])
+
+    def put(self, data: bytes) -> str:
+        """Store ``data``, returning its digest (idempotent)."""
+        digest = sha256_hex(data)
+        target = self.path(digest)
+        if os.path.exists(target):
+            return digest
+        directory = os.path.dirname(target)
+        os.makedirs(directory, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(zlib.compress(data, self.compress_level))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, target)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        return digest
+
+    def get(self, digest: str) -> bytes:
+        """The exact bytes stored under ``digest``.
+
+        Decompression failures and digest mismatches both raise
+        :class:`ProfileFormatError`: whatever corrupted the file, the
+        caller never receives bytes that do not hash to their key.
+        """
+        try:
+            with open(self.path(digest), "rb") as handle:
+                compressed = handle.read()
+        except OSError as exc:
+            raise ProfileFormatError(
+                f"blob {digest[:12]} unreadable: {exc}"
+            ) from exc
+        try:
+            data = zlib.decompress(compressed)
+        except zlib.error as exc:
+            raise ProfileFormatError(
+                f"blob {digest[:12]} corrupt: {exc}"
+            ) from exc
+        if sha256_hex(data) != digest:
+            raise ProfileFormatError(
+                f"blob {digest[:12]} corrupt: content does not match digest"
+            )
+        return data
+
+    def contains(self, digest: str) -> bool:
+        try:
+            return os.path.exists(self.path(digest))
+        except ValueError:
+            return False
+
+    def delete(self, digest: str) -> bool:
+        """Remove one blob; True when a file was actually deleted."""
+        try:
+            os.unlink(self.path(digest))
+        except FileNotFoundError:
+            return False
+        return True
+
+    def digests(self) -> Iterator[str]:
+        """Every digest present on disk (unordered)."""
+        try:
+            fans = os.listdir(self.directory)
+        except OSError:
+            return
+        for fan in fans:
+            fan_dir = os.path.join(self.directory, fan)
+            if len(fan) != 2 or not os.path.isdir(fan_dir):
+                continue
+            for rest in os.listdir(fan_dir):
+                if not rest.endswith(".tmp"):
+                    yield fan + rest
+
+    def stored_bytes(self) -> int:
+        """Total compressed bytes on disk across all blobs."""
+        total = 0
+        for digest in self.digests():
+            try:
+                total += os.path.getsize(self.path(digest))
+            except OSError:
+                pass
+        return total
+
+    def __len__(self) -> int:
+        return sum(1 for __ in self.digests())

@@ -1,0 +1,76 @@
+"""A thread-safe LRU cache of decoded profiles.
+
+Decoding a profile (grammar expansion, LMAD reconstruction) is orders
+of magnitude more expensive than a manifest lookup, and the serving
+daemon sees the same handful of hot runs queried repeatedly -- the
+classic cache shape.  Capacity is bounded by entry count (profiles of
+one sweep are similar sizes), eviction is least-recently-used, and hit
+/ miss totals are exposed for the daemon's ``/metricsz`` endpoint and
+the benchmark's hit-rate floor.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Tuple
+
+
+class LRUCache:
+    """Bounded get-or-load cache with LRU eviction and hit accounting."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[Any, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get_or_load(self, key: Any, loader: Callable[[], Any]) -> Any:
+        """The cached value for ``key``, loading it on a miss.
+
+        The loader runs outside the lock: a slow decode must not stall
+        hits on other keys.  Two threads missing the same key may both
+        decode; the second result simply wins, which is harmless because
+        decodes are deterministic.
+        """
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self.misses += 1
+        value = loader()
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return value
+
+    def invalidate(self, key: Any) -> None:
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, 0.0 before any lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Tuple[int, int, int]:
+        """(hits, misses, evictions) -- one consistent snapshot."""
+        with self._lock:
+            return self.hits, self.misses, self.evictions

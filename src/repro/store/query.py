@@ -1,0 +1,134 @@
+"""Indexed queries over the profile store.
+
+The store's manifest answers *which runs exist*; this module answers
+the object-centric questions DJXPerf-style workflows ask across runs:
+which (instruction, group) sites touched a given group, with what LMAD
+shapes, at what stride -- per run, filtered, as plain-data rows ready
+for the CLI's ``--json`` and the daemon's ``/query`` endpoint.
+
+Decoded profiles come through the store's LRU cache, so repeated
+queries against the same hot runs cost one decode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.profilers.leap import LeapProfile
+from repro.store.store import ProfileStore, RunRecord
+
+
+def run_to_row(record: RunRecord) -> Dict[str, object]:
+    """One manifest record as a JSON-ready row."""
+    return {
+        "run_id": record.run_id,
+        "digest": record.digest,
+        "workload": record.workload,
+        "kind": record.kind,
+        "created": record.created,
+        "size_bytes": record.size_bytes,
+        "meta": record.meta,
+    }
+
+
+class QueryEngine:
+    """Filtered views over the runs and entries of one store."""
+
+    def __init__(self, store: ProfileStore) -> None:
+        self.store = store
+
+    # -- run-level -----------------------------------------------------
+
+    def find_runs(
+        self,
+        workload: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> List[Dict[str, object]]:
+        return [run_to_row(r) for r in self.store.runs(workload, kind)]
+
+    # -- entry-level (LEAP) --------------------------------------------
+
+    def find_entries(
+        self,
+        workload: Optional[str] = None,
+        instruction: Optional[int] = None,
+        group: Optional[int] = None,
+        stride: Optional[Sequence[int]] = None,
+        min_count: int = 0,
+        run: Optional[str] = None,
+    ) -> List[Dict[str, object]]:
+        """(instruction, group) rows across LEAP runs, filtered.
+
+        ``stride`` matches entries containing at least one LMAD with
+        exactly that stride vector -- the "find every site walking
+        16-byte steps through this pool" query.  ``min_count`` drops
+        entries below a dynamic-access floor.  ``run`` restricts the
+        scan to one selector instead of every LEAP run.
+        """
+        if run is not None:
+            records = [self.store.resolve(run)]
+        else:
+            records = self.store.runs(workload, kind="leap")
+        wanted_stride = tuple(stride) if stride is not None else None
+        rows: List[Dict[str, object]] = []
+        for record in records:
+            if record.kind != "leap":
+                continue
+            profile = self.store.get(record.run_id)
+            assert isinstance(profile, LeapProfile)
+            for (instr, grp), entry in sorted(profile.entries.items()):
+                if instruction is not None and instr != instruction:
+                    continue
+                if group is not None and grp != group:
+                    continue
+                if entry.total_symbols < min_count:
+                    continue
+                strides = [tuple(l.stride) for l in entry.lmads]
+                if wanted_stride is not None and wanted_stride not in strides:
+                    continue
+                rows.append(
+                    {
+                        "run_id": record.run_id,
+                        "workload": record.workload,
+                        "instruction": instr,
+                        "group": grp,
+                        "group_label": profile.group_labels.get(grp, ""),
+                        "kind": profile.kinds[instr].value
+                        if instr in profile.kinds
+                        else "?",
+                        "lmads": len(entry.lmads),
+                        "strides": [list(s) for s in strides],
+                        "total": entry.total_symbols,
+                        "captured": entry.captured_symbols,
+                        "summarized": entry.summarized,
+                    }
+                )
+        return rows
+
+    def lmad_shapes(self, run: str) -> List[Dict[str, object]]:
+        """The distinct LMAD stride shapes of one LEAP run with usage
+        counts -- the run's regularity fingerprint."""
+        record = self.store.resolve(run)
+        profile = self.store.get(record.run_id)
+        if not isinstance(profile, LeapProfile):
+            raise TypeError(f"run {record.run_id} is {record.kind}, not leap")
+        shapes: Dict[Tuple[int, ...], Dict[str, int]] = {}
+        for entry in profile.entries.values():
+            for lmad in entry.lmads:
+                stride = tuple(lmad.stride)
+                bucket = shapes.setdefault(
+                    stride, {"descriptors": 0, "accesses": 0}
+                )
+                bucket["descriptors"] += 1
+                bucket["accesses"] += lmad.count
+        return [
+            {
+                "stride": list(stride),
+                "descriptors": counts["descriptors"],
+                "accesses": counts["accesses"],
+            }
+            for stride, counts in sorted(
+                shapes.items(),
+                key=lambda item: (-item[1]["accesses"], item[0]),
+            )
+        ]

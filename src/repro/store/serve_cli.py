@@ -1,0 +1,322 @@
+"""``repro-serve``: the profile store's command-line front-end.
+
+Subcommands::
+
+    repro-serve ingest --root DIR [--workloads W1,W2|all] [--jobs N]
+        Profile workloads (in up to N worker processes) and ingest the
+        documents; or ingest existing files with --profiles.
+
+    repro-serve query --root DIR [--workload W] [--kind K] [...]
+        List matching runs, or per-(instruction, group) entries with
+        --entries.
+
+    repro-serve diff --root DIR A B [--json]
+        Structurally diff two runs; exit 1 when regressions are
+        detected.
+
+    repro-serve gc --root DIR
+        Drop blobs no manifest entry references.
+
+    repro-serve serve --root DIR [--port N] [...]
+        Run the HTTP daemon in the foreground.
+
+Run selectors (``A``/``B`` above) are run ids, digest prefixes, or
+``workload@kind[~N]`` (``gzip@leap~1`` = the run before the latest).
+``--workloads all`` means the paper's seven SPEC stand-ins plus
+``micro.array`` -- the suite's eight bundled workloads.
+
+``ingest --inject-faults SPEC`` is the store's fault drill: each
+serialized document is bit-flipped per the plan's ``flip-profile``
+clause *before* ingest, demonstrating that corrupted payloads are
+rejected at the door (exit 1) instead of poisoning the store.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.profile_io import ProfileFormatError
+from repro.store.diff import detect_regressions, diff_texts, render_diff
+from repro.store.query import QueryEngine
+from repro.store.store import ProfileStore
+from repro.telemetry import MODES, NULL_TELEMETRY, Telemetry, emit
+from repro.workloads.registry import SPEC_BENCHMARKS
+
+#: the bundled "eight workloads": the SPEC suite plus the micro kernel
+DEFAULT_WORKLOADS = SPEC_BENCHMARKS + ("micro.array",)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Content-addressed profile store: ingest, query, "
+        "diff, and serve object-relative profiles.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_root(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--root", required=True, metavar="DIR",
+            help="store root directory (created if absent)",
+        )
+
+    ingest = sub.add_parser("ingest", help="profile workloads into the store")
+    add_root(ingest)
+    ingest.add_argument(
+        "--workloads", default="all", metavar="W1,W2",
+        help="comma-separated workload names, or 'all' for the bundled "
+        "eight (default)",
+    )
+    ingest.add_argument(
+        "--profiles", nargs="*", metavar="PATH",
+        help="ingest existing profile files instead of running workloads",
+    )
+    ingest.add_argument("--scale", type=float, default=1.0)
+    ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument(
+        "--profiler", choices=("whomp", "leap", "both"), default="both"
+    )
+    ingest.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="profile up to N workloads in worker processes "
+        "(0 = all CPUs; 1 = serial)",
+    )
+    ingest.add_argument(
+        "--inject-faults", metavar="SPEC",
+        help="fault drill: bit-flip each document per the plan's "
+        "flip-profile clause before ingest",
+    )
+
+    query = sub.add_parser("query", help="list runs or entries")
+    add_root(query)
+    query.add_argument("--workload", help="filter by workload name")
+    query.add_argument("--kind", help="filter by profile kind (whomp/leap)")
+    query.add_argument(
+        "--entries", action="store_true",
+        help="list per-(instruction, group) LEAP entries instead of runs",
+    )
+    query.add_argument("--instruction", type=int, help="entry filter")
+    query.add_argument("--group", type=int, help="entry filter")
+    query.add_argument(
+        "--stride", metavar="S1,S2,...",
+        help="keep entries with an LMAD of exactly this stride vector",
+    )
+    query.add_argument(
+        "--min-count", type=int, default=0,
+        help="drop entries below this dynamic access total",
+    )
+    query.add_argument("--json", action="store_true", dest="as_json")
+
+    diff = sub.add_parser("diff", help="structurally diff two runs")
+    add_root(diff)
+    diff.add_argument("a", help="baseline run selector")
+    diff.add_argument("b", help="candidate run selector")
+    diff.add_argument("--json", action="store_true", dest="as_json")
+
+    gc = sub.add_parser("gc", help="drop unreferenced blobs")
+    add_root(gc)
+
+    serve = sub.add_parser("serve", help="run the HTTP daemon")
+    add_root(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8340)
+    serve.add_argument(
+        "--cache-size", type=int, default=32, metavar="N",
+        help="decoded-profile LRU capacity",
+    )
+    serve.add_argument(
+        "--max-concurrent", type=int, default=8, metavar="N",
+        help="bound on concurrently served requests",
+    )
+    serve.add_argument(
+        "--telemetry", choices=MODES,
+        help="print spans/metrics in the chosen format on shutdown",
+    )
+    serve.add_argument("--telemetry-out", metavar="PATH")
+    return parser
+
+
+def _run_ingest(args: argparse.Namespace) -> int:
+    store = ProfileStore(args.root)
+    injector = None
+    if args.inject_faults:
+        from repro.resilience import FaultInjector, parse_fault_spec
+
+        injector = FaultInjector(parse_fault_spec(args.inject_faults))
+
+    def ingest_document(text: str, workload: str, meta) -> bool:
+        data = text.encode("utf-8")
+        if injector is not None:
+            data = injector.corrupt_bytes(data)
+        try:
+            record = store.ingest_bytes(data, workload, meta=meta)
+        except ProfileFormatError as exc:
+            print(f"REJECTED {workload}: {exc}", file=sys.stderr)
+            return False
+        print(
+            f"ingested {record.run_id} {workload} ({record.kind}, "
+            f"{record.size_bytes} bytes, {record.digest[:12]})"
+        )
+        return True
+
+    rejected = 0
+    if args.profiles:
+        for path in args.profiles:
+            try:
+                with open(path, "rb") as handle:
+                    text = handle.read().decode("utf-8", errors="surrogateescape")
+            except OSError as exc:
+                print(f"REJECTED {path}: {exc}", file=sys.stderr)
+                rejected += 1
+                continue
+            import os
+
+            workload = os.path.basename(path).split(".")[0]
+            if not ingest_document(text, workload, {"source": path}):
+                rejected += 1
+        return 1 if rejected else 0
+
+    names = (
+        list(DEFAULT_WORKLOADS)
+        if args.workloads == "all"
+        else [n for n in args.workloads.split(",") if n]
+    )
+    from repro.parallel import ParallelExecutor
+    from repro.parallel.workers import profile_workload_documents
+
+    executor = ParallelExecutor(jobs=args.jobs)
+    tasks = [(name, args.scale, args.seed, args.profiler) for name in names]
+    outcomes = executor.map_outcomes(
+        profile_workload_documents, tasks, label="store-ingest"
+    )
+    for name, outcome in zip(names, outcomes):
+        if outcome.error is not None:
+            print(f"REJECTED {name}: {outcome.error}", file=sys.stderr)
+            rejected += 1
+            continue
+        __, documents, meta = outcome.value
+        for __, text in documents:
+            if not ingest_document(text, name, meta):
+                rejected += 1
+    print(
+        f"store now holds {store.stats()['runs']} run(s), "
+        f"{store.stats()['blobs']} blob(s)"
+    )
+    return 1 if rejected else 0
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    engine = QueryEngine(ProfileStore(args.root))
+    if args.entries:
+        stride = None
+        if args.stride:
+            try:
+                stride = tuple(int(p) for p in args.stride.split(","))
+            except ValueError:
+                print(f"bad --stride {args.stride!r}", file=sys.stderr)
+                return 2
+        rows = engine.find_entries(
+            workload=args.workload,
+            instruction=args.instruction,
+            group=args.group,
+            stride=stride,
+            min_count=args.min_count,
+        )
+        if args.as_json:
+            print(json.dumps({"entries": rows}, indent=2, sort_keys=True))
+        else:
+            for row in rows:
+                print(
+                    f"{row['run_id']} {row['workload']:<14} "
+                    f"instr {row['instruction']:>4} ({row['kind']:<5}) "
+                    f"group {row['group']:>3} [{row['group_label']}]: "
+                    f"{row['lmads']} LMADs, "
+                    f"{row['captured']}/{row['total']} captured"
+                )
+            print(f"{len(rows)} entr{'y' if len(rows) == 1 else 'ies'}")
+        return 0
+    rows = engine.find_runs(workload=args.workload, kind=args.kind)
+    if args.as_json:
+        print(json.dumps({"runs": rows}, indent=2, sort_keys=True))
+    else:
+        for row in rows:
+            print(
+                f"{row['run_id']} {row['workload']:<14} {row['kind']:<6} "
+                f"{row['size_bytes']:>10} bytes  {row['digest'][:12]}"
+            )
+        print(f"{len(rows)} run(s)")
+    return 0
+
+
+def _run_diff(args: argparse.Namespace) -> int:
+    store = ProfileStore(args.root)
+    try:
+        record_a = store.resolve(args.a)
+        record_b = store.resolve(args.b)
+        diff = diff_texts(
+            store.get_text(record_a.run_id),
+            store.get_text(record_b.run_id),
+            label_a=f"{record_a.run_id} ({record_a.workload})",
+            label_b=f"{record_b.run_id} ({record_b.workload})",
+        )
+    except (KeyError, ProfileFormatError) as exc:
+        print(str(exc).strip("'\""), file=sys.stderr)
+        return 2
+    regressions = detect_regressions(diff)
+    if args.as_json:
+        payload = diff.to_json()
+        payload["regressions"] = [r.to_json() for r in regressions]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_diff(diff, regressions))
+    return 1 if regressions else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "ingest":
+        return _run_ingest(args)
+    if args.command == "query":
+        return _run_query(args)
+    if args.command == "diff":
+        return _run_diff(args)
+    if args.command == "gc":
+        store = ProfileStore(args.root)
+        stats = store.gc()
+        print(
+            f"gc: scanned {stats.scanned} blob(s), removed {stats.removed}, "
+            f"freed {stats.freed_bytes} bytes"
+        )
+        return 0
+    if args.command == "serve":
+        from repro.store.server import StoreServer
+
+        telemetry = Telemetry() if args.telemetry else NULL_TELEMETRY
+        store = ProfileStore(args.root, cache_size=args.cache_size)
+        server = StoreServer(
+            store,
+            host=args.host,
+            port=args.port,
+            telemetry=telemetry,
+            max_concurrent=args.max_concurrent,
+        )
+        print(f"serving profile store {args.root} on {server.url}", flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.httpd.server_close()
+            emit(telemetry, args.telemetry, args.telemetry_out)
+        return 0
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,342 @@
+"""The PROFSTORE serving daemon: a concurrent JSON API over one store.
+
+Stdlib-only (``http.server.ThreadingHTTPServer``), because the repo has
+no dependencies and the workload -- a profile registry queried by build
+bots and developers -- fits comfortably in threaded Python: requests
+are I/O plus cached decodes, and the decoded-profile LRU keeps the hot
+runs resident.
+
+Endpoints (all JSON unless noted)::
+
+    GET  /healthz                     liveness + store snapshot
+    GET  /metricsz                    telemetry counters/gauges + cache stats
+    POST /ingest?workload=NAME        body = profile document; 400 on corrupt
+    GET  /get?run=SELECTOR            the exact stored document (bit-identical)
+    GET  /query/runs?workload=&kind=  manifest rows
+    GET  /query/entries?...           per-(instruction, group) LEAP rows
+    GET  /query/shapes?run=SELECTOR   LMAD stride fingerprint of one run
+    GET  /diff?a=SEL&b=SEL            structural diff + regression verdicts
+    POST /gc                          drop unreferenced blobs
+
+Run selectors are what :meth:`repro.store.store.ProfileStore.resolve`
+accepts (run ids, digest prefixes, ``workload@kind[~N]``).
+
+Concurrency is bounded: a semaphore of ``max_concurrent`` gates the
+request bodies, so a stampede queues in the accept backlog instead of
+oversubscribing the process.  Every endpoint is telemetry-threaded --
+per-endpoint request/error counters, a latency histogram, and a span
+per endpoint accumulated under ``serve/`` -- guarded by one lock
+because the registry itself is single-threaded by design.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.profile_io import ProfileFormatError
+from repro.store.diff import detect_regressions, diff_texts
+from repro.store.query import QueryEngine
+from repro.store.store import ProfileStore
+from repro.telemetry import Telemetry, coalesce
+
+#: default cap on concurrently served request bodies
+DEFAULT_MAX_CONCURRENT = 8
+
+#: request-latency histogram buckets (seconds)
+LATENCY_BUCKETS = tuple(0.0001 * (4 ** p) for p in range(8))
+
+
+class _Metrics:
+    """Thread-safe telemetry facade for the handler threads."""
+
+    def __init__(self, telemetry: Telemetry) -> None:
+        self.telemetry = telemetry
+        self.lock = threading.Lock()
+
+    def record(self, endpoint: str, status: int, seconds: float) -> None:
+        if not self.telemetry.enabled:
+            return
+        with self.lock:
+            self.telemetry.counter(
+                "store.http.requests_total", "requests served"
+            ).inc()
+            self.telemetry.counter(
+                f"store.http.{endpoint}_total", f"requests to {endpoint}"
+            ).inc()
+            if status >= 400:
+                self.telemetry.counter(
+                    "store.http.errors_total", "requests answered >= 400"
+                ).inc()
+            self.telemetry.histogram(
+                "store.http.latency_seconds",
+                "request wall time",
+                bounds=LATENCY_BUCKETS,
+            ).observe(seconds)
+            # Span accumulation without the (thread-hostile) context
+            # stack: one child per endpoint under serve/.
+            span = self.telemetry.root.child("serve").child(endpoint)
+            span.calls += 1
+            span.seconds += seconds
+            span.add_items(1, "requests")
+
+
+class StoreServer:
+    """The daemon: owns the HTTP server, the store, and the telemetry."""
+
+    def __init__(
+        self,
+        store: ProfileStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        telemetry: Optional[Telemetry] = None,
+        max_concurrent: int = DEFAULT_MAX_CONCURRENT,
+    ) -> None:
+        self.store = store
+        self.query = QueryEngine(store)
+        self.telemetry = coalesce(telemetry)
+        self.metrics = _Metrics(self.telemetry)
+        self.started = time.time()
+        self._gate = threading.BoundedSemaphore(max(1, max_concurrent))
+        self.max_concurrent = max(1, max_concurrent)
+
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            # quiet by default: the daemon's own telemetry replaces the
+            # per-request stderr log lines
+            def log_message(self, format, *args):  # noqa: A002
+                pass
+
+            def do_GET(self):  # noqa: N802
+                server.handle(self, "GET")
+
+            def do_POST(self):  # noqa: N802
+                server.handle(self, "POST")
+
+        self.httpd = ThreadingHTTPServer((host, port), Handler)
+        self.httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.httpd.server_address[0], self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "StoreServer":
+        """Serve in a background thread (tests, embedded use)."""
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI's foreground mode)."""
+        self.httpd.serve_forever()
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join()
+        self.httpd.server_close()
+
+    # -- dispatch ------------------------------------------------------
+
+    def handle(self, request: BaseHTTPRequestHandler, method: str) -> None:
+        parsed = urlparse(request.path)
+        endpoint = parsed.path.strip("/").replace("/", "_") or "root"
+        params = {
+            key: values[-1] for key, values in parse_qs(parsed.query).items()
+        }
+        start = time.perf_counter()
+        with self._gate:
+            try:
+                status, payload = self.route(request, method, parsed.path, params)
+            except (KeyError, ProfileFormatError, ValueError) as exc:
+                kind = 404 if isinstance(exc, KeyError) else 400
+                status, payload = kind, {"error": str(exc).strip("'\"")}
+            except Exception as exc:  # noqa: BLE001 - the daemon survives
+                status, payload = 500, {
+                    "error": f"{type(exc).__name__}: {exc}"
+                }
+        elapsed = time.perf_counter() - start
+        self.metrics.record(endpoint, status, elapsed)
+        body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        try:
+            request.send_response(status)
+            request.send_header("Content-Type", "application/json")
+            request.send_header("Content-Length", str(len(body)))
+            request.end_headers()
+            request.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to clean up
+
+    def route(
+        self,
+        request: BaseHTTPRequestHandler,
+        method: str,
+        path: str,
+        params: Dict[str, str],
+    ) -> Tuple[int, object]:
+        if path == "/healthz" and method == "GET":
+            snapshot = self.store.stats()
+            snapshot.update(
+                status="ok",
+                uptime_seconds=time.time() - self.started,
+                max_concurrent=self.max_concurrent,
+            )
+            return 200, snapshot
+        if path == "/metricsz" and method == "GET":
+            return 200, self._metricsz()
+        if path == "/ingest" and method == "POST":
+            return self._ingest(request, params)
+        if path == "/get" and method == "GET":
+            text = self.store.get_text(self._required(params, "run"))
+            return 200, json.loads(text)
+        if path == "/query/runs" and method == "GET":
+            return 200, {
+                "runs": self.query.find_runs(
+                    workload=params.get("workload"), kind=params.get("kind")
+                )
+            }
+        if path == "/query/entries" and method == "GET":
+            return 200, {
+                "entries": self.query.find_entries(
+                    workload=params.get("workload"),
+                    instruction=self._int(params, "instruction"),
+                    group=self._int(params, "group"),
+                    stride=self._stride(params),
+                    min_count=self._int(params, "min_count") or 0,
+                    run=params.get("run"),
+                )
+            }
+        if path == "/query/shapes" and method == "GET":
+            return 200, {
+                "shapes": self.query.lmad_shapes(self._required(params, "run"))
+            }
+        if path == "/diff" and method == "GET":
+            return 200, self._diff(params)
+        if path == "/gc" and method == "POST":
+            stats = self.store.gc()
+            return 200, {
+                "scanned": stats.scanned,
+                "removed": stats.removed,
+                "freed_bytes": stats.freed_bytes,
+            }
+        return 404, {"error": f"no such endpoint: {method} {path}"}
+
+    # -- endpoint bodies -----------------------------------------------
+
+    def _metricsz(self) -> Dict[str, object]:
+        counters: Dict[str, object] = {}
+        gauges: Dict[str, object] = {}
+        with self.metrics.lock:
+            for metric in self.telemetry.registry:
+                kind = getattr(metric, "kind", None)
+                if kind == "counter":
+                    counters[metric.name] = metric.value
+                elif kind == "gauge":
+                    gauges[metric.name] = metric.value
+            latency = self.telemetry.registry.get("store.http.latency_seconds")
+            latency_summary = None
+            if latency is not None and getattr(latency, "count", 0):
+                latency_summary = {
+                    "count": latency.count,
+                    "mean_seconds": latency.mean,
+                    "max_seconds": latency.maximum,
+                }
+        hits, misses, evictions = self.store.cache.stats()
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "latency": latency_summary,
+            "cache": {
+                "hits": hits,
+                "misses": misses,
+                "evictions": evictions,
+                "hit_rate": self.store.cache.hit_rate,
+            },
+        }
+
+    def _ingest(
+        self, request: BaseHTTPRequestHandler, params: Dict[str, str]
+    ) -> Tuple[int, object]:
+        workload = self._required(params, "workload")
+        length = int(request.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ValueError("ingest requires a profile document body")
+        data = request.rfile.read(length)
+        meta = {"source": "http"}
+        record = self.store.ingest_bytes(data, workload, meta=meta)
+        if self.telemetry.enabled:
+            with self.metrics.lock:
+                self.telemetry.counter(
+                    "store.ingested_total", "profiles ingested"
+                ).inc()
+                self.telemetry.counter(
+                    "store.ingested_bytes_total", "profile bytes ingested"
+                ).inc(len(data))
+        return 201, {
+            "run_id": record.run_id,
+            "digest": record.digest,
+            "kind": record.kind,
+            "size_bytes": record.size_bytes,
+        }
+
+    def _diff(self, params: Dict[str, str]) -> Dict[str, object]:
+        selector_a = self._required(params, "a")
+        selector_b = self._required(params, "b")
+        record_a = self.store.resolve(selector_a)
+        record_b = self.store.resolve(selector_b)
+        diff = diff_texts(
+            self.store.get_text(record_a.run_id),
+            self.store.get_text(record_b.run_id),
+            label_a=record_a.run_id,
+            label_b=record_b.run_id,
+        )
+        regressions = detect_regressions(diff)
+        payload = diff.to_json()
+        payload["regressions"] = [r.to_json() for r in regressions]
+        return payload
+
+    # -- parameter helpers ---------------------------------------------
+
+    @staticmethod
+    def _required(params: Dict[str, str], name: str) -> str:
+        value = params.get(name)
+        if not value:
+            raise ValueError(f"missing required parameter {name!r}")
+        return value
+
+    @staticmethod
+    def _int(params: Dict[str, str], name: str) -> Optional[int]:
+        value = params.get(name)
+        if value is None:
+            return None
+        try:
+            return int(value)
+        except ValueError:
+            raise ValueError(f"parameter {name!r} must be an integer") from None
+
+    @staticmethod
+    def _stride(params: Dict[str, str]) -> Optional[Tuple[int, ...]]:
+        value = params.get("stride")
+        if value is None:
+            return None
+        try:
+            return tuple(int(part) for part in value.split(",") if part != "")
+        except ValueError:
+            raise ValueError(
+                "parameter 'stride' must be comma-separated integers"
+            ) from None

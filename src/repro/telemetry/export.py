@@ -202,8 +202,14 @@ def emit(
         return
     text = render(telemetry, mode)
     if out_path:
-        with open(out_path, "w") as handle:
-            handle.write(text if text.endswith("\n") else text + "\n")
+        # Atomic like every other artifact write (profiles, checkpoints,
+        # JSON results): a crash mid-emit must not leave a torn file a
+        # scraper would half-parse.
+        from repro.core.fsutil import atomic_write_text
+
+        atomic_write_text(
+            out_path, text if text.endswith("\n") else text + "\n"
+        )
         target = stream if stream is not None else sys.stdout
         target.write(f"telemetry written to {out_path}\n")
     else:
