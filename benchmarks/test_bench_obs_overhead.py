@@ -1,0 +1,80 @@
+"""TRACELINK overhead benchmark.
+
+The paper's dilation discipline, applied to our own observability: a
+fully *traced* pipeline run -- live :class:`~repro.telemetry.Telemetry`
+with a trace context attached, every span stamped with trace/span ids
+and wall-clock endpoints, and one structured event emitted per stage
+exit into the bounded ring -- must stay within 10% of the untraced
+:class:`~repro.telemetry.NullTelemetry` baseline.  If tracing ever
+costs more than that, it stops being something we can leave on for the
+scaling experiments, and every later PR's Table 1 numbers inherit the
+skew.
+
+Methodology matches ``test_bench_telemetry_overhead.py``: best-of-N
+wall times for both configurations, ratio recorded in ``extra_info``.
+The traced configuration pays the whole TRACELINK path, including
+:func:`~repro.obs.start_tracing` / :func:`~repro.obs.finish_tracing`
+(context setup, event-log construction, trace-document assembly).
+"""
+
+import time
+
+from repro.obs import finish_tracing, set_current, start_tracing
+from repro.profilers.leap import LeapProfiler
+from repro.profilers.whomp import WhompProfiler
+from repro.telemetry import Telemetry
+from repro.workloads.registry import create
+
+#: The acceptance bound: traced vs untraced wall time.  Span stamping
+#: is O(spans) and event emission O(stage exits), both dwarfed by the
+#: per-access profiling work, so 10% is generous headroom, not a goal.
+MAX_TRACED_DILATION = 1.10
+
+ROUNDS = 5
+
+
+def _micro_trace():
+    return create("micro.array", scale=2.0).trace()
+
+
+def _best_of(function, rounds=ROUNDS):
+    timings = []
+    for __ in range(rounds):
+        start = time.perf_counter()
+        function()
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def _traced_run(profiler_class, trace):
+    telemetry = Telemetry()
+    context, events = start_tracing(telemetry)
+    try:
+        profiler_class(telemetry=telemetry).profile(trace)
+        finish_tracing(telemetry, context, events)
+    finally:
+        set_current(None)  # never leak ambient state between rounds
+
+
+def _measure(benchmark, profiler_class):
+    trace = _micro_trace()
+    profiler_class().profile(trace)  # warm
+    null_seconds = _best_of(lambda: profiler_class().profile(trace))
+    _traced_run(profiler_class, trace)  # warm
+    benchmark.pedantic(
+        lambda: _traced_run(profiler_class, trace), rounds=3, iterations=1
+    )
+    traced_seconds = _best_of(lambda: _traced_run(profiler_class, trace))
+    dilation = traced_seconds / null_seconds
+    benchmark.extra_info["null_seconds"] = null_seconds
+    benchmark.extra_info["traced_seconds"] = traced_seconds
+    benchmark.extra_info["tracing_dilation"] = dilation
+    assert dilation < MAX_TRACED_DILATION
+
+
+def test_whomp_tracing_dilation(benchmark):
+    _measure(benchmark, WhompProfiler)
+
+
+def test_leap_tracing_dilation(benchmark):
+    _measure(benchmark, LeapProfiler)

@@ -99,6 +99,8 @@ def _write_profiles(
         from repro.resilience import Quarantine
 
         quarantine = Quarantine()
+        if telemetry is not None and telemetry.events is not None:
+            quarantine.events = telemetry.events
     if profiler in ("whomp", "both"):
         profile = WhompProfiler(
             telemetry=telemetry, jobs=jobs, quarantine=quarantine
@@ -319,6 +321,12 @@ def _add_telemetry_arguments(subparser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="write the telemetry output to PATH instead of stdout",
     )
+    subparser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="trace the run (TRACELINK) and write its structured "
+        "events as JSONL to PATH; implies telemetry collection",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -418,7 +426,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     telemetry_mode = getattr(args, "telemetry", None)
-    telemetry = Telemetry() if telemetry_mode else NULL_TELEMETRY
+    trace_out = getattr(args, "trace_out", None)
+    telemetry = (
+        Telemetry() if (telemetry_mode or trace_out) else NULL_TELEMETRY
+    )
+    obs_state = None
+    if trace_out:
+        from repro.obs import start_tracing
+
+        obs_state = start_tracing(telemetry, trace_out=trace_out)
+
+    def finish_trace() -> None:
+        if obs_state is None:
+            return
+        from repro.obs import finish_tracing
+
+        context, events = obs_state
+        finish_tracing(
+            telemetry, context, events,
+            meta={"command": f"repro-profile {args.command}"},
+        )
+        print(f"trace {context.trace_id}")
 
     if args.command == "run":
         try:
@@ -433,6 +461,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             trace, args.profiler, args.out, args.workload, telemetry=telemetry,
             jobs=args.jobs, degraded=args.degraded,
         )
+        finish_trace()
         emit(telemetry, telemetry_mode, args.telemetry_out)
         return 0
 
@@ -464,6 +493,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             trace, args.profiler, args.out, stem, telemetry=telemetry,
             jobs=args.jobs, degraded=args.degraded,
         )
+        finish_trace()
         emit(telemetry, telemetry_mode, args.telemetry_out)
         return 0
 
@@ -489,6 +519,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(json_module.dumps(payload, indent=2))
         else:
             print(format_statistics(statistics))
+        finish_trace()
         emit(telemetry, telemetry_mode, args.telemetry_out)
         return 0
 

@@ -371,6 +371,80 @@ def _decode_dependence(document: Dict[str, object]) -> DependenceProfile:
         raise ProfileFormatError(f"malformed dependence profile: {exc}") from exc
 
 
+# -- trace documents ----------------------------------------------------------
+
+#: version of the TRACELINK trace document (see :mod:`repro.obs.trace`,
+#: which builds them; decoding lives here so the store validates traces
+#: exactly like profiles)
+TRACE_FORMAT_VERSION = 1
+
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def _decode_trace(document: Dict[str, object]) -> Dict[str, object]:
+    """Validate a trace document; returns the document itself.
+
+    Traces are consumed as plain data (the ``repro-obs`` renderers and
+    the daemon's ``/tracez`` endpoint work straight off the dict), so
+    decoding is validation: id well-formed, spans and events lists of
+    objects, every span subtree sane.  Same contract as the profile
+    decoders -- a valid document or :class:`ProfileFormatError`.
+    """
+    if document.get("format") != "trace":
+        raise ProfileFormatError("not a trace document")
+    version = document.get("version")
+    if not isinstance(version, int) or not 1 <= version <= TRACE_FORMAT_VERSION:
+        raise ProfileFormatError(f"unsupported trace version {version!r}")
+    trace_id = document.get("trace_id")
+    if (
+        not isinstance(trace_id, str)
+        or len(trace_id) != 32
+        or not set(trace_id) <= _HEX_DIGITS
+    ):
+        raise ProfileFormatError(f"bad trace id {trace_id!r}")
+
+    def check_span(span: object, depth: int = 0) -> None:
+        if depth > 64:
+            raise ProfileFormatError("span tree too deep")
+        if not isinstance(span, dict) or not isinstance(span.get("name"), str):
+            raise ProfileFormatError("malformed span node")
+        for key in ("seconds", "start_ts", "end_ts"):
+            value = span.get(key, 0.0)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ProfileFormatError(f"span {key} is not a number")
+        children = span.get("children", [])
+        if not isinstance(children, list):
+            raise ProfileFormatError("span children is not a list")
+        for child in children:
+            check_span(child, depth + 1)
+
+    try:
+        spans = document["spans"]
+        events = document["events"]
+        if not isinstance(spans, list) or not isinstance(events, list):
+            raise ProfileFormatError("trace spans/events must be lists")
+        for span in spans:
+            check_span(span)
+        for event in events:
+            if not isinstance(event, dict) or not isinstance(
+                event.get("kind"), str
+            ):
+                raise ProfileFormatError("malformed event record")
+    except ProfileFormatError:
+        raise
+    except _DECODE_ERRORS as exc:
+        raise ProfileFormatError(f"malformed trace document: {exc}") from exc
+    return document
+
+
+def save_trace(document: Dict[str, object], stream: IO[str]) -> None:
+    json.dump(_decode_trace(document), stream, sort_keys=True)
+
+
+def load_trace(stream: IO[str]) -> Dict[str, object]:
+    return _decode_trace(_load_document(stream))
+
+
 # -- path-level API -----------------------------------------------------------
 
 _SAVERS = (
@@ -383,6 +457,7 @@ _DECODERS = {
     "whomp": _decode_whomp,
     "leap": _decode_leap,
     "dependence": _decode_dependence,
+    "trace": _decode_trace,
 }
 
 #: format names the text-level API recognizes (sniffable documents)
@@ -403,6 +478,10 @@ def dumps(profile: object) -> str:
             buffer = io.StringIO()
             saver(profile, buffer)
             return buffer.getvalue()
+    if isinstance(profile, dict) and profile.get("format") == "trace":
+        buffer = io.StringIO()
+        save_trace(profile, buffer)
+        return buffer.getvalue()
     raise TypeError(f"unsupported profile type {type(profile).__name__}")
 
 

@@ -321,6 +321,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write the telemetry output to PATH instead of stdout",
     )
     parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="trace the sweep (TRACELINK) and write its structured "
+        "events as JSONL to PATH; implies telemetry collection",
+    )
+    parser.add_argument(
         "--heartbeat",
         type=float,
         default=0.0,
@@ -381,7 +387,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         # so a resumed drill remembers which faults already fired.
         ledger_dir = os.path.join(args.checkpoint_dir, "fault-ledger")
 
-    telemetry = Telemetry() if args.telemetry else NULL_TELEMETRY
+    telemetry = (
+        Telemetry() if (args.telemetry or args.trace_out) else NULL_TELEMETRY
+    )
+    obs_state = None
+    if args.trace_out:
+        from repro.obs import start_tracing
+
+        obs_state = start_tracing(telemetry, trace_out=args.trace_out)
     sweep = _Sweep(
         store, plan.abort_after if plan is not None else None, telemetry
     )
@@ -423,6 +436,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         atomic_write_text(args.json, json.dumps(sweep.records, indent=2))
         print(f"JSON results written to {args.json}")
+    if obs_state is not None:
+        from repro.obs import finish_tracing
+
+        context, events = obs_state
+        finish_tracing(
+            telemetry, context, events,
+            meta={"command": "repro-experiments", "experiments": names},
+        )
+        print(f"trace {context.trace_id}")
     emit(telemetry, args.telemetry, args.telemetry_out)
     if interrupted:
         return 130

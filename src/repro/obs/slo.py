@@ -1,0 +1,263 @@
+"""Declarative latency/dilation SLOs over the structured event log.
+
+The PR 5 differ established the idiom: a declarative threshold file, a
+pure evaluation pass producing verdict objects, a renderer, and an exit
+code that makes CI the enforcement point (``repro-obs slo check`` exits
+1 on breach).  TRACELINK applies it to latencies: the thresholds the
+ROADMAP's SCALE-OUT item will be measured against live in a JSON file
+reviewed like code, not in someone's head.
+
+SLO file shape (``"version": 1``)::
+
+    {"version": 1, "slos": [
+        {"name": "ingest-p99", "kind": "latency",
+         "event": "request", "match": {"endpoint": "ingest"},
+         "quantile": 0.99, "max_seconds": 0.5},
+        {"name": "pipeline-p50", "kind": "latency",
+         "event": "stage", "match": {"path": "whomp"},
+         "quantile": 0.5, "max_seconds": 5.0},
+        {"name": "obs-overhead", "kind": "dilation",
+         "numerator": "whomp/compression", "denominator": "whomp",
+         "max_ratio": 0.9}
+    ]}
+
+* ``latency`` rules estimate the quantile of the matched events'
+  ``seconds`` field (every ``match`` key must equal the event's field)
+  and breach when it exceeds ``max_seconds``.
+* ``dilation`` rules divide the total wall time of two span paths
+  (from ``stage`` events) and breach when the ratio exceeds
+  ``max_ratio`` -- the repo's own Table 1 dilation-factor shape.
+
+A rule that matches no events **breaches** (detail ``no data``) unless
+it carries ``"allow_missing": true``: an SLO silently measuring
+nothing is the worst failure mode an observability layer can have.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.quantiles import digest_of
+
+#: bumped when the SLO file shape changes
+SLO_FILE_VERSION = 1
+
+
+class SloError(ValueError):
+    """The SLO file is malformed (bad JSON, unknown kind, bad field)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SloRule:
+    """One declarative threshold."""
+
+    name: str
+    kind: str  # "latency" | "dilation"
+    event: str = "request"
+    match: Dict[str, object] = dataclasses.field(default_factory=dict)
+    quantile: float = 0.99
+    max_seconds: Optional[float] = None
+    numerator: Optional[str] = None
+    denominator: Optional[str] = None
+    max_ratio: Optional[float] = None
+    allow_missing: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class SloResult:
+    """One rule's verdict against one event log."""
+
+    rule: SloRule
+    ok: bool
+    measured: Optional[float]
+    threshold: float
+    detail: str
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "name": self.rule.name,
+            "kind": self.rule.kind,
+            "ok": self.ok,
+            "measured": self.measured,
+            "threshold": self.threshold,
+            "detail": self.detail,
+        }
+
+
+def parse_slo_document(document: Dict[str, object]) -> List[SloRule]:
+    """Validate and load the rules of one SLO document."""
+    if not isinstance(document, dict):
+        raise SloError("SLO document must be a JSON object")
+    version = document.get("version")
+    if version != SLO_FILE_VERSION:
+        raise SloError(
+            f"unsupported SLO file version {version!r} "
+            f"(this build reads version {SLO_FILE_VERSION})"
+        )
+    raw_rules = document.get("slos")
+    if not isinstance(raw_rules, list) or not raw_rules:
+        raise SloError("SLO document needs a non-empty 'slos' list")
+    rules: List[SloRule] = []
+    for index, raw in enumerate(raw_rules):
+        if not isinstance(raw, dict):
+            raise SloError(f"slos[{index}] must be an object")
+        name = raw.get("name")
+        if not isinstance(name, str) or not name:
+            raise SloError(f"slos[{index}] needs a non-empty 'name'")
+        kind = raw.get("kind", "latency")
+        try:
+            if kind == "latency":
+                max_seconds = float(raw["max_seconds"])
+                quantile = float(raw.get("quantile", 0.99))
+                if not 0.0 <= quantile <= 1.0:
+                    raise SloError(
+                        f"slos[{index}] quantile {quantile} outside [0, 1]"
+                    )
+                rules.append(
+                    SloRule(
+                        name=name,
+                        kind="latency",
+                        event=str(raw.get("event", "request")),
+                        match=dict(raw.get("match") or {}),
+                        quantile=quantile,
+                        max_seconds=max_seconds,
+                        allow_missing=bool(raw.get("allow_missing", False)),
+                    )
+                )
+            elif kind == "dilation":
+                rules.append(
+                    SloRule(
+                        name=name,
+                        kind="dilation",
+                        numerator=str(raw["numerator"]),
+                        denominator=str(raw["denominator"]),
+                        max_ratio=float(raw["max_ratio"]),
+                        allow_missing=bool(raw.get("allow_missing", False)),
+                    )
+                )
+            else:
+                raise SloError(f"slos[{index}] has unknown kind {kind!r}")
+        except SloError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SloError(f"slos[{index}] ({name}): {exc}") from exc
+    return rules
+
+
+def load_slo_file(path: str) -> List[SloRule]:
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise SloError(f"cannot read SLO file {path!r}: {exc}") from exc
+    except ValueError as exc:
+        raise SloError(f"SLO file {path!r} is not valid JSON: {exc}") from exc
+    return parse_slo_document(document)
+
+
+# -- evaluation --------------------------------------------------------------
+
+
+def _matches(event: Dict[str, object], rule: SloRule) -> bool:
+    if event.get("kind") != rule.event:
+        return False
+    return all(event.get(key) == value for key, value in rule.match.items())
+
+
+def _path_seconds(events: List[Dict[str, object]], path: str) -> float:
+    return sum(
+        float(event.get("seconds", 0.0))
+        for event in events
+        if event.get("kind") == "stage" and event.get("path") == path
+    )
+
+
+def evaluate_slos(
+    rules: Iterable[SloRule], events: Iterable[Dict[str, object]]
+) -> List[SloResult]:
+    """Every rule's verdict against the given event records."""
+    events = list(events)
+    results: List[SloResult] = []
+    for rule in rules:
+        if rule.kind == "latency":
+            assert rule.max_seconds is not None
+            values = [
+                float(event.get("seconds", 0.0))
+                for event in events
+                if _matches(event, rule)
+            ]
+            if not values:
+                results.append(
+                    SloResult(
+                        rule,
+                        ok=rule.allow_missing,
+                        measured=None,
+                        threshold=rule.max_seconds,
+                        detail="no data",
+                    )
+                )
+                continue
+            measured = digest_of(values).quantile(rule.quantile)
+            assert measured is not None
+            results.append(
+                SloResult(
+                    rule,
+                    ok=measured <= rule.max_seconds,
+                    measured=measured,
+                    threshold=rule.max_seconds,
+                    detail=(
+                        f"p{rule.quantile * 100:g} over {len(values)} "
+                        f"event(s)"
+                    ),
+                )
+            )
+        else:  # dilation
+            assert rule.max_ratio is not None
+            assert rule.numerator is not None and rule.denominator is not None
+            numerator = _path_seconds(events, rule.numerator)
+            denominator = _path_seconds(events, rule.denominator)
+            if denominator <= 0.0:
+                results.append(
+                    SloResult(
+                        rule,
+                        ok=rule.allow_missing,
+                        measured=None,
+                        threshold=rule.max_ratio,
+                        detail=f"no data for {rule.denominator!r}",
+                    )
+                )
+                continue
+            ratio = numerator / denominator
+            results.append(
+                SloResult(
+                    rule,
+                    ok=ratio <= rule.max_ratio,
+                    measured=ratio,
+                    threshold=rule.max_ratio,
+                    detail=(
+                        f"{rule.numerator} / {rule.denominator} "
+                        f"({numerator:.4f}s / {denominator:.4f}s)"
+                    ),
+                )
+            )
+    return results
+
+
+def render_slo_results(results: List[SloResult]) -> str:
+    lines: List[str] = []
+    for result in results:
+        verdict = "OK    " if result.ok else "BREACH"
+        measured = (
+            f"{result.measured:.6g}" if result.measured is not None else "-"
+        )
+        lines.append(
+            f"{verdict} {result.rule.name:<24} measured={measured} "
+            f"threshold={result.threshold:g}  ({result.detail})"
+        )
+    breaches = sum(1 for result in results if not result.ok)
+    lines.append(
+        f"{len(results)} SLO(s) evaluated, {breaches} breach(es)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,251 @@
+"""Trace documents: assembling, persisting, and rendering one trace.
+
+A *trace document* is the durable form of one traced invocation: the
+trace id, the span trees every participant contributed (the CLI's own
+plus the worker trees grafted back through the pool), and the
+structured events that carried the trace id.  It is a first-class
+profile-store document kind (``"format": "trace"``, validated by
+:mod:`repro.core.profile_io` like any other), so traces are ingested,
+content-addressed, queried, and garbage-collected exactly like
+profiles.
+
+Rendering is deliberately plain text:
+
+* :func:`render_trace_tree` -- the ``repro-obs trace show`` view: an
+  ASCII tree with per-span wall time, call counts, and item
+  throughput, children ordered on the shared wall-clock timeline the
+  spans' start offsets define;
+* :func:`top_spans` -- the hottest span paths across a run,
+  aggregated from ``stage`` events;
+* :func:`folded_stacks` -- ``parent;child;grandchild <microseconds>``
+  lines, the folded-stack format every flamegraph tool consumes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+# The document version (and the validating decoder) live with the other
+# formats in core.profile_io; builders and validators must agree.
+from repro.core.profile_io import TRACE_FORMAT_VERSION as TRACE_DOCUMENT_VERSION
+
+
+def build_trace_document(
+    trace_id: str,
+    spans: Iterable[Dict[str, object]],
+    events: Iterable[Dict[str, object]],
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble the canonical trace document for one invocation.
+
+    ``spans`` are :meth:`repro.telemetry.spans.Span.to_plain` trees
+    (typically the root's top-level children); ``events`` are event-log
+    records, filtered here to the trace's own.
+    """
+    return {
+        "format": "trace",
+        "version": int(TRACE_DOCUMENT_VERSION),
+        "trace_id": trace_id,
+        "created": time.time(),
+        "spans": list(spans),
+        "events": [
+            event for event in events if event.get("trace") == trace_id
+        ],
+        "meta": dict(meta or {}),
+    }
+
+
+# -- tree rendering ----------------------------------------------------------
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def _format_rate(rate: float) -> str:
+    if rate >= 1e6:
+        return f"{rate / 1e6:.2f}M"
+    if rate >= 1e3:
+        return f"{rate / 1e3:.1f}k"
+    return f"{rate:.0f}"
+
+
+def _span_line(span: Dict[str, object]) -> str:
+    seconds = float(span.get("seconds", 0.0))
+    calls = int(span.get("calls", 0))
+    items = int(span.get("items", 0))
+    detail = f"{_format_seconds(seconds)}  x{calls}"
+    if items:
+        unit = str(span.get("unit", "items"))
+        detail += f"  {items} {unit}"
+        if seconds > 0.0:
+            detail += f" ({_format_rate(items / seconds)} {unit}/s)"
+    span_id = span.get("span_id")
+    if span_id:
+        detail += f"  [{span_id}]"
+    return detail
+
+
+def _ordered_children(span: Dict[str, object]) -> List[Dict[str, object]]:
+    children = [
+        child for child in span.get("children", ()) if isinstance(child, dict)
+    ]
+    # Shared-timeline order: spans absorbed from workers carry absolute
+    # start offsets, so sorting on them interleaves worker and parent
+    # stages the way they actually ran.  Zero (never entered under a
+    # wall clock) sorts last, in creation order.
+    indexed = list(enumerate(children))
+    indexed.sort(
+        key=lambda pair: (
+            float(pair[1].get("start_ts") or 0.0) or float("inf"),
+            pair[0],
+        )
+    )
+    return [child for __, child in indexed]
+
+
+def render_trace_tree(document: Dict[str, object]) -> str:
+    """The ASCII span tree of one trace document."""
+    lines: List[str] = [f"trace {document.get('trace_id', '?')}"]
+    spans = [
+        span for span in document.get("spans", ()) if isinstance(span, dict)
+    ]
+    starts = [
+        float(span.get("start_ts") or 0.0)
+        for span in spans
+        if float(span.get("start_ts") or 0.0) > 0.0
+    ]
+    epoch = min(starts) if starts else 0.0
+
+    def walk(span: Dict[str, object], prefix: str, is_last: bool) -> None:
+        connector = "`-- " if is_last else "|-- "
+        name = str(span.get("name", "?"))
+        offset = ""
+        start = float(span.get("start_ts") or 0.0)
+        if start > 0.0 and epoch > 0.0:
+            offset = f" @+{start - epoch:.3f}s"
+        lines.append(
+            f"{prefix}{connector}{name:<20} {_span_line(span)}{offset}"
+        )
+        children = _ordered_children(span)
+        child_prefix = prefix + ("    " if is_last else "|   ")
+        for index, child in enumerate(children):
+            walk(child, child_prefix, index == len(children) - 1)
+
+    ordered = _ordered_children({"children": spans})
+    for index, span in enumerate(ordered):
+        walk(span, "", index == len(ordered) - 1)
+    events = document.get("events", ())
+    if events:
+        lines.append(f"({len(events)} event record(s) in this trace)")
+    return "\n".join(lines)
+
+
+# -- aggregation views -------------------------------------------------------
+
+
+def top_spans(
+    events: Iterable[Dict[str, object]], limit: int = 10
+) -> List[Dict[str, object]]:
+    """The hottest span paths by accumulated wall time.
+
+    Aggregates ``stage`` events (one per span exit) by their slash
+    path; returns rows ``{path, seconds, calls, items}`` sorted by
+    seconds descending.
+    """
+    totals: Dict[str, Dict[str, object]] = {}
+    for event in events:
+        if event.get("kind") != "stage":
+            continue
+        path = event.get("path")
+        if not isinstance(path, str):
+            continue
+        row = totals.setdefault(
+            path, {"path": path, "seconds": 0.0, "calls": 0, "items": 0}
+        )
+        row["seconds"] = float(row["seconds"]) + float(event.get("seconds", 0.0))
+        row["calls"] = int(row["calls"]) + 1
+        row["items"] = int(row["items"]) + int(event.get("items", 0) or 0)
+    rows = sorted(
+        totals.values(), key=lambda row: float(row["seconds"]), reverse=True
+    )
+    return rows[:limit] if limit > 0 else rows
+
+
+def top_from_spans(
+    spans: Iterable[Dict[str, object]], limit: int = 10
+) -> List[Dict[str, object]]:
+    """Like :func:`top_spans`, but from span trees instead of events.
+
+    Used when a log has no ``stage`` records for a path -- e.g. spans
+    profiled inside pool workers, which reach the parent as absorbed
+    trees rather than live event emissions.
+    """
+    totals: Dict[str, Dict[str, object]] = {}
+
+    def walk(span: Dict[str, object], stack: str) -> None:
+        name = str(span.get("name", "?"))
+        path = f"{stack}/{name}" if stack else name
+        row = totals.setdefault(
+            path, {"path": path, "seconds": 0.0, "calls": 0, "items": 0}
+        )
+        row["seconds"] = float(row["seconds"]) + float(span.get("seconds", 0.0))
+        row["calls"] = int(row["calls"]) + int(span.get("calls", 0))
+        row["items"] = int(row["items"]) + int(span.get("items", 0))
+        for child in span.get("children", ()):
+            if isinstance(child, dict):
+                walk(child, path)
+
+    for span in spans:
+        if isinstance(span, dict):
+            walk(span, "")
+    rows = sorted(
+        totals.values(), key=lambda row: float(row["seconds"]), reverse=True
+    )
+    return rows[:limit] if limit > 0 else rows
+
+
+def render_top(rows: List[Dict[str, object]]) -> str:
+    lines = [f"{'wall time':>12}  {'calls':>6}  {'items':>10}  path"]
+    for row in rows:
+        lines.append(
+            f"{_format_seconds(float(row['seconds'])):>12}  "
+            f"{row['calls']:>6}  {row['items']:>10}  {row['path']}"
+        )
+    if len(lines) == 1:
+        lines.append("(no stage events)")
+    return "\n".join(lines)
+
+
+def folded_stacks(spans: Iterable[Dict[str, object]]) -> List[str]:
+    """Span trees as folded-stack lines for flamegraph tools.
+
+    The value is *self* time in microseconds (total minus children), so
+    the flamegraph's widths add up exactly like the span tree's wall
+    times do.
+    """
+    lines: List[Tuple[str, int]] = []
+
+    def walk(span: Dict[str, object], stack: str) -> None:
+        name = str(span.get("name", "?")).replace(";", "_")
+        path = f"{stack};{name}" if stack else name
+        seconds = float(span.get("seconds", 0.0))
+        children = [
+            child
+            for child in span.get("children", ())
+            if isinstance(child, dict)
+        ]
+        child_seconds = sum(float(c.get("seconds", 0.0)) for c in children)
+        self_us = max(0, int(round((seconds - child_seconds) * 1e6)))
+        if self_us or not children:
+            lines.append((path, self_us))
+        for child in children:
+            walk(child, path)
+
+    for span in spans:
+        if isinstance(span, dict):
+            walk(span, "")
+    return [f"{path} {value}" for path, value in lines]

@@ -45,6 +45,7 @@ import time
 import traceback
 from typing import Any, Callable, List, Optional, Sequence
 
+from repro.obs.context import TraceContext, activate, current, current_header
 from repro.telemetry.spans import Telemetry, coalesce
 
 #: default retry cap per chunk (attempts = retries + 1)
@@ -159,25 +160,46 @@ def _run_chunk(payload):
     chunk-mates' results.  Returns a list of
     ``(True, value) | (False, (type name, message, traceback text))``
     entries, one per task, in order.
-    """
-    function, start_index, tasks, injector = payload
-    entries = []
-    for offset, task in enumerate(tasks):
-        index = start_index + offset
-        if injector is not None:
-            stall = injector.stall_seconds(index)
-            if stall > 0.0:
-                time.sleep(stall)
-            if injector.should_kill(index):
-                import os
 
-                os._exit(13)
-        try:
-            entries.append((True, function(task)))
-        except BaseException as exc:  # noqa: BLE001 - report, don't unwind
-            entries.append(
-                (False, (type(exc).__name__, str(exc), traceback.format_exc()))
-            )
+    The payload's ``trace_header`` (the submitting process's ambient
+    :class:`~repro.obs.context.TraceContext`, serialized) is
+    re-activated here as a *child* context scoped to the chunk, so any
+    telemetry the task functions produce -- worker span trees, event
+    records, outbound HTTP -- carries the parent's trace id.
+    """
+    function, start_index, tasks, injector, trace_header = payload
+    parent_context = TraceContext.from_header(trace_header)
+    scope = (
+        activate(parent_context.child())
+        if parent_context is not None
+        else None
+    )
+    entries = []
+    try:
+        if scope is not None:
+            scope.__enter__()
+        for offset, task in enumerate(tasks):
+            index = start_index + offset
+            if injector is not None:
+                stall = injector.stall_seconds(index)
+                if stall > 0.0:
+                    time.sleep(stall)
+                if injector.should_kill(index):
+                    import os
+
+                    os._exit(13)
+            try:
+                entries.append((True, function(task)))
+            except BaseException as exc:  # noqa: BLE001 - report, don't unwind
+                entries.append(
+                    (
+                        False,
+                        (type(exc).__name__, str(exc), traceback.format_exc()),
+                    )
+                )
+    finally:
+        if scope is not None:
+            scope.__exit__(None, None, None)
     return entries
 
 
@@ -284,24 +306,26 @@ class ParallelExecutor:
         progress: Optional[Callable[[int, TaskOutcome], None]],
     ) -> List[TaskOutcome]:
         outcomes: List[TaskOutcome] = []
-        for index, task in enumerate(tasks):
-            try:
-                outcome = TaskOutcome(value=function(task))
-            except KeyboardInterrupt:
-                raise
-            except BaseException as exc:  # noqa: BLE001 - contain
-                outcome = TaskOutcome(
-                    error=WorkerCrashError(
-                        f"{label}: task {index} raised "
-                        f"{type(exc).__name__}: {exc}",
-                        worker_traceback=traceback.format_exc(),
-                        chunk_index=index,
-                        items_processed=0,
+        with self.telemetry.span(label) as span:
+            for index, task in enumerate(tasks):
+                try:
+                    outcome = TaskOutcome(value=function(task))
+                except KeyboardInterrupt:
+                    raise
+                except BaseException as exc:  # noqa: BLE001 - contain
+                    outcome = TaskOutcome(
+                        error=WorkerCrashError(
+                            f"{label}: task {index} raised "
+                            f"{type(exc).__name__}: {exc}",
+                            worker_traceback=traceback.format_exc(),
+                            chunk_index=index,
+                            items_processed=0,
+                        )
                     )
-                )
-            outcomes.append(outcome)
-            if progress is not None:
-                progress(index, outcome)
+                outcomes.append(outcome)
+                if progress is not None:
+                    progress(index, outcome)
+            span.add_items(len(tasks), "tasks")
         return outcomes
 
     # -- pool path -----------------------------------------------------
@@ -368,8 +392,30 @@ class ParallelExecutor:
             pool.join()
 
     def _submit(self, pool, function, start, chunk_tasks):
-        payload = (function, start, chunk_tasks, self.fault_injector)
+        # The ambient trace context (if any) rides along as its header
+        # form -- fork shares memory but re-capturing at submit time
+        # keeps resubmissions of the same chunk under the same trace.
+        payload = (
+            function,
+            start,
+            chunk_tasks,
+            self.fault_injector,
+            current_header(),
+        )
         return pool.apply_async(_run_chunk, (payload,))
+
+    def _emit_event(self, kind: str, **fields) -> None:
+        """Emit a structured resilience event when a sink is attached."""
+        events = self.telemetry.events
+        if events is None:
+            return
+        context = current()
+        events.emit(
+            kind,
+            trace=context.trace_id if context is not None else None,
+            span=context.span_id if context is not None else None,
+            **fields,
+        )
 
     def _collect_chunk(
         self,
@@ -406,12 +452,27 @@ class ParallelExecutor:
                     "resilience.timeouts",
                     "pool chunks that missed their deadline",
                 ).inc()
+                self._emit_event(
+                    "timeout",
+                    label=label,
+                    chunk=chunk_index,
+                    attempt=attempt,
+                    timeout_seconds=self.timeout,
+                )
             except Exception:  # noqa: BLE001 - broken pool machinery
-                pass
+                self._emit_event(
+                    "worker-crash",
+                    label=label,
+                    chunk=chunk_index,
+                    attempt=attempt,
+                )
             if attempt <= self.retries:
                 telemetry.counter(
                     "resilience.retries", "pool chunk resubmissions"
                 ).inc()
+                self._emit_event(
+                    "retry", label=label, chunk=chunk_index, attempt=attempt
+                )
                 time.sleep(self.backoff * (2 ** (attempt - 1)))
                 attempt += 1
                 try:
@@ -425,7 +486,12 @@ class ParallelExecutor:
                 "resilience.fallbacks",
                 "chunks rerun inline after the pool gave up",
             ).inc()
-            entries = _run_chunk((function, start, chunk_tasks, None))
+            self._emit_event(
+                "fallback", label=label, chunk=chunk_index, attempts=attempt
+            )
+            entries = _run_chunk(
+                (function, start, chunk_tasks, None, current_header())
+            )
             return entries, attempt, True
 
     def _entries_to_outcomes(

@@ -81,28 +81,51 @@ def profile_workload_documents(task):
     run configuration for the manifest.  Documents cross the pool as
     text rather than profile objects: they are smaller, and the parent
     needs the exact bytes anyway for content addressing.
+
+    When an ambient :class:`~repro.obs.context.TraceContext` is active
+    (the executor re-activates the submitter's, see
+    :func:`repro.parallel.executor._run_chunk`), the workload runs
+    under a traced :class:`~repro.telemetry.spans.Telemetry` and
+    ``meta["span"]`` carries the worker's span tree -- stamped with the
+    shared trace id -- back to the parent for ``absorb_plain``.
     """
     import time
 
     from repro.core.profile_io import dumps
+    from repro.obs.context import current
     from repro.profilers.leap import LeapProfiler
     from repro.profilers.whomp import WhompProfiler
+    from repro.telemetry import NULL_TELEMETRY, Telemetry
     from repro.workloads.registry import create
 
     name, scale, seed, profiler = task
+    context = current()
+    telemetry = NULL_TELEMETRY
+    if context is not None:
+        telemetry = Telemetry()
+        telemetry.trace_id = context.trace_id
     start = time.perf_counter()
-    trace = create(name, scale=scale, seed=seed).trace()
-    documents = []
-    if profiler in ("whomp", "both"):
-        documents.append(("whomp", dumps(WhompProfiler().profile(trace))))
-    if profiler in ("leap", "both"):
-        documents.append(("leap", dumps(LeapProfiler().profile(trace))))
+    with telemetry.span(f"worker:{name}") as span:
+        with telemetry.span("trace-collection") as stage:
+            trace = create(name, scale=scale, seed=seed).trace()
+            stage.add_items(trace.access_count, "accesses")
+        documents = []
+        if profiler in ("whomp", "both"):
+            with telemetry.span("whomp"):
+                documents.append(
+                    ("whomp", dumps(WhompProfiler().profile(trace)))
+                )
+        if profiler in ("leap", "both"):
+            with telemetry.span("leap"):
+                documents.append(("leap", dumps(LeapProfiler().profile(trace))))
     meta = {
         "scale": scale,
         "seed": seed,
         "accesses": trace.access_count,
         "profiling_seconds": time.perf_counter() - start,
     }
+    if context is not None:
+        meta["span"] = span.to_plain()
     return name, documents, meta
 
 
@@ -137,6 +160,12 @@ def run_experiment(task):
 
         injector = FaultInjector(parse_fault_spec(fault_spec), ledger_dir)
     telemetry = Telemetry() if with_telemetry else NULL_TELEMETRY
+    if with_telemetry:
+        from repro.obs.context import current
+
+        ambient = current()
+        if ambient is not None:
+            telemetry.trace_id = ambient.trace_id
     context = SuiteContext(
         scale=scale,
         seed=seed,

@@ -35,6 +35,11 @@ class Quarantine:
     (5, 2, 3)
     """
 
+    #: cap on ``quarantine`` records one instance will emit to a
+    #: TRACELINK sink -- the quarantine itself is unbounded in count,
+    #: but the event ring must not be
+    EVENT_CAP = 32
+
     def __init__(self, limit: int = DEFAULT_QUARANTINE_LIMIT) -> None:
         if limit < 0:
             raise ValueError("quarantine limit must be >= 0")
@@ -42,12 +47,27 @@ class Quarantine:
         self.records: List[Tuple[str, object]] = []
         self.reasons: Dict[str, int] = {}
         self.total = 0
+        #: optional TRACELINK event sink (duck-typed ``emit``)
+        self.events = None
+        self._events_emitted = 0
 
     def add(self, reason: str, record: object) -> None:
         self.total += 1
         self.reasons[reason] = self.reasons.get(reason, 0) + 1
         if len(self.records) < self.limit:
             self.records.append((reason, record))
+        if self.events is not None and self._events_emitted < self.EVENT_CAP:
+            self._events_emitted += 1
+            from repro.obs.context import current
+
+            context = current()
+            self.events.emit(
+                "quarantine",
+                trace=context.trace_id if context is not None else None,
+                span=context.span_id if context is not None else None,
+                reason=reason,
+                total=self.total,
+            )
 
     @property
     def dropped(self) -> int:

@@ -175,6 +175,11 @@ class FaultInjector:
     faults it applied, the parent counts its own.
     """
 
+    #: cap on ``fault`` records one injector will emit -- a high
+    #: corrupt-events probability over a long trace must not flood the
+    #: event ring with millions of identical records
+    EVENT_CAP = 32
+
     def __init__(
         self, plan: FaultPlan, ledger_dir: Optional[str] = None
     ) -> None:
@@ -184,6 +189,34 @@ class FaultInjector:
         self.ledger_dir = ledger_dir
         self.dropped = 0
         self.corrupted = 0
+        #: optional TRACELINK event sink (duck-typed ``emit``); set by
+        #: the owning CLI, never pickled to workers
+        self.events = None
+        self._events_emitted = 0
+
+    def __getstate__(self):
+        # The sink holds a lock (and possibly a file); workers get the
+        # schedule, not the parent's log.
+        state = dict(self.__dict__)
+        state["events"] = None
+        return state
+
+    def _emit(self, fault: str, **fields) -> None:
+        """One capped ``fault`` record, tagged with the ambient trace."""
+        events = self.events
+        if events is None or self._events_emitted >= self.EVENT_CAP:
+            return
+        self._events_emitted += 1
+        from repro.obs.context import current
+
+        context = current()
+        events.emit(
+            "fault",
+            trace=context.trace_id if context is not None else None,
+            span=context.span_id if context is not None else None,
+            fault=fault,
+            **fields,
+        )
 
     # -- at-most-once coordination ------------------------------------
 
@@ -259,8 +292,10 @@ class FaultInjector:
             if isinstance(event, AccessEvent):
                 if self.drops_event(index):
                     self.dropped += 1
+                    self._emit("drop-event", index=index)
                 elif self.corrupts_event(index):
                     self.corrupted += 1
+                    self._emit("corrupt-event", index=index)
                     events.append(self.corrupt_access(event, index))
                 else:
                     events.append(event)
@@ -283,9 +318,11 @@ class FaultInjector:
             state["index"] = index + 1
             if self.drops_event(index):
                 self.dropped += 1
+                self._emit("drop-event", index=index)
                 return None
             if self.corrupts_event(index):
                 self.corrupted += 1
+                self._emit("corrupt-event", index=index)
                 fake = AccessEvent(instruction_id, address, size, kind, 0)
                 damaged = self.corrupt_access(fake, index)
                 return (
@@ -310,6 +347,9 @@ class FaultInjector:
             position = _mix(self.plan.seed, "flip-byte", flip) % len(damaged)
             bit = _mix(self.plan.seed, "flip-bit", flip) % 8
             damaged[position] ^= 1 << bit
+        self._emit(
+            "flip-profile", flips=self.plan.flip_profile, bytes=len(data)
+        )
         return bytes(damaged)
 
     # -- bookkeeping --------------------------------------------------

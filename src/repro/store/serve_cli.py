@@ -64,7 +64,20 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     ingest = sub.add_parser("ingest", help="profile workloads into the store")
-    add_root(ingest)
+    ingest.add_argument(
+        "--root", metavar="DIR",
+        help="store root directory (created if absent); optional when "
+        "--url posts to a daemon instead",
+    )
+    ingest.add_argument(
+        "--url", metavar="URL",
+        help="POST documents to a running daemon (http://host:port) "
+        "instead of / in addition to the local store",
+    )
+    ingest.add_argument(
+        "--trace-out", metavar="PATH",
+        help="mirror this run's structured events (JSONL) to PATH",
+    )
     ingest.add_argument(
         "--workloads", default="all", metavar="W1,W2",
         help="comma-separated workload names, or 'all' for the bundled "
@@ -136,31 +149,104 @@ def build_parser() -> argparse.ArgumentParser:
         help="print spans/metrics in the chosen format on shutdown",
     )
     serve.add_argument("--telemetry-out", metavar="PATH")
+    serve.add_argument(
+        "--trace-out", metavar="PATH",
+        help="mirror the access log (structured JSONL events) to PATH",
+    )
     return parser
 
 
+def _post_document(url: str, text: str, workload: str):
+    """POST one document to a daemon, under the ambient trace context.
+
+    Returns the decoded JSON response; raises ``ValueError`` with the
+    daemon's error text on a non-2xx answer.
+    """
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.context import TRACE_HEADER, current_header
+
+    request = urllib.request.Request(
+        f"{url.rstrip('/')}/ingest?workload={workload}",
+        data=text.encode("utf-8"),
+        method="POST",
+    )
+    header = current_header()
+    if header is not None:
+        request.add_header(TRACE_HEADER, header)
+    try:
+        with urllib.request.urlopen(request, timeout=60.0) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", errors="replace").strip()
+        raise ValueError(f"daemon answered {exc.code}: {detail}") from None
+    except urllib.error.URLError as exc:
+        raise ValueError(f"daemon unreachable: {exc.reason}") from None
+
+
 def _run_ingest(args: argparse.Namespace) -> int:
-    store = ProfileStore(args.root)
+    from repro.obs import start_tracing
+
+    if not args.root and not args.url:
+        print("ingest requires --root and/or --url", file=sys.stderr)
+        return 2
+    store = ProfileStore(args.root) if args.root else None
     injector = None
     if args.inject_faults:
         from repro.resilience import FaultInjector, parse_fault_spec
 
         injector = FaultInjector(parse_fault_spec(args.inject_faults))
 
+    # Every ingest run is traced: the context rides into the pool
+    # workers and (as X-Repro-Trace) to the daemon, and the run closes
+    # with a trace document tying all of it together.
+    telemetry = Telemetry()
+    context, events = start_tracing(telemetry, trace_out=args.trace_out)
+    if injector is not None:
+        injector.events = events
+
     def ingest_document(text: str, workload: str, meta) -> bool:
         data = text.encode("utf-8")
         if injector is not None:
             data = injector.corrupt_bytes(data)
-        try:
-            record = store.ingest_bytes(data, workload, meta=meta)
-        except ProfileFormatError as exc:
-            print(f"REJECTED {workload}: {exc}", file=sys.stderr)
-            return False
-        print(
-            f"ingested {record.run_id} {workload} ({record.kind}, "
-            f"{record.size_bytes} bytes, {record.digest[:12]})"
+        ok = True
+        if store is not None:
+            try:
+                record = store.ingest_bytes(data, workload, meta=meta)
+            except ProfileFormatError as exc:
+                print(f"REJECTED {workload}: {exc}", file=sys.stderr)
+                ok = False
+            else:
+                print(
+                    f"ingested {record.run_id} {workload} ({record.kind}, "
+                    f"{record.size_bytes} bytes, {record.digest[:12]})"
+                )
+        if args.url:
+            with telemetry.span("post"):
+                try:
+                    answer = _post_document(
+                        args.url, data.decode("utf-8", "surrogateescape"),
+                        workload,
+                    )
+                except ValueError as exc:
+                    print(f"REJECTED {workload}: {exc}", file=sys.stderr)
+                    ok = False
+                else:
+                    print(
+                        f"posted {answer.get('run_id')} {workload} "
+                        f"({answer.get('kind')}, "
+                        f"{answer.get('size_bytes')} bytes)"
+                    )
+        events.emit(
+            "ingest",
+            trace=context.trace_id,
+            span=context.span_id,
+            workload=workload,
+            ok=ok,
+            bytes=len(data),
         )
-        return True
+        return ok
 
     rejected = 0
     if args.profiles:
@@ -177,6 +263,7 @@ def _run_ingest(args: argparse.Namespace) -> int:
             workload = os.path.basename(path).split(".")[0]
             if not ingest_document(text, workload, {"source": path}):
                 rejected += 1
+        _close_ingest_trace(args, telemetry, context, events, store)
         return 1 if rejected else 0
 
     names = (
@@ -187,7 +274,7 @@ def _run_ingest(args: argparse.Namespace) -> int:
     from repro.parallel import ParallelExecutor
     from repro.parallel.workers import profile_workload_documents
 
-    executor = ParallelExecutor(jobs=args.jobs)
+    executor = ParallelExecutor(jobs=args.jobs, telemetry=telemetry)
     tasks = [(name, args.scale, args.seed, args.profiler) for name in names]
     outcomes = executor.map_outcomes(
         profile_workload_documents, tasks, label="store-ingest"
@@ -198,14 +285,47 @@ def _run_ingest(args: argparse.Namespace) -> int:
             rejected += 1
             continue
         __, documents, meta = outcome.value
+        span_data = meta.pop("span", None)
+        if span_data is not None:
+            telemetry.root.absorb_plain(span_data)
         for __, text in documents:
             if not ingest_document(text, name, meta):
                 rejected += 1
-    print(
-        f"store now holds {store.stats()['runs']} run(s), "
-        f"{store.stats()['blobs']} blob(s)"
-    )
+    if store is not None:
+        print(
+            f"store now holds {store.stats()['runs']} run(s), "
+            f"{store.stats()['blobs']} blob(s)"
+        )
+    _close_ingest_trace(args, telemetry, context, events, store)
     return 1 if rejected else 0
+
+
+def _close_ingest_trace(args, telemetry, context, events, store) -> None:
+    """Finish the ingest run's trace and persist the document.
+
+    Persistence follows the ``--trace-out`` opt-in: only runs the user
+    asked to trace land a document in the local store (when one is
+    open) and/or the daemon, under the reserved workload name
+    ``trace`` -- a plain ingest must not grow the store beyond the
+    profiles it was asked to ingest.  The trace id is printed either
+    way so scripts can chase it through ``repro-obs`` and ``/tracez``.
+    """
+    from repro.core.profile_io import dumps
+    from repro.obs import finish_tracing
+
+    document = finish_tracing(
+        telemetry, context, events, meta={"command": "ingest"}
+    )
+    if args.trace_out:
+        text = dumps(document)
+        if store is not None:
+            store.ingest_text(text, "trace", meta={"source": "repro-serve"})
+        if args.url:
+            try:
+                _post_document(args.url, text, "trace")
+            except ValueError as exc:
+                print(f"trace document not posted: {exc}", file=sys.stderr)
+    print(f"trace {context.trace_id}")
 
 
 def _run_query(args: argparse.Namespace) -> int:
@@ -304,6 +424,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             port=args.port,
             telemetry=telemetry,
             max_concurrent=args.max_concurrent,
+            trace_out=args.trace_out,
         )
         print(f"serving profile store {args.root} on {server.url}", flush=True)
         try:
@@ -312,6 +433,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             pass
         finally:
             server.httpd.server_close()
+            server.events.flush()
             emit(telemetry, args.telemetry, args.telemetry_out)
         return 0
     parser.error(f"unknown command {args.command!r}")

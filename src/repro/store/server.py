@@ -10,6 +10,11 @@ Endpoints (all JSON unless noted)::
 
     GET  /healthz                     liveness + store snapshot
     GET  /metricsz                    telemetry counters/gauges + cache stats
+                                      (+ p50/p95/p99 per endpoint;
+                                      ``?format=prom`` for scrape text)
+    GET  /tracez                      traces seen by the access log
+                                      (``?trace=ID`` for one trace's
+                                      records + stored documents)
     POST /ingest?workload=NAME        body = profile document; 400 on corrupt
     GET  /get?run=SELECTOR            the exact stored document (bit-identical)
     GET  /query/runs?workload=&kind=  manifest rows
@@ -27,6 +32,15 @@ oversubscribing the process.  Every endpoint is telemetry-threaded --
 per-endpoint request/error counters, a latency histogram, and a span
 per endpoint accumulated under ``serve/`` -- guarded by one lock
 because the registry itself is single-threaded by design.
+
+TRACELINK: every request lands one ``request`` record in the daemon's
+event log (the access log), and a request carrying an ``X-Repro-Trace``
+header runs under a *child* of the sender's context -- its records are
+tagged with the sender's trace id, and the child context is echoed back
+in the response's own ``X-Repro-Trace`` header so clients can confirm
+the linkage.  Per-endpoint latency is summarized by
+:class:`~repro.obs.quantiles.QuantileDigest` (p50/p95/p99 under
+``/metricsz``).
 """
 
 from __future__ import annotations
@@ -39,10 +53,14 @@ from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.core.profile_io import ProfileFormatError
+from repro.obs.context import TRACE_HEADER, TraceContext, activate
+from repro.obs.events import EventLog
+from repro.obs.quantiles import QuantileDigest
 from repro.store.diff import detect_regressions, diff_texts
 from repro.store.query import QueryEngine
 from repro.store.store import ProfileStore
 from repro.telemetry import Telemetry, coalesce
+from repro.telemetry.export import render_prometheus
 
 #: default cap on concurrently served request bodies
 DEFAULT_MAX_CONCURRENT = 8
@@ -95,11 +113,19 @@ class StoreServer:
         port: int = 0,
         telemetry: Optional[Telemetry] = None,
         max_concurrent: int = DEFAULT_MAX_CONCURRENT,
+        trace_out: Optional[str] = None,
+        events: Optional[EventLog] = None,
     ) -> None:
         self.store = store
         self.query = QueryEngine(store)
         self.telemetry = coalesce(telemetry)
         self.metrics = _Metrics(self.telemetry)
+        #: the access log: one ``request`` record per served request,
+        #: mirrored to ``trace_out`` (JSONL) when given
+        self.events = events if events is not None else EventLog(path=trace_out)
+        #: per-endpoint latency digests ("*" aggregates all endpoints);
+        #: guarded by the metrics lock like the registry
+        self.latency: Dict[str, QuantileDigest] = {}
         self.started = time.time()
         self._gate = threading.BoundedSemaphore(max(1, max_concurrent))
         self.max_concurrent = max(1, max_concurrent)
@@ -150,6 +176,7 @@ class StoreServer:
         if self._thread is not None:
             self._thread.join()
         self.httpd.server_close()
+        self.events.flush()
 
     # -- dispatch ------------------------------------------------------
 
@@ -159,10 +186,22 @@ class StoreServer:
         params = {
             key: values[-1] for key, values in parse_qs(parsed.query).items()
         }
+        inbound = TraceContext.from_header(request.headers.get(TRACE_HEADER))
+        context = inbound.child() if inbound is not None else None
         start = time.perf_counter()
+        gate_wait = 0.0
         with self._gate:
+            gate_wait = time.perf_counter() - start
             try:
-                status, payload = self.route(request, method, parsed.path, params)
+                if context is not None:
+                    with activate(context):
+                        status, payload = self.route(
+                            request, method, parsed.path, params
+                        )
+                else:
+                    status, payload = self.route(
+                        request, method, parsed.path, params
+                    )
             except (KeyError, ProfileFormatError, ValueError) as exc:
                 kind = 404 if isinstance(exc, KeyError) else 400
                 status, payload = kind, {"error": str(exc).strip("'\"")}
@@ -172,15 +211,50 @@ class StoreServer:
                 }
         elapsed = time.perf_counter() - start
         self.metrics.record(endpoint, status, elapsed)
-        body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        self._observe(endpoint, elapsed, gate_wait)
+        self.events.emit(
+            "request",
+            trace=context.trace_id if context is not None else None,
+            span=context.span_id if context is not None else None,
+            endpoint=endpoint,
+            method=method,
+            status=status,
+            seconds=elapsed,
+        )
+        if isinstance(payload, str):
+            content_type = "text/plain; charset=utf-8"
+            body = payload.encode("utf-8")
+        else:
+            content_type = "application/json"
+            body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
         try:
             request.send_response(status)
-            request.send_header("Content-Type", "application/json")
+            request.send_header("Content-Type", content_type)
             request.send_header("Content-Length", str(len(body)))
+            if context is not None:
+                request.send_header(TRACE_HEADER, context.to_header())
             request.end_headers()
             request.wfile.write(body)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away; nothing to clean up
+
+    def _observe(self, endpoint: str, elapsed: float, gate_wait: float) -> None:
+        """Fold one request into the latency digests and wait gauges."""
+        with self.metrics.lock:
+            for key in (endpoint, "*"):
+                digest = self.latency.get(key)
+                if digest is None:
+                    digest = self.latency[key] = QuantileDigest()
+                digest.observe(elapsed)
+            if self.telemetry.enabled:
+                self.telemetry.gauge(
+                    "store.http.gate_wait_seconds_max",
+                    "longest wait on the concurrency semaphore",
+                ).set_max(gate_wait)
+                self.telemetry.gauge(
+                    "store.http.gate_wait_seconds_last",
+                    "latest wait on the concurrency semaphore",
+                ).set(gate_wait)
 
     def route(
         self,
@@ -198,7 +272,11 @@ class StoreServer:
             )
             return 200, snapshot
         if path == "/metricsz" and method == "GET":
+            if params.get("format") == "prom":
+                return 200, self._metricsz_prom()
             return 200, self._metricsz()
+        if path == "/tracez" and method == "GET":
+            return 200, self._tracez(params.get("trace"))
         if path == "/ingest" and method == "POST":
             return self._ingest(request, params)
         if path == "/get" and method == "GET":
@@ -256,17 +334,100 @@ class StoreServer:
                     "mean_seconds": latency.mean,
                     "max_seconds": latency.maximum,
                 }
+        with self.metrics.lock:
+            endpoints = {
+                key: digest.summary()
+                for key, digest in self.latency.items()
+                if digest.count
+            }
         hits, misses, evictions = self.store.cache.stats()
         return {
             "counters": counters,
             "gauges": gauges,
             "latency": latency_summary,
+            "endpoints": endpoints,
             "cache": {
                 "hits": hits,
                 "misses": misses,
                 "evictions": evictions,
                 "hit_rate": self.store.cache.hit_rate,
             },
+        }
+
+    def _metricsz_prom(self) -> str:
+        """The scrape view: the telemetry registry in Prometheus text
+        format plus the store-level gauges a scraper wants alongside it
+        (cache effectiveness, semaphore pressure, latency quantiles)."""
+        hits, misses, evictions = self.store.cache.stats()
+        with self.metrics.lock:
+            if self.telemetry.enabled:
+                # Surface cache state as gauges so the exporter carries
+                # them; they are cheap to refresh per scrape.
+                self.telemetry.gauge(
+                    "store.cache.hits", "decoded-profile cache hits"
+                ).set(hits)
+                self.telemetry.gauge(
+                    "store.cache.misses", "decoded-profile cache misses"
+                ).set(misses)
+                self.telemetry.gauge(
+                    "store.cache.evictions", "decoded-profile cache evictions"
+                ).set(evictions)
+            text = render_prometheus(self.telemetry)
+            lines = [text.rstrip("\n")] if text.strip() else []
+            lines.append(
+                "# TYPE repro_store_http_latency_quantile_seconds gauge"
+            )
+            for key, digest in sorted(self.latency.items()):
+                if not digest.count:
+                    continue
+                endpoint = "all" if key == "*" else key
+                for quantile in (0.5, 0.95, 0.99):
+                    lines.append(
+                        "repro_store_http_latency_quantile_seconds"
+                        f'{{endpoint="{endpoint}",quantile="{quantile}"}} '
+                        f"{digest.quantile(quantile):.9g}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    def _tracez(self, trace_id: Optional[str]) -> Dict[str, object]:
+        """Traces the daemon has seen: the access-log view.
+
+        Without ``trace``: one summary row per distinct trace id in the
+        event ring.  With ``trace``: that trace's records plus any
+        stored trace *documents* carrying the id (ingested via
+        ``/ingest``), so a client can recover the full span tree from
+        the daemon alone.
+        """
+        if trace_id is None:
+            traces = []
+            for tid in self.events.trace_ids():
+                records = self.events.records_for_trace(tid)
+                traces.append(
+                    {
+                        "trace_id": tid,
+                        "records": len(records),
+                        "kinds": sorted({str(r.get("kind")) for r in records}),
+                        "first_ts": records[0].get("ts"),
+                        "last_ts": records[-1].get("ts"),
+                    }
+                )
+            return {"traces": traces}
+        records = self.events.records_for_trace(trace_id)
+        documents = []
+        for row in self.query.find_runs(kind="trace"):
+            run_id = str(row.get("run_id"))
+            try:
+                document = json.loads(self.store.get_text(run_id))
+            except (KeyError, ValueError):
+                continue
+            if document.get("trace_id") == trace_id:
+                documents.append({"run_id": run_id, "document": document})
+        if not records and not documents:
+            raise KeyError(f"no such trace: {trace_id}")
+        return {
+            "trace_id": trace_id,
+            "records": records,
+            "documents": documents,
         }
 
     def _ingest(

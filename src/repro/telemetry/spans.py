@@ -20,6 +20,7 @@ byte-for-byte identical.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
@@ -27,10 +28,20 @@ from repro.telemetry.registry import Counter, Gauge, Histogram, Registry
 
 
 class Span:
-    """One node of the span tree: accumulated wall time plus counts."""
+    """One node of the span tree: accumulated wall time plus counts.
+
+    Beyond the duration accounting, every span carries its position on
+    a *shared timeline*: ``start_ts`` / ``end_ts`` are absolute
+    wall-clock stamps (first entry, last exit; 0.0 = never entered), so
+    span trees absorbed from pool workers or remote daemons order
+    correctly against the parent's own spans.  When the owning
+    :class:`Telemetry` has a trace id attached (see
+    :mod:`repro.obs.context`), spans are stamped with it plus a fresh
+    64-bit span id on first entry -- the TRACELINK linkage.
+    """
 
     __slots__ = ("name", "parent", "children", "calls", "seconds", "items",
-                 "unit")
+                 "unit", "trace_id", "span_id", "start_ts", "end_ts")
 
     def __init__(self, name: str, parent: Optional["Span"] = None) -> None:
         self.name = name
@@ -40,6 +51,10 @@ class Span:
         self.seconds = 0.0
         self.items = 0
         self.unit = "items"
+        self.trace_id: Optional[str] = None
+        self.span_id: Optional[str] = None
+        self.start_ts = 0.0
+        self.end_ts = 0.0
 
     def child(self, name: str) -> "Span":
         """Get-or-create the named child (same-name spans merge)."""
@@ -88,13 +103,24 @@ class Span:
             "seconds": self.seconds,
             "items": self.items,
             "unit": self.unit,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "start_ts": self.start_ts,
+            "end_ts": self.end_ts,
             "children": [child.to_plain() for child in self.children.values()],
         }
 
     def absorb_plain(self, data: Dict[str, object]) -> "Span":
         """Merge a :meth:`to_plain` tree (usually from a worker process)
         under this span, accumulating into same-name children exactly
-        like re-entering a live span would."""
+        like re-entering a live span would.
+
+        Timeline fields merge like a re-entry: the earliest non-zero
+        ``start_ts`` and the latest ``end_ts`` win, so a span absorbed
+        from several workers spans their combined wall-clock window.
+        Trace/span ids are adopted only when the live node has none --
+        a node the parent already stamped keeps its identity.
+        """
         node = self.child(str(data["name"]))
         node.calls += int(data.get("calls", 0))
         node.seconds += float(data.get("seconds", 0.0))
@@ -102,6 +128,16 @@ class Span:
         unit = data.get("unit")
         if unit is not None:
             node.unit = str(unit)
+        start_ts = float(data.get("start_ts") or 0.0)
+        if start_ts > 0.0 and (node.start_ts == 0.0 or start_ts < node.start_ts):
+            node.start_ts = start_ts
+        end_ts = float(data.get("end_ts") or 0.0)
+        if end_ts > node.end_ts:
+            node.end_ts = end_ts
+        if node.trace_id is None and data.get("trace_id") is not None:
+            node.trace_id = str(data["trace_id"])
+        if node.span_id is None and data.get("span_id") is not None:
+            node.span_id = str(data["span_id"])
         for child in data.get("children", ()):
             node.absorb_plain(child)
         return node
@@ -116,22 +152,50 @@ class Span:
 class _SpanContext:
     """Context manager driving one enter/exit of a span."""
 
-    __slots__ = ("_telemetry", "_span", "_start")
+    __slots__ = ("_telemetry", "_span", "_start", "_items_at_enter")
 
     def __init__(self, telemetry: "Telemetry", span: Span) -> None:
         self._telemetry = telemetry
         self._span = span
         self._start = 0.0
+        self._items_at_enter = 0
 
     def __enter__(self) -> Span:
-        self._telemetry._stack.append(self._span)
-        self._span.calls += 1
-        self._start = self._telemetry._clock()
-        return self._span
+        telemetry = self._telemetry
+        span = self._span
+        telemetry._stack.append(span)
+        span.calls += 1
+        if telemetry.trace_id is not None and span.trace_id is None:
+            span.trace_id = telemetry.trace_id
+            span.span_id = os.urandom(8).hex()
+        now = time.time()
+        if span.start_ts == 0.0 or now < span.start_ts:
+            span.start_ts = now
+        self._items_at_enter = span.items
+        self._start = telemetry._clock()
+        return span
 
     def __exit__(self, *exc_info) -> bool:
-        self._span.seconds += self._telemetry._clock() - self._start
-        self._telemetry._stack.pop()
+        telemetry = self._telemetry
+        span = self._span
+        elapsed = telemetry._clock() - self._start
+        span.seconds += elapsed
+        span.end_ts = max(span.end_ts, time.time())
+        telemetry._stack.pop()
+        events = telemetry.events
+        if events is not None:
+            # One structured record per stage exit; ``seconds``/``items``
+            # are this entry's own share, so summing stage events
+            # reconstructs the span totals.
+            events.emit(
+                "stage",
+                trace=span.trace_id,
+                span=span.span_id,
+                path=span.path,
+                seconds=elapsed,
+                items=span.items - self._items_at_enter,
+                unit=span.unit,
+            )
         return False
 
 
@@ -157,6 +221,13 @@ class Telemetry:
         self.root = Span("")
         self._stack: List[Span] = [self.root]
         self._clock = clock
+        #: when set (a 32-hex trace id, see :mod:`repro.obs.context`),
+        #: spans are stamped with it plus fresh span ids on first entry
+        self.trace_id: Optional[str] = None
+        #: an optional event sink (duck-typed ``emit(kind, **fields)``,
+        #: usually a :class:`repro.obs.events.EventLog`); span exits
+        #: emit one ``stage`` record each when attached
+        self.events = None
 
     # -- spans ---------------------------------------------------------
 

@@ -1,0 +1,124 @@
+"""TraceContext: ids, the header protocol, and the ambient stack."""
+
+import re
+import threading
+
+from repro.obs.context import (
+    TRACE_HEADER,
+    TraceContext,
+    activate,
+    current,
+    current_header,
+    new_span_id,
+    new_trace_id,
+    set_current,
+)
+
+
+class TestIds:
+    def test_trace_id_is_32_hex(self):
+        assert re.fullmatch(r"[0-9a-f]{32}", new_trace_id())
+
+    def test_span_id_is_16_hex(self):
+        assert re.fullmatch(r"[0-9a-f]{16}", new_span_id())
+
+    def test_fresh_ids_differ(self):
+        assert new_trace_id() != new_trace_id()
+        assert new_span_id() != new_span_id()
+
+
+class TestTraceContext:
+    def test_new_has_no_parent(self):
+        context = TraceContext.new()
+        assert context.parent_id is None
+
+    def test_child_shares_trace_and_links_parent(self):
+        parent = TraceContext.new()
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.span_id != parent.span_id
+        assert child.parent_id == parent.span_id
+
+    def test_header_round_trip(self):
+        context = TraceContext.new()
+        parsed = TraceContext.from_header(context.to_header())
+        assert parsed is not None
+        assert parsed.trace_id == context.trace_id
+        assert parsed.span_id == context.span_id
+
+    def test_header_name_is_stable(self):
+        # The wire protocol: daemon and clients must agree forever.
+        assert TRACE_HEADER == "X-Repro-Trace"
+
+    def test_malformed_headers_parse_to_none(self):
+        for bad in (
+            None,
+            "",
+            "nonsense",
+            "deadbeef-cafe",  # too short
+            "g" * 32 + "-" + "0" * 16,  # non-hex
+            "0" * 32 + ":" + "0" * 16,  # wrong separator
+            "0" * 33 + "-" + "0" * 16,  # too long
+        ):
+            assert TraceContext.from_header(bad) is None
+
+    def test_header_parse_tolerates_case_and_whitespace(self):
+        context = TraceContext.new()
+        parsed = TraceContext.from_header(
+            "  " + context.to_header().upper() + " "
+        )
+        assert parsed == TraceContext(context.trace_id, context.span_id)
+
+    def test_equality_and_hash(self):
+        context = TraceContext("ab" * 16, "cd" * 8)
+        twin = TraceContext("ab" * 16, "cd" * 8)
+        assert context == twin
+        assert hash(context) == hash(twin)
+        assert context != twin.child()
+
+
+class TestAmbient:
+    def teardown_method(self):
+        set_current(None)
+
+    def test_process_context(self):
+        context = TraceContext.new()
+        set_current(context)
+        assert current() is context
+        assert current_header() == context.to_header()
+        set_current(None)
+        assert current() is None
+        assert current_header() is None
+
+    def test_activation_nests_and_pops(self):
+        outer = TraceContext.new()
+        inner = outer.child()
+        with activate(outer):
+            assert current() is outer
+            with activate(inner):
+                assert current() is inner
+            assert current() is outer
+        assert current() is None
+
+    def test_thread_stack_shadows_process_context(self):
+        process_ctx = TraceContext.new()
+        set_current(process_ctx)
+        scoped = process_ctx.child()
+        with activate(scoped):
+            assert current() is scoped
+        assert current() is process_ctx
+
+    def test_threads_have_independent_stacks(self):
+        set_current(TraceContext.new())
+        seen = {}
+
+        def probe():
+            # The other thread's activations must not leak here; the
+            # process-wide fallback still applies.
+            seen["context"] = current()
+
+        with activate(TraceContext.new()):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert seen["context"] is current()

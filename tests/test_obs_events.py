@@ -1,0 +1,148 @@
+"""The structured event log: ring, file sink, and defensive reading."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    EventLog,
+    filter_events,
+    read_events,
+)
+
+
+class TestRing:
+    def test_records_carry_schema_and_timestamp(self):
+        log = EventLog(clock=lambda: 123.5)
+        record = log.emit("stage", path="whomp", seconds=0.25)
+        assert record["v"] == EVENT_SCHEMA_VERSION
+        assert record["ts"] == 123.5
+        assert record["kind"] == "stage"
+        assert record["path"] == "whomp"
+
+    def test_trace_and_span_fields_are_optional(self):
+        log = EventLog()
+        bare = log.emit("request")
+        tagged = log.emit("request", trace="ab" * 16, span="cd" * 8)
+        assert "trace" not in bare and "span" not in bare
+        assert tagged["trace"] == "ab" * 16
+
+    def test_ring_evicts_oldest_first(self):
+        log = EventLog(capacity=3)
+        for index in range(7):
+            log.emit("stage", index=index)
+        assert [r["index"] for r in log.tail()] == [4, 5, 6]
+        assert log.emitted == 7
+        assert len(log) == 3
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_tail_count_and_copies(self):
+        log = EventLog()
+        for index in range(5):
+            log.emit("stage", index=index)
+        last_two = log.tail(2)
+        assert [r["index"] for r in last_two] == [3, 4]
+        last_two[0]["index"] = 99  # copies: the ring is unaffected
+        assert [r["index"] for r in log.tail(2)] == [3, 4]
+
+    def test_records_for_trace_and_trace_ids(self):
+        log = EventLog()
+        log.emit("stage", trace="a" * 32)
+        log.emit("request", trace="b" * 32)
+        log.emit("stage", trace="a" * 32)
+        log.emit("stage")
+        assert len(log.records_for_trace("a" * 32)) == 2
+        assert log.trace_ids() == ["a" * 32, "b" * 32]
+
+    def test_concurrent_emitters_lose_nothing(self):
+        log = EventLog(capacity=10_000)
+
+        def hammer(tag):
+            for __ in range(500):
+                log.emit("stage", tag=tag)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert log.emitted == 2000
+        assert len(log) == 2000
+
+
+class TestFileSink:
+    def test_flushes_every_n_records(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(path=path, flush_every=3)
+        log.emit("stage", index=0)
+        log.emit("stage", index=1)
+        assert read_events(path) == []  # below the flush threshold
+        log.emit("stage", index=2)
+        assert [r["index"] for r in read_events(path)] == [0, 1, 2]
+
+    def test_flush_persists_the_remainder(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(path=path, flush_every=100)
+        log.emit("stage")
+        log.flush()
+        assert len(read_events(path)) == 1
+        log.close()  # close is just a final flush
+        assert len(read_events(path)) == 1
+
+    def test_file_outlives_the_ring(self, tmp_path):
+        # The ring is bounded; the sink is the full stream.
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(capacity=2, path=path, flush_every=1)
+        for index in range(6):
+            log.emit("stage", index=index)
+        assert len(log.tail()) == 2
+        assert [r["index"] for r in read_events(path)] == list(range(6))
+
+
+class TestReadEvents:
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_events(str(tmp_path / "absent.jsonl")) == []
+
+    def test_skips_torn_foreign_and_newer_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        good = json.dumps({"v": 1, "ts": 1.0, "kind": "stage"})
+        newer = json.dumps(
+            {"v": EVENT_SCHEMA_VERSION + 1, "ts": 2.0, "kind": "stage"}
+        )
+        path.write_text(
+            "\n".join(
+                [
+                    good,
+                    '{"v": 1, "ts": 3.0, "kind": "sta',  # torn mid-write
+                    "[1, 2, 3]",  # valid JSON, wrong shape
+                    '{"no": "kind", "v": 1}',
+                    newer,
+                    "",
+                    good,
+                ]
+            )
+        )
+        records = read_events(str(path))
+        assert len(records) == 2
+        assert all(r["kind"] == "stage" for r in records)
+
+
+class TestFilterEvents:
+    def test_filters_by_kind_and_trace(self):
+        records = [
+            {"kind": "stage", "trace": "a"},
+            {"kind": "request", "trace": "a"},
+            {"kind": "stage", "trace": "b"},
+        ]
+        assert len(filter_events(records, kind="stage")) == 2
+        assert len(filter_events(records, trace="a")) == 2
+        assert filter_events(records, kind="stage", trace="b") == [
+            {"kind": "stage", "trace": "b"}
+        ]

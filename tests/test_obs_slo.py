@@ -1,0 +1,183 @@
+"""Declarative SLOs: parsing, evaluation verdicts, and rendering."""
+
+import json
+
+import pytest
+
+from repro.obs.slo import (
+    SloError,
+    evaluate_slos,
+    load_slo_file,
+    parse_slo_document,
+    render_slo_results,
+)
+
+
+def latency_rule(**overrides):
+    rule = {
+        "name": "ingest-p99",
+        "kind": "latency",
+        "event": "request",
+        "match": {"endpoint": "ingest"},
+        "quantile": 0.99,
+        "max_seconds": 0.5,
+    }
+    rule.update(overrides)
+    return rule
+
+
+def document(*rules):
+    return {"version": 1, "slos": list(rules)}
+
+
+def request_events(seconds_list, endpoint="ingest"):
+    return [
+        {"v": 1, "ts": 0.0, "kind": "request", "endpoint": endpoint,
+         "seconds": seconds}
+        for seconds in seconds_list
+    ]
+
+
+class TestParsing:
+    def test_parses_latency_and_dilation(self):
+        rules = parse_slo_document(
+            document(
+                latency_rule(),
+                {"name": "overhead", "kind": "dilation",
+                 "numerator": "whomp/compression", "denominator": "whomp",
+                 "max_ratio": 0.9},
+            )
+        )
+        assert [r.kind for r in rules] == ["latency", "dilation"]
+        assert rules[0].match == {"endpoint": "ingest"}
+        assert rules[1].max_ratio == 0.9
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(SloError, match="version"):
+            parse_slo_document({"version": 99, "slos": [latency_rule()]})
+
+    def test_rejects_empty_rules(self):
+        with pytest.raises(SloError, match="non-empty"):
+            parse_slo_document({"version": 1, "slos": []})
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(SloError, match="unknown kind"):
+            parse_slo_document(
+                document({"name": "x", "kind": "throughput"})
+            )
+
+    def test_rejects_missing_threshold(self):
+        bad = latency_rule()
+        del bad["max_seconds"]
+        with pytest.raises(SloError):
+            parse_slo_document(document(bad))
+
+    def test_rejects_quantile_outside_unit_interval(self):
+        with pytest.raises(SloError, match="quantile"):
+            parse_slo_document(document(latency_rule(quantile=1.5)))
+
+    def test_rejects_nameless_rule(self):
+        with pytest.raises(SloError, match="name"):
+            parse_slo_document(document({"kind": "latency"}))
+
+    def test_load_slo_file(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(document(latency_rule())))
+        assert len(load_slo_file(str(path))) == 1
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text("{nope")
+        with pytest.raises(SloError, match="not valid JSON"):
+            load_slo_file(str(path))
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(SloError, match="cannot read"):
+            load_slo_file(str(tmp_path / "absent.json"))
+
+
+class TestLatencyEvaluation:
+    def test_ok_when_quantile_under_threshold(self):
+        rules = parse_slo_document(document(latency_rule(max_seconds=1.0)))
+        results = evaluate_slos(rules, request_events([0.1] * 100))
+        assert results[0].ok
+        assert results[0].measured == pytest.approx(0.1, rel=0.05)
+
+    def test_breach_when_quantile_over_threshold(self):
+        rules = parse_slo_document(document(latency_rule(max_seconds=0.05)))
+        results = evaluate_slos(rules, request_events([0.1] * 100))
+        assert not results[0].ok
+
+    def test_match_filters_events(self):
+        rules = parse_slo_document(document(latency_rule(max_seconds=0.5)))
+        events = request_events([10.0] * 50, endpoint="diff") + request_events(
+            [0.01] * 50
+        )
+        results = evaluate_slos(rules, events)
+        assert results[0].ok  # the slow events are another endpoint's
+
+    def test_no_data_breaches_by_default(self):
+        rules = parse_slo_document(document(latency_rule()))
+        results = evaluate_slos(rules, [])
+        assert not results[0].ok
+        assert results[0].detail == "no data"
+        assert results[0].measured is None
+
+    def test_no_data_allowed_when_opted_in(self):
+        rules = parse_slo_document(document(latency_rule(allow_missing=True)))
+        assert evaluate_slos(rules, [])[0].ok
+
+
+class TestDilationEvaluation:
+    @staticmethod
+    def stage(path, seconds):
+        return {"v": 1, "ts": 0.0, "kind": "stage", "path": path,
+                "seconds": seconds}
+
+    def rules(self, max_ratio):
+        return parse_slo_document(
+            document(
+                {"name": "overhead", "kind": "dilation",
+                 "numerator": "whomp/compression", "denominator": "whomp",
+                 "max_ratio": max_ratio}
+            )
+        )
+
+    def test_ok_and_breach(self):
+        events = [
+            self.stage("whomp", 2.0),
+            self.stage("whomp/compression", 1.0),
+        ]
+        assert evaluate_slos(self.rules(0.6), events)[0].ok
+        result = evaluate_slos(self.rules(0.4), events)[0]
+        assert not result.ok
+        assert result.measured == pytest.approx(0.5)
+
+    def test_missing_denominator_breaches(self):
+        result = evaluate_slos(
+            self.rules(0.5), [self.stage("whomp/compression", 1.0)]
+        )[0]
+        assert not result.ok
+        assert "no data" in result.detail
+
+
+class TestRendering:
+    def test_render_marks_breaches_and_counts(self):
+        rules = parse_slo_document(
+            document(
+                latency_rule(name="fast", max_seconds=10.0),
+                latency_rule(name="slow", max_seconds=1e-6),
+            )
+        )
+        text = render_slo_results(
+            evaluate_slos(rules, request_events([0.01] * 10))
+        )
+        assert "OK" in text and "BREACH" in text
+        assert "2 SLO(s) evaluated, 1 breach(es)" in text
+
+    def test_results_serialize(self):
+        rules = parse_slo_document(document(latency_rule()))
+        payload = evaluate_slos(rules, request_events([0.01]))[0].to_json()
+        assert set(payload) == {
+            "name", "kind", "ok", "measured", "threshold", "detail"
+        }

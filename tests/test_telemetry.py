@@ -18,6 +18,7 @@ from repro.telemetry import (
     telemetry_to_dict,
 )
 from repro.telemetry.registry import Counter, Gauge, Histogram
+from repro.telemetry.spans import Span
 
 
 class TestCounter:
@@ -155,6 +156,44 @@ class TestSpans:
         (stage,) = telemetry.spans()
         assert stage.calls == 1
         assert telemetry.current_span is telemetry.root
+
+    def test_spans_sit_on_a_shared_timeline(self):
+        telemetry = Telemetry()
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                pass
+        (outer,) = telemetry.spans()
+        inner = outer.children["inner"]
+        # wall-clock endpoints: first entry, last exit, properly nested
+        assert 0.0 < outer.start_ts <= inner.start_ts
+        assert inner.end_ts <= outer.end_ts
+
+    def test_reentry_keeps_first_start_and_last_end(self):
+        telemetry = Telemetry()
+        with telemetry.span("stage"):
+            pass
+        (stage,) = telemetry.spans()
+        first_start, first_end = stage.start_ts, stage.end_ts
+        with telemetry.span("stage"):
+            pass
+        assert stage.start_ts == first_start
+        assert stage.end_ts >= first_end
+
+    def test_plain_form_round_trips_timeline_and_trace_fields(self):
+        telemetry = Telemetry()
+        telemetry.trace_id = "ab" * 16
+        with telemetry.span("stage") as span:
+            span.add_items(7, "accesses")
+        plain = telemetry.spans()[0].to_plain()
+        assert plain["trace_id"] == "ab" * 16
+        assert len(plain["span_id"]) == 16
+        assert plain["start_ts"] > 0.0
+        assert plain["end_ts"] >= plain["start_ts"]
+        absorbed = Span("").absorb_plain(plain)
+        assert absorbed.trace_id == plain["trace_id"]
+        assert absorbed.span_id == plain["span_id"]
+        assert absorbed.start_ts == plain["start_ts"]
+        assert absorbed.end_ts == plain["end_ts"]
 
 
 class TestNullTelemetry:
