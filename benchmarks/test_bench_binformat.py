@@ -1,0 +1,73 @@
+"""BINCAP bench: binary vs JSON size and codec speed, eight workloads.
+
+The acceptance bar for the binary profile format: across the WHOMP and
+LEAP documents of the eight bundled workloads (the seven SPEC stand-ins
+plus ``micro.array``), the binary encoding must be at least 3x smaller
+than JSON in aggregate and must decode at least as fast in aggregate.
+Per-kind numbers are printed so a regression in one codec is visible
+even while the aggregate still clears the bar.
+"""
+
+import time
+
+from conftest import once
+
+from repro.core.profile_io import dumps_bytes, loads_bytes
+
+
+def bundled_documents(context):
+    """(workload, kind, profile) for the eight-workload WHOMP/LEAP set."""
+    names = list(context.benchmarks) + ["micro.array"]
+    rows = []
+    for name in names:
+        rows.append((name, "whomp", context.whomp(name)))
+        rows.append((name, "leap", context.leap(name)))
+    return rows
+
+
+def _timed_decode(payloads, repeats=5):
+    best = None
+    for __ in range(repeats):
+        start = time.perf_counter()
+        for data in payloads:
+            loads_bytes(data)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def test_binary_size_and_codec_speed(benchmark, context):
+    rows = bundled_documents(context)
+
+    def encode_all():
+        return [
+            (name, kind, dumps_bytes(profile, "json"),
+             dumps_bytes(profile, "binary"))
+            for name, kind, profile in rows
+        ]
+
+    encoded = once(benchmark, encode_all)
+
+    json_bytes = sum(len(j) for __, __, j, __ in encoded)
+    bin_bytes = sum(len(b) for __, __, __, b in encoded)
+    json_time = _timed_decode([j for __, __, j, __ in encoded])
+    bin_time = _timed_decode([b for __, __, __, b in encoded])
+
+    print()
+    by_kind = {}
+    for name, kind, j, b in encoded:
+        sizes = by_kind.setdefault(kind, [0, 0])
+        sizes[0] += len(j)
+        sizes[1] += len(b)
+    for kind, (jsize, bsize) in sorted(by_kind.items()):
+        print(f"{kind}: json {jsize} B, binary {bsize} B "
+              f"({jsize / max(1, bsize):.2f}x smaller)")
+    print(f"aggregate: json {json_bytes} B, binary {bin_bytes} B "
+          f"({json_bytes / max(1, bin_bytes):.2f}x smaller)")
+    print(f"decode: json {json_time * 1e3:.2f} ms, "
+          f"binary {bin_time * 1e3:.2f} ms "
+          f"({json_time / max(1e-9, bin_time):.2f}x faster)")
+
+    # acceptance: >= 3x smaller AND no slower to decode, in aggregate
+    assert bin_bytes * 3 <= json_bytes
+    assert bin_time <= json_time

@@ -38,6 +38,9 @@ compression, plus the metric registry described in README's
 
 Profiles are written in the versioned JSON formats of
 :mod:`repro.core.profile_io` and can be reloaded for post-processing.
+``run`` and ``lang`` also accept ``--format binary`` to write the
+compact BINCAP binary encoding (``*.whomp.bin`` / ``*.leap.bin``);
+``dump`` and ``diff`` read either encoding transparently.
 """
 
 from __future__ import annotations
@@ -50,7 +53,7 @@ from typing import List, Optional
 
 from repro.analysis.tracestats import characterize, format_statistics
 from repro.core.events import Trace
-from repro.core.profile_io import save
+from repro.core.profile_io import SERIALIZATIONS, save
 from repro.profilers.leap import LeapProfiler
 from repro.profilers.whomp import WhompProfiler
 from repro.telemetry import MODES, NULL_TELEMETRY, Telemetry, emit
@@ -85,7 +88,7 @@ def _collect_lang_trace(path: str, telemetry=None) -> Trace:
 
 def _write_profiles(
     trace: Trace, profiler: str, out_dir: str, stem: str, telemetry=None,
-    jobs: int = 1, degraded: bool = False,
+    jobs: int = 1, degraded: bool = False, fmt: str = "json",
 ) -> None:
     """Profile ``trace`` and write each profile atomically (a crash
     mid-write leaves the previous file, never a truncated one).
@@ -101,12 +104,13 @@ def _write_profiles(
         quarantine = Quarantine()
         if telemetry is not None and telemetry.events is not None:
             quarantine.events = telemetry.events
+    suffix = "json" if fmt == "json" else "bin"
     if profiler in ("whomp", "both"):
         profile = WhompProfiler(
             telemetry=telemetry, jobs=jobs, quarantine=quarantine
         ).profile(trace)
-        path = os.path.join(out_dir, f"{stem}.whomp.json")
-        save(profile, path)
+        path = os.path.join(out_dir, f"{stem}.whomp.{suffix}")
+        save(profile, path, fmt=fmt)
         completeness = (
             f", {profile.capture_completeness:.1%} capture completeness"
             if degraded
@@ -120,8 +124,8 @@ def _write_profiles(
         profile = LeapProfiler(
             telemetry=telemetry, jobs=jobs, quarantine=quarantine
         ).profile(trace)
-        path = os.path.join(out_dir, f"{stem}.leap.json")
-        save(profile, path)
+        path = os.path.join(out_dir, f"{stem}.leap.{suffix}")
+        save(profile, path, fmt=fmt)
         completeness = (
             f", {profile.capture_completeness:.1%} capture completeness"
             if degraded
@@ -143,18 +147,16 @@ def _write_profiles(
 
 
 def _dump_profile(path: str, limit: int, parser) -> int:
-    """Pretty-print a saved WHOMP or LEAP profile."""
-    import json
-
-    from repro.core.profile_io import ProfileFormatError, load
+    """Pretty-print a saved WHOMP or LEAP profile (either encoding)."""
+    from repro.core.profile_io import ProfileFormatError, load, sniff_format
 
     if not os.path.exists(path):
         parser.error(f"no such file: {path}")
-    with open(path) as handle:
-        try:
-            kind = json.load(handle).get("format")
-        except ValueError:
-            kind = None
+    try:
+        with open(path, "rb") as handle:
+            kind = sniff_format(handle.read())
+    except (OSError, ProfileFormatError):
+        kind = None
     if kind == "whomp":
         try:
             data = load(path)
@@ -202,18 +204,18 @@ def _run_diff(path_a: str, path_b: str, as_json: bool, parser) -> int:
     import json as json_module
 
     from repro.core.profile_io import ProfileFormatError
-    from repro.store.diff import detect_regressions, diff_texts, render_diff
+    from repro.store.diff import detect_regressions, diff_blobs, render_diff
 
     for path in (path_a, path_b):
         if not os.path.exists(path):
             parser.error(f"no such file: {path}")
     try:
-        with open(path_a) as handle:
-            text_a = handle.read()
-        with open(path_b) as handle:
-            text_b = handle.read()
-        diff = diff_texts(
-            text_a, text_b,
+        with open(path_a, "rb") as handle:
+            data_a = handle.read()
+        with open(path_b, "rb") as handle:
+            data_b = handle.read()
+        diff = diff_blobs(
+            data_a, data_b,
             label_a=os.path.basename(path_a),
             label_b=os.path.basename(path_b),
         )
@@ -349,6 +351,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="quarantine untrustworthy tuples instead of failing; "
         "profiles report capture completeness",
     )
+    run.add_argument(
+        "--format", choices=SERIALIZATIONS, default="json", dest="fmt",
+        help="profile file encoding: json (readable) or binary (compact "
+        "BINCAP, *.whomp.bin / *.leap.bin)",
+    )
     _add_jobs_argument(run)
     _add_telemetry_arguments(run)
 
@@ -361,6 +368,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="quarantine untrustworthy tuples instead of failing; "
         "profiles report capture completeness",
+    )
+    lang.add_argument(
+        "--format", choices=SERIALIZATIONS, default="json", dest="fmt",
+        help="profile file encoding: json (readable) or binary (compact "
+        "BINCAP, *.whomp.bin / *.leap.bin)",
     )
     _add_jobs_argument(lang)
     _add_telemetry_arguments(lang)
@@ -408,7 +420,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list registered workloads")
 
     dump = sub.add_parser("dump", help="inspect a saved profile file")
-    dump.add_argument("path", help="a .whomp.json or .leap.json file")
+    dump.add_argument(
+        "path", help="a saved profile file (JSON or BINCAP binary)"
+    )
     dump.add_argument(
         "--limit", type=int, default=20, help="max rows to print per section"
     )
@@ -459,7 +473,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"trace: {trace.access_count} accesses")
         _write_profiles(
             trace, args.profiler, args.out, args.workload, telemetry=telemetry,
-            jobs=args.jobs, degraded=args.degraded,
+            jobs=args.jobs, degraded=args.degraded, fmt=args.fmt,
         )
         finish_trace()
         emit(telemetry, telemetry_mode, args.telemetry_out)
@@ -491,7 +505,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         stem = os.path.splitext(os.path.basename(args.source))[0]
         _write_profiles(
             trace, args.profiler, args.out, stem, telemetry=telemetry,
-            jobs=args.jobs, degraded=args.degraded,
+            jobs=args.jobs, degraded=args.degraded, fmt=args.fmt,
         )
         finish_trace()
         emit(telemetry, telemetry_mode, args.telemetry_out)

@@ -38,3 +38,24 @@ def atomic_write_text(path: str, content: str) -> None:
         except OSError:
             pass
         raise
+
+
+def atomic_write_bytes(path: str, content: bytes) -> None:
+    """Binary twin of :func:`atomic_write_text`, for BINCAP profiles."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    descriptor, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(content)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise

@@ -1,9 +1,14 @@
 """Profile serialization.
 
 Profiles are the artifact a feedback-directed compiler consumes in a
-later build, so they must survive a round trip to disk.  The format is
-versioned JSON: human-inspectable, diff-friendly, and adequate for the
-profile sizes object-relative compression produces.
+later build, so they must survive a round trip to disk.  Two encodings
+carry the same versioned documents: JSON (human-inspectable,
+diff-friendly, the canonical store form) and the BINCAP binary format
+(:mod:`repro.core.binformat`) -- framed, varint/delta-encoded, several
+times smaller, and the fast path for streamed ingest.  The bytes-level
+API (:func:`dumps_bytes` / :func:`loads_bytes` /
+:func:`document_from_bytes`) routes on the binary magic, so every
+consumer accepts either encoding transparently.
 
 Supported payloads: :class:`~repro.profilers.whomp.WhompProfile`
 (grammars stored as productions, re-expandable),
@@ -28,19 +33,25 @@ can never leave a truncated profile where a good one stood.
 
 from __future__ import annotations
 
+import io
 import json
-from typing import IO, Dict, List, Optional, Tuple
+import re
+from typing import IO, Dict, List, Optional, Tuple, Union
 
 from repro.baselines.dependence_lossless import DependenceProfile
 from repro.compression.lmad import LMAD, LMADProfileEntry, OverflowSummary
 from repro.compression.sequitur import Ref, SequiturGrammar
+from repro.core import binformat
 from repro.core.events import AccessKind
-from repro.core.fsutil import atomic_write_text
+from repro.core.fsutil import atomic_write_bytes, atomic_write_text
 from repro.core.tuples import DIMENSIONS
 from repro.profilers.leap import LeapProfile
 from repro.profilers.whomp import WhompProfile
 
 FORMAT_VERSION = 1
+
+#: serialization encodings the path/bytes-level API can produce
+SERIALIZATIONS = ("json", "binary")
 
 
 class ProfileFormatError(Exception):
@@ -162,8 +173,9 @@ def _expand_productions(
 # -- WHOMP ----------------------------------------------------------------
 
 
-def save_whomp(profile: WhompProfile, stream: IO[str]) -> None:
-    document = {
+def _whomp_document(profile: WhompProfile) -> Dict[str, object]:
+    """The canonical document dict, shared by both serializers."""
+    return {
         "format": "whomp",
         "version": FORMAT_VERSION,
         "access_count": profile.access_count,
@@ -180,7 +192,10 @@ def save_whomp(profile: WhompProfile, stream: IO[str]) -> None:
         "lifetimes": [list(row) for row in profile.lifetimes],
         "group_labels": {str(k): v for k, v in profile.group_labels.items()},
     }
-    json.dump(document, stream)
+
+
+def save_whomp(profile: WhompProfile, stream: IO[str]) -> None:
+    json.dump(_whomp_document(profile), stream)
 
 
 def load_whomp_streams(stream: IO[str]) -> Dict[str, object]:
@@ -200,8 +215,14 @@ def _decode_whomp(document: Dict[str, object]) -> Dict[str, object]:
     _require_version(document, "whomp")
     try:
         access_count = _count_field(document, "access_count")
+        # bottom-up memoized expansion (the ingest hot path); pathological
+        # grammar shapes are delegated back to the bounded iterative walker
         streams = {
-            name: _expand_productions(grammar_data, max_symbols=access_count)
+            name: binformat.expand_productions_fast(
+                grammar_data,
+                max_symbols=access_count,
+                fallback=_expand_productions,
+            )
             for name, grammar_data in document["grammars"].items()
         }
         missing = [name for name in DIMENSIONS if name not in streams]
@@ -237,7 +258,7 @@ def _decode_whomp(document: Dict[str, object]) -> Dict[str, object]:
 # -- LEAP --------------------------------------------------------------------
 
 
-def save_leap(profile: LeapProfile, stream: IO[str]) -> None:
+def _leap_document(profile: LeapProfile) -> Dict[str, object]:
     entries = []
     for (instruction, group), entry in sorted(profile.entries.items()):
         overflow = entry.overflow
@@ -260,7 +281,7 @@ def save_leap(profile: LeapProfile, stream: IO[str]) -> None:
                 },
             }
         )
-    document = {
+    return {
         "format": "leap",
         "version": FORMAT_VERSION,
         "budget": profile.budget,
@@ -273,7 +294,10 @@ def save_leap(profile: LeapProfile, stream: IO[str]) -> None:
         "group_labels": {str(k): v for k, v in profile.group_labels.items()},
         "lifetimes": [list(row) for row in profile.lifetimes],
     }
-    json.dump(document, stream)
+
+
+def save_leap(profile: LeapProfile, stream: IO[str]) -> None:
+    json.dump(_leap_document(profile), stream)
 
 
 def load_leap(stream: IO[str]) -> LeapProfile:
@@ -331,8 +355,8 @@ def _decode_leap(document: Dict[str, object]) -> LeapProfile:
 # -- dependence tables -------------------------------------------------------
 
 
-def save_dependence(profile: DependenceProfile, stream: IO[str]) -> None:
-    document = {
+def _dependence_document(profile: DependenceProfile) -> Dict[str, object]:
+    return {
         "format": "dependence",
         "version": FORMAT_VERSION,
         "conflicts": [
@@ -342,7 +366,10 @@ def save_dependence(profile: DependenceProfile, stream: IO[str]) -> None:
         "load_counts": {str(k): v for k, v in profile.load_counts.items()},
         "store_counts": {str(k): v for k, v in profile.store_counts.items()},
     }
-    json.dump(document, stream)
+
+
+def save_dependence(profile: DependenceProfile, stream: IO[str]) -> None:
+    json.dump(_dependence_document(profile), stream)
 
 
 def load_dependence(stream: IO[str]) -> DependenceProfile:
@@ -447,12 +474,6 @@ def load_trace(stream: IO[str]) -> Dict[str, object]:
 
 # -- path-level API -----------------------------------------------------------
 
-_SAVERS = (
-    (WhompProfile, save_whomp),
-    (LeapProfile, save_leap),
-    (DependenceProfile, save_dependence),
-)
-
 _DECODERS = {
     "whomp": _decode_whomp,
     "leap": _decode_leap,
@@ -464,6 +485,20 @@ _DECODERS = {
 FORMATS = tuple(sorted(_DECODERS))
 
 
+def _document_for(profile: object) -> Dict[str, object]:
+    """The canonical document dict for any supported profile object."""
+    for cls, builder in (
+        (WhompProfile, _whomp_document),
+        (LeapProfile, _leap_document),
+        (DependenceProfile, _dependence_document),
+    ):
+        if isinstance(profile, cls):
+            return builder(profile)
+    if isinstance(profile, dict) and profile.get("format") == "trace":
+        return _decode_trace(profile)
+    raise TypeError(f"unsupported profile type {type(profile).__name__}")
+
+
 def dumps(profile: object) -> str:
     """Serialize any supported profile to its canonical document text.
 
@@ -471,18 +506,37 @@ def dumps(profile: object) -> str:
     store keys blobs by the sha256 of this text, so two ingests of the
     same profile deduplicate to one blob.
     """
-    import io
-
-    for cls, saver in _SAVERS:
-        if isinstance(profile, cls):
-            buffer = io.StringIO()
-            saver(profile, buffer)
-            return buffer.getvalue()
     if isinstance(profile, dict) and profile.get("format") == "trace":
-        buffer = io.StringIO()
-        save_trace(profile, buffer)
-        return buffer.getvalue()
-    raise TypeError(f"unsupported profile type {type(profile).__name__}")
+        return json.dumps(_decode_trace(profile), sort_keys=True)
+    return json.dumps(_document_for(profile))
+
+
+def dumps_bytes(profile: object, fmt: str = "json") -> bytes:
+    """Serialize a profile to bytes in the requested encoding.
+
+    ``fmt`` is ``"json"`` (UTF-8 of :func:`dumps`) or ``"binary"``
+    (the BINCAP format).  Trace documents are JSON-only; asking for a
+    binary trace raises :class:`ProfileFormatError`.
+    """
+    if fmt == "json":
+        return dumps(profile).encode("utf-8")
+    if fmt != "binary":
+        raise ValueError(f"unknown serialization {fmt!r} (want {SERIALIZATIONS})")
+    try:
+        return binformat.encode_document(_document_for(profile))
+    except binformat.BinaryFormatError as exc:
+        raise ProfileFormatError(str(exc)) from exc
+
+
+def profile_from_document(document: Dict[str, object]) -> object:
+    """Decode a JSON-shape document dict into its profile object,
+    dispatching on the ``format`` field (the common tail of
+    :func:`loads` and :func:`loads_bytes`)."""
+    fmt = document.get("format")
+    decoder = _DECODERS.get(fmt)
+    if decoder is None:
+        raise ProfileFormatError(f"unknown profile format {fmt!r}")
+    return decoder(document)
 
 
 def loads(text: str) -> object:
@@ -492,24 +546,88 @@ def loads(text: str) -> object:
     contract: a valid profile or :class:`ProfileFormatError`, nothing in
     between.
     """
-    import io
-
-    document = _load_document(io.StringIO(text))
-    fmt = document.get("format")
-    decoder = _DECODERS.get(fmt)
-    if decoder is None:
-        raise ProfileFormatError(f"unknown profile format {fmt!r}")
-    return decoder(document)
+    return profile_from_document(_load_document(io.StringIO(text)))
 
 
-def sniff_format(text: str) -> str:
+def document_from_bytes(data: Union[bytes, bytearray]) -> Dict[str, object]:
+    """Decode either encoding back to its JSON-shape document dict.
+
+    Binary bytes (BINCAP magic) are frame-decoded and CRC-checked; any
+    other bytes must be a UTF-8 JSON object.  The result is the common
+    currency of the differ and the daemon's ``/get`` endpoint --
+    downstream code never needs to know which encoding arrived.
+    """
+    data = bytes(data)
+    try:
+        if binformat.sniff_kind(data) is not None:
+            return binformat.decode_document(data)
+    except binformat.BinaryFormatError as exc:
+        raise ProfileFormatError(str(exc)) from exc
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProfileFormatError(
+            f"profile bytes are neither binary nor UTF-8 JSON: {exc}"
+        ) from exc
+    return _load_document(io.StringIO(text))
+
+
+def loads_bytes(data: Union[bytes, bytearray]) -> object:
+    """Decode a profile from bytes in either encoding (magic-routed).
+
+    Binary WHOMP documents take a fast path
+    (:func:`repro.core.binformat.decode_whomp_streams`) that expands
+    grammars straight off the wire encoding; it enforces the same
+    checks and returns the same stream dict as the document route.
+    """
+    data = bytes(data)
+    try:
+        if binformat.sniff_kind(data) == "whomp":
+            return binformat.decode_whomp_streams(data, DIMENSIONS)
+    except binformat.BinaryFormatError as exc:
+        raise ProfileFormatError(str(exc)) from exc
+    return profile_from_document(document_from_bytes(data))
+
+
+#: canonical documents serialize their ``format`` field first, so a
+#: bounded prefix scan finds it without parsing the whole document
+_SNIFF_PREFIX = 4096
+_SNIFF_RE = re.compile(r'"format"\s*:\s*"([a-z]+)"')
+
+
+def sniff_format(payload: Union[str, bytes, bytearray]) -> str:
     """The ``format`` field of a profile document (cheap validity gate).
 
-    Raises :class:`ProfileFormatError` when the text is not a JSON
-    object carrying a recognized format name.
+    Cheap means cheap: binary documents are identified from the 8-byte
+    magic plus the header frame, and JSON documents from a bounded scan
+    of the first few KiB (canonical documents put ``format`` first), so
+    sniffing a multi-megabyte document costs microseconds either way.
+    Non-canonical JSON falls back to a full parse.  Raises
+    :class:`ProfileFormatError` when the payload carries no recognized
+    format name.  Note the gate sniffs, it does not validate -- feed
+    the payload to :func:`loads` / :func:`loads_bytes` for that.
     """
-    import io
-
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        data = bytes(payload)
+        try:
+            kind = binformat.sniff_kind(data)
+        except binformat.BinaryFormatError as exc:
+            raise ProfileFormatError(str(exc)) from exc
+        if kind is not None:
+            if kind not in _DECODERS:
+                raise ProfileFormatError(f"unknown profile format {kind!r}")
+            return kind
+        try:
+            text = data.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProfileFormatError(
+                f"profile bytes are neither binary nor UTF-8 JSON: {exc}"
+            ) from exc
+    else:
+        text = payload
+    match = _SNIFF_RE.search(text[:_SNIFF_PREFIX])
+    if match and match.group(1) in _DECODERS and text.lstrip()[:1] == "{":
+        return match.group(1)
     document = _load_document(io.StringIO(text))
     fmt = document.get("format")
     if fmt not in _DECODERS:
@@ -517,19 +635,23 @@ def sniff_format(text: str) -> str:
     return fmt
 
 
-def save(profile: object, path: str) -> None:
+def save(profile: object, path: str, fmt: str = "json") -> None:
     """Serialize any supported profile to ``path`` atomically.
 
     The document is fully rendered in memory, written to a temp file in
     the target directory, fsynced, and renamed into place -- a crash at
     any instant leaves either the previous file or the complete new
-    one, never a truncation.
+    one, never a truncation.  ``fmt`` selects the encoding (see
+    :data:`SERIALIZATIONS`).
     """
-    atomic_write_text(path, dumps(profile))
+    if fmt == "json":
+        atomic_write_text(path, dumps(profile))
+    else:
+        atomic_write_bytes(path, dumps_bytes(profile, fmt))
 
 
 def load(path: str) -> object:
-    """Load any supported profile file, sniffing the ``format`` field.
+    """Load any supported profile file, sniffing the encoding + format.
 
     Returns what the format's loader returns: a stream dict for WHOMP
     (see :func:`load_whomp_streams`), a :class:`LeapProfile`, or a
@@ -537,12 +659,8 @@ def load(path: str) -> object:
     anything unreadable or unrecognized (including an unreadable path).
     """
     try:
-        with open(path) as handle:
-            document = _load_document(handle)
+        with open(path, "rb") as handle:
+            data = handle.read()
     except OSError as exc:
         raise ProfileFormatError(f"cannot read {path!r}: {exc}") from exc
-    fmt = document.get("format")
-    decoder = _DECODERS.get(fmt)
-    if decoder is None:
-        raise ProfileFormatError(f"unknown profile format {fmt!r}")
-    return decoder(document)
+    return loads_bytes(data)

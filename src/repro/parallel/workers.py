@@ -73,14 +73,17 @@ def profile_workload_documents(task):
     """Store-ingest worker: trace one workload and serialize its
     profiles.
 
-    Task: ``(name, scale, seed, profiler)`` with ``profiler`` one of
-    ``whomp`` / ``leap`` / ``both``.  Returns ``(name, [(kind, text),
-    ...], meta)`` where each ``text`` is the canonical profile document
-    (what :func:`repro.core.profile_io.dumps` produces) ready for
-    ``ProfileStore.ingest_text`` in the parent, and ``meta`` carries the
-    run configuration for the manifest.  Documents cross the pool as
-    text rather than profile objects: they are smaller, and the parent
-    needs the exact bytes anyway for content addressing.
+    Task: ``(name, scale, seed, profiler)`` or ``(name, scale, seed,
+    profiler, fmt)`` with ``profiler`` one of ``whomp`` / ``leap`` /
+    ``both`` and ``fmt`` a :data:`repro.core.profile_io.SERIALIZATIONS`
+    name (default ``"json"``).  Returns ``(name, [(kind, payload),
+    ...], meta)`` where each ``payload`` is the serialized profile
+    document bytes (see :func:`repro.core.profile_io.dumps_bytes`)
+    ready for ``ProfileStore.ingest_bytes`` in the parent, and ``meta``
+    carries the run configuration for the manifest.  Documents cross
+    the pool serialized rather than as profile objects: they are
+    smaller, and the parent needs the exact bytes anyway for content
+    addressing.
 
     When an ambient :class:`~repro.obs.context.TraceContext` is active
     (the executor re-activates the submitter's, see
@@ -91,14 +94,15 @@ def profile_workload_documents(task):
     """
     import time
 
-    from repro.core.profile_io import dumps
+    from repro.core.profile_io import dumps_bytes
     from repro.obs.context import current
     from repro.profilers.leap import LeapProfiler
     from repro.profilers.whomp import WhompProfiler
     from repro.telemetry import NULL_TELEMETRY, Telemetry
     from repro.workloads.registry import create
 
-    name, scale, seed, profiler = task
+    name, scale, seed, profiler = task[:4]
+    fmt = task[4] if len(task) > 4 else "json"
     context = current()
     telemetry = NULL_TELEMETRY
     if context is not None:
@@ -113,11 +117,13 @@ def profile_workload_documents(task):
         if profiler in ("whomp", "both"):
             with telemetry.span("whomp"):
                 documents.append(
-                    ("whomp", dumps(WhompProfiler().profile(trace)))
+                    ("whomp", dumps_bytes(WhompProfiler().profile(trace), fmt))
                 )
         if profiler in ("leap", "both"):
             with telemetry.span("leap"):
-                documents.append(("leap", dumps(LeapProfiler().profile(trace))))
+                documents.append(
+                    ("leap", dumps_bytes(LeapProfiler().profile(trace), fmt))
+                )
     meta = {
         "scale": scale,
         "seed": seed,

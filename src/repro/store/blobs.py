@@ -26,6 +26,8 @@ from typing import Iterator
 
 from repro.core.profile_io import ProfileFormatError
 
+_HEX = frozenset("0123456789abcdef")
+
 
 def sha256_hex(data: bytes) -> str:
     """The content address of ``data``."""
@@ -109,17 +111,23 @@ class BlobStore:
         return True
 
     def digests(self) -> Iterator[str]:
-        """Every digest present on disk (unordered)."""
+        """Every digest present on disk (unordered).
+
+        Only names that actually form a sha256 hex digest are yielded:
+        a stray file in a fan dir (an editor backup, a foreign temp
+        file) must not surface as a digest that :meth:`path` would then
+        reject mid-iteration in ``stored_bytes()`` / ``gc()``.
+        """
         try:
             fans = os.listdir(self.directory)
         except OSError:
             return
         for fan in fans:
             fan_dir = os.path.join(self.directory, fan)
-            if len(fan) != 2 or not os.path.isdir(fan_dir):
+            if len(fan) != 2 or not set(fan) <= _HEX or not os.path.isdir(fan_dir):
                 continue
             for rest in os.listdir(fan_dir):
-                if not rest.endswith(".tmp"):
+                if len(rest) == 62 and set(rest) <= _HEX:
                     yield fan + rest
 
     def stored_bytes(self) -> int:

@@ -22,11 +22,14 @@ fail a run whose profile got structurally worse than the baseline
 from __future__ import annotations
 
 import dataclasses
-import json
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.baselines.dependence_lossless import DependenceProfile
-from repro.core.profile_io import ProfileFormatError, loads, sniff_format
+from repro.core.profile_io import (
+    ProfileFormatError,
+    document_from_bytes,
+    profile_from_document,
+)
 from repro.profilers.leap import LeapProfile
 
 #: default relative-growth tolerance for size/ratio regressions
@@ -287,27 +290,46 @@ def diff_dependence(
 # -- entry points -------------------------------------------------------------
 
 
-def diff_texts(
-    text_a: str, text_b: str, label_a: str = "a", label_b: str = "b"
+def diff_blobs(
+    data_a: Union[bytes, bytearray],
+    data_b: Union[bytes, bytearray],
+    label_a: str = "a",
+    label_b: str = "b",
 ) -> ProfileDiff:
-    """Diff two serialized profile documents of the same format."""
-    fmt_a = sniff_format(text_a)
-    fmt_b = sniff_format(text_b)
+    """Diff two serialized profile documents of the same format.
+
+    Each side may be either encoding (JSON or BINCAP binary) -- the
+    structural diff works off the decoded documents, so a binary run
+    diffs cleanly against a JSON baseline.  Every malformed input
+    raises :class:`ProfileFormatError` (parse failures included), never
+    a bare ``json.JSONDecodeError``.
+    """
+    doc_a = document_from_bytes(data_a)
+    doc_b = document_from_bytes(data_b)
+    fmt_a = doc_a.get("format")
+    fmt_b = doc_b.get("format")
     if fmt_a != fmt_b:
         raise ProfileFormatError(
             f"cannot diff a {fmt_a} profile against a {fmt_b} profile"
         )
     if fmt_a == "whomp":
-        return diff_whomp_documents(
-            json.loads(text_a), json.loads(text_b), label_a, label_b
-        )
-    a = loads(text_a)
-    b = loads(text_b)
-    if fmt_a == "leap":
-        assert isinstance(a, LeapProfile) and isinstance(b, LeapProfile)
+        return diff_whomp_documents(doc_a, doc_b, label_a, label_b)
+    a = profile_from_document(doc_a)
+    b = profile_from_document(doc_b)
+    if isinstance(a, LeapProfile) and isinstance(b, LeapProfile):
         return diff_leap(a, b, label_a, label_b)
-    assert isinstance(a, DependenceProfile) and isinstance(b, DependenceProfile)
-    return diff_dependence(a, b, label_a, label_b)
+    if isinstance(a, DependenceProfile) and isinstance(b, DependenceProfile):
+        return diff_dependence(a, b, label_a, label_b)
+    raise ProfileFormatError(f"format {fmt_a!r} has no structural diff")
+
+
+def diff_texts(
+    text_a: str, text_b: str, label_a: str = "a", label_b: str = "b"
+) -> ProfileDiff:
+    """Text-level convenience wrapper around :func:`diff_blobs`."""
+    return diff_blobs(
+        text_a.encode("utf-8"), text_b.encode("utf-8"), label_a, label_b
+    )
 
 
 def detect_regressions(

@@ -5,6 +5,10 @@ Subcommands::
     repro-serve ingest --root DIR [--workloads W1,W2|all] [--jobs N]
         Profile workloads (in up to N worker processes) and ingest the
         documents; or ingest existing files with --profiles.
+        ``--format binary`` serializes BINCAP binary documents;
+        ``--stream --url URL`` profiles serially and streams each
+        document to the daemon's ``/ingest/stream`` over one chunked
+        request as soon as it is captured.
 
     repro-serve query --root DIR [--workload W] [--kind K] [...]
         List matching runs, or per-(instruction, group) entries with
@@ -38,8 +42,8 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.core.profile_io import ProfileFormatError
-from repro.store.diff import detect_regressions, diff_texts, render_diff
+from repro.core.profile_io import SERIALIZATIONS, ProfileFormatError
+from repro.store.diff import detect_regressions, diff_blobs, render_diff
 from repro.store.query import QueryEngine
 from repro.store.store import ProfileStore
 from repro.telemetry import MODES, NULL_TELEMETRY, Telemetry, emit
@@ -102,6 +106,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault drill: bit-flip each document per the plan's "
         "flip-profile clause before ingest",
     )
+    ingest.add_argument(
+        "--format", choices=SERIALIZATIONS, default="json", dest="fmt",
+        help="profile document serialization (default: json)",
+    )
+    ingest.add_argument(
+        "--stream", action="store_true",
+        help="stream documents to --url over one chunked "
+        "/ingest/stream request as each workload finishes (serial)",
+    )
 
     query = sub.add_parser("query", help="list runs or entries")
     add_root(query)
@@ -156,11 +169,12 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _post_document(url: str, text: str, workload: str):
+def _post_document(url: str, data: bytes, workload: str):
     """POST one document to a daemon, under the ambient trace context.
 
-    Returns the decoded JSON response; raises ``ValueError`` with the
-    daemon's error text on a non-2xx answer.
+    ``data`` is the serialized document -- JSON or BINCAP binary bytes
+    travel the same way.  Returns the decoded JSON response; raises
+    ``ValueError`` with the daemon's error text on a non-2xx answer.
     """
     import urllib.error
     import urllib.request
@@ -169,7 +183,7 @@ def _post_document(url: str, text: str, workload: str):
 
     request = urllib.request.Request(
         f"{url.rstrip('/')}/ingest?workload={workload}",
-        data=text.encode("utf-8"),
+        data=data,
         method="POST",
     )
     header = current_header()
@@ -206,8 +220,7 @@ def _run_ingest(args: argparse.Namespace) -> int:
     if injector is not None:
         injector.events = events
 
-    def ingest_document(text: str, workload: str, meta) -> bool:
-        data = text.encode("utf-8")
+    def ingest_document(data: bytes, workload: str, meta) -> bool:
         if injector is not None:
             data = injector.corrupt_bytes(data)
         ok = True
@@ -225,10 +238,7 @@ def _run_ingest(args: argparse.Namespace) -> int:
         if args.url:
             with telemetry.span("post"):
                 try:
-                    answer = _post_document(
-                        args.url, data.decode("utf-8", "surrogateescape"),
-                        workload,
-                    )
+                    answer = _post_document(args.url, data, workload)
                 except ValueError as exc:
                     print(f"REJECTED {workload}: {exc}", file=sys.stderr)
                     ok = False
@@ -253,7 +263,7 @@ def _run_ingest(args: argparse.Namespace) -> int:
         for path in args.profiles:
             try:
                 with open(path, "rb") as handle:
-                    text = handle.read().decode("utf-8", errors="surrogateescape")
+                    data = handle.read()
             except OSError as exc:
                 print(f"REJECTED {path}: {exc}", file=sys.stderr)
                 rejected += 1
@@ -261,7 +271,7 @@ def _run_ingest(args: argparse.Namespace) -> int:
             import os
 
             workload = os.path.basename(path).split(".")[0]
-            if not ingest_document(text, workload, {"source": path}):
+            if not ingest_document(data, workload, {"source": path}):
                 rejected += 1
         _close_ingest_trace(args, telemetry, context, events, store)
         return 1 if rejected else 0
@@ -271,11 +281,21 @@ def _run_ingest(args: argparse.Namespace) -> int:
         if args.workloads == "all"
         else [n for n in args.workloads.split(",") if n]
     )
+    if args.stream:
+        if not args.url:
+            print("--stream requires --url", file=sys.stderr)
+            return 2
+        code = _stream_ingest(args, names, telemetry, context, events, injector)
+        _close_ingest_trace(args, telemetry, context, events, store)
+        return code
     from repro.parallel import ParallelExecutor
     from repro.parallel.workers import profile_workload_documents
 
     executor = ParallelExecutor(jobs=args.jobs, telemetry=telemetry)
-    tasks = [(name, args.scale, args.seed, args.profiler) for name in names]
+    tasks = [
+        (name, args.scale, args.seed, args.profiler, args.fmt)
+        for name in names
+    ]
     outcomes = executor.map_outcomes(
         profile_workload_documents, tasks, label="store-ingest"
     )
@@ -288,8 +308,8 @@ def _run_ingest(args: argparse.Namespace) -> int:
         span_data = meta.pop("span", None)
         if span_data is not None:
             telemetry.root.absorb_plain(span_data)
-        for __, text in documents:
-            if not ingest_document(text, name, meta):
+        for __, data in documents:
+            if not ingest_document(data, name, meta):
                 rejected += 1
     if store is not None:
         print(
@@ -298,6 +318,105 @@ def _run_ingest(args: argparse.Namespace) -> int:
         )
     _close_ingest_trace(args, telemetry, context, events, store)
     return 1 if rejected else 0
+
+
+def _stream_ingest(args, names, telemetry, context, events, injector) -> int:
+    """Profile serially, streaming each document as soon as it exists.
+
+    One chunked ``POST /ingest/stream`` carries the whole session: the
+    daemon validates and stores every document the moment its CRC
+    verifies, so runs appear while later workloads are still being
+    profiled -- the capture never sits complete on this side first.
+    """
+    import http.client
+    from urllib.parse import quote, urlsplit
+
+    from repro.core.binformat import StreamWriter
+    from repro.obs.context import TRACE_HEADER, current_header
+    from repro.parallel.workers import profile_workload_documents
+
+    split = urlsplit(args.url)
+    conn_cls = (
+        http.client.HTTPSConnection
+        if split.scheme == "https"
+        else http.client.HTTPConnection
+    )
+    connection = conn_cls(split.netloc, timeout=120.0)
+    sent = 0
+
+    def body():
+        nonlocal sent
+        pending = []
+        writer = StreamWriter(pending.append)
+        writer.begin()
+        for name in names:
+            with telemetry.span(f"profile/{name}"):
+                __, documents, meta = profile_workload_documents(
+                    (name, args.scale, args.seed, args.profiler, args.fmt)
+                )
+            span_data = meta.pop("span", None)
+            if span_data is not None:
+                telemetry.root.absorb_plain(span_data)
+            for __, data in documents:
+                if injector is not None:
+                    data = injector.corrupt_bytes(data)
+                writer.send_document(name, data, meta=meta)
+                sent += 1
+                events.emit(
+                    "ingest",
+                    trace=context.trace_id,
+                    span=context.span_id,
+                    workload=name,
+                    ok=True,
+                    bytes=len(data),
+                    streamed=True,
+                )
+            yield b"".join(pending)
+            pending.clear()
+        writer.close()
+        yield b"".join(pending)
+
+    headers = {"Transfer-Encoding": "chunked"}
+    trace_header = current_header()
+    if trace_header is not None:
+        headers[TRACE_HEADER] = trace_header
+    path = "/ingest/stream"
+    if len(names) == 1:
+        path += f"?workload={quote(names[0])}"
+    try:
+        connection.request(
+            "POST", path, body=body(), headers=headers, encode_chunked=True
+        )
+        response = connection.getresponse()
+        answer = json.loads(response.read().decode("utf-8"))
+        status = response.status
+    except (OSError, ValueError) as exc:
+        print(f"stream failed: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        connection.close()
+    for row in answer.get("ingested", ()):
+        print(
+            f"streamed {row.get('run_id')} ({row.get('kind')}, "
+            f"{row.get('size_bytes')} bytes)"
+        )
+    for row in answer.get("rejected", ()):
+        print(
+            f"REJECTED {row.get('workload')}: {row.get('error')}",
+            file=sys.stderr,
+        )
+    completeness = answer.get("capture_completeness")
+    print(
+        f"stream: sent {sent}, ingested {len(answer.get('ingested', ()))}, "
+        f"rejected {len(answer.get('rejected', ()))}, "
+        f"completeness {completeness}"
+    )
+    degraded = (
+        status >= 400
+        or answer.get("rejected")
+        or not answer.get("complete", False)
+    )
+    return 1 if degraded else 0
 
 
 def _close_ingest_trace(args, telemetry, context, events, store) -> None:
@@ -322,7 +441,7 @@ def _close_ingest_trace(args, telemetry, context, events, store) -> None:
             store.ingest_text(text, "trace", meta={"source": "repro-serve"})
         if args.url:
             try:
-                _post_document(args.url, text, "trace")
+                _post_document(args.url, text.encode("utf-8"), "trace")
             except ValueError as exc:
                 print(f"trace document not posted: {exc}", file=sys.stderr)
     print(f"trace {context.trace_id}")
@@ -376,9 +495,9 @@ def _run_diff(args: argparse.Namespace) -> int:
     try:
         record_a = store.resolve(args.a)
         record_b = store.resolve(args.b)
-        diff = diff_texts(
-            store.get_text(record_a.run_id),
-            store.get_text(record_b.run_id),
+        diff = diff_blobs(
+            store.get_bytes(record_a.run_id),
+            store.get_bytes(record_b.run_id),
             label_a=f"{record_a.run_id} ({record_a.workload})",
             label_b=f"{record_b.run_id} ({record_b.workload})",
         )

@@ -15,8 +15,14 @@ Endpoints (all JSON unless noted)::
     GET  /tracez                      traces seen by the access log
                                       (``?trace=ID`` for one trace's
                                       records + stored documents)
-    POST /ingest?workload=NAME        body = profile document; 400 on corrupt
-    GET  /get?run=SELECTOR            the exact stored document (bit-identical)
+    POST /ingest?workload=NAME        body = profile document (JSON or
+                                      BINCAP binary); 400 on corrupt,
+                                      413 over the body cap
+    POST /ingest/stream?workload=NAME body = BINCAP document stream;
+                                      each document lands as its CRC
+                                      verifies, torn tails degrade
+    GET  /get?run=SELECTOR            the stored document (either
+                                      encoding, served as JSON)
     GET  /query/runs?workload=&kind=  manifest rows
     GET  /query/entries?...           per-(instruction, group) LEAP rows
     GET  /query/shapes?run=SELECTOR   LMAD stride fingerprint of one run
@@ -52,11 +58,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from repro.core.binformat import StreamReader
 from repro.core.profile_io import ProfileFormatError
 from repro.obs.context import TRACE_HEADER, TraceContext, activate
 from repro.obs.events import EventLog
 from repro.obs.quantiles import QuantileDigest
-from repro.store.diff import detect_regressions, diff_texts
+from repro.store.diff import detect_regressions, diff_blobs
 from repro.store.query import QueryEngine
 from repro.store.store import ProfileStore
 from repro.telemetry import Telemetry, coalesce
@@ -65,8 +72,25 @@ from repro.telemetry.export import render_prometheus
 #: default cap on concurrently served request bodies
 DEFAULT_MAX_CONCURRENT = 8
 
+#: default cap on one request body / streamed document (64 MiB); a
+#: profile document larger than this is a client bug, not a workload
+DEFAULT_MAX_BODY_BYTES = 64 << 20
+
 #: request-latency histogram buckets (seconds)
 LATENCY_BUCKETS = tuple(0.0001 * (4 ** p) for p in range(8))
+
+
+class RequestError(ValueError):
+    """A malformed request, carrying the HTTP status to answer with.
+
+    Subclasses :class:`ValueError` so code that predates it still maps
+    it to a 4xx, but the dispatcher honours :attr:`status` (400 for
+    malformed framing, 413 for oversized bodies) when it can.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
 
 
 class _Metrics:
@@ -115,6 +139,7 @@ class StoreServer:
         max_concurrent: int = DEFAULT_MAX_CONCURRENT,
         trace_out: Optional[str] = None,
         events: Optional[EventLog] = None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
     ) -> None:
         self.store = store
         self.query = QueryEngine(store)
@@ -129,6 +154,7 @@ class StoreServer:
         self.started = time.time()
         self._gate = threading.BoundedSemaphore(max(1, max_concurrent))
         self.max_concurrent = max(1, max_concurrent)
+        self.max_body_bytes = max_body_bytes
 
         server = self
 
@@ -202,6 +228,8 @@ class StoreServer:
                     status, payload = self.route(
                         request, method, parsed.path, params
                     )
+            except RequestError as exc:
+                status, payload = exc.status, {"error": str(exc)}
             except (KeyError, ProfileFormatError, ValueError) as exc:
                 kind = 404 if isinstance(exc, KeyError) else 400
                 status, payload = kind, {"error": str(exc).strip("'\"")}
@@ -277,11 +305,14 @@ class StoreServer:
             return 200, self._metricsz()
         if path == "/tracez" and method == "GET":
             return 200, self._tracez(params.get("trace"))
+        if path == "/ingest/stream" and method == "POST":
+            return self._ingest_stream(request, params)
         if path == "/ingest" and method == "POST":
             return self._ingest(request, params)
         if path == "/get" and method == "GET":
-            text = self.store.get_text(self._required(params, "run"))
-            return 200, json.loads(text)
+            # get_document decodes either encoding to the JSON document
+            # shape, so binary-encoded runs are served like JSON ones.
+            return 200, self.store.get_document(self._required(params, "run"))
         if path == "/query/runs" and method == "GET":
             return 200, {
                 "runs": self.query.find_runs(
@@ -430,24 +461,103 @@ class StoreServer:
             "documents": documents,
         }
 
+    # -- request bodies ------------------------------------------------
+
+    def _body_chunks(self, request: BaseHTTPRequestHandler):
+        """Yield the request body as chunks, whatever its framing.
+
+        ``BaseHTTPRequestHandler`` hands us the raw socket stream, so
+        both framings are decoded here: a validated ``Content-Length``
+        read in bounded pieces (a short read is a 400, not a silently
+        truncated document), or ``Transfer-Encoding: chunked`` -- which
+        the stdlib server does *not* decode -- for clients streaming a
+        body whose length they do not know yet.  Oversized bodies are
+        a 413 before the bytes are buffered anywhere.
+        """
+        encoding = (request.headers.get("Transfer-Encoding") or "").lower()
+        if "chunked" in encoding:
+            yield from self._chunked_body(request.rfile)
+            return
+        raw = (request.headers.get("Content-Length") or "").strip()
+        if not raw.isdigit():
+            raise RequestError(
+                400, f"missing or malformed Content-Length: {raw!r}"
+            )
+        length = int(raw)
+        if length > self.max_body_bytes:
+            raise RequestError(
+                413,
+                f"body of {length} bytes exceeds the "
+                f"{self.max_body_bytes}-byte cap",
+            )
+        remaining = length
+        while remaining > 0:
+            piece = request.rfile.read(min(remaining, 1 << 16))
+            if not piece:
+                raise RequestError(
+                    400,
+                    f"request body truncated: read {length - remaining} "
+                    f"of {length} bytes",
+                )
+            remaining -= len(piece)
+            yield piece
+
+    def _chunked_body(self, rfile):
+        """Decode one ``Transfer-Encoding: chunked`` body from the wire."""
+        total = 0
+        while True:
+            line = rfile.readline(128)
+            if not line or not line.endswith(b"\n"):
+                raise RequestError(400, "truncated chunked body")
+            size_text = line.split(b";", 1)[0].strip()
+            try:
+                size = int(size_text, 16)
+            except ValueError:
+                raise RequestError(
+                    400, f"malformed chunk size {size_text!r}"
+                ) from None
+            if size == 0:
+                # trailer section, then the final blank line
+                while True:
+                    trailer = rfile.readline(1024)
+                    if trailer in (b"\r\n", b"\n", b""):
+                        return
+                continue
+            total += size
+            if total > self.max_body_bytes:
+                raise RequestError(
+                    413,
+                    f"chunked body exceeds the "
+                    f"{self.max_body_bytes}-byte cap",
+                )
+            pieces = []
+            remaining = size
+            while remaining > 0:
+                piece = rfile.read(min(remaining, 1 << 16))
+                if not piece:
+                    raise RequestError(400, "truncated chunk payload")
+                remaining -= len(piece)
+                pieces.append(piece)
+            yield b"".join(pieces)
+            terminator = rfile.readline(4)
+            if terminator not in (b"\r\n", b"\n"):
+                raise RequestError(400, "malformed chunk terminator")
+
+    def _read_body(self, request: BaseHTTPRequestHandler) -> bytes:
+        return b"".join(self._body_chunks(request))
+
+    # -- ingest --------------------------------------------------------
+
     def _ingest(
         self, request: BaseHTTPRequestHandler, params: Dict[str, str]
     ) -> Tuple[int, object]:
         workload = self._required(params, "workload")
-        length = int(request.headers.get("Content-Length") or 0)
-        if length <= 0:
-            raise ValueError("ingest requires a profile document body")
-        data = request.rfile.read(length)
+        data = self._read_body(request)
+        if not data:
+            raise RequestError(400, "ingest requires a profile document body")
         meta = {"source": "http"}
         record = self.store.ingest_bytes(data, workload, meta=meta)
-        if self.telemetry.enabled:
-            with self.metrics.lock:
-                self.telemetry.counter(
-                    "store.ingested_total", "profiles ingested"
-                ).inc()
-                self.telemetry.counter(
-                    "store.ingested_bytes_total", "profile bytes ingested"
-                ).inc(len(data))
+        self._count_ingest(len(data))
         return 201, {
             "run_id": record.run_id,
             "digest": record.digest,
@@ -455,14 +565,112 @@ class StoreServer:
             "size_bytes": record.size_bytes,
         }
 
+    def _count_ingest(self, size: int) -> None:
+        if not self.telemetry.enabled:
+            return
+        with self.metrics.lock:
+            self.telemetry.counter(
+                "store.ingested_total", "profiles ingested"
+            ).inc()
+            self.telemetry.counter(
+                "store.ingested_bytes_total", "profile bytes ingested"
+            ).inc(size)
+
+    def _ingest_stream(
+        self, request: BaseHTTPRequestHandler, params: Dict[str, str]
+    ) -> Tuple[int, object]:
+        """Ingest a BINCAP document stream while it is still arriving.
+
+        Each document is validated and stored the moment its DOC_END
+        verifies, so a long capture session lands runs incrementally
+        rather than after one giant upload.  A producer dying
+        mid-stream degrades instead of failing: documents already
+        verified stay ingested, the torn tail is counted, and the
+        response (and the ``stream_ingest`` event) carries
+        ``capture_completeness`` -- the store never holds a torn blob
+        because only CRC-verified documents reach ``ingest_bytes``.
+        """
+        default_workload = params.get("workload")
+        reader = StreamReader(max_document_bytes=self.max_body_bytes)
+        ingested = []
+        rejected = []
+        error: Optional[str] = None
+
+        def consume(events) -> None:
+            for event in events:
+                if event[0] == "doc":
+                    __, workload, meta, blob = event
+                    meta = dict(meta)
+                    meta["source"] = "http-stream"
+                    try:
+                        record = self.store.ingest_bytes(
+                            blob, workload or default_workload or "unknown",
+                            meta=meta,
+                        )
+                    except ProfileFormatError as exc:
+                        rejected.append(
+                            {"workload": workload, "error": str(exc)}
+                        )
+                        continue
+                    self._count_ingest(len(blob))
+                    ingested.append(
+                        {
+                            "run_id": record.run_id,
+                            "digest": record.digest,
+                            "kind": record.kind,
+                            "size_bytes": record.size_bytes,
+                        }
+                    )
+                elif event[0] == "torn":
+                    rejected.append(
+                        {"workload": event[1], "error": event[2]}
+                    )
+
+        try:
+            for piece in self._body_chunks(request):
+                consume(reader.feed(piece))
+        except RequestError as exc:
+            # Framing died mid-stream (truncated chunk, connection
+            # cut): keep what verified, report the wreck as degraded.
+            error = str(exc)
+        except (ValueError, OSError) as exc:
+            error = str(exc) or type(exc).__name__
+        summary = reader.summary()
+        degraded = bool(error) or not summary["complete"] or bool(rejected)
+        self.events.emit(
+            "stream_ingest",
+            workload=default_workload,
+            documents=summary["documents"],
+            torn=summary["torn"],
+            ingested=len(ingested),
+            rejected=len(rejected),
+            complete=summary["complete"],
+            capture_completeness=summary["capture_completeness"],
+            error=error,
+        )
+        if not ingested and degraded:
+            raise RequestError(
+                400, error or "stream carried no ingestible documents"
+            )
+        payload = {
+            "ingested": ingested,
+            "rejected": rejected,
+            "documents": summary["documents"],
+            "complete": summary["complete"] and not rejected,
+            "capture_completeness": summary["capture_completeness"],
+        }
+        if error:
+            payload["error"] = error
+        return (201 if not degraded else 200), payload
+
     def _diff(self, params: Dict[str, str]) -> Dict[str, object]:
         selector_a = self._required(params, "a")
         selector_b = self._required(params, "b")
         record_a = self.store.resolve(selector_a)
         record_b = self.store.resolve(selector_b)
-        diff = diff_texts(
-            self.store.get_text(record_a.run_id),
-            self.store.get_text(record_b.run_id),
+        diff = diff_blobs(
+            self.store.get_bytes(record_a.run_id),
+            self.store.get_bytes(record_b.run_id),
             label_a=record_a.run_id,
             label_b=record_b.run_id,
         )

@@ -31,7 +31,13 @@ import threading
 import time
 from typing import Dict, List, Optional
 
-from repro.core.profile_io import ProfileFormatError, dumps, loads, sniff_format
+from repro.core.profile_io import (
+    ProfileFormatError,
+    document_from_bytes,
+    dumps_bytes,
+    loads_bytes,
+    sniff_format,
+)
 from repro.resilience import atomic_write_text
 from repro.store.blobs import BlobStore
 from repro.store.cache import LRUCache
@@ -157,16 +163,18 @@ class ProfileStore:
     ) -> RunRecord:
         """Validate, store, and record one serialized profile document.
 
-        The profiler kind is sniffed from the document itself.  Raises
-        :class:`ProfileFormatError` before anything touches disk when
-        the document does not decode cleanly.
+        The profiler kind and encoding (JSON or BINCAP binary) are
+        sniffed from the document itself; the encoding lands in
+        ``meta["encoding"]``.  Raises :class:`ProfileFormatError`
+        before anything touches disk when the document does not decode
+        cleanly.
         """
-        try:
-            text = data.decode("utf-8")
-        except UnicodeDecodeError as exc:
-            raise ProfileFormatError(f"profile is not UTF-8: {exc}") from exc
-        kind = sniff_format(text)
-        loads(text)  # full decode: reject anything we could not serve
+        kind = sniff_format(data)
+        loads_bytes(data)  # full decode: reject anything we could not serve
+        meta = dict(meta or {})
+        meta.setdefault(
+            "encoding", "binary" if data[:1] == b"\x89" else "json"
+        )
         with self._lock:
             digest = self.blobs.put(data)
             record = RunRecord(
@@ -176,7 +184,7 @@ class ProfileStore:
                 kind=kind,
                 created=time.time(),
                 size_bytes=len(data),
-                meta=dict(meta or {}),
+                meta=meta,
             )
             self._append_record(record)
         return record
@@ -194,9 +202,10 @@ class ProfileStore:
         profile: object,
         workload: str,
         meta: Optional[Dict[str, object]] = None,
+        fmt: str = "json",
     ) -> RunRecord:
         """Serialize a live profile object and ingest the document."""
-        return self.ingest_text(dumps(profile), workload, meta)
+        return self.ingest_bytes(dumps_bytes(profile, fmt), workload, meta)
 
     def ingest_file(
         self,
@@ -287,18 +296,30 @@ class ProfileStore:
         return self.blobs.get(self.resolve(selector).digest)
 
     def get_text(self, selector: str) -> str:
-        return self.get_bytes(selector).decode("utf-8")
+        """The ingested document as text (JSON-encoded runs only)."""
+        data = self.get_bytes(selector)
+        try:
+            return data.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProfileFormatError(
+                "run is binary-encoded; use get_bytes/get_document"
+            ) from exc
+
+    def get_document(self, selector: str) -> Dict[str, object]:
+        """The run's JSON-shape document dict, whatever its encoding."""
+        return document_from_bytes(self.get_bytes(selector))
 
     def get(self, selector: str) -> object:
         """The decoded profile for a run, through the LRU cache.
 
-        Returns what :func:`repro.core.profile_io.loads` returns for the
-        run's format (a stream dict for WHOMP, a profile object for
-        LEAP / dependence).
+        Returns what :func:`repro.core.profile_io.loads_bytes` returns
+        for the run's format (a stream dict for WHOMP, a profile object
+        for LEAP / dependence) -- the JSON and binary encodings decode
+        to identical profiles.
         """
         digest = self.resolve(selector).digest
         return self.cache.get_or_load(
-            digest, lambda: loads(self.blobs.get(digest).decode("utf-8"))
+            digest, lambda: loads_bytes(self.blobs.get(digest))
         )
 
     # -- maintenance ---------------------------------------------------

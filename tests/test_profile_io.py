@@ -275,3 +275,67 @@ class TestFuzzedLoading:
 
         with pytest.raises(ProfileFormatError):
             load(str(tmp_path / "absent.json"))
+
+
+class TestBytesAPI:
+    """dumps_bytes / loads_bytes / document_from_bytes across encodings."""
+
+    def _profiles(self, list_trace):
+        leap = LeapProfiler().profile(list_trace)
+        return [
+            WhompProfiler().profile(list_trace),
+            leap,
+            analyze_dependences(leap),
+        ]
+
+    def test_bytes_round_trip_both_encodings(self, list_trace):
+        from repro.core.profile_io import (
+            document_from_bytes,
+            dumps,
+            dumps_bytes,
+            loads_bytes,
+        )
+
+        for profile in self._profiles(list_trace):
+            expected = json.loads(dumps(profile))
+            for fmt in ("json", "binary"):
+                data = dumps_bytes(profile, fmt)
+                assert document_from_bytes(data) == expected
+                reloaded = loads_bytes(data)
+                if fmt == "binary":
+                    assert data[:1] == b"\x89"
+                if not isinstance(reloaded, dict):  # WHOMP loads as a dict
+                    assert json.loads(dumps(reloaded)) == expected
+
+    def test_sniff_format_routes_both_encodings(self, list_trace):
+        from repro.core.profile_io import dumps, dumps_bytes, sniff_format
+
+        kinds = ("whomp", "leap", "dependence")
+        for kind, profile in zip(kinds, self._profiles(list_trace)):
+            assert sniff_format(dumps(profile)) == kind
+            assert sniff_format(dumps_bytes(profile, "json")) == kind
+            assert sniff_format(dumps_bytes(profile, "binary")) == kind
+
+    def test_sniff_format_rejects_junk(self):
+        from repro.core.profile_io import sniff_format
+
+        for payload in (b"", b"\x89RPBnope", b"\xff\xfe\x00", '{"format": "x"}'):
+            with pytest.raises(ProfileFormatError):
+                sniff_format(payload)
+
+    def test_save_load_binary_file(self, tmp_path, list_trace):
+        from repro.core.profile_io import dumps, load, save
+
+        profile = LeapProfiler().profile(list_trace)
+        path = str(tmp_path / "trace.leap.bin")
+        save(profile, path, fmt="binary")
+        with open(path, "rb") as handle:
+            assert handle.read(1) == b"\x89"
+        assert json.loads(dumps(load(path))) == json.loads(dumps(profile))
+
+    def test_unknown_serialization_rejected(self, list_trace):
+        from repro.core.profile_io import dumps_bytes
+
+        profile = LeapProfiler().profile(list_trace)
+        with pytest.raises(ValueError):
+            dumps_bytes(profile, "msgpack")

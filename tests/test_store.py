@@ -9,7 +9,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.events import AccessKind
-from repro.core.profile_io import ProfileFormatError, dumps, loads
+from repro.core.profile_io import ProfileFormatError, dumps, dumps_bytes, loads
 from repro.profilers.leap import LeapProfiler
 from repro.profilers.whomp import WhompProfiler
 from repro.resilience import FaultInjector, parse_fault_spec
@@ -89,6 +89,20 @@ class TestBlobStore:
         with pytest.raises(ProfileFormatError, match="unreadable"):
             blobs.get(sha256_hex(b"never stored"))
 
+    def test_stray_files_are_not_digests(self, tmp_path):
+        """Regression: a foreign file in a fan dir used to surface from
+        digests() as a 'digest' that path() then rejected mid-gc."""
+        blobs = BlobStore(str(tmp_path / "objects"))
+        digest = blobs.put(b"real blob")
+        fan_dir = os.path.dirname(blobs.path(digest))
+        for name in ("README.txt", digest[2:] + ".bak", "zz" + "0" * 60):
+            with open(os.path.join(fan_dir, name), "w") as handle:
+                handle.write("not a blob")
+        os.mkdir(os.path.join(str(tmp_path / "objects"), "notafan"))
+        assert list(blobs.digests()) == [digest]
+        assert len(blobs) == 1
+        assert blobs.stored_bytes() == os.path.getsize(blobs.path(digest))
+
 
 # -- cache layer --------------------------------------------------------------
 
@@ -157,7 +171,10 @@ class TestProfileStore:
         store.ingest_text(whomp_text, "simple")
         reopened = ProfileStore(str(tmp_path))
         assert [r.run_id for r in reopened.runs()] == ["r000001", "r000002"]
-        assert reopened.run("r000001").meta == {"note": "first"}
+        assert reopened.run("r000001").meta == {
+            "note": "first",
+            "encoding": "json",
+        }
         assert reopened.get_text("r000001") == leap_text
 
     def test_torn_manifest_line_is_skipped(self, tmp_path, leap_text):
@@ -183,6 +200,36 @@ class TestProfileStore:
             with pytest.raises(ProfileFormatError):
                 store.ingest_bytes(bad, "simple")
         assert store.stats()["runs"] == 0
+        assert store.stats()["blobs"] == 0
+
+    def test_binary_ingest_round_trips(self, tmp_path, simple_trace):
+        store = ProfileStore(str(tmp_path))
+        profile = LeapProfiler().profile(simple_trace)
+        record = store.ingest_profile(profile, "simple", fmt="binary")
+        assert record.kind == "leap"
+        assert record.meta["encoding"] == "binary"
+        assert store.get_bytes(record.run_id)[:1] == b"\x89"
+        # the decoded profile and document match the JSON path exactly
+        assert json.loads(dumps(store.get(record.run_id))) == json.loads(
+            dumps(profile)
+        )
+        document = store.get_document(record.run_id)
+        assert document == json.loads(dumps(profile))
+        with pytest.raises(ProfileFormatError, match="binary"):
+            store.get_text(record.run_id)
+
+    def test_json_ingest_records_encoding(self, tmp_path, leap_text):
+        store = ProfileStore(str(tmp_path))
+        record = store.ingest_text(leap_text, "simple")
+        assert record.meta["encoding"] == "json"
+        assert store.get_text(record.run_id) == leap_text
+        assert store.get_document(record.run_id) == json.loads(leap_text)
+
+    def test_truncated_binary_rejected_at_the_door(self, tmp_path, simple_trace):
+        store = ProfileStore(str(tmp_path))
+        data = dumps_bytes(LeapProfiler().profile(simple_trace), "binary")
+        with pytest.raises(ProfileFormatError):
+            store.ingest_bytes(data[: len(data) - 3], "simple")
         assert store.stats()["blobs"] == 0
 
     def test_ingest_file_defaults_workload_to_stem(self, tmp_path, leap_text):
