@@ -1,0 +1,44 @@
+"""REPROLINT bench: analyzer wall-clock over the whole source tree.
+
+The selfcheck analyzer runs in CI on every push (twice: the fixture
+self-test and the src/ sweep), so it must stay interactive-fast.  The
+floor asserts one full sweep of ``src/`` -- parse, class model, all
+four checker families -- completes in under 10 seconds, which keeps
+the CI job's analysis step well under the test matrix's noise floor.
+"""
+
+import time
+
+from conftest import once
+
+from repro.selfcheck.engine import analyze_paths, fixture_selftest
+
+BUDGET_SECONDS = 10.0
+
+
+def test_selfcheck_sweep_wall_clock(benchmark):
+    def sweep():
+        start = time.perf_counter()
+        findings = analyze_paths(["src/repro"])
+        return findings, time.perf_counter() - start
+
+    findings, seconds = once(benchmark, sweep)
+    print()
+    print(f"repro-lint src/repro: {len(findings)} finding(s) "
+          f"in {seconds:.2f}s (budget {BUDGET_SECONDS:.0f}s)")
+    assert findings == []
+    assert seconds < BUDGET_SECONDS
+
+
+def test_selfcheck_fixture_selftest_wall_clock(benchmark):
+    def selftest():
+        start = time.perf_counter()
+        result = fixture_selftest()
+        return result, time.perf_counter() - start
+
+    result, seconds = once(benchmark, selftest)
+    print()
+    print(f"repro-lint --fixtures: {len(result.findings)} seeded finding(s) "
+          f"in {seconds:.2f}s")
+    assert result.ok
+    assert seconds < BUDGET_SECONDS

@@ -232,7 +232,9 @@ def _run_diff(path_a: str, path_b: str, as_json: bool, parser) -> int:
     return 1 if regressions else 0
 
 
-def _run_check(paths: List[str], as_json: bool, static: bool) -> int:
+def _run_check(
+    paths: List[str], as_json: bool, static: bool, as_sarif: bool = False
+) -> int:
     """MIRCHECK driver: lint every source, optionally classify accesses.
 
     Exit codes: 0 all clean, 1 diagnostics reported, 2 parse/lex error.
@@ -266,6 +268,26 @@ def _run_check(paths: List[str], as_json: bool, static: bool) -> int:
         if diagnostics:
             had_diagnostics = True
         reports.append((path, diagnostics, classes))
+
+    if as_sarif:
+        # shared reporter with repro-lint: one SARIF emitter, two tools
+        from repro.lang.analysis.diagnostics import CODES as MIR_CODES
+        from repro.selfcheck.reporting import render_sarif
+
+        records = [
+            {
+                "code": diagnostic.code,
+                "severity": diagnostic.severity,
+                "path": path,
+                "line": diagnostic.line,
+                "column": diagnostic.column,
+                "message": diagnostic.message,
+            }
+            for path, diagnostics, __ in reports
+            for diagnostic in diagnostics
+        ]
+        print(render_sarif(records, "mircheck", MIR_CODES))
+        return 1 if had_diagnostics else 0
 
     if as_json:
         payload = {
@@ -388,6 +410,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine-readable report on stdout",
     )
     check.add_argument(
+        "--sarif", action="store_true",
+        help="SARIF 2.1.0 report on stdout (same reporter as repro-lint)",
+    )
+    check.add_argument(
         "--no-static", action="store_true",
         help="skip static LMAD classification (lint only)",
     )
@@ -486,7 +512,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         for path in args.sources:
             if not os.path.exists(path):
                 parser.error(f"no such file: {path}")
-        return _run_check(args.sources, args.as_json, not args.no_static)
+        return _run_check(
+            args.sources, args.as_json, not args.no_static, args.sarif
+        )
 
     if args.command == "lang":
         if not os.path.exists(args.source):

@@ -8,6 +8,9 @@ same directory* (so the rename cannot cross filesystems) and
 ``os.replace`` it into place, which POSIX guarantees is atomic.
 """
 
+# repro: durable-primitive  (this module IS the atomic-write
+# implementation REPROLINT RL131/RL132 steer everything else toward)
+
 from __future__ import annotations
 
 import os

@@ -38,8 +38,58 @@ import threading
 import time
 from typing import Callable, Dict, Iterable, List, Optional
 
+from repro.core.fsutil import atomic_write_text
+
 #: bumped when the record envelope changes shape; readers skip newer
 EVENT_SCHEMA_VERSION = 1
+
+#: declared field schema per event kind, checked statically by
+#: REPROLINT (RL143/RL144): every literal ``emit("<kind>", ...)`` call
+#: site must name a declared kind and pass only declared fields, with
+#: every ``required`` field present.  ``trace``/``span`` are envelope
+#: fields and always legal; ``"open": True`` kinds (fault records,
+#: whose payload mirrors the injected fault) tolerate extra fields.
+#: Kept as a pure literal so the analyzer can read it without
+#: importing this module.
+EVENT_SCHEMAS = {
+    "stage": {
+        "required": ["path", "seconds"],
+        "optional": ["items", "unit"],
+    },
+    "trace": {"required": ["spans"], "optional": ["meta"]},
+    "request": {
+        "required": ["endpoint", "method", "status", "seconds"],
+        "optional": [],
+    },
+    "ingest": {
+        "required": ["workload", "ok", "bytes"],
+        "optional": ["streamed"],
+    },
+    "stream_ingest": {
+        "required": [
+            "workload",
+            "documents",
+            "torn",
+            "ingested",
+            "rejected",
+            "complete",
+            "capture_completeness",
+        ],
+        "optional": ["error"],
+    },
+    "quarantine": {"required": ["reason", "total"], "optional": []},
+    "fault": {"required": ["fault"], "optional": [], "open": True},
+    "timeout": {
+        "required": ["label", "chunk", "attempt", "timeout_seconds"],
+        "optional": [],
+    },
+    "worker-crash": {
+        "required": ["label", "chunk", "attempt"],
+        "optional": [],
+    },
+    "retry": {"required": ["label", "chunk", "attempt"], "optional": []},
+    "fallback": {"required": ["label", "chunk", "attempts"], "optional": []},
+}
 
 #: default ring capacity (records; oldest evicted first)
 DEFAULT_CAPACITY = 4096
@@ -78,6 +128,10 @@ class EventLog:
             maxlen=capacity
         )
         self._lock = threading.Lock()
+        # serializes sink writes WITHOUT blocking emitters: the state
+        # lock is only held long enough to snapshot the lines, never
+        # across the disk write (ordering: _sink_lock before _lock)
+        self._sink_lock = threading.Lock()
         self._file_lines: List[str] = []
         self._unflushed = 0
         self.emitted = 0
@@ -102,30 +156,40 @@ class EventLog:
         if span is not None:
             record["span"] = span
         record.update(fields)
+        flush_now = False
         with self._lock:
             self._ring.append(record)
             self.emitted += 1
             if self.path is not None:
                 self._file_lines.append(json.dumps(record, sort_keys=True))
                 self._unflushed += 1
-                if self._unflushed >= self.flush_every:
-                    self._flush_locked()
+                flush_now = self._unflushed >= self.flush_every
+        if flush_now:
+            # outside the state lock: a slow disk must not stall other
+            # emitters (they keep appending; flush() snapshots whatever
+            # has accumulated by the time it runs)
+            self.flush()
         return record
 
-    def _flush_locked(self) -> None:
-        if self.path is None or not self._unflushed:
-            return
-        from repro.resilience import atomic_write_text
-
-        atomic_write_text(
-            self.path, "".join(line + "\n" for line in self._file_lines)
-        )
-        self._unflushed = 0
-
     def flush(self) -> None:
-        """Atomically persist everything emitted so far to the sink."""
-        with self._lock:
-            self._flush_locked()
+        """Atomically persist everything emitted so far to the sink.
+
+        The state lock is held only to snapshot the pending lines; the
+        disk write happens under the dedicated sink lock, so concurrent
+        flushers serialize on the file while emitters stay unblocked.
+        The snapshot-then-write order means the writer holding the sink
+        lock always writes the newest snapshot it took, and a crash
+        leaves the previous consistent file.
+        """
+        with self._sink_lock:
+            with self._lock:
+                if self.path is None or not self._unflushed:
+                    return
+                text = "".join(
+                    line + "\n" for line in self._file_lines
+                )
+                self._unflushed = 0
+            atomic_write_text(self.path, text)
 
     def close(self) -> None:
         """Final flush; the log stays usable (close is just a flush)."""

@@ -36,7 +36,7 @@ DEFAULT_GROWTH = 1.07
 SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
 
 
-class QuantileDigest:
+class QuantileDigest:  # repro: synchronized-externally
     """Bounded-error streaming quantiles over positive values.
 
     >>> digest = QuantileDigest()

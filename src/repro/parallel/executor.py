@@ -38,6 +38,7 @@ produced.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import multiprocessing.pool
 import signal
@@ -169,15 +170,10 @@ def _run_chunk(payload):
     """
     function, start_index, tasks, injector, trace_header = payload
     parent_context = TraceContext.from_header(trace_header)
-    scope = (
-        activate(parent_context.child())
-        if parent_context is not None
-        else None
-    )
     entries = []
-    try:
-        if scope is not None:
-            scope.__enter__()
+    with contextlib.ExitStack() as scope:
+        if parent_context is not None:
+            scope.enter_context(activate(parent_context.child()))
         for offset, task in enumerate(tasks):
             index = start_index + offset
             if injector is not None:
@@ -197,9 +193,6 @@ def _run_chunk(payload):
                         (type(exc).__name__, str(exc), traceback.format_exc()),
                     )
                 )
-    finally:
-        if scope is not None:
-            scope.__exit__(None, None, None)
     return entries
 
 

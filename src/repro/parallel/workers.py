@@ -4,7 +4,14 @@ Everything here must be picklable by reference (module-level, no
 closures): the executor ships ``(function, task)`` payloads through the
 pool's task pipe.  Each worker is a pure function of its task tuple so
 parallel output is deterministic and mergeable.
+
+The module is marked ``# repro: workers`` so REPROLINT holds every
+function here to the fork-safety rules (RL121-RL125): no captured
+locks, files, or sockets; no module-global mutation; no leaked trace
+activations.
 """
+
+# repro: workers
 
 from __future__ import annotations
 

@@ -16,6 +16,7 @@ the record cap only the counts keep growing.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Iterator, List, Tuple
 
 from repro.core.tuples import ObjectRelativeAccess
@@ -50,14 +51,26 @@ class Quarantine:
         #: optional TRACELINK event sink (duck-typed ``emit``)
         self.events = None
         self._events_emitted = 0
+        # pipeline stages on several threads feed one quarantine; the
+        # lock keeps total/reasons/records advancing together
+        self._lock = threading.Lock()
 
     def add(self, reason: str, record: object) -> None:
-        self.total += 1
-        self.reasons[reason] = self.reasons.get(reason, 0) + 1
-        if len(self.records) < self.limit:
-            self.records.append((reason, record))
-        if self.events is not None and self._events_emitted < self.EVENT_CAP:
-            self._events_emitted += 1
+        with self._lock:
+            self.total += 1
+            self.reasons[reason] = self.reasons.get(reason, 0) + 1
+            if len(self.records) < self.limit:
+                self.records.append((reason, record))
+            emit_now = (
+                self.events is not None
+                and self._events_emitted < self.EVENT_CAP
+            )
+            if emit_now:
+                self._events_emitted += 1
+            total = self.total
+        if emit_now:
+            # emit outside the lock: the sink does its own locking and
+            # may flush to disk
             from repro.obs.context import current
 
             context = current()
@@ -66,22 +79,25 @@ class Quarantine:
                 trace=context.trace_id if context is not None else None,
                 span=context.span_id if context is not None else None,
                 reason=reason,
-                total=self.total,
+                total=total,
             )
 
     @property
     def dropped(self) -> int:
         """Quarantined tuples beyond the record cap (counted only)."""
-        return self.total - len(self.records)
+        with self._lock:
+            return self.total - len(self.records)
 
     def __len__(self) -> int:
-        return self.total
+        with self._lock:
+            return self.total
 
     def __repr__(self) -> str:
-        return (
-            f"Quarantine({self.total} quarantined, "
-            f"{len(self.records)} retained, reasons={self.reasons})"
-        )
+        with self._lock:
+            return (
+                f"Quarantine({self.total} quarantined, "
+                f"{len(self.records)} retained, reasons={self.reasons})"
+            )
 
 
 def quarantine_stream(

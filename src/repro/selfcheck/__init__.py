@@ -1,0 +1,58 @@
+"""REPROLINT: project-specific static analysis over the repro tree.
+
+The serving daemon, the store, the parallel pipeline, and the
+observability layer each carry invariants no general-purpose linter
+knows about: which objects are reachable from several threads and
+which lock guards them, what may cross a fork boundary, which paths
+must be written atomically, and which code must stay a pure function
+of the workload seed.  This package encodes those invariants as AST
+checkers with stable codes (``RL101``...) and ships its own
+seeded-defect fixtures proving every checker fires.
+
+The analyzer parses -- never imports -- the code it checks.
+
+Public API::
+
+    from repro.selfcheck import analyze_paths, fixture_selftest
+    findings = analyze_paths(["src/repro"])
+"""
+
+from repro.selfcheck.engine import (
+    FIXTURES_DIR,
+    analyze_modules,
+    analyze_paths,
+    baseline_payload,
+    fixture_selftest,
+    load_baseline,
+    split_by_baseline,
+    write_baseline,
+)
+from repro.selfcheck.findings import (
+    CODES,
+    ERROR,
+    WARNING,
+    Finding,
+    FindingSink,
+    sort_findings,
+)
+from repro.selfcheck.loader import SelfCheckError, SourceModule, load_tree
+
+__all__ = [
+    "CODES",
+    "ERROR",
+    "FIXTURES_DIR",
+    "Finding",
+    "FindingSink",
+    "SelfCheckError",
+    "SourceModule",
+    "WARNING",
+    "analyze_modules",
+    "analyze_paths",
+    "baseline_payload",
+    "fixture_selftest",
+    "load_baseline",
+    "load_tree",
+    "sort_findings",
+    "split_by_baseline",
+    "write_baseline",
+]

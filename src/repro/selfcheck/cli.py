@@ -1,0 +1,145 @@
+"""``repro-lint``: the REPROLINT command-line front end.
+
+Exit codes follow the MIRCHECK convention:
+
+* ``0`` -- clean tree (or no findings outside the baseline)
+* ``1`` -- new findings, or the fixture self-test caught a false
+  negative
+* ``2`` -- usage errors, unreadable files, syntax errors
+
+``--baseline FILE`` compares against recorded fingerprints and fails
+only on *new* findings; ``--write-baseline`` records the current state
+(the shipped ``.reprolint-baseline.json`` is empty: the tree is
+expected to stay clean, not grandfathered).  ``--fixtures`` runs the
+seeded-defect self-test instead of analyzing a tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.selfcheck import engine
+from repro.selfcheck.findings import CODES, Finding
+from repro.selfcheck.loader import SelfCheckError
+from repro.selfcheck.reporting import render_json, render_sarif, render_text
+
+TOOL_NAME = "reprolint"
+TOOL_VERSION = "1.0.0"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Project-specific static analysis: lockset races, fork "
+            "safety, durability, and determinism invariants."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (e.g. src/)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="fail only on findings whose fingerprint is not in FILE",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings into --baseline FILE and exit 0",
+    )
+    parser.add_argument(
+        "--fixtures",
+        action="store_true",
+        help=(
+            "run the seeded-defect self-test: every # repro: "
+            "expect(CODE) must fire and every code must be exercised"
+        ),
+    )
+    parser.add_argument(
+        "--include-fixtures",
+        action="store_true",
+        help="do not skip '# repro: fixture' modules when analyzing",
+    )
+    return parser
+
+
+def _records(findings: List[Finding]) -> List[dict]:
+    return [finding.to_dict() for finding in findings]
+
+
+def _emit(findings: List[Finding], fmt: str, extra: dict) -> None:
+    if fmt == "json":
+        print(render_json(_records(findings), TOOL_NAME, extra))
+    elif fmt == "sarif":
+        print(render_sarif(_records(findings), TOOL_NAME, CODES, TOOL_VERSION))
+    else:
+        text = render_text(_records(findings))
+        if text:
+            print(text)
+
+
+def _run_fixtures(fmt: str) -> int:
+    result = engine.fixture_selftest()
+    if fmt in ("json", "sarif"):
+        _emit(result.findings, fmt, {"selftest_ok": result.ok})
+        if not result.ok:
+            print(result.render(), file=sys.stderr)
+    else:
+        print(result.render())
+    return 0 if result.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.fixtures:
+            return _run_fixtures(args.format)
+        if not args.paths:
+            parser.error("no paths given (try: repro-lint src/)")
+        findings = engine.analyze_paths(
+            args.paths, include_fixtures=args.include_fixtures
+        )
+        if args.write_baseline:
+            if not args.baseline:
+                parser.error("--write-baseline requires --baseline FILE")
+            engine.write_baseline(args.baseline, findings)
+            print(
+                f"wrote {len(findings)} fingerprint(s) to {args.baseline}",
+                file=sys.stderr,
+            )
+            return 0
+        baseline = (
+            engine.load_baseline(args.baseline) if args.baseline else set()
+        )
+        new, known = engine.split_by_baseline(findings, baseline)
+        _emit(
+            findings,
+            args.format,
+            {"new": len(new), "baselined": len(known)},
+        )
+        if args.format == "text":
+            summary = (
+                f"{len(findings)} finding(s), {len(new)} new, "
+                f"{len(known)} baselined"
+            )
+            print(summary, file=sys.stderr)
+        return 1 if new else 0
+    except SelfCheckError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

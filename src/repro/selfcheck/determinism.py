@@ -1,0 +1,245 @@
+"""Determinism and event-schema checking (RL141-RL144).
+
+The capture pipeline is seed-deterministic by contract: the same
+workload seed must produce byte-identical traces and profiles (that is
+what makes profile diffs and the content-addressed store meaningful).
+Wall-clock reads and unseeded randomness on the capture path break the
+contract silently.  ``time.perf_counter``/``monotonic`` stay legal --
+timing measurements do not feed captured bytes -- and
+``random.Random(seed)`` is the *sanctioned* way to randomize.
+
+Capture-path modules are identified by package prefix plus the
+``# repro: capture-path`` marker for modules that live elsewhere.
+
+Event emitters are checked against the declared schema
+(``EVENT_SCHEMAS`` in :mod:`repro.obs.events`, parsed statically from
+the analyzed tree, never imported): an unknown literal kind is RL143;
+fields outside the declaration, or missing required fields in a call
+with no ``**kwargs`` expansion, are RL144.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.selfcheck.findings import FindingSink
+from repro.selfcheck.loader import SourceModule, dotted_name
+
+#: packages whose capture output must be a pure function of the seed
+_CAPTURE_PREFIXES = (
+    "repro.core",
+    "repro.compression",
+    "repro.profilers",
+    "repro.runtime",
+    "repro.workloads",
+    "repro.lang",
+)
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: module-level ``random.*`` draws from the shared global generator
+_GLOBAL_RANDOM_CALLS = frozenset(
+    {
+        "random.random",
+        "random.randint",
+        "random.randrange",
+        "random.uniform",
+        "random.choice",
+        "random.choices",
+        "random.sample",
+        "random.shuffle",
+        "random.gauss",
+        "random.seed",
+    }
+)
+
+_ENTROPY_CALLS = frozenset({"os.urandom", "uuid.uuid4", "secrets.token_hex"})
+
+#: envelope fields every event may carry regardless of schema
+_ENVELOPE_FIELDS = frozenset({"trace", "span"})
+
+
+def is_capture_module(module: SourceModule) -> bool:
+    if "capture-path" in module.markers:
+        return True
+    name = module.name
+    return any(
+        name == prefix or name.startswith(prefix + ".")
+        for prefix in _CAPTURE_PREFIXES
+    )
+
+
+def extract_event_schemas(
+    modules: List[SourceModule],
+) -> Optional[Dict[str, dict]]:
+    """The ``EVENT_SCHEMAS`` literal from the events module, when the
+    analyzed tree contains one.
+
+    Prefers the canonical ``repro.obs.events``; falls back to any
+    analyzed module declaring ``EVENT_SCHEMAS`` (the determinism
+    fixture carries its own table so the self-test is self-contained).
+    """
+    canonical = [m for m in modules if m.name.endswith("obs.events")]
+    for module in canonical + [m for m in modules if m not in canonical]:
+        schemas = _schemas_of(module)
+        if schemas is not None:
+            return schemas
+    return None
+
+
+def _schemas_of(module: SourceModule) -> Optional[Dict[str, dict]]:
+    for node in module.tree.body:
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "EVENT_SCHEMAS"
+                ):
+                    try:
+                        raw = ast.literal_eval(value)
+                    except ValueError:
+                        return None
+                    if isinstance(raw, dict):
+                        return raw
+    return None
+
+
+def check_module_determinism(
+    module: SourceModule,
+    schemas: Optional[Dict[str, dict]],
+    sink: FindingSink,
+) -> None:
+    if is_capture_module(module):
+        _check_capture_purity(module, sink)
+    if schemas is not None:
+        _check_event_calls(module, schemas, sink)
+
+
+def _check_capture_purity(module: SourceModule, sink: FindingSink) -> None:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is None:
+            continue
+        if name in _WALL_CLOCK_CALLS:
+            sink.report(
+                "RL141",
+                node.lineno,
+                node.col_offset,
+                f"wall-clock read {name}() in a seed-deterministic "
+                f"capture path: captured bytes must be a pure function "
+                f"of the seed (perf_counter/monotonic are fine for "
+                f"timing)",
+                detail=name,
+            )
+        elif name in _GLOBAL_RANDOM_CALLS or name in _ENTROPY_CALLS:
+            sink.report(
+                "RL142",
+                node.lineno,
+                node.col_offset,
+                f"unseeded randomness {name}() in a seed-deterministic "
+                f"capture path: draw from an explicit "
+                f"random.Random(seed) instead",
+                detail=name,
+            )
+        elif name in ("random.Random", "Random") and not (
+            node.args or node.keywords
+        ):
+            sink.report(
+                "RL142",
+                node.lineno,
+                node.col_offset,
+                "random.Random() with no seed falls back to OS entropy; "
+                "pass the workload seed explicitly",
+                detail="random.Random",
+            )
+
+
+def _check_event_calls(
+    module: SourceModule, schemas: Dict[str, dict], sink: FindingSink
+) -> None:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not isinstance(node.func, ast.Attribute):
+            continue
+        if node.func.attr not in ("emit", "_emit_event"):
+            continue
+        if not node.args:
+            continue
+        kind_node = node.args[0]
+        if not (
+            isinstance(kind_node, ast.Constant)
+            and isinstance(kind_node.value, str)
+        ):
+            continue  # dynamic kinds are checked at the literal call sites
+        kind = kind_node.value
+        schema = schemas.get(kind)
+        if schema is None:
+            sink.report(
+                "RL143",
+                node.lineno,
+                node.col_offset,
+                f"event kind {kind!r} is not declared in "
+                f"repro.obs.events.EVENT_SCHEMAS; declare its fields "
+                f"before emitting it",
+                detail=kind,
+            )
+            continue
+        required = set(schema.get("required", ()))
+        optional = set(schema.get("optional", ()))
+        is_open = bool(schema.get("open", False))
+        provided: Set[str] = set()
+        has_star_kwargs = False
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                has_star_kwargs = True
+            else:
+                provided.add(keyword.arg)
+        extra = provided - required - optional - _ENVELOPE_FIELDS
+        if extra and not is_open:
+            sink.report(
+                "RL144",
+                node.lineno,
+                node.col_offset,
+                f"event {kind!r} carries undeclared field(s) "
+                f"{_fields_text(extra)}; add them to EVENT_SCHEMAS or "
+                f"drop them",
+                detail=f"{kind}:+{','.join(sorted(extra))}",
+            )
+        missing = required - provided
+        if missing and not has_star_kwargs:
+            sink.report(
+                "RL144",
+                node.lineno,
+                node.col_offset,
+                f"event {kind!r} is missing required field(s) "
+                f"{_fields_text(missing)} declared in EVENT_SCHEMAS",
+                detail=f"{kind}:-{','.join(sorted(missing))}",
+            )
+
+
+def _fields_text(names) -> str:
+    return ", ".join(f"'{name}'" for name in sorted(names))

@@ -1,0 +1,132 @@
+"""Durability-invariant checking (RL131-RL132).
+
+Profiles, checkpoints, and manifests survive crashes only because
+every write goes through the atomic-write discipline (temp file in the
+same directory, fsync, ``os.replace``).  A bare ``open(path, "w")``
+truncates the old contents *before* the new ones are durable: a crash
+in the window loses both versions.  So outside the modules that *are*
+the primitive (``# repro: durable-primitive`` -- the fsutil
+implementation and the blob store's mkstemp ingest), write-mode opens
+and bare renames are errors; callers use
+``repro.core.fsutil.atomic_write_text`` / ``atomic_write_bytes``.
+
+Two constructions stay exempt because they are atomic by themselves:
+``os.open(..., O_CREAT | O_EXCL | ...)`` (create-exclusive either
+fully creates or fails -- the fault-ledger idiom) and writes aimed at
+``os.devnull``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Set
+
+from repro.selfcheck.findings import FindingSink
+from repro.selfcheck.loader import SourceModule, dotted_name
+
+_WRITE_MODE_CHARS = set("wax+")
+
+
+def _mode_literal(node: ast.Call, position: int) -> Optional[str]:
+    """The mode string of an ``open``-style call, when statically known."""
+    if len(node.args) > position:
+        arg = node.args[position]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        return None
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            value = keyword.value
+            if isinstance(value, ast.Constant) and isinstance(
+                value.value, str
+            ):
+                return value.value
+            return None
+    return "r"
+
+
+def _is_write_mode(mode: Optional[str]) -> bool:
+    if mode is None:
+        # a computed mode is treated as a write: the caller can say
+        # `# repro: allow(RL131)` if it provably is not
+        return True
+    return bool(_WRITE_MODE_CHARS & set(mode))
+
+
+def _is_devnull(node: ast.AST) -> bool:
+    return dotted_name(node) == "os.devnull"
+
+
+def _os_open_flags(node: ast.Call) -> Set[str]:
+    """Final segments of the flag names in ``os.open(path, A | B)``."""
+    if len(node.args) < 2:
+        return set()
+    flags: Set[str] = set()
+    stack = [node.args[1]]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, ast.BinOp) and isinstance(item.op, ast.BitOr):
+            stack.append(item.left)
+            stack.append(item.right)
+        else:
+            name = dotted_name(item)
+            if name is not None:
+                flags.add(name.rsplit(".", 1)[-1])
+    return flags
+
+
+def check_module_durability(
+    module: SourceModule, sink: FindingSink
+) -> None:
+    if "durable-primitive" in module.markers:
+        return  # this module IS the atomic-write implementation
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        # method-style writes: Path.write_text / write_bytes
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "write_text",
+            "write_bytes",
+        ):
+            _report_131(sink, node, f".{node.func.attr}()")
+            continue
+        name = dotted_name(node.func)
+        if name is None:
+            continue
+        if name in ("open", "io.open"):
+            if node.args and _is_devnull(node.args[0]):
+                continue
+            if _is_write_mode(_mode_literal(node, 1)):
+                _report_131(sink, node, f"{name}(..., mode=w/a/x)")
+        elif name == "os.fdopen":
+            if _is_write_mode(_mode_literal(node, 1)):
+                _report_131(sink, node, "os.fdopen(..., w)")
+        elif name == "os.open":
+            if node.args and _is_devnull(node.args[0]):
+                continue
+            flags = _os_open_flags(node)
+            writable = bool(flags & {"O_WRONLY", "O_RDWR", "O_APPEND"})
+            if writable and "O_EXCL" not in flags:
+                _report_131(sink, node, "os.open(..., O_WRONLY/O_RDWR)")
+        elif name in ("os.replace", "os.rename"):
+            sink.report(
+                "RL132",
+                node.lineno,
+                node.col_offset,
+                f"bare {name}() outside the atomic-write primitive: "
+                f"renames belong inside "
+                f"repro.core.fsutil.atomic_write_text/_bytes",
+                detail=name,
+            )
+
+
+def _report_131(sink: FindingSink, node: ast.Call, what: str) -> None:
+    sink.report(
+        "RL131",
+        node.lineno,
+        node.col_offset,
+        f"non-atomic write ({what}): a crash mid-write loses both the "
+        f"old and the new contents; use "
+        f"repro.core.fsutil.atomic_write_text/_bytes",
+        detail=what,
+    )

@@ -1,0 +1,169 @@
+"""Analysis orchestration, baselines, and the fixture self-test.
+
+``analyze_paths`` is the whole pipeline: discover + parse the tree,
+build the cross-module class model, run every checker, and return
+sorted findings.  Baselines hold finding *fingerprints* (stable under
+line churn), so ``repro-lint --baseline`` fails CI only on findings
+that are genuinely new.
+
+The fixture self-test is the analyzer's own regression harness: the
+seeded-defect modules under ``fixtures/`` carry ``# repro:
+expect(CODE)`` annotations on the exact defect lines, and
+``fixture_selftest`` proves every expected defect is detected (zero
+false negatives) and every registered code is exercised by at least
+one fixture.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.selfcheck.classmodel import ClassIndex
+from repro.selfcheck.determinism import (
+    check_module_determinism,
+    extract_event_schemas,
+)
+from repro.selfcheck.durability import check_module_durability
+from repro.selfcheck.findings import CODES, Finding, FindingSink, sort_findings
+from repro.selfcheck.forksafety import check_module_forksafety
+from repro.selfcheck.loader import SelfCheckError, SourceModule, load_tree
+from repro.selfcheck.races import check_module_races
+
+BASELINE_VERSION = 1
+
+#: default location of the seeded-defect fixture tree
+FIXTURES_DIR = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def analyze_modules(modules: List[SourceModule]) -> List[Finding]:
+    index = ClassIndex(modules)
+    shared = index.shared_classes()
+    schemas = extract_event_schemas(modules)
+    findings: List[Finding] = []
+    for module in modules:
+        sink = FindingSink(
+            suppressions=module.suppressions, path=module.path
+        )
+        check_module_races(module, index, shared, sink)
+        check_module_forksafety(module, sink)
+        check_module_durability(module, sink)
+        check_module_determinism(module, schemas, sink)
+        findings.extend(sink.findings)
+    return sort_findings(findings)
+
+
+def analyze_paths(
+    paths: List[str], include_fixtures: bool = False
+) -> List[Finding]:
+    return analyze_modules(load_tree(paths, include_fixtures))
+
+
+# ---------------------------------------------------------------- baseline
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Fingerprints from a baseline file; empty set when absent."""
+    if not os.path.exists(path):
+        return set()
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SelfCheckError(f"unreadable baseline {path!r}: {exc}") from exc
+    if not isinstance(payload, dict) or "fingerprints" not in payload:
+        raise SelfCheckError(
+            f"baseline {path!r} is not a REPROLINT baseline file"
+        )
+    return set(payload["fingerprints"])
+
+
+def baseline_payload(findings: List[Finding]) -> dict:
+    return {
+        "version": BASELINE_VERSION,
+        "fingerprints": sorted({f.fingerprint for f in findings}),
+    }
+
+
+def write_baseline(path: str, findings: List[Finding]) -> None:
+    text = json.dumps(baseline_payload(findings), indent=2) + "\n"
+    from repro.core.fsutil import atomic_write_text
+
+    atomic_write_text(path, text)
+
+
+def split_by_baseline(
+    findings: List[Finding], baseline: Set[str]
+) -> Tuple[List[Finding], List[Finding]]:
+    """``(new, known)`` relative to a baseline fingerprint set."""
+    new: List[Finding] = []
+    known: List[Finding] = []
+    for finding in findings:
+        (known if finding.fingerprint in baseline else new).append(finding)
+    return new, known
+
+
+# ------------------------------------------------------ fixture self-test
+
+
+@dataclass
+class SelfTestResult:
+    ok: bool
+    findings: List[Finding] = field(default_factory=list)
+    #: (path, line, code) expected by a fixture but never reported
+    missing: List[Tuple[str, int, str]] = field(default_factory=list)
+    #: registered codes no fixture exercises
+    uncovered: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for path, line, code in self.missing:
+            lines.append(
+                f"{path}:{line}: expected {code} was NOT detected "
+                f"(false negative)"
+            )
+        for code in self.uncovered:
+            lines.append(
+                f"code {code} has no seeded-defect fixture exercising it"
+            )
+        if self.ok:
+            lines.append(
+                f"fixtures: all {len(self.findings)} seeded defects "
+                f"detected, all {len(CODES)} codes exercised"
+            )
+        return "\n".join(lines)
+
+
+def fixture_selftest(fixtures_dir: str = FIXTURES_DIR) -> SelfTestResult:
+    modules = [
+        module
+        for module in load_tree([fixtures_dir], include_fixtures=True)
+        if module.is_fixture
+    ]
+    if not modules:
+        raise SelfCheckError(
+            f"no fixture modules found under {fixtures_dir!r}"
+        )
+    findings = analyze_modules(modules)
+    actual: Dict[Tuple[str, int], Set[str]] = {}
+    for finding in findings:
+        actual.setdefault((finding.path, finding.line), set()).add(
+            finding.code
+        )
+    missing: List[Tuple[str, int, str]] = []
+    expected_codes: Set[str] = set()
+    for module in modules:
+        for line, codes in sorted(module.expects.items()):
+            for code in sorted(codes):
+                expected_codes.add(code)
+                if code not in actual.get((module.path, line), set()):
+                    missing.append((module.path, line, code))
+    uncovered = sorted(set(CODES) - expected_codes)
+    return SelfTestResult(
+        ok=not missing and not uncovered,
+        findings=findings,
+        missing=missing,
+        uncovered=uncovered,
+    )

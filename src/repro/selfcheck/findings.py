@@ -1,0 +1,125 @@
+"""Finding records and the stable REPROLINT code registry.
+
+Every finding carries a stable code (``RL101``...), a severity, an
+exact source position, and a *fingerprint* -- a content hash of the
+code, file, enclosing symbol, and detail key that survives unrelated
+line churn, so baseline files keep matching while the file above a
+finding is edited.  Codes are stable API: CI scripts and baselines
+match on them, so they are never renumbered.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: severity levels, ordered
+ERROR = "error"
+WARNING = "warning"
+
+#: code -> (severity, short title); stable, never renumbered
+CODES: Dict[str, Tuple[str, str]] = {
+    # lockset / thread-shared state
+    "RL101": (ERROR, "unguarded mutation of thread-shared attribute"),
+    "RL102": (WARNING, "torn multi-attribute read outside the lock"),
+    "RL103": (WARNING, "blocking I/O while holding a state lock"),
+    "RL104": (ERROR, "unsynchronized call into externally-guarded object"),
+    "RL105": (ERROR, "thread-shared class mutates state but owns no lock"),
+    # fork safety
+    "RL121": (ERROR, "closure or lambda crosses the fork boundary"),
+    "RL122": (ERROR, "worker captures a process-global lock/file/socket"),
+    "RL123": (ERROR, "worker default argument captures unshareable state"),
+    "RL124": (ERROR, "worker mutates module-global state across the fork"),
+    "RL125": (ERROR, "worker leaks a live trace activation"),
+    # durability
+    "RL131": (ERROR, "non-atomic write on a durable path"),
+    "RL132": (ERROR, "bare rename outside the atomic-write primitive"),
+    # determinism / event schema
+    "RL141": (ERROR, "wall-clock read in a seed-deterministic capture path"),
+    "RL142": (ERROR, "unseeded randomness"),
+    "RL143": (ERROR, "event kind not declared in the event schema"),
+    "RL144": (ERROR, "event fields violate the declared schema"),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer finding, pointing at an exact source position.
+
+    ``symbol`` is the enclosing dotted scope (``Class.method`` or a
+    function name), ``detail`` a short stable key for what was
+    convicted (an attribute name, a called function) -- both feed the
+    fingerprint so baselines survive line drift.
+    """
+
+    code: str
+    path: str
+    line: int
+    column: int
+    message: str
+    symbol: str = ""
+    detail: str = ""
+
+    @property
+    def severity(self) -> str:
+        return CODES.get(self.code, (ERROR, ""))[0]
+
+    @property
+    def fingerprint(self) -> str:
+        text = "|".join((self.code, self.path, self.symbol, self.detail))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.severity}: {self.message} [{self.code}]"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "symbol": self.symbol,
+            "detail": self.detail,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class FindingSink:
+    """Collects findings, applying per-line ``# repro: allow(...)``."""
+
+    suppressions: Dict[int, frozenset] = field(default_factory=dict)
+    path: str = "<source>"
+    findings: List[Finding] = field(default_factory=list)
+
+    def report(
+        self,
+        code: str,
+        line: int,
+        column: int,
+        message: str,
+        symbol: str = "",
+        detail: str = "",
+    ) -> None:
+        if code not in CODES:
+            raise ValueError(f"unknown REPROLINT code {code!r}")
+        allowed = self.suppressions.get(line, frozenset())
+        if code in allowed or "all" in allowed:
+            return
+        finding = Finding(
+            code, self.path, line, column, message, symbol, detail
+        )
+        if finding not in self.findings:
+            self.findings.append(finding)
+
+
+def sort_findings(findings: List[Finding]) -> List[Finding]:
+    return sorted(
+        findings, key=lambda f: (f.path, f.line, f.column, f.code)
+    )

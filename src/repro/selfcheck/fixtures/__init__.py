@@ -1,0 +1,11 @@
+"""Seeded-defect fixtures for the REPROLINT self-test.
+
+Each sibling module is marked ``# repro: fixture`` and plants known
+defects annotated with ``# repro: expect(CODE)`` on the exact line the
+checker must convict.  ``repro-lint --fixtures`` analyzes this tree
+(fixtures included) and fails unless every expectation fires and every
+registered code is exercised -- the analyzer's zero-false-negative
+proof, mirroring the ``defects_*.mir`` programs MIRCHECK ships.
+
+The fixtures are parsed, never imported: nothing here runs.
+"""

@@ -1,0 +1,45 @@
+# repro: fixture
+# repro: capture-path
+"""Seeded determinism and event-schema defects (RL14x).
+
+Marked capture-path: captured bytes here are supposed to be a pure
+function of the workload seed, so wall-clock reads and unseeded
+randomness are convictions.  The module carries its own
+``EVENT_SCHEMAS`` table so the emit-site checks are self-contained
+when only the fixture tree is analyzed.
+"""
+
+import random
+import time
+
+EVENT_SCHEMAS = {
+    "request": {
+        "required": ["endpoint", "method", "status", "seconds"],
+        "optional": [],
+    },
+}
+
+
+def capture_timestamped(samples):
+    return [(time.time(), sample) for sample in samples]  # repro: expect(RL141)
+
+
+def shuffle_documents(documents):
+    random.shuffle(documents)  # repro: expect(RL142)
+    return documents
+
+
+def fresh_generator():
+    return random.Random()  # repro: expect(RL142)
+
+
+def seeded_generator(seed):
+    return random.Random(seed)  # sanctioned: explicit seed
+
+
+def emit_unknown_kind(log):
+    log.emit("warp-drive", speed=9)  # repro: expect(RL143)
+
+
+def emit_bad_fields(log):
+    log.emit("request", endpoint="/get", verb="GET")  # repro: expect(RL144)

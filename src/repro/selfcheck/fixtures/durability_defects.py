@@ -1,0 +1,30 @@
+# repro: fixture
+"""Seeded durability defects: every RL13x checker must fire here.
+
+Each function truncates or renames a durable artifact without the
+atomic-write discipline; a crash mid-call loses both the old and the
+new contents.
+"""
+
+import os
+
+
+def save_profile(path, payload):
+    with open(path, "w", encoding="utf-8") as handle:  # repro: expect(RL131)
+        handle.write(payload)
+
+
+def save_checkpoint(path, payload):
+    descriptor = os.open(path, os.O_WRONLY | os.O_CREAT)  # repro: expect(RL131)
+    try:
+        os.write(descriptor, payload)
+    finally:
+        os.close(descriptor)
+
+
+def save_manifest(path, payload):
+    path.write_text(payload)  # repro: expect(RL131)
+
+
+def swap_manifest(temp_path, final_path):
+    os.replace(temp_path, final_path)  # repro: expect(RL132)

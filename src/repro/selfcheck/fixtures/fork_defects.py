@@ -1,0 +1,52 @@
+# repro: fixture
+# repro: workers
+"""Seeded fork-safety defects: every RL12x checker must fire here.
+
+The module is marked as a workers module, so each top-level function
+is held to the fork-boundary rules; ``launch`` additionally hands a
+lambda straight to a pool dispatch.
+"""
+
+import threading
+
+from repro.obs.context import TraceContext, activate
+
+_POOL_LOCK = threading.Lock()
+_TOTAL = 0
+
+
+def captured_lock_worker(chunk):
+    """Captures a parent-process lock: may be snapshotted held."""
+    with _POOL_LOCK:  # repro: expect(RL122)
+        return sum(chunk)
+
+
+def default_capture_worker(chunk, guard=threading.Lock()):  # repro: expect(RL123)
+    """One parent-side lock object snapshotted into every child."""
+    del guard
+    return sum(chunk)
+
+
+def global_mutating_worker(chunk):
+    """Mutations after the fork never reach parent or siblings."""
+    global _TOTAL  # repro: expect(RL124)
+    _TOTAL = sum(chunk)
+    return _TOTAL
+
+
+def leaky_trace_worker(chunk):
+    """Opens an activation it can never reliably close."""
+    context = TraceContext.new()
+    activate(context)  # repro: expect(RL125)
+    return sum(chunk)
+
+
+def safe_trace_worker(chunk):
+    """The sanctioned shape: scope the activation with ``with``."""
+    with activate(TraceContext.new()):
+        return sum(chunk)
+
+
+def launch(pool, chunks):
+    """Dispatches a lambda, which cannot pickle by reference."""
+    return pool.map(lambda chunk: sum(chunk), chunks)  # repro: expect(RL121)

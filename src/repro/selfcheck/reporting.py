@@ -1,0 +1,129 @@
+"""Shared result rendering: text, JSON, and SARIF 2.1.0.
+
+Both static-analysis front ends -- ``repro-lint`` (REPROLINT, this
+package) and ``repro-profile check`` (MIRCHECK, the MIR verifier) --
+funnel their findings through the neutral *record* shape defined here
+so SARIF emission lives in exactly one place:
+
+``{"code", "severity", "path", "line", "column", "message",
+"fingerprint"?, "title"?, "symbol"?, "detail"?}``
+
+``line`` is 1-based and ``column`` 0-based (the :mod:`ast` convention);
+SARIF regions are emitted 1-based as the spec requires.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def render_text(records: Iterable[dict]) -> str:
+    lines = [
+        f"{r['path']}:{r['line']}:{r['column']}: "
+        f"{r['severity']}: {r['message']} [{r['code']}]"
+        for r in records
+    ]
+    return "\n".join(lines)
+
+
+def render_json(
+    records: List[dict], tool_name: str, extra: Optional[dict] = None
+) -> str:
+    payload = {"tool": tool_name, "findings": records}
+    if extra:
+        payload.update(extra)
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def to_sarif(
+    records: List[dict],
+    tool_name: str,
+    rules: Dict[str, Tuple[str, str]],
+    tool_version: str = "1.0.0",
+) -> dict:
+    """A SARIF 2.1.0 log for ``records``.
+
+    ``rules`` maps every known code to ``(severity, title)`` --
+    REPROLINT passes its code registry, MIRCHECK its MIR1xx table --
+    and becomes the driver's rule metadata, so viewers can show titles
+    for codes with no findings in this run.
+    """
+    rule_objects = [
+        {
+            "id": code,
+            "name": code,
+            "shortDescription": {"text": title},
+            "defaultConfiguration": {
+                "level": _LEVELS.get(severity, "error")
+            },
+        }
+        for code, (severity, title) in sorted(rules.items())
+    ]
+    rule_index = {code: i for i, code in enumerate(sorted(rules))}
+    results = []
+    for record in records:
+        result = {
+            "ruleId": record["code"],
+            "level": _LEVELS.get(record.get("severity", "error"), "error"),
+            "message": {"text": record["message"]},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": record["path"].replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": max(1, int(record["line"])),
+                            "startColumn": int(record["column"]) + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if record["code"] in rule_index:
+            result["ruleIndex"] = rule_index[record["code"]]
+        if record.get("fingerprint"):
+            result["partialFingerprints"] = {
+                "stableFinding/v1": record["fingerprint"]
+            }
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "version": tool_version,
+                        "informationUri": (
+                            "https://example.invalid/repro/selfcheck"
+                        ),
+                        "rules": rule_objects,
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def render_sarif(
+    records: List[dict],
+    tool_name: str,
+    rules: Dict[str, Tuple[str, str]],
+    tool_version: str = "1.0.0",
+) -> str:
+    return json.dumps(
+        to_sarif(records, tool_name, rules, tool_version), indent=2
+    )

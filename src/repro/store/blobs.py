@@ -1,5 +1,11 @@
 """Content-addressed blob storage (the bottom layer of PROFSTORE).
 
+Blob ingest implements its own mkstemp + fsync + rename discipline
+(content is compressed streamwise, so :func:`atomic_write_bytes`
+cannot be reused here); the module is marked durable-primitive so
+REPROLINT does not convict the implementation of the very rule it
+enforces.
+
 A blob is an immutable byte string keyed by the sha256 hex digest of
 its *uncompressed* content and stored zlib-compressed under a git-style
 fan-out directory (``objects/ab/cdef...``).  Content addressing gives
@@ -15,6 +21,8 @@ three properties the profile store builds on:
   ``os.replace``d into place, and a half-written temp file is invisible
   to readers.  Writing an already-present digest is a no-op.
 """
+
+# repro: durable-primitive  (implements its own atomic-rename write path)
 
 from __future__ import annotations
 

@@ -66,9 +66,15 @@ class LRUCache:
 
     @property
     def hit_rate(self) -> float:
-        """Hits over lookups, 0.0 before any lookup."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Hits over lookups, 0.0 before any lookup.
+
+        Taken under the lock: ``hits`` and ``misses`` advance
+        independently, so an unlocked read could pair a fresh ``hits``
+        with a stale ``misses`` and report a rate above 1.0.
+        """
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def stats(self) -> Tuple[int, int, int]:
         """(hits, misses, evictions) -- one consistent snapshot."""

@@ -172,6 +172,10 @@ class StoreServer:
 
         self.httpd = ThreadingHTTPServer((host, port), Handler)
         self.httpd.daemon_threads = True
+        # guards the serving-thread handle: start() may race stop() (or
+        # a second start()) when embedding code drives the lifecycle
+        # from more than one thread
+        self._lifecycle_lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
 
     # -- lifecycle -----------------------------------------------------
@@ -186,11 +190,19 @@ class StoreServer:
         return f"http://{host}:{port}"
 
     def start(self) -> "StoreServer":
-        """Serve in a background thread (tests, embedded use)."""
-        self._thread = threading.Thread(
-            target=self.httpd.serve_forever, daemon=True
-        )
-        self._thread.start()
+        """Serve in a background thread (tests, embedded use).
+
+        Starting an already-started server raises rather than leaking
+        the first serving thread's handle.
+        """
+        with self._lifecycle_lock:
+            if self._thread is not None:
+                raise RuntimeError("server is already started")
+            thread = threading.Thread(
+                target=self.httpd.serve_forever, daemon=True
+            )
+            self._thread = thread
+        thread.start()
         return self
 
     def serve_forever(self) -> None:
@@ -198,9 +210,13 @@ class StoreServer:
         self.httpd.serve_forever()
 
     def stop(self) -> None:
+        """Idempotent: a second stop() finds no thread and still closes
+        cleanly."""
         self.httpd.shutdown()
-        if self._thread is not None:
-            self._thread.join()
+        with self._lifecycle_lock:
+            thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join()
         self.httpd.server_close()
         self.events.flush()
 

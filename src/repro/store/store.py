@@ -110,6 +110,10 @@ class ProfileStore:
         self.manifest_path = os.path.join(root, "manifest.jsonl")
         self.cache = LRUCache(cache_size)
         self._lock = threading.RLock()
+        # serializes manifest-file writes; never held while mutating
+        # in-memory state, never acquired under `_lock` held across a
+        # write (ordering: _sink_lock before _lock)
+        self._sink_lock = threading.Lock()
         self._records: List[RunRecord] = []
         self._by_id: Dict[str, RunRecord] = {}
         self._manifest_text = ""
@@ -143,12 +147,27 @@ class ProfileStore:
         self._manifest_text = "".join(line + "\n" for line in kept_lines)
 
     def _append_record(self, record: RunRecord) -> None:
-        """Append one manifest line, atomically rewriting the file."""
+        """Append one manifest line to the in-memory state (only);
+        callers persist with :meth:`_flush_manifest` after releasing
+        the state lock."""
         line = json.dumps(record.to_json(), sort_keys=True)
         self._manifest_text += line + "\n"
-        atomic_write_text(self.manifest_path, self._manifest_text)
         self._records.append(record)
         self._by_id[record.run_id] = record
+
+    def _flush_manifest(self) -> None:
+        """Atomically rewrite the manifest file from current state.
+
+        Runs the disk write under the dedicated sink lock, holding the
+        state lock only long enough to snapshot the text: concurrent
+        ingests keep appending while a slow disk write is in flight,
+        and the writer holding the sink lock always writes the newest
+        snapshot it took, so the file never goes backwards.
+        """
+        with self._sink_lock:
+            with self._lock:
+                text = self._manifest_text
+            atomic_write_text(self.manifest_path, text)
 
     def _next_run_id(self) -> str:
         return f"r{len(self._records) + 1:06d}"
@@ -187,6 +206,9 @@ class ProfileStore:
                 meta=meta,
             )
             self._append_record(record)
+        # durable before the record is returned, but written outside
+        # the state lock so parallel ingests don't stall on the disk
+        self._flush_manifest()
         return record
 
     def ingest_text(
@@ -335,7 +357,7 @@ class ProfileStore:
                 json.dumps(r.to_json(), sort_keys=True) + "\n"
                 for r in self._records
             )
-            atomic_write_text(self.manifest_path, self._manifest_text)
+        self._flush_manifest()
 
     def gc(self) -> GCStats:
         """Delete blobs no manifest record references."""

@@ -146,7 +146,7 @@ class Histogram:
 Metric = Union[Counter, Gauge, Histogram]
 
 
-class Registry:
+class Registry:  # repro: synchronized-externally
     """Named metrics, created on first use and shared thereafter.
 
     ``registry.counter("probe.accesses")`` returns the same object on

@@ -1,0 +1,112 @@
+"""``repro-lint`` CLI: exit codes, baselines, fixtures, acceptance."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.selfcheck import engine
+from repro.selfcheck.cli import main
+from repro.selfcheck.loader import SelfCheckError
+
+DEFECT = textwrap.dedent(
+    """\
+    import os
+
+
+    def swap(a, b):
+        os.replace(a, b)
+    """
+)
+
+
+@pytest.fixture
+def defect_file(tmp_path):
+    target = tmp_path / "defect.py"
+    target.write_text(DEFECT)
+    return str(target)
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def f():\n    return 1\n")
+        assert main([str(clean)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().err
+
+    def test_findings_exit_one(self, defect_file, capsys):
+        assert main([defect_file]) == 1
+        out = capsys.readouterr().out
+        assert "RL132" in out
+
+    def test_missing_paths_is_usage_error(self):
+        with pytest.raises(SystemExit) as info:
+            main([])
+        assert info.value.code == 2
+
+    def test_syntax_error_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        assert main([str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestBaseline:
+    def test_write_then_check_round_trip(self, defect_file, tmp_path, capsys):
+        baseline = str(tmp_path / "base.json")
+        assert main(["--baseline", baseline, "--write-baseline",
+                     defect_file]) == 0
+        # the recorded fingerprint silences the finding
+        assert main(["--baseline", baseline, defect_file]) == 0
+        assert "1 baselined" in capsys.readouterr().err
+
+    def test_new_finding_breaks_through_baseline(
+        self, defect_file, tmp_path, capsys
+    ):
+        baseline = str(tmp_path / "base.json")
+        main(["--baseline", baseline, "--write-baseline", defect_file])
+        with open(defect_file, "a") as handle:
+            handle.write("\n\ndef save(p):\n    open(p, \"w\")\n")
+        assert main(["--baseline", baseline, defect_file]) == 1
+        assert "1 new, 1 baselined" in capsys.readouterr().err
+
+    def test_malformed_baseline_exits_two(self, defect_file, tmp_path):
+        baseline = tmp_path / "base.json"
+        baseline.write_text("not json")
+        assert main(["--baseline", str(baseline), defect_file]) == 2
+
+    def test_shipped_baseline_is_empty(self):
+        fingerprints = engine.load_baseline(".reprolint-baseline.json")
+        assert fingerprints == set()
+
+
+class TestJsonOutput:
+    def test_json_parses_and_carries_counts(self, defect_file, capsys):
+        assert main(["--format", "json", defect_file]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "reprolint"
+        assert payload["new"] == 1
+        assert payload["baselined"] == 0
+        (finding,) = payload["findings"]
+        assert finding["code"] == "RL132"
+        assert finding["fingerprint"]
+
+
+class TestFixturesSelfTest:
+    def test_fixture_selftest_passes(self, capsys):
+        assert main(["--fixtures"]) == 0
+        out = capsys.readouterr().out
+        assert "seeded defects detected" in out
+
+    def test_selftest_covers_every_code(self):
+        result = engine.fixture_selftest()
+        assert result.ok
+        assert not result.missing
+        assert not result.uncovered
+
+
+class TestAcceptance:
+    def test_production_tree_is_clean(self):
+        # the headline acceptance criterion: zero findings over src/
+        # with the shipped (empty) baseline
+        assert engine.analyze_paths(["src/repro"]) == []

@@ -1,0 +1,85 @@
+"""REPROLINT durability invariants (RL131-RL132)."""
+
+import textwrap
+
+from repro.selfcheck.engine import analyze_modules
+from repro.selfcheck.loader import scan_source
+
+
+def codes(source, path="inline.py"):
+    module = scan_source(path, textwrap.dedent(source))
+    return [f.code for f in analyze_modules([module])]
+
+
+class TestRL131NonAtomicWrites:
+    def test_write_mode_open(self):
+        assert codes('def save(p, t):\n    open(p, "w").write(t)\n') == [
+            "RL131"
+        ]
+
+    def test_append_and_exclusive_modes_count(self):
+        assert codes('def save(p):\n    open(p, "a")\n') == ["RL131"]
+        assert codes('def save(p):\n    open(p, "xb")\n') == ["RL131"]
+
+    def test_read_mode_is_fine(self):
+        assert codes("def load(p):\n    return open(p).read()\n") == []
+        assert codes('def load(p):\n    return open(p, "rb")\n') == []
+
+    def test_path_write_text(self):
+        assert codes("def save(p, t):\n    p.write_text(t)\n") == ["RL131"]
+
+    def test_os_open_without_excl(self):
+        source = """\
+        import os
+
+
+        def save(p):
+            return os.open(p, os.O_WRONLY | os.O_CREAT)
+        """
+        assert codes(source) == ["RL131"]
+
+    def test_os_open_create_exclusive_is_atomic(self):
+        # the fault-ledger idiom: O_EXCL either fully creates or fails
+        source = """\
+        import os
+
+
+        def claim(p):
+            return os.open(p, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        """
+        assert codes(source) == []
+
+    def test_devnull_is_exempt(self):
+        source = """\
+        import os
+
+
+        def sink():
+            return os.open(os.devnull, os.O_WRONLY)
+        """
+        assert codes(source) == []
+        assert codes(
+            'import os\n\n\ndef sink():\n    return open(os.devnull, "w")\n'
+        ) == []
+
+    def test_durable_primitive_module_is_exempt(self):
+        source = """\
+        # repro: durable-primitive
+        import os
+
+
+        def atomic(p, t):
+            open(p + ".tmp", "w").write(t)
+            os.replace(p + ".tmp", p)
+        """
+        assert codes(source) == []
+
+
+class TestRL132BareRename:
+    def test_os_replace(self):
+        source = "import os\n\n\ndef swap(a, b):\n    os.replace(a, b)\n"
+        assert codes(source) == ["RL132"]
+
+    def test_os_rename(self):
+        source = "import os\n\n\ndef swap(a, b):\n    os.rename(a, b)\n"
+        assert codes(source) == ["RL132"]

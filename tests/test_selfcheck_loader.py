@@ -1,0 +1,121 @@
+"""REPROLINT loader: discovery, directives, markers, module naming."""
+
+import textwrap
+
+import pytest
+
+from repro.selfcheck.loader import (
+    SelfCheckError,
+    class_directives,
+    discover,
+    dotted_name,
+    load_tree,
+    module_name_for,
+    scan_source,
+)
+
+
+def scan(source, path="inline.py"):
+    return scan_source(path, textwrap.dedent(source))
+
+
+class TestModuleNaming:
+    def test_anchors_at_repro_segment(self):
+        assert (
+            module_name_for("/x/src/repro/store/cache.py")
+            == "repro.store.cache"
+        )
+
+    def test_package_init_names_the_package(self):
+        assert (
+            module_name_for("/x/src/repro/obs/__init__.py") == "repro.obs"
+        )
+
+    def test_outside_repro_uses_stem(self):
+        assert module_name_for("/tmp/scratch/thing.py") == "thing"
+
+
+class TestDirectives:
+    def test_allow_and_expect_are_line_scoped(self):
+        module = scan(
+            """\
+            x = 1  # repro: allow(RL131, RL132)
+            y = 2  # repro: expect(RL101)
+            """
+        )
+        assert module.suppressions[1] == frozenset({"RL131", "RL132"})
+        assert module.expects[2] == frozenset({"RL101"})
+        assert 2 not in module.suppressions
+
+    def test_module_markers(self):
+        module = scan("# repro: fixture\n# repro: workers\nx = 1\n")
+        assert module.is_fixture
+        assert "workers" in module.markers
+
+    def test_backtick_quoted_mentions_are_not_directives(self):
+        # docstrings documenting the directives (the loader's own
+        # docstring does) must not activate them
+        module = scan(
+            '"""Explains ``# repro: fixture`` and ``# repro: shared``."""\n'
+        )
+        assert not module.is_fixture
+        assert not module.class_marks
+
+    def test_class_directive_on_decorated_class(self):
+        module = scan(
+            """\
+            import functools
+
+            @functools.total_ordering  # repro: shared
+            class Thing:
+                def __init__(self):
+                    self.x = 0
+            """
+        )
+        node = module.tree.body[1]
+        assert class_directives(module, node) == {"shared"}
+
+
+class TestDiscovery:
+    def test_discover_walks_sorted_and_skips_pycache(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "junk.py").write_text("x = 1\n")
+        found = discover([str(tmp_path)])
+        assert [f.rsplit("/", 1)[-1] for f in found] == ["a.py", "b.py"]
+
+    def test_discover_rejects_non_python(self, tmp_path):
+        target = tmp_path / "data.json"
+        target.write_text("{}")
+        with pytest.raises(SelfCheckError):
+            discover([str(target)])
+
+    def test_load_tree_skips_fixture_modules(self, tmp_path):
+        (tmp_path / "real.py").write_text("x = 1\n")
+        (tmp_path / "seeded.py").write_text("# repro: fixture\nx = 1\n")
+        names = [m.path for m in load_tree([str(tmp_path)])]
+        assert any(p.endswith("real.py") for p in names)
+        assert not any(p.endswith("seeded.py") for p in names)
+        names = [
+            m.path
+            for m in load_tree([str(tmp_path)], include_fixtures=True)
+        ]
+        assert any(p.endswith("seeded.py") for p in names)
+
+    def test_syntax_error_is_a_selfcheck_error(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        with pytest.raises(SelfCheckError, match="syntax error"):
+            load_tree([str(bad)])
+
+
+class TestDottedName:
+    def test_chains(self):
+        import ast
+
+        expr = ast.parse("a.b.c").body[0].value
+        assert dotted_name(expr) == "a.b.c"
+        call = ast.parse("f(x).y").body[0].value
+        assert dotted_name(call) is None

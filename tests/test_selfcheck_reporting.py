@@ -1,0 +1,130 @@
+"""Shared SARIF/JSON/text reporting used by repro-lint and mircheck."""
+
+import json
+
+from repro.lang.analysis.diagnostics import CODES as MIR_CODES
+from repro.selfcheck.findings import CODES, Finding
+from repro.selfcheck.reporting import (
+    SARIF_VERSION,
+    render_sarif,
+    render_text,
+    to_sarif,
+)
+
+
+def sample_records():
+    finding = Finding(
+        code="RL101",
+        path="src/repro/store/cache.py",
+        line=42,
+        column=8,
+        message="unguarded mutation of self.hits",
+        symbol="LRUCache.get",
+        detail="self.hits",
+    )
+    warning = Finding(
+        code="RL102",
+        path="src/repro/store/cache.py",
+        line=57,
+        column=0,
+        message="torn read of hits/misses",
+        symbol="LRUCache.hit_rate",
+        detail="hits,misses",
+    )
+    return [finding.to_dict(), warning.to_dict()]
+
+
+class TestSarifStructure:
+    def test_skeleton(self):
+        log = to_sarif(sample_records(), "reprolint", CODES)
+        assert log["version"] == SARIF_VERSION
+        assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "reprolint"
+        assert len(driver["rules"]) == len(CODES)
+        assert len(run["results"]) == 2
+
+    def test_level_mapping_follows_severity(self):
+        results = to_sarif(sample_records(), "reprolint", CODES)["runs"][0][
+            "results"
+        ]
+        assert results[0]["level"] == "error"  # RL101 is an ERROR
+        assert results[1]["level"] == "warning"  # RL102 is a WARNING
+
+    def test_columns_are_one_based(self):
+        results = to_sarif(sample_records(), "reprolint", CODES)["runs"][0][
+            "results"
+        ]
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 42
+        assert region["startColumn"] == 9  # ast column 8 -> SARIF 9
+        # column 0 still produces a legal (>=1) startColumn
+        region = results[1]["locations"][0]["physicalLocation"]["region"]
+        assert region["startColumn"] == 1
+
+    def test_fingerprints_and_rule_index(self):
+        log = to_sarif(sample_records(), "reprolint", CODES)
+        (run,) = log["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            assert result["partialFingerprints"]["stableFinding/v1"]
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_render_sarif_is_valid_json(self):
+        log = json.loads(render_sarif(sample_records(), "reprolint", CODES))
+        assert log["runs"][0]["results"]
+
+    def test_mircheck_records_share_the_emitter(self):
+        # repro-profile check --sarif feeds MIR diagnostics through the
+        # same to_sarif; its rule table must round-trip identically
+        record = {
+            "code": "MIR101",
+            "severity": MIR_CODES["MIR101"][0],
+            "path": "examples/programs/defects_heap.mir",
+            "line": 7,
+            "column": 2,
+            "message": "use of freed object",
+        }
+        log = to_sarif([record], "mircheck", MIR_CODES)
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "mircheck"
+        assert len(run["tool"]["driver"]["rules"]) == len(MIR_CODES)
+        (result,) = run["results"]
+        assert result["ruleId"] == "MIR101"
+        # no fingerprint on MIR diagnostics: key must be absent, not null
+        assert "partialFingerprints" not in result
+
+
+class TestTextRendering:
+    def test_text_matches_finding_render(self):
+        records = sample_records()
+        text = render_text(records)
+        assert (
+            "src/repro/store/cache.py:42:8: error: "
+            "unguarded mutation of self.hits [RL101]" in text
+        )
+
+
+class TestFingerprintStability:
+    def test_fingerprint_ignores_line_churn(self):
+        one = Finding(
+            code="RL101", path="a.py", line=10, column=0,
+            message="m", symbol="C.f", detail="self.x",
+        )
+        two = Finding(
+            code="RL101", path="a.py", line=99, column=4,
+            message="m", symbol="C.f", detail="self.x",
+        )
+        assert one.fingerprint == two.fingerprint
+
+    def test_fingerprint_varies_by_detail(self):
+        one = Finding(
+            code="RL101", path="a.py", line=10, column=0,
+            message="m", symbol="C.f", detail="self.x",
+        )
+        two = Finding(
+            code="RL101", path="a.py", line=10, column=0,
+            message="m", symbol="C.f", detail="self.y",
+        )
+        assert one.fingerprint != two.fingerprint
