@@ -1,0 +1,322 @@
+"""SCALE-OUT bench: one PROFSTORE daemon vs the 3-shard cluster.
+
+Three measurements, all against real subprocess daemons (the load
+generator runs in this process; every server runs in its own, so the
+comparison is process-against-process, not thread-against-thread):
+
+* **ingest throughput** -- the same ingest-only plan against a single
+  ``repro-serve`` daemon and a 3-shard ``repro-cluster`` (2 replicas).
+  The acceptance floor on parallel hardware (>= 3 cores): the
+  cluster's aggregate ingest throughput is *strictly higher* -- 2x
+  replica amplification spread over three shard processes beats one
+  GIL doing every decode.  On a single-core host that win is
+  physically unreachable for ANY distributed design: throughput is
+  1/CPU-per-op, and replication is pure added CPU with no second core
+  to absorb it, so there the bench asserts the replication tax stays
+  bounded instead (and prints which regime ran).
+* **mixed-load latency** -- the default mixed plan against the
+  cluster; p50/p99 land in ``benchmark.extra_info``.
+* **fault drill** -- SIGKILL one shard mid-load: zero transport
+  failures, zero 5xx, the supervisor restart shows in ``/clusterz``,
+  and a corrupted replica is healed by read-repair (digest re-check).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from conftest import SCALE, once
+
+import repro
+from repro.cluster.loadgen import run_load, synthetic_documents
+from repro.store.blobs import sha256_hex
+
+#: ingest-only op mix (every non-ingest kind zeroed out; JSON-only so
+#: ``unique_ingest`` padding can make every op a genuinely new blob)
+INGEST_ONLY = {
+    "ingest-json": 1.0,
+    "ingest-binary": 0.0,
+    "ingest-stream": 0.0,
+    "query-runs": 0.0,
+    "query-entries": 0.0,
+    "get": 0.0,
+    "diff": 0.0,
+}
+
+REQUESTS = max(60, int(240 * SCALE))
+INGEST_REQUESTS = max(40, int(120 * SCALE))
+CONCURRENCY = 8
+
+#: can sharding express a throughput win here?  With fewer than ~3
+#: cores the shard processes timeshare one core and the 2x-replicated
+#: decode is pure overhead; the strict throughput assertion needs the
+#: parallel silicon the subsystem is built for.
+PARALLEL_HOST = (os.cpu_count() or 1) >= 3
+
+
+class Daemon:
+    """One serving subprocess, address parsed from its announce line."""
+
+    def __init__(self, command, boot_timeout=45.0):
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src if not existing else (
+            src + os.pathsep + existing
+        )
+        self.proc = subprocess.Popen(
+            command,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            bufsize=0,
+        )
+        self.url = self._await_announce(boot_timeout)
+        threading.Thread(
+            target=self._drain, args=(self.proc.stdout,), daemon=True
+        ).start()
+
+    def _await_announce(self, boot_timeout):
+        deadline = time.monotonic() + boot_timeout
+        pending = b""
+        while time.monotonic() < deadline:
+            piece = self.proc.stdout.read(4096)
+            if not piece:
+                raise RuntimeError(
+                    "daemon exited before announcing its address"
+                )
+            pending += piece
+            while b"\n" in pending:
+                line, __, pending = pending.partition(b"\n")
+                text = line.decode("utf-8", "replace").strip()
+                if text.startswith("listening "):
+                    return "http://" + text.split(" ", 1)[1]
+        raise RuntimeError("daemon never announced its address")
+
+    @staticmethod
+    def _drain(pipe):
+        try:
+            while pipe.read(4096):
+                pass
+        except (OSError, ValueError):
+            pass
+
+    def get_json(self, path, timeout=15):
+        with urllib.request.urlopen(self.url + path, timeout=timeout) as r:
+            return json.loads(r.read().decode("utf-8"))
+
+    def stop(self):
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout=20.0)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=10.0)
+
+
+def single_server(root):
+    return Daemon(
+        [
+            sys.executable, "-m", "repro.store.serve_cli", "serve",
+            "--root", str(root), "--port", "0",
+        ]
+    )
+
+
+def cluster(root, shards=3):
+    return Daemon(
+        [
+            sys.executable, "-m", "repro.cluster.cli", "serve",
+            "--root", str(root), "--shards", str(shards),
+            "--replicas", "2", "--port", "0", "--probe-interval", "0.3",
+        ]
+    )
+
+
+def test_cluster_vs_single_ingest_throughput(benchmark, tmp_path):
+    """Every op ingests a *new* heavyweight blob (validate + compress +
+    write -- no content-addressed dedup short-circuit), which is where
+    sharding pays: one daemon serializes every decode on one GIL, the
+    cluster spreads 2x-replicated work over three shard processes."""
+    documents = synthetic_documents(
+        count=6, seed=1, accesses=48, instructions=64, blocks=10
+    )
+    single = single_server(tmp_path / "single")
+    try:
+        baseline = run_load(
+            single.url, requests=INGEST_REQUESTS, concurrency=CONCURRENCY,
+            seed=5, mix=INGEST_ONLY, documents=documents, unique_ingest=True,
+        )
+    finally:
+        single.stop()
+    assert baseline.failures == 0 and baseline.server_errors == 0
+
+    sharded = cluster(tmp_path / "cluster")
+    try:
+        report = once(
+            benchmark,
+            run_load,
+            sharded.url,
+            requests=INGEST_REQUESTS,
+            concurrency=CONCURRENCY,
+            seed=5,
+            mix=INGEST_ONLY,
+            documents=documents,
+            unique_ingest=True,
+        )
+    finally:
+        sharded.stop()
+    assert report.failures == 0 and report.server_errors == 0
+    assert report.client_errors == 0
+
+    benchmark.extra_info["requests"] = INGEST_REQUESTS
+    benchmark.extra_info["single_rps"] = round(baseline.throughput_rps, 1)
+    benchmark.extra_info["cluster_rps"] = round(report.throughput_rps, 1)
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    regime = "parallel" if PARALLEL_HOST else "single-core"
+    benchmark.extra_info["regime"] = regime
+    print()
+    print(
+        f"ingest throughput ({regime} host, {os.cpu_count()} cpu): "
+        f"single {baseline.throughput_rps:.1f} req/s, "
+        f"3-shard cluster {report.throughput_rps:.1f} req/s "
+        f"({report.throughput_rps / baseline.throughput_rps:.2f}x)"
+    )
+    if PARALLEL_HOST:
+        # the acceptance floor: sharding must buy aggregate ingest
+        # throughput even while writing every blob twice
+        assert report.throughput_rps > baseline.throughput_rps
+    else:
+        # one core serializes every process; 2 replicated full ingests
+        # + router plumbing bound the tax near 1/2.2 of the single
+        # daemon -- assert it never degrades past that envelope
+        assert report.throughput_rps > 0.30 * baseline.throughput_rps
+
+
+def test_cluster_mixed_load_latency(benchmark, tmp_path):
+    sharded = cluster(tmp_path / "mixed")
+    try:
+        report = once(
+            benchmark,
+            run_load,
+            sharded.url,
+            requests=REQUESTS,
+            concurrency=CONCURRENCY,
+            seed=9,
+        )
+        health = sharded.get_json("/healthz")
+    finally:
+        sharded.stop()
+    assert report.failures == 0 and report.server_errors == 0
+    assert health["status"] == "ok"
+    summary = report.digests["*"].summary()
+    benchmark.extra_info["throughput_rps"] = round(report.throughput_rps, 1)
+    benchmark.extra_info["p50_ms"] = round(summary["p50_seconds"] * 1000, 2)
+    benchmark.extra_info["p99_ms"] = round(summary["p99_seconds"] * 1000, 2)
+    print()
+    print(
+        f"mixed load: {report.throughput_rps:.1f} req/s, "
+        f"p50 {summary['p50_seconds'] * 1000:.1f}ms, "
+        f"p99 {summary['p99_seconds'] * 1000:.1f}ms "
+        f"({report.requests} requests, {report.completed} ok)"
+    )
+
+
+def test_cluster_fault_drill_keeps_serving(benchmark, tmp_path):
+    root = tmp_path / "drill"
+    sharded = cluster(root)
+    outcome = {}
+
+    def killer():
+        time.sleep(0.8)
+        shards = sharded.get_json("/clusterz")["shards"]
+        for name in sorted(shards):
+            row = shards[name]
+            if row["alive"] and isinstance(row["pid"], int):
+                os.kill(row["pid"], signal.SIGKILL)
+                outcome["victim"] = name
+                return
+
+    def drill():
+        thread = threading.Thread(target=killer)
+        thread.start()
+        report = run_load(
+            sharded.url, requests=max(100, REQUESTS // 2),
+            concurrency=6, seed=13,
+        )
+        thread.join()
+        return report
+
+    try:
+        report = once(benchmark, drill)
+        assert "victim" in outcome, "drill never found a shard to kill"
+        # zero client-visible faults while a shard died and came back
+        assert report.failures == 0
+        assert report.server_errors == 0
+
+        victim = outcome["victim"]
+        deadline = time.time() + 30.0
+        restarted = False
+        while time.time() < deadline and not restarted:
+            row = sharded.get_json("/clusterz")["shards"][victim]
+            restarted = bool(row["alive"]) and row["restarts"] >= 1
+            if not restarted:
+                time.sleep(0.3)
+        assert restarted, f"{victim} never restarted"
+
+        # read-repair, verified by digest re-check: corrupt one replica
+        # on disk, read through the router, confirm the heal
+        workload, __, data = synthetic_documents(count=1, seed=99)[0]
+        ingest = _post(sharded.url + f"/ingest?workload={workload}", data)
+        digest = ingest["digest"]
+        assert digest == sha256_hex(data)
+        target = ingest["replicas"][0]
+        blob_path = os.path.join(
+            str(root), target, "objects", digest[:2], digest[2:]
+        )
+        with open(blob_path, "wb") as handle:
+            handle.write(b"bit rot")
+        with urllib.request.urlopen(
+            sharded.url + f"/blob?digest={digest}", timeout=15
+        ) as response:
+            served = response.read()
+        assert served == data
+        shard_url = sharded.get_json("/clusterz")["shards"][target]["url"]
+        healed = None
+        deadline = time.time() + 15.0
+        while time.time() < deadline and healed != data:
+            try:
+                with urllib.request.urlopen(
+                    shard_url + f"/blob?digest={digest}", timeout=10
+                ) as response:
+                    healed = response.read()
+            except (urllib.error.URLError, OSError):
+                pass
+            if healed != data:
+                time.sleep(0.3)
+        assert healed == data, "corrupt replica was not read-repaired"
+        repairs = sharded.get_json("/clusterz")["replication"]["read_repairs"]
+        assert repairs >= 1
+        benchmark.extra_info["victim"] = victim
+        benchmark.extra_info["read_repairs"] = repairs
+        print()
+        print(
+            f"fault drill: killed {victim} mid-load, "
+            f"{report.requests} requests, 0 failures, 0 5xx; "
+            f"{repairs} read-repair(s)"
+        )
+    finally:
+        sharded.stop()
+
+
+def _post(url, data, timeout=30):
+    request = urllib.request.Request(url, data=data, method="POST")
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))

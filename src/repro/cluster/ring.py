@@ -1,0 +1,130 @@
+"""Consistent hashing: the cluster's placement function.
+
+A classic consistent-hash ring with virtual nodes: each shard owns
+``vnodes`` pseudo-random points on a 64-bit circle (sha256 of
+``"<shard>#<i>"``), and a key is placed by hashing it onto the circle
+and walking clockwise to the first ``replicas`` *distinct* shards.
+
+The properties the cluster builds on (property-tested in
+``tests/test_cluster_ring.py``):
+
+* **Determinism** -- placement depends only on the ring membership and
+  the key, never on call order or wall clock, so every router instance
+  agrees where a digest lives.
+* **Stability** -- adding a shard moves roughly ``1/(N+1)`` of the
+  keyspace onto the new shard and nothing anywhere else; removing one
+  relocates only the keys it owned.
+* **Distinct replicas** -- a key's replica set never names the same
+  shard twice (the walk skips duplicates), so replication actually
+  buys redundancy.
+
+Keys are profile digests (sha256 hex), already uniformly distributed;
+vnodes exist to smooth shard-to-shard load, not key hashing.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Tuple
+
+#: default virtual nodes per shard; at 64 the max/mean keyspace-share
+#: imbalance across a handful of shards stays under ~30%
+DEFAULT_VNODES = 64
+
+
+def _point(label: str) -> int:
+    """A label's position on the 2**64 circle."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:  # repro: synchronized-externally (RingState's lock)
+    """The bare ring structure: membership, points, and the walk.
+
+    Not thread-safe by design -- :class:`~repro.cluster.health.RingState`
+    owns one behind its lock and is the only caller in the daemon.
+
+    >>> ring = HashRing(vnodes=8)
+    >>> ring.add("shard0"); ring.add("shard1"); ring.add("shard2")
+    >>> placement = ring.place("a" * 64, replicas=2)
+    >>> len(placement) == len(set(placement)) == 2
+    True
+    """
+
+    def __init__(self, vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: List[Tuple[int, str]] = []  # sorted (position, shard)
+        self._positions: List[int] = []  # parallel, for bisect
+        self._shards: Dict[str, None] = {}  # insertion-ordered set
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self._shards
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def shards(self) -> Tuple[str, ...]:
+        """Member shards in insertion order."""
+        return tuple(self._shards)
+
+    def add(self, shard: str) -> None:
+        """Join one shard (idempotent)."""
+        if shard in self._shards:
+            return
+        self._shards[shard] = None
+        for index in range(self.vnodes):
+            position = _point(f"{shard}#{index}")
+            at = bisect.bisect_left(self._positions, position)
+            self._positions.insert(at, position)
+            self._points.insert(at, (position, shard))
+
+    def remove(self, shard: str) -> None:
+        """Leave one shard (idempotent)."""
+        if shard not in self._shards:
+            return
+        del self._shards[shard]
+        kept = [(pos, name) for pos, name in self._points if name != shard]
+        self._points = kept
+        self._positions = [pos for pos, __ in kept]
+
+    def place(self, key: str, replicas: int = 2) -> List[str]:
+        """The first ``replicas`` distinct shards clockwise of ``key``.
+
+        Fewer members than ``replicas`` yields every member (a 2-way
+        ring of one shard places one copy, not zero); an empty ring
+        yields ``[]``.
+        """
+        if not self._points:
+            return []
+        wanted = min(max(1, replicas), len(self._shards))
+        start = bisect.bisect_right(self._positions, _point(key))
+        chosen: List[str] = []
+        for step in range(len(self._points)):
+            __, shard = self._points[(start + step) % len(self._points)]
+            if shard not in chosen:
+                chosen.append(shard)
+                if len(chosen) == wanted:
+                    break
+        return chosen
+
+    def layout(self) -> Dict[str, object]:
+        """JSON-ready description: members, vnodes, keyspace shares."""
+        shares: Dict[str, float] = {name: 0.0 for name in self._shards}
+        total = float(1 << 64)
+        for index, (position, __) in enumerate(self._points):
+            previous = self._points[index - 1][0] if index else (
+                self._points[-1][0] - (1 << 64)
+            )
+            shard = self._points[index][1]
+            shares[shard] += (position - previous) / total
+        return {
+            "shards": list(self._shards),
+            "vnodes": self.vnodes,
+            "points": len(self._points),
+            "keyspace_share": {
+                name: round(share, 4) for name, share in shares.items()
+            },
+        }

@@ -1,0 +1,1082 @@
+"""The cluster router: one HTTP daemon fronting N PROFSTORE shards.
+
+The router owns no profile data.  It places blobs on a consistent-hash
+ring (:class:`~repro.cluster.health.RingState`), writes each ingest to
+``replicas`` shards, and reads quorum-less: any intact replica answers,
+the router re-verifies the sha256 itself, and a replica that is
+missing, corrupt, or freshly restarted is healed in-band by
+**read-repair** (the good bytes are force-written back through the
+shard's ``/repair`` endpoint).  Degraded answers reuse the capture
+vocabulary: ``capture_completeness`` = written/wanted replicas, never a
+silent partial success.
+
+Endpoints (all JSON unless noted)::
+
+    GET  /healthz            router liveness + alive/total shards
+    GET  /clusterz           ring layout, shard health, replication
+    GET  /metricsz           router latencies + cluster-merged shard
+                             digests (QuantileDigest.merge) + per-shard
+    GET  /tracez             merged trace view (router + shards)
+    POST /ingest?workload=   place + write to `replicas` shards
+    POST /ingest/stream      BINCAP stream; each document placed as its
+                             CRC verifies
+    GET  /get?run=SELECTOR   decoded document (digest selectors verify
+                             + read-repair; others broadcast)
+    GET  /blob?digest=D      verified raw bytes (read-repair path)
+    GET  /query/runs         broadcast + dedupe by (digest, workload,
+                             kind)
+    GET  /query/entries      broadcast + dedupe by (digest,
+                             instruction, group)
+    GET  /diff?a=&b=         resolve both selectors cluster-wide, diff
+                             in the router
+    POST /gc                 broadcast, summed
+    POST /rebalance          re-place every digest, copy missing
+                             replicas
+    POST /drain?shard=NAME   remove from ring, rebalance its data away
+
+Trace propagation: an inbound ``X-Repro-Trace`` runs the request under
+a child context, and every shard call carries the child's header, so
+one trace id links the client, the router, and every shard touched.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlencode, urlparse, urlsplit
+
+from repro.cluster.health import DigestMerger, RingState, ShardHealthTable
+from repro.cluster.ring import DEFAULT_VNODES
+from repro.core.binformat import StreamReader
+from repro.core.profile_io import ProfileFormatError, document_from_bytes
+from repro.obs.context import TRACE_HEADER, TraceContext, activate, current_header
+from repro.obs.events import EventLog
+from repro.store.blobs import sha256_hex
+from repro.store.diff import detect_regressions, diff_blobs
+from repro.store.httpbody import RequestError, iter_body, read_body
+from repro.store.server import RawBody
+from repro.telemetry import Telemetry, coalesce
+
+#: cap on one routed request body (matches the shard daemon's default)
+DEFAULT_MAX_BODY_BYTES = 64 << 20
+
+#: seconds between background health probes of every shard
+DEFAULT_PROBE_INTERVAL = 1.0
+
+#: is this a full sha256 hex digest (vs a run id / prefix / pattern)?
+_HEX = frozenset("0123456789abcdef")
+
+
+def is_digest(selector: str) -> bool:
+    return len(selector) == 64 and set(selector) <= _HEX
+
+
+class ClusterRouter:
+    """The routing daemon; shards are attached by name + URL."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        replicas: int = 2,
+        vnodes: int = DEFAULT_VNODES,
+        telemetry: Optional[Telemetry] = None,
+        trace_out: Optional[str] = None,
+        events: Optional[EventLog] = None,
+        probe_interval: float = DEFAULT_PROBE_INTERVAL,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        shard_timeout: float = 30.0,
+    ) -> None:
+        self.ring = RingState(replicas=replicas, vnodes=vnodes)
+        self.health = ShardHealthTable()
+        self.latency = DigestMerger()
+        self.telemetry = coalesce(telemetry)
+        self.events = events if events is not None else EventLog(path=trace_out)
+        self.max_body_bytes = max_body_bytes
+        self.shard_timeout = shard_timeout
+        self.probe_interval = probe_interval
+        self.started = time.time()
+        #: optional ShardSupervisor, wired by the CLI so /drain and
+        #: /clusterz can reach the shard processes
+        self.supervisor = None
+        self._metrics_lock = threading.Lock()
+        self._repairs = 0
+        self._requests = 0
+        self._errors = 0
+        self._local = threading.local()
+        # replica writes fan out concurrently; a persistent pool keeps
+        # each worker's per-thread keep-alive connections warm
+        self._write_pool = ThreadPoolExecutor(
+            max_workers=16, thread_name_prefix="replica-write"
+        )
+
+        router = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+            disable_nagle_algorithm = True
+
+            def log_message(self, format, *args):  # noqa: A002
+                pass
+
+            def do_GET(self):  # noqa: N802
+                router.handle(self, "GET")
+
+            def do_POST(self):  # noqa: N802
+                router.handle(self, "POST")
+
+        self.httpd = ThreadingHTTPServer((host, port), Handler)
+        self.httpd.daemon_threads = True
+        self._lifecycle_lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._probe_stop = threading.Event()
+        self._probe_thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.httpd.server_address[0], self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def attach_shard(
+        self,
+        name: str,
+        url: str,
+        pid: Optional[int] = None,
+        restarts: int = 0,
+    ) -> None:
+        """(Re)announce one shard.  Safe to call from the supervisor's
+        restart path: the name keeps its ring position, only the
+        address changes."""
+        self.health.set_address(name, url, pid=pid, restarts=restarts)
+        if not self.health.snapshot()[name]["draining"]:
+            self.ring.add(name)
+
+    def start(self) -> "ClusterRouter":
+        with self._lifecycle_lock:
+            if self._thread is not None:
+                raise RuntimeError("router is already started")
+            thread = threading.Thread(
+                target=self.httpd.serve_forever, daemon=True
+            )
+            self._thread = thread
+        thread.start()
+        self._start_probe()
+        return self
+
+    def serve_forever(self) -> None:
+        self._start_probe()
+        self.httpd.serve_forever()
+
+    def _start_probe(self) -> None:
+        with self._lifecycle_lock:
+            if self._probe_thread is not None or self.probe_interval <= 0:
+                return
+            self._probe_thread = threading.Thread(
+                target=self._probe_loop, daemon=True
+            )
+        self._probe_thread.start()
+
+    def stop(self) -> None:
+        self._probe_stop.set()
+        self.httpd.shutdown()
+        with self._lifecycle_lock:
+            thread, self._thread = self._thread, None
+            probe, self._probe_thread = self._probe_thread, None
+        if thread is not None:
+            thread.join()
+        if probe is not None:
+            probe.join(timeout=5.0)
+        self.httpd.server_close()
+        self._write_pool.shutdown(wait=False)
+        self.events.flush()
+
+    def _probe_loop(self) -> None:
+        """Poll every shard's /healthz, keeping the health table live.
+
+        Recovery detection rides on the same loop: a shard the table
+        believes dead answers again after the supervisor restarts it,
+        and the probe flips it back to alive (with its run count, which
+        feeds the replication-lag gauge).
+        """
+        while not self._probe_stop.wait(self.probe_interval):
+            for name in self.health.names():
+                try:
+                    status, __, body = self._shard_request(
+                        name, "GET", "/healthz", timeout=2.0
+                    )
+                except OSError as exc:
+                    self.health.mark_failed(name, str(exc))
+                    continue
+                if status != 200:
+                    self.health.mark_failed(name, f"healthz answered {status}")
+                    continue
+                runs = None
+                try:
+                    runs = json.loads(body.decode("utf-8")).get("runs")
+                except ValueError:
+                    pass
+                self.health.mark_ok(
+                    name, runs=runs if isinstance(runs, int) else None
+                )
+
+    # -- shard client --------------------------------------------------
+
+    def _shard_request(
+        self,
+        shard: str,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One HTTP exchange with a shard, over a per-thread keep-alive
+        connection.
+
+        A stale connection (the shard restarted, or its HTTP/1.0-era
+        close raced us) is retried once on a fresh socket -- safe even
+        for POSTs because every shard write is content-addressed and
+        idempotent.  Raises OSError when the shard is unreachable.
+        """
+        url = self.health.url(shard)
+        if not url:
+            raise OSError(f"shard {shard!r} has no known address")
+        netloc = urlsplit(url).netloc
+        conns = getattr(self._local, "conns", None)
+        if conns is None:
+            conns = self._local.conns = {}
+        cached = conns.get(shard)
+        if cached is not None and cached[0] != netloc:
+            cached[1].close()
+            conns.pop(shard, None)
+            cached = None
+        send_headers = dict(headers or {})
+        trace = current_header()
+        if trace is not None:
+            send_headers[TRACE_HEADER] = trace
+        last_error: Optional[Exception] = None
+        for attempt in range(2):
+            if cached is None:
+                connection = http.client.HTTPConnection(
+                    netloc, timeout=timeout or self.shard_timeout
+                )
+                try:
+                    # Nagle off: POST bodies go out in a second send(),
+                    # which would otherwise stall ~40ms on delayed ACK
+                    connection.connect()
+                    connection.sock.setsockopt(
+                        socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                    )
+                except OSError as exc:
+                    connection.close()
+                    last_error = exc
+                    continue
+                cached = (netloc, connection)
+                conns[shard] = cached
+            try:
+                cached[1].request(method, path, body=body, headers=send_headers)
+                response = cached[1].getresponse()
+                data = response.read()
+                response_headers = dict(response.getheaders())
+                if response.will_close:
+                    cached[1].close()
+                    conns.pop(shard, None)
+                return response.status, response_headers, data
+            except (http.client.HTTPException, OSError) as exc:
+                cached[1].close()
+                conns.pop(shard, None)
+                cached = None
+                last_error = exc
+        raise OSError(f"shard {shard!r} unreachable: {last_error}")
+
+    def _try_shard(
+        self,
+        shard: str,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+        timeout: Optional[float] = None,
+    ) -> Optional[Tuple[int, Dict[str, str], bytes]]:
+        """Like :meth:`_shard_request`, but an unreachable shard marks
+        the health table and yields None instead of raising."""
+        try:
+            return self._shard_request(
+                shard, method, path, body=body, headers=headers,
+                timeout=timeout,
+            )
+        except OSError as exc:
+            self.health.mark_failed(shard, str(exc))
+            return None
+
+    @staticmethod
+    def _json(body: bytes) -> Dict[str, object]:
+        try:
+            decoded = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return {}
+        return decoded if isinstance(decoded, dict) else {}
+
+    # -- dispatch (mirrors StoreServer's) ------------------------------
+
+    def handle(self, request: BaseHTTPRequestHandler, method: str) -> None:
+        parsed = urlparse(request.path)
+        endpoint = parsed.path.strip("/").replace("/", "_") or "root"
+        params = {
+            key: values[-1] for key, values in parse_qs(parsed.query).items()
+        }
+        inbound = TraceContext.from_header(request.headers.get(TRACE_HEADER))
+        context = inbound.child() if inbound is not None else None
+        start = time.perf_counter()
+        try:
+            if context is not None:
+                with activate(context):
+                    status, payload = self.route(
+                        request, method, parsed.path, params
+                    )
+            else:
+                status, payload = self.route(
+                    request, method, parsed.path, params
+                )
+        except RequestError as exc:
+            status, payload = exc.status, {"error": str(exc)}
+        except (KeyError, ProfileFormatError, ValueError) as exc:
+            kind = 404 if isinstance(exc, KeyError) else 400
+            status, payload = kind, {"error": str(exc).strip("'\"")}
+        except Exception as exc:  # noqa: BLE001 - the router survives
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        elapsed = time.perf_counter() - start
+        self.latency.observe(endpoint, elapsed)
+        self.latency.observe("*", elapsed)
+        with self._metrics_lock:
+            self._requests += 1
+            if status >= 400:
+                self._errors += 1
+            if self.telemetry.enabled:
+                self.telemetry.counter(
+                    "router.http.requests_total", "requests routed"
+                ).inc()
+                if status >= 400:
+                    self.telemetry.counter(
+                        "router.http.errors_total", "requests answered >= 400"
+                    ).inc()
+        self.events.emit(
+            "request",
+            trace=context.trace_id if context is not None else None,
+            span=context.span_id if context is not None else None,
+            endpoint=endpoint,
+            method=method,
+            status=status,
+            seconds=elapsed,
+        )
+        extra_headers: Dict[str, str] = {}
+        if isinstance(payload, RawBody):
+            content_type = "application/octet-stream"
+            body = payload.data
+            extra_headers = payload.headers
+        elif isinstance(payload, str):
+            content_type = "text/plain; charset=utf-8"
+            body = payload.encode("utf-8")
+        else:
+            content_type = "application/json"
+            body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        try:
+            request.send_response(status)
+            request.send_header("Content-Type", content_type)
+            request.send_header("Content-Length", str(len(body)))
+            for name, value in extra_headers.items():
+                request.send_header(name, value)
+            if context is not None:
+                request.send_header(TRACE_HEADER, context.to_header())
+            if method == "POST" and status >= 400:
+                request.send_header("Connection", "close")
+            request.end_headers()
+            request.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def route(
+        self,
+        request: BaseHTTPRequestHandler,
+        method: str,
+        path: str,
+        params: Dict[str, str],
+    ) -> Tuple[int, object]:
+        if path == "/healthz" and method == "GET":
+            return 200, self._healthz()
+        if path == "/clusterz" and method == "GET":
+            return 200, self._clusterz()
+        if path == "/metricsz" and method == "GET":
+            return 200, self._metricsz()
+        if path == "/tracez" and method == "GET":
+            return 200, self._tracez(params.get("trace"))
+        if path == "/ingest/stream" and method == "POST":
+            return self._ingest_stream(request, params)
+        if path == "/ingest" and method == "POST":
+            return self._ingest(request, params)
+        if path == "/get" and method == "GET":
+            return 200, self._get(params)
+        if path == "/blob" and method == "GET":
+            return 200, self._blob(params)
+        if path in ("/query/runs", "/query/entries") and method == "GET":
+            return 200, self._query(path, params)
+        if path == "/diff" and method == "GET":
+            return 200, self._diff(params)
+        if path == "/gc" and method == "POST":
+            return 200, self._gc()
+        if path == "/rebalance" and method == "POST":
+            return 200, self._rebalance()
+        if path == "/drain" and method == "POST":
+            return 200, self._drain(self._required(params, "shard"))
+        return 404, {"error": f"no such endpoint: {method} {path}"}
+
+    # -- observability endpoints ---------------------------------------
+
+    def _healthz(self) -> Dict[str, object]:
+        alive = self.health.alive_shards()
+        total = self.health.names()
+        host, port = self.address
+        completeness = (len(alive) / len(total)) if total else 0.0
+        return {
+            "status": "ok" if alive and len(alive) == len(total) else (
+                "degraded" if alive else "down"
+            ),
+            "role": "cluster-router",
+            "host": host,
+            "port": port,
+            "shards_alive": len(alive),
+            "shards_total": len(total),
+            "capture_completeness": completeness,
+            "replicas": self.ring.replicas,
+            "uptime_seconds": time.time() - self.started,
+        }
+
+    def _clusterz(self) -> Dict[str, object]:
+        with self._metrics_lock:
+            repairs = self._repairs
+            requests = self._requests
+            errors = self._errors
+        return {
+            "ring": self.ring.layout(),
+            "shards": self.health.snapshot(),
+            "replication": {
+                "replicas": self.ring.replicas,
+                "read_repairs": repairs,
+                "lag_runs": self.health.lag_runs(),
+            },
+            "router": {
+                "requests": requests,
+                "errors": errors,
+                "uptime_seconds": time.time() - self.started,
+            },
+        }
+
+    def _metricsz(self) -> Dict[str, object]:
+        """Router latencies, plus the cluster-level merge.
+
+        Each shard exports its per-endpoint QuantileDigests in wire
+        form (``/metricsz?digests=1``); the router folds them together
+        with :meth:`QuantileDigest.merge`, so cluster p50/p99 reflect
+        every shard's samples, not an average of averages.
+        """
+        cluster = DigestMerger()
+        shards: Dict[str, object] = {}
+        for name in self.health.alive_shards():
+            answer = self._try_shard(
+                name, "GET", "/metricsz?digests=1", timeout=5.0
+            )
+            if answer is None or answer[0] != 200:
+                continue
+            payload = self._json(answer[2])
+            digests = payload.get("latency_digests")
+            if isinstance(digests, dict):
+                cluster.absorb(digests)
+            shards[name] = {
+                "endpoints": payload.get("endpoints"),
+                "cache": payload.get("cache"),
+            }
+        with self._metrics_lock:
+            requests = self._requests
+            errors = self._errors
+            repairs = self._repairs
+        return {
+            "router": {
+                "requests": requests,
+                "errors": errors,
+                "read_repairs": repairs,
+                "endpoints": self.latency.summaries(),
+            },
+            "cluster": {"endpoints": cluster.summaries()},
+            "shards": shards,
+        }
+
+    def _tracez(self, trace_id: Optional[str]) -> Dict[str, object]:
+        if trace_id is None:
+            merged: Dict[str, Dict[str, object]] = {}
+
+            def fold(row: Dict[str, object]) -> None:
+                tid = str(row.get("trace_id"))
+                into = merged.setdefault(
+                    tid, {"trace_id": tid, "records": 0, "kinds": []}
+                )
+                into["records"] += int(row.get("records") or 0)
+                kinds = set(into["kinds"])  # type: ignore[arg-type]
+                kinds.update(str(k) for k in row.get("kinds") or ())
+                into["kinds"] = sorted(kinds)
+
+            for tid in self.events.trace_ids():
+                records = self.events.records_for_trace(tid)
+                fold(
+                    {
+                        "trace_id": tid,
+                        "records": len(records),
+                        "kinds": sorted({str(r.get("kind")) for r in records}),
+                    }
+                )
+            for name in self.health.alive_shards():
+                answer = self._try_shard(name, "GET", "/tracez", timeout=5.0)
+                if answer is None or answer[0] != 200:
+                    continue
+                for row in self._json(answer[2]).get("traces") or ():
+                    if isinstance(row, dict):
+                        fold(row)
+            return {"traces": sorted(merged.values(), key=lambda r: r["trace_id"])}
+        records = self.events.records_for_trace(trace_id)
+        documents: List[object] = []
+        shard_records: List[object] = []
+        for name in self.health.alive_shards():
+            answer = self._try_shard(
+                name, "GET", f"/tracez?trace={trace_id}", timeout=5.0
+            )
+            if answer is None or answer[0] != 200:
+                continue
+            payload = self._json(answer[2])
+            for record in payload.get("records") or ():
+                if isinstance(record, dict):
+                    record = dict(record)
+                    record["shard"] = name
+                    shard_records.append(record)
+            documents.extend(payload.get("documents") or ())
+        if not records and not shard_records and not documents:
+            raise KeyError(f"no such trace: {trace_id}")
+        return {
+            "trace_id": trace_id,
+            "records": records + sorted(
+                shard_records, key=lambda r: r.get("ts") or 0
+            ),
+            "documents": documents,
+        }
+
+    # -- writes --------------------------------------------------------
+
+    def _ingest(
+        self, request: BaseHTTPRequestHandler, params: Dict[str, str]
+    ) -> Tuple[int, object]:
+        workload = self._required(params, "workload")
+        data = read_body(request, self.max_body_bytes)
+        if not data:
+            raise RequestError(400, "ingest requires a profile document body")
+        digest = sha256_hex(data)
+        status, payload = self._write_replicas(digest, data, workload)
+        return status, payload
+
+    def _write_replicas(
+        self, digest: str, data: bytes, workload: str
+    ) -> Tuple[int, Dict[str, object]]:
+        """Write one blob to its placed replicas, concurrently.
+
+        All replicas written -> 201.  Some (shard down) -> 200 with
+        ``capture_completeness`` < 1 -- the cluster stays writable
+        through a shard outage and heals by read-repair later.  A shard
+        *rejecting* the payload (4xx: corrupt document) is propagated
+        as-is: validation verdicts are unanimous, retrying elsewhere
+        cannot help.  Nothing written -> 503.
+
+        The replica writes fan out over the write pool so a 2-way
+        ingest costs one shard round-trip, not two -- this is where the
+        cluster's aggregate ingest throughput comes from.  The trace
+        header is captured here (the handler thread owns the active
+        context; pool threads have none).
+        """
+        placed = self.ring.place(digest)
+        if not placed:
+            raise RequestError(503, "no shards attached to the ring")
+        headers: Dict[str, str] = {}
+        trace = current_header()
+        if trace is not None:
+            headers[TRACE_HEADER] = trace
+        path = f"/ingest?{urlencode({'workload': workload})}"
+
+        if len(placed) == 1:
+            answers = [
+                self._try_shard(
+                    placed[0], "POST", path, body=data, headers=headers
+                )
+            ]
+        else:
+            futures = [
+                self._write_pool.submit(
+                    self._try_shard, shard, "POST", path,
+                    body=data, headers=headers,
+                )
+                for shard in placed
+            ]
+            answers = [future.result() for future in futures]
+        written: List[str] = []
+        missed: List[str] = []
+        first: Optional[Dict[str, object]] = None
+        for shard, answer in zip(placed, answers):
+            if answer is None:
+                missed.append(shard)
+                continue
+            status, __, body = answer
+            if status in (200, 201):
+                written.append(shard)
+                if first is None:
+                    first = self._json(body)
+            elif 400 <= status < 500:
+                payload = self._json(body)
+                payload.setdefault("error", f"shard answered {status}")
+                payload["shard"] = shard
+                return status, payload
+            else:
+                missed.append(shard)
+        if not written:
+            raise RequestError(
+                503, f"no replica accepted {digest[:12]} "
+                f"({len(placed)} placed, all unavailable)"
+            )
+        payload = dict(first or {})
+        payload.update(
+            digest=digest,
+            workload=workload,
+            replicas=written,
+            wanted=placed,
+            written=len(written),
+            capture_completeness=len(written) / len(placed),
+            degraded=bool(missed),
+        )
+        return (201 if not missed else 200), payload
+
+    def _ingest_stream(
+        self, request: BaseHTTPRequestHandler, params: Dict[str, str]
+    ) -> Tuple[int, object]:
+        """Route a BINCAP stream document-by-document.
+
+        Each document is placed and replicated the moment its CRC
+        verifies -- a torn tail loses only the torn document, and the
+        response carries both the stream-level and the replica-level
+        completeness.
+        """
+        default_workload = params.get("workload")
+        reader = StreamReader(max_document_bytes=self.max_body_bytes)
+        ingested: List[Dict[str, object]] = []
+        rejected: List[Dict[str, object]] = []
+        error: Optional[str] = None
+
+        def consume(events) -> None:
+            for event in events:
+                if event[0] == "doc":
+                    __, workload, __meta, blob = event
+                    name = workload or default_workload or "unknown"
+                    digest = sha256_hex(blob)
+                    try:
+                        status, payload = self._write_replicas(
+                            digest, blob, name
+                        )
+                    except RequestError as exc:
+                        rejected.append({"workload": name, "error": str(exc)})
+                        continue
+                    if status >= 400:
+                        rejected.append(
+                            {
+                                "workload": name,
+                                "error": str(payload.get("error")),
+                            }
+                        )
+                        continue
+                    ingested.append(
+                        {
+                            "run_id": payload.get("run_id"),
+                            "digest": digest,
+                            "kind": payload.get("kind"),
+                            "size_bytes": len(blob),
+                            "replicas": payload.get("replicas"),
+                            "capture_completeness": payload.get(
+                                "capture_completeness"
+                            ),
+                        }
+                    )
+                elif event[0] == "torn":
+                    rejected.append({"workload": event[1], "error": event[2]})
+
+        try:
+            for piece in iter_body(request, self.max_body_bytes):
+                consume(reader.feed(piece))
+        except RequestError as exc:
+            error = str(exc)
+        except (ValueError, OSError) as exc:
+            error = str(exc) or type(exc).__name__
+        summary = reader.summary()
+        under_replicated = any(
+            (row.get("capture_completeness") or 0) < 1.0 for row in ingested
+        )
+        degraded = (
+            bool(error)
+            or not summary["complete"]
+            or bool(rejected)
+            or under_replicated
+        )
+        if not ingested and degraded:
+            raise RequestError(
+                400, error or "stream carried no ingestible documents"
+            )
+        payload: Dict[str, object] = {
+            "ingested": ingested,
+            "rejected": rejected,
+            "documents": summary["documents"],
+            "complete": summary["complete"] and not rejected,
+            "capture_completeness": summary["capture_completeness"],
+            "degraded": degraded,
+        }
+        if error:
+            payload["error"] = error
+        return (201 if not degraded else 200), payload
+
+    # -- reads + read-repair -------------------------------------------
+
+    def _read_digest(self, digest: str) -> Tuple[bytes, Dict[str, str]]:
+        """Fetch one blob by digest from any intact replica, verifying
+        and repairing.
+
+        Placed replicas are tried first, then every other live shard
+        (the ring may have changed since the blob was written).  The
+        router re-hashes whatever it receives -- a corrupt replica can
+        never answer a client -- and any placed, reachable replica that
+        failed to serve the good bytes is repaired in-band.
+        """
+        placed = self.ring.place(digest)
+        candidates = list(placed)
+        for name in self.health.alive_shards():
+            if name not in candidates:
+                candidates.append(name)
+        if not candidates:
+            raise RequestError(503, "no shards attached to the ring")
+        good: Optional[bytes] = None
+        headers: Dict[str, str] = {}
+        saw_corrupt = False
+        needs_repair: List[str] = []
+        for shard in candidates:
+            answer = self._try_shard(
+                shard, "GET", f"/blob?digest={digest}", timeout=10.0
+            )
+            if answer is None:
+                continue
+            status, shard_headers, body = answer
+            if status == 200 and sha256_hex(body) == digest:
+                if good is None:
+                    good = body
+                    headers = {
+                        "X-Repro-Digest": digest,
+                        "X-Repro-Workload": shard_headers.get(
+                            "X-Repro-Workload", "unknown"
+                        ),
+                        "X-Repro-Kind": shard_headers.get(
+                            "X-Repro-Kind", "?"
+                        ),
+                        "X-Repro-Served-By": shard,
+                    }
+                continue
+            if status == 200 or status == 400:
+                # served bytes that do not hash to the digest, or the
+                # shard's own blob layer caught the corruption first
+                saw_corrupt = True
+            if shard in placed:
+                needs_repair.append(shard)
+        if good is None:
+            if saw_corrupt:
+                raise RequestError(
+                    502, f"every replica of {digest[:12]} is corrupt"
+                )
+            raise KeyError(f"no replica holds digest {digest[:12]}")
+        for shard in needs_repair:
+            self._repair_replica(shard, digest, good, headers)
+        return good, headers
+
+    def _repair_replica(
+        self,
+        shard: str,
+        digest: str,
+        data: bytes,
+        headers: Dict[str, str],
+    ) -> None:
+        """Push the verified bytes back onto one broken replica."""
+        workload = headers.get("X-Repro-Workload", "unknown")
+        path = (
+            f"/repair?{urlencode({'digest': digest, 'workload': workload})}"
+        )
+        answer = self._try_shard(shard, "POST", path, body=data)
+        repaired = answer is not None and answer[0] == 200
+        error = None
+        if answer is None:
+            error = "shard unreachable"
+        elif answer[0] != 200:
+            error = f"repair answered {answer[0]}"
+        self.events.emit(
+            "read_repair",
+            digest=digest,
+            shard=shard,
+            repaired=repaired,
+            error=error,
+            workload=workload,
+        )
+        if repaired:
+            with self._metrics_lock:
+                self._repairs += 1
+                if self.telemetry.enabled:
+                    self.telemetry.counter(
+                        "router.read_repairs_total",
+                        "replicas healed by read-repair",
+                    ).inc()
+
+    def _blob(self, params: Dict[str, str]) -> RawBody:
+        selector = params.get("digest") or params.get("run")
+        if not selector:
+            raise RequestError(400, "blob requires 'digest' or 'run'")
+        data, headers = self._resolve_bytes(selector)
+        return RawBody(data, headers)
+
+    def _resolve_bytes(self, selector: str) -> Tuple[bytes, Dict[str, str]]:
+        """Any run selector to verified bytes, cluster-wide."""
+        if is_digest(selector):
+            return self._read_digest(selector)
+        # run ids / prefixes / workload@kind patterns are shard-local
+        # vocabulary: ask everyone, first shard that resolves it wins,
+        # then fetch by the digest it names (verified + repaired).
+        for shard in self.health.alive_shards():
+            answer = self._try_shard(
+                shard,
+                "GET",
+                f"/blob?{urlencode({'run': selector})}",
+                timeout=10.0,
+            )
+            if answer is None or answer[0] != 200:
+                continue
+            status, headers, body = answer
+            digest = headers.get("X-Repro-Digest")
+            if digest and sha256_hex(body) == digest:
+                return body, {
+                    "X-Repro-Digest": digest,
+                    "X-Repro-Workload": headers.get(
+                        "X-Repro-Workload", "unknown"
+                    ),
+                    "X-Repro-Kind": headers.get("X-Repro-Kind", "?"),
+                    "X-Repro-Served-By": shard,
+                }
+        raise KeyError(f"no shard resolves selector {selector!r}")
+
+    def _get(self, params: Dict[str, str]) -> Dict[str, object]:
+        selector = self._required(params, "run")
+        data, __ = self._resolve_bytes(selector)
+        return document_from_bytes(data)
+
+    # -- broadcast reads -----------------------------------------------
+
+    def _broadcast(
+        self, path: str, method: str = "GET", timeout: float = 15.0
+    ) -> Tuple[Dict[str, Dict[str, object]], int, int]:
+        """One request to every live shard; (answers, responded, total)."""
+        answers: Dict[str, Dict[str, object]] = {}
+        shards = self.health.alive_shards()
+        responded = 0
+        for name in shards:
+            answer = self._try_shard(name, method, path, timeout=timeout)
+            if answer is None or answer[0] != 200:
+                continue
+            responded += 1
+            answers[name] = self._json(answer[2])
+        return answers, responded, len(shards)
+
+    def _query(self, path: str, params: Dict[str, str]) -> Dict[str, object]:
+        """Broadcast a query and dedupe replicated rows.
+
+        Replication stores the same blob on two shards, so the same
+        logical run (and its entries) answers twice; the digest in each
+        row keys the merge.  ``capture_completeness`` = shards that
+        answered / live shards, with ``degraded`` set when anyone was
+        missing -- mirroring the capture vocabulary end to end.
+        """
+        query = f"?{urlencode(params)}" if params else ""
+        answers, responded, total = self._broadcast(f"{path}{query}")
+        key_name = "runs" if path == "/query/runs" else "entries"
+        merged: List[Dict[str, object]] = []
+        seen = set()
+        for name in sorted(answers):
+            for row in answers[name].get(key_name) or ():
+                if not isinstance(row, dict):
+                    continue
+                if key_name == "runs":
+                    key = (row.get("digest"), row.get("workload"),
+                           row.get("kind"))
+                else:
+                    key = (row.get("digest"), row.get("instruction"),
+                           row.get("group"))
+                if key in seen:
+                    continue
+                seen.add(key)
+                merged.append(row)
+        return {
+            key_name: merged,
+            "shards_responded": responded,
+            "shards_total": total,
+            "capture_completeness": (responded / total) if total else 0.0,
+            "degraded": responded < total,
+        }
+
+    def _diff(self, params: Dict[str, str]) -> Dict[str, object]:
+        selector_a = self._required(params, "a")
+        selector_b = self._required(params, "b")
+        bytes_a, headers_a = self._resolve_bytes(selector_a)
+        bytes_b, headers_b = self._resolve_bytes(selector_b)
+        diff = diff_blobs(
+            bytes_a,
+            bytes_b,
+            label_a=headers_a.get("X-Repro-Digest", selector_a)[:12],
+            label_b=headers_b.get("X-Repro-Digest", selector_b)[:12],
+        )
+        regressions = detect_regressions(diff)
+        payload = diff.to_json()
+        payload["regressions"] = [r.to_json() for r in regressions]
+        return payload
+
+    def _gc(self) -> Dict[str, object]:
+        answers, responded, total = self._broadcast("/gc", method="POST")
+        summed = {"scanned": 0, "removed": 0, "freed_bytes": 0}
+        for payload in answers.values():
+            for key in summed:
+                value = payload.get(key)
+                if isinstance(value, int):
+                    summed[key] += value
+        summed.update(shards_responded=responded, shards_total=total)
+        return summed
+
+    # -- rebalance + drain ---------------------------------------------
+
+    def _catalog(self) -> Dict[str, Tuple[str, List[str]]]:
+        """digest -> (workload, shards currently holding it)."""
+        answers, __, __total = self._broadcast("/query/runs")
+        catalog: Dict[str, Tuple[str, List[str]]] = {}
+        for name in sorted(answers):
+            for row in answers[name].get("runs") or ():
+                if not isinstance(row, dict):
+                    continue
+                digest = row.get("digest")
+                if not isinstance(digest, str):
+                    continue
+                workload, holders = catalog.get(
+                    digest, (str(row.get("workload") or "unknown"), [])
+                )
+                if name not in holders:
+                    holders.append(name)
+                catalog[digest] = (workload, holders)
+        return catalog
+
+    def _rebalance(self) -> Dict[str, object]:
+        """Re-place every known digest and copy missing replicas.
+
+        The repair transport is the read-repair one: fetch verified
+        bytes from a holder, force-write through ``/repair``.  Used
+        after membership changes and by ``/drain``.
+        """
+        catalog = self._catalog()
+        checked = 0
+        copied = 0
+        failed = 0
+        for digest, (workload, holders) in sorted(catalog.items()):
+            checked += 1
+            placed = self.ring.place(digest)
+            missing = [
+                shard
+                for shard in placed
+                if shard not in holders and self.health.is_alive(shard)
+            ]
+            if not missing:
+                continue
+            try:
+                data, headers = self._read_digest(digest)
+            except (KeyError, RequestError):
+                failed += 1
+                continue
+            for shard in missing:
+                before = self._repair_count()
+                self._repair_replica(shard, digest, data, headers)
+                if self._repair_count() > before:
+                    copied += 1
+                else:
+                    failed += 1
+        return {
+            "checked": checked,
+            "copied": copied,
+            "failed": failed,
+            "ring_version": self.ring.layout()["version"],
+        }
+
+    def _repair_count(self) -> int:
+        with self._metrics_lock:
+            return self._repairs
+
+    def _drain(self, shard: str) -> Dict[str, object]:
+        """Take one shard out of the ring and move its data away.
+
+        The shard keeps serving reads while its blobs are copied to
+        their new placements (the rebalance fetch path may read from
+        it); only then is its process stopped, when a supervisor is
+        wired.
+        """
+        if shard not in self.health.names():
+            raise KeyError(f"no such shard: {shard}")
+        self.health.set_draining(shard, True)
+        self.ring.remove(shard)
+        error: Optional[str] = None
+        copied = 0
+        try:
+            outcome = self._rebalance()
+            copied = int(outcome.get("copied") or 0)
+            if outcome.get("failed"):
+                error = f"{outcome['failed']} digest(s) failed to copy"
+        except Exception as exc:  # noqa: BLE001 - report, don't die
+            error = f"{type(exc).__name__}: {exc}"
+        self.events.emit("shard_drain", shard=shard, copied=copied,
+                         error=error)
+        stopped = False
+        if self.supervisor is not None and error is None:
+            self.supervisor.stop_shard(shard)
+            stopped = True
+        out: Dict[str, object] = {
+            "shard": shard,
+            "copied": copied,
+            "stopped": stopped,
+            "ring": self.ring.layout(),
+        }
+        if error is not None:
+            out["error"] = error
+        return out
+
+    @staticmethod
+    def _required(params: Dict[str, str], name: str) -> str:
+        value = params.get(name)
+        if not value:
+            raise ValueError(f"missing required parameter {name!r}")
+        return value

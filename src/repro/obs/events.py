@@ -78,6 +78,22 @@ EVENT_SCHEMAS = {
         "optional": ["error"],
     },
     "quarantine": {"required": ["reason", "total"], "optional": []},
+    "server_shutdown": {
+        "required": ["drained", "in_flight", "deadline_seconds"],
+        "optional": [],
+    },
+    "shard_restart": {
+        "required": ["shard", "restarts", "backoff_seconds"],
+        "optional": ["exit_code"],
+    },
+    "read_repair": {
+        "required": ["digest", "shard", "repaired"],
+        "optional": ["error", "workload"],
+    },
+    "shard_drain": {
+        "required": ["shard", "copied"],
+        "optional": ["error"],
+    },
     "fault": {"required": ["fault"], "optional": [], "open": True},
     "timeout": {
         "required": ["label", "chunk", "attempt", "timeout_seconds"],

@@ -38,6 +38,11 @@ DEFAULT_SHARED_SEEDS = frozenset(
         "Quarantine",
         "EventLog",
         "Registry",
+        # SCALE-OUT cluster state: handler threads, the health-probe
+        # thread, and the supervisor callback all share these
+        "RingState",
+        "ShardHealthTable",
+        "DigestMerger",
     }
 )
 

@@ -55,11 +55,17 @@ class BlobStore:
             raise ValueError(f"not a sha256 hex digest: {digest!r}")
         return os.path.join(self.directory, digest[:2], digest[2:])
 
-    def put(self, data: bytes) -> str:
-        """Store ``data``, returning its digest (idempotent)."""
+    def put(self, data: bytes, force: bool = False) -> str:
+        """Store ``data``, returning its digest (idempotent).
+
+        ``force=True`` rewrites an already-present blob file (the
+        atomic replace makes that safe) -- the read-repair path uses it
+        to heal a replica whose on-disk bytes no longer hash to their
+        key, which the idempotent fast path would otherwise skip.
+        """
         digest = sha256_hex(data)
         target = self.path(digest)
-        if os.path.exists(target):
+        if not force and os.path.exists(target):
             return digest
         directory = os.path.dirname(target)
         os.makedirs(directory, exist_ok=True)

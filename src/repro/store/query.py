@@ -89,6 +89,10 @@ class QueryEngine:
                 rows.append(
                     {
                         "run_id": record.run_id,
+                        # the digest keys cross-replica deduplication:
+                        # the cluster router folds rows for the same
+                        # blob from different shards into one
+                        "digest": record.digest,
                         "workload": record.workload,
                         "instruction": instr,
                         "group": grp,

@@ -28,6 +28,14 @@ Endpoints (all JSON unless noted)::
     GET  /query/shapes?run=SELECTOR   LMAD stride fingerprint of one run
     GET  /diff?a=SEL&b=SEL            structural diff + regression verdicts
     POST /gc                          drop unreferenced blobs
+    GET  /blob?digest=D|run=SEL       the exact ingested bytes
+                                      (octet-stream; ``X-Repro-Digest``
+                                      / ``-Workload`` / ``-Kind``
+                                      headers carry the provenance)
+    POST /repair?digest=D&workload=W  body = blob bytes; force-rewrites
+                                      a corrupted or missing replica
+                                      after digest + decode validation
+                                      (SCALE-OUT read-repair)
 
 Run selectors are what :meth:`repro.store.store.ProfileStore.resolve`
 accepts (run ids, digest prefixes, ``workload@kind[~N]``).
@@ -64,6 +72,7 @@ from repro.obs.context import TRACE_HEADER, TraceContext, activate
 from repro.obs.events import EventLog
 from repro.obs.quantiles import QuantileDigest
 from repro.store.diff import detect_regressions, diff_blobs
+from repro.store.httpbody import RequestError, iter_body, read_body
 from repro.store.query import QueryEngine
 from repro.store.store import ProfileStore
 from repro.telemetry import Telemetry, coalesce
@@ -80,17 +89,14 @@ DEFAULT_MAX_BODY_BYTES = 64 << 20
 LATENCY_BUCKETS = tuple(0.0001 * (4 ** p) for p in range(8))
 
 
-class RequestError(ValueError):
-    """A malformed request, carrying the HTTP status to answer with.
+class RawBody:
+    """A non-JSON response payload: raw bytes plus extra headers."""
 
-    Subclasses :class:`ValueError` so code that predates it still maps
-    it to a 4xx, but the dispatcher honours :attr:`status` (400 for
-    malformed framing, 413 for oversized bodies) when it can.
-    """
+    __slots__ = ("data", "headers")
 
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
+    def __init__(self, data: bytes, headers: Optional[Dict[str, str]] = None):
+        self.data = data
+        self.headers = dict(headers or {})
 
 
 class _Metrics:
@@ -159,6 +165,15 @@ class StoreServer:
         server = self
 
         class Handler(BaseHTTPRequestHandler):
+            # keep-alive: every response carries Content-Length, so
+            # HTTP/1.1 is safe and the cluster router can reuse one
+            # connection per shard instead of reconnecting per request
+            protocol_version = "HTTP/1.1"
+
+            # Nagle off: response bodies follow headers in a second
+            # send() and would otherwise stall on the peer's delayed ACK
+            disable_nagle_algorithm = True
+
             # quiet by default: the daemon's own telemetry replaces the
             # per-request stderr log lines
             def log_message(self, format, *args):  # noqa: A002
@@ -177,6 +192,11 @@ class StoreServer:
         # from more than one thread
         self._lifecycle_lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
+        # in-flight request accounting for graceful shutdown: drain()
+        # waits on the condition until handler threads finish
+        self._inflight_lock = threading.Lock()
+        self._inflight_cond = threading.Condition(self._inflight_lock)
+        self._inflight = 0
 
     # -- lifecycle -----------------------------------------------------
 
@@ -220,9 +240,47 @@ class StoreServer:
         self.httpd.server_close()
         self.events.flush()
 
+    def drain(self, deadline_seconds: float = 5.0) -> bool:
+        """Wait (bounded) for in-flight requests, then log the shutdown.
+
+        The graceful-shutdown half of SIGTERM handling: the caller has
+        already stopped accepting (the serve loop exited), and drain()
+        waits until every handler thread finishes or the deadline
+        passes.  Either way one schema-checked ``server_shutdown``
+        event lands in the log -- the shard supervisor's restart path
+        keys off it -- and the sink is flushed.  Returns True when the
+        server drained fully.
+        """
+        deadline = time.monotonic() + max(0.0, deadline_seconds)
+        with self._inflight_cond:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._inflight_cond.wait(remaining)
+            leftover = self._inflight
+        self.events.emit(
+            "server_shutdown",
+            drained=leftover == 0,
+            in_flight=leftover,
+            deadline_seconds=deadline_seconds,
+        )
+        self.events.flush()
+        return leftover == 0
+
     # -- dispatch ------------------------------------------------------
 
     def handle(self, request: BaseHTTPRequestHandler, method: str) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+        try:
+            self._handle(request, method)
+        finally:
+            with self._inflight_cond:
+                self._inflight -= 1
+                self._inflight_cond.notify_all()
+
+    def _handle(self, request: BaseHTTPRequestHandler, method: str) -> None:
         parsed = urlparse(request.path)
         endpoint = parsed.path.strip("/").replace("/", "_") or "root"
         params = {
@@ -265,7 +323,12 @@ class StoreServer:
             status=status,
             seconds=elapsed,
         )
-        if isinstance(payload, str):
+        extra_headers: Dict[str, str] = {}
+        if isinstance(payload, RawBody):
+            content_type = "application/octet-stream"
+            body = payload.data
+            extra_headers = payload.headers
+        elif isinstance(payload, str):
             content_type = "text/plain; charset=utf-8"
             body = payload.encode("utf-8")
         else:
@@ -275,6 +338,14 @@ class StoreServer:
             request.send_response(status)
             request.send_header("Content-Type", content_type)
             request.send_header("Content-Length", str(len(body)))
+            # a failed POST may not have consumed its body; keeping the
+            # connection alive would desync the next request's framing
+            # (send_header('Connection', 'close') also flags
+            # close_connection for the serving loop)
+            if method == "POST" and status >= 400:
+                request.send_header("Connection", "close")
+            for name, value in extra_headers.items():
+                request.send_header(name, value)
             if context is not None:
                 request.send_header(TRACE_HEADER, context.to_header())
             request.end_headers()
@@ -309,8 +380,11 @@ class StoreServer:
     ) -> Tuple[int, object]:
         if path == "/healthz" and method == "GET":
             snapshot = self.store.stats()
+            host, port = self.address
             snapshot.update(
                 status="ok",
+                host=host,
+                port=port,
                 uptime_seconds=time.time() - self.started,
                 max_concurrent=self.max_concurrent,
             )
@@ -318,7 +392,7 @@ class StoreServer:
         if path == "/metricsz" and method == "GET":
             if params.get("format") == "prom":
                 return 200, self._metricsz_prom()
-            return 200, self._metricsz()
+            return 200, self._metricsz(include_digests="digests" in params)
         if path == "/tracez" and method == "GET":
             return 200, self._tracez(params.get("trace"))
         if path == "/ingest/stream" and method == "POST":
@@ -352,6 +426,10 @@ class StoreServer:
             }
         if path == "/diff" and method == "GET":
             return 200, self._diff(params)
+        if path == "/blob" and method == "GET":
+            return 200, self._blob(params)
+        if path == "/repair" and method == "POST":
+            return 200, self._repair(request, params)
         if path == "/gc" and method == "POST":
             stats = self.store.gc()
             return 200, {
@@ -363,7 +441,7 @@ class StoreServer:
 
     # -- endpoint bodies -----------------------------------------------
 
-    def _metricsz(self) -> Dict[str, object]:
+    def _metricsz(self, include_digests: bool = False) -> Dict[str, object]:
         counters: Dict[str, object] = {}
         gauges: Dict[str, object] = {}
         with self.metrics.lock:
@@ -387,8 +465,17 @@ class StoreServer:
                 for key, digest in self.latency.items()
                 if digest.count
             }
+            digests = (
+                {
+                    key: digest.to_plain()
+                    for key, digest in self.latency.items()
+                    if digest.count
+                }
+                if include_digests
+                else None
+            )
         hits, misses, evictions = self.store.cache.stats()
-        return {
+        out: Dict[str, object] = {
             "counters": counters,
             "gauges": gauges,
             "latency": latency_summary,
@@ -400,6 +487,11 @@ class StoreServer:
                 "hit_rate": self.store.cache.hit_rate,
             },
         }
+        if digests is not None:
+            # the mergeable wire form: the cluster router folds these
+            # into its cluster-level /metricsz with QuantileDigest.merge
+            out["latency_digests"] = digests
+        return out
 
     def _metricsz_prom(self) -> str:
         """The scrape view: the telemetry registry in Prometheus text
@@ -480,87 +572,12 @@ class StoreServer:
     # -- request bodies ------------------------------------------------
 
     def _body_chunks(self, request: BaseHTTPRequestHandler):
-        """Yield the request body as chunks, whatever its framing.
-
-        ``BaseHTTPRequestHandler`` hands us the raw socket stream, so
-        both framings are decoded here: a validated ``Content-Length``
-        read in bounded pieces (a short read is a 400, not a silently
-        truncated document), or ``Transfer-Encoding: chunked`` -- which
-        the stdlib server does *not* decode -- for clients streaming a
-        body whose length they do not know yet.  Oversized bodies are
-        a 413 before the bytes are buffered anywhere.
-        """
-        encoding = (request.headers.get("Transfer-Encoding") or "").lower()
-        if "chunked" in encoding:
-            yield from self._chunked_body(request.rfile)
-            return
-        raw = (request.headers.get("Content-Length") or "").strip()
-        if not raw.isdigit():
-            raise RequestError(
-                400, f"missing or malformed Content-Length: {raw!r}"
-            )
-        length = int(raw)
-        if length > self.max_body_bytes:
-            raise RequestError(
-                413,
-                f"body of {length} bytes exceeds the "
-                f"{self.max_body_bytes}-byte cap",
-            )
-        remaining = length
-        while remaining > 0:
-            piece = request.rfile.read(min(remaining, 1 << 16))
-            if not piece:
-                raise RequestError(
-                    400,
-                    f"request body truncated: read {length - remaining} "
-                    f"of {length} bytes",
-                )
-            remaining -= len(piece)
-            yield piece
-
-    def _chunked_body(self, rfile):
-        """Decode one ``Transfer-Encoding: chunked`` body from the wire."""
-        total = 0
-        while True:
-            line = rfile.readline(128)
-            if not line or not line.endswith(b"\n"):
-                raise RequestError(400, "truncated chunked body")
-            size_text = line.split(b";", 1)[0].strip()
-            try:
-                size = int(size_text, 16)
-            except ValueError:
-                raise RequestError(
-                    400, f"malformed chunk size {size_text!r}"
-                ) from None
-            if size == 0:
-                # trailer section, then the final blank line
-                while True:
-                    trailer = rfile.readline(1024)
-                    if trailer in (b"\r\n", b"\n", b""):
-                        return
-                continue
-            total += size
-            if total > self.max_body_bytes:
-                raise RequestError(
-                    413,
-                    f"chunked body exceeds the "
-                    f"{self.max_body_bytes}-byte cap",
-                )
-            pieces = []
-            remaining = size
-            while remaining > 0:
-                piece = rfile.read(min(remaining, 1 << 16))
-                if not piece:
-                    raise RequestError(400, "truncated chunk payload")
-                remaining -= len(piece)
-                pieces.append(piece)
-            yield b"".join(pieces)
-            terminator = rfile.readline(4)
-            if terminator not in (b"\r\n", b"\n"):
-                raise RequestError(400, "malformed chunk terminator")
+        """The request body as chunks (framing decoded in
+        :mod:`repro.store.httpbody`, shared with the cluster router)."""
+        return iter_body(request, self.max_body_bytes)
 
     def _read_body(self, request: BaseHTTPRequestHandler) -> bytes:
-        return b"".join(self._body_chunks(request))
+        return read_body(request, self.max_body_bytes)
 
     # -- ingest --------------------------------------------------------
 
@@ -678,6 +695,51 @@ class StoreServer:
         if error:
             payload["error"] = error
         return (201 if not degraded else 200), payload
+
+    def _blob(self, params: Dict[str, str]) -> RawBody:
+        """The exact ingested bytes of one run, with provenance headers.
+
+        The cluster router's replication primitive: it fetches raw
+        bytes here (re-hashed by the blob layer on the way out, so a
+        corrupted replica answers 400 instead of serving wrong bytes),
+        verifies the digest itself, and pushes repairs back through
+        ``/repair``.
+        """
+        selector = params.get("digest") or params.get("run")
+        if not selector:
+            raise RequestError(400, "blob requires 'digest' or 'run'")
+        record = self.store.resolve(selector)
+        data = self.store.get_bytes(record.run_id)
+        return RawBody(
+            data,
+            {
+                "X-Repro-Digest": record.digest,
+                "X-Repro-Workload": record.workload,
+                "X-Repro-Kind": record.kind,
+            },
+        )
+
+    def _repair(
+        self, request: BaseHTTPRequestHandler, params: Dict[str, str]
+    ) -> Dict[str, object]:
+        """Force-install one validated blob (the read-repair sink).
+
+        Unlike ``/ingest``, the payload must hash to the digest the
+        caller names, and an existing (possibly corrupt) blob file is
+        *replaced* -- the idempotent ingest path would skip it.  A
+        manifest run is created only when no run references the digest
+        yet (a replica that lost the run entirely).
+        """
+        digest = self._required(params, "digest")
+        workload = params.get("workload") or "unknown"
+        data = self._read_body(request)
+        if not data:
+            raise RequestError(400, "repair requires the blob bytes as body")
+        result = self.store.repair_blob(digest, data, workload=workload)
+        self._count_ingest(len(data))
+        out: Dict[str, object] = {"digest": digest}
+        out.update(result)
+        return out
 
     def _diff(self, params: Dict[str, str]) -> Dict[str, object]:
         selector_a = self._required(params, "a")

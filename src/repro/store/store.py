@@ -39,7 +39,7 @@ from repro.core.profile_io import (
     sniff_format,
 )
 from repro.resilience import atomic_write_text
-from repro.store.blobs import BlobStore
+from repro.store.blobs import BlobStore, sha256_hex
 from repro.store.cache import LRUCache
 
 #: bumped when the manifest record shape changes; newer-versioned lines
@@ -345,6 +345,36 @@ class ProfileStore:
         )
 
     # -- maintenance ---------------------------------------------------
+
+    def repair_blob(
+        self, digest: str, data: bytes, workload: str = "unknown"
+    ) -> Dict[str, object]:
+        """Force-install one blob after full validation (read-repair).
+
+        The payload must hash to ``digest`` and decode cleanly; then
+        the blob file is atomically rewritten even if a (corrupt) copy
+        already exists.  When no manifest run references the digest, a
+        run is created too, so a replica that lost both the blob and
+        its run row heals to a queryable state.  Returns
+        ``{"replaced": bool, "created_run": run_id | None}``.
+        """
+        if sha256_hex(data) != digest:
+            raise ProfileFormatError(
+                f"repair payload does not hash to {digest[:12]}"
+            )
+        loads_bytes(data)  # reject anything we could not serve
+        replaced = self.blobs.contains(digest)
+        self.blobs.put(data, force=True)
+        self.cache.invalidate(digest)
+        with self._lock:
+            referenced = any(r.digest == digest for r in self._records)
+        created = None
+        if not referenced:
+            record = self.ingest_bytes(
+                data, workload, meta={"source": "read-repair"}
+            )
+            created = record.run_id
+        return {"replaced": replaced, "created_run": created}
 
     def drop_run(self, run_id: str) -> None:
         """Remove one run from the manifest (its blob stays until gc)."""

@@ -1,0 +1,152 @@
+"""Consistent-hash ring invariants (property-tested).
+
+The cluster's placement correctness rests on these: distinct replicas,
+insertion-order independence, and bounded movement under membership
+change.  Keys are synthetic sha256-like hex strings.
+"""
+
+import hashlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.health import RingState
+from repro.cluster.ring import HashRing
+
+
+def keys(count, salt=0):
+    return [
+        hashlib.sha256(f"key-{salt}-{index}".encode()).hexdigest()
+        for index in range(count)
+    ]
+
+
+def ring_of(names, vnodes=32):
+    ring = HashRing(vnodes=vnodes)
+    for name in names:
+        ring.add(name)
+    return ring
+
+
+shard_sets = st.lists(
+    st.sampled_from([f"shard{i}" for i in range(8)]),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+
+class TestPlacementBasics:
+    @given(shards=shard_sets, replicas=st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_replicas_are_distinct_and_bounded(self, shards, replicas):
+        ring = ring_of(shards)
+        for key in keys(20):
+            placed = ring.place(key, replicas=replicas)
+            assert len(placed) == len(set(placed))
+            assert len(placed) == min(replicas, len(shards))
+            assert set(placed) <= set(shards)
+
+    @given(shards=st.permutations([f"shard{i}" for i in range(5)]))
+    @settings(max_examples=25, deadline=None)
+    def test_placement_ignores_insertion_order(self, shards):
+        baseline = ring_of(sorted(shards))
+        permuted = ring_of(list(shards))
+        for key in keys(30):
+            assert baseline.place(key, 2) == permuted.place(key, 2)
+
+    def test_empty_and_single(self):
+        ring = HashRing(vnodes=8)
+        assert ring.place("a" * 64, 2) == []
+        ring.add("only")
+        assert ring.place("a" * 64, 2) == ["only"]
+
+    def test_add_remove_idempotent(self):
+        ring = ring_of(["shard0", "shard1"])
+        points = ring.layout()["points"]
+        ring.add("shard0")
+        assert ring.layout()["points"] == points
+        ring.remove("absent")
+        assert ring.layout()["points"] == points
+
+
+class TestStability:
+    @given(
+        shards=st.lists(
+            st.sampled_from([f"shard{i}" for i in range(6)]),
+            min_size=2, max_size=6, unique=True,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_adding_a_shard_only_moves_keys_onto_it(self, shards):
+        """Consistency: a join may claim keys, never shuffle others."""
+        old = ring_of(shards)
+        grown = ring_of(shards + ["joiner"])
+        for key in keys(40):
+            before = old.place(key, 1)[0]
+            after = grown.place(key, 1)[0]
+            assert after == before or after == "joiner"
+
+    @given(
+        shards=st.lists(
+            st.sampled_from([f"shard{i}" for i in range(6)]),
+            min_size=3, max_size=6, unique=True,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_removing_a_shard_strands_only_its_keys(self, shards):
+        full = ring_of(shards)
+        removed = shards[0]
+        shrunk = ring_of(shards)
+        shrunk.remove(removed)
+        for key in keys(40):
+            before = full.place(key, 1)[0]
+            after = shrunk.place(key, 1)[0]
+            if before != removed:
+                assert after == before
+
+    def test_join_moves_a_bounded_fraction(self):
+        """~1/(N+1) of the keyspace moves; assert well under half.
+
+        Deterministic (sha256 positions), so a hard bound is safe.
+        """
+        sample = keys(400)
+        old = ring_of(["shard0", "shard1", "shard2"], vnodes=64)
+        grown = ring_of(["shard0", "shard1", "shard2", "shard3"], vnodes=64)
+        moved = sum(
+            1
+            for key in sample
+            if old.place(key, 1) != grown.place(key, 1)
+        )
+        assert moved / len(sample) < 0.5
+        assert moved > 0  # the new shard actually takes traffic
+
+
+class TestRingState:
+    def test_locked_facade_matches_bare_ring(self):
+        state = RingState(replicas=2, vnodes=16)
+        bare = HashRing(vnodes=16)
+        for name in ("shard0", "shard1", "shard2"):
+            state.add(name)
+            bare.add(name)
+        for key in keys(25):
+            assert state.place(key) == bare.place(key, 2)
+
+    def test_version_counts_membership_changes(self):
+        state = RingState(replicas=2)
+        assert state.layout()["version"] == 0
+        state.add("shard0")
+        state.add("shard0")  # idempotent: no version bump
+        state.add("shard1")
+        state.remove("shard0")
+        state.remove("shard0")
+        assert state.layout()["version"] == 3
+        assert state.shards() == ("shard1",)
+
+    def test_layout_shares_sum_to_one(self):
+        state = RingState(replicas=2, vnodes=64)
+        for name in ("shard0", "shard1", "shard2"):
+            state.add(name)
+        shares = state.layout()["keyspace_share"]
+        assert abs(sum(shares.values()) - 1.0) < 1e-6
+        assert all(share > 0 for share in shares.values())

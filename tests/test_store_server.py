@@ -201,3 +201,151 @@ class TestConcurrency:
         __, metrics = fetch(server, "/metricsz")
         assert metrics["cache"]["hits"] >= 9
         assert metrics["cache"]["hit_rate"] >= 0.5
+
+
+def fetch_raw(server, path):
+    with urllib.request.urlopen(server.url + path, timeout=10) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+class TestClusterPrimitives:
+    """The shard-side surface SCALE-OUT's router builds on."""
+
+    def test_healthz_reports_bound_address(self, server):
+        __, payload = fetch(server, "/healthz")
+        host, port = server.address
+        assert payload["host"] == host
+        assert payload["port"] == port
+
+    def test_blob_serves_raw_bytes_with_provenance(self, server, documents):
+        data = documents["alpha"].encode("utf-8")
+        from repro.store.blobs import sha256_hex
+
+        digest = sha256_hex(data)
+        status, headers, body = fetch_raw(server, f"/blob?digest={digest}")
+        assert status == 200
+        assert body == data
+        assert headers["X-Repro-Digest"] == digest
+        assert headers["X-Repro-Workload"] == "alpha"
+        assert headers["X-Repro-Kind"] == "leap"
+
+    def test_blob_resolves_run_selectors(self, server, documents):
+        data = documents["beta"].encode("utf-8")
+        from repro.store.blobs import sha256_hex
+
+        status, headers, body = fetch_raw(server, "/blob?run=beta@leap")
+        assert status == 200
+        assert body == data
+        assert headers["X-Repro-Digest"] == sha256_hex(data)
+
+    def test_repair_force_heals_a_corrupt_blob(self, server, documents):
+        import os
+
+        from repro.store.blobs import sha256_hex
+
+        data = documents["alpha"].encode("utf-8")
+        digest = sha256_hex(data)
+        blob_path = server.store.blobs.path(digest)
+        with open(blob_path, "wb") as handle:
+            handle.write(b"garbage")
+        assert os.path.getsize(blob_path) == len(b"garbage")
+        status, payload = fetch(
+            server,
+            f"/repair?digest={digest}&workload=alpha",
+            method="POST",
+            data=data,
+        )
+        assert status == 200
+        assert payload["replaced"] is True
+        __, __headers, healed = fetch_raw(server, f"/blob?digest={digest}")
+        assert healed == data
+
+    def test_repair_creates_a_run_for_new_bytes(self, server):
+        from repro.store.blobs import sha256_hex
+
+        data = make_leap_text(range(0, 96, 3)).encode("utf-8")
+        digest = sha256_hex(data)
+        status, payload = fetch(
+            server,
+            f"/repair?digest={digest}&workload=orphan",
+            method="POST",
+            data=data,
+        )
+        assert status == 200
+        assert payload["created_run"]  # the run id of the new record
+        __, got = fetch(server, f"/get?run={digest}")
+        assert got == json.loads(data.decode("utf-8"))
+
+    def test_repair_rejects_mismatched_digest(self, server, documents):
+        data = documents["alpha"].encode("utf-8")
+        status, payload = fetch_error(
+            server, f"/repair?digest={'0' * 64}&workload=alpha",
+            method="POST", data=data,
+        )
+        assert status == 400
+        assert "hash" in payload["error"]
+
+    def test_repair_rejects_corrupt_payload(self, server, documents):
+        from repro.store.blobs import sha256_hex
+
+        bad = b"this is not a profile document"
+        status, __payload = fetch_error(
+            server, f"/repair?digest={sha256_hex(bad)}&workload=x",
+            method="POST", data=bad,
+        )
+        assert status == 400
+
+    def test_drain_with_idle_server_emits_shutdown_event(
+        self, tmp_path, documents
+    ):
+        store = ProfileStore(str(tmp_path / "drain"), cache_size=8)
+        instance = StoreServer(store, port=0, telemetry=Telemetry()).start()
+        try:
+            assert instance.drain(deadline_seconds=1.0) is True
+        finally:
+            instance.stop()
+        shutdowns = [
+            record
+            for record in instance.events.tail()
+            if record["kind"] == "server_shutdown"
+        ]
+        assert len(shutdowns) == 1
+        assert shutdowns[0]["drained"] is True
+        assert shutdowns[0]["in_flight"] == 0
+        assert shutdowns[0]["deadline_seconds"] == 1.0
+
+    def test_drain_waits_for_inflight_requests(self, server):
+        """A request in flight when drain starts completes before the
+        drain returns (the daemon never drops accepted work)."""
+        import time
+
+        entered = threading.Event()
+        release = threading.Event()
+        original = server.query.find_runs
+
+        def slow_find_runs(*args, **kwargs):
+            entered.set()
+            release.wait(timeout=5.0)
+            return original(*args, **kwargs)
+
+        server.query.find_runs = slow_find_runs
+        try:
+            result = {}
+
+            def client():
+                result["answer"] = fetch(server, "/query/runs")
+
+            thread = threading.Thread(target=client)
+            thread.start()
+            assert entered.wait(timeout=5.0)
+
+            def drain_late():
+                time.sleep(0.1)
+                release.set()
+
+            threading.Thread(target=drain_late).start()
+            assert server.drain(deadline_seconds=5.0) is True
+            thread.join(timeout=5.0)
+            assert result["answer"][0] == 200
+        finally:
+            server.query.find_runs = original
